@@ -1,0 +1,39 @@
+"""E1 — per-strategy enrichment overhead vs plain SQL.
+
+For each of the six paper examples (4.1-4.6) this measures the full
+SESQL pipeline and its plain-SQL twin on the same databank.  The
+expected shape: every enrichment costs a bounded factor over its SQL
+baseline, dominated by SPARQL extraction plus the combine join; the
+WHERE strategies (4.5/4.6) pay for the rewritten correlated predicate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.smartground import PAPER_EXAMPLES, SQL_BASELINES
+
+_QUERIES = {query.name: query for query in PAPER_EXAMPLES}
+
+#: ex4.6 cross-joins elem_contained with itself; it runs on the small DB.
+_SMALL = {"ex4.6-replace-variable"}
+
+
+def _fixture_for(name):
+    return "engine_150" if name in _SMALL else "engine_1200"
+
+
+@pytest.mark.parametrize("name", list(_QUERIES))
+def test_e1_sesql(benchmark, name, request):
+    engine = request.getfixturevalue(_fixture_for(name))
+    sesql = _QUERIES[name].sesql
+    result = benchmark(lambda: engine.execute(sesql))
+    assert result.columns
+
+
+@pytest.mark.parametrize("name", list(_QUERIES))
+def test_e1_sql_baseline(benchmark, name, request):
+    engine = request.getfixturevalue(_fixture_for(name))
+    sql = SQL_BASELINES[name]
+    result = benchmark(lambda: engine.databank.query(sql))
+    assert result.columns

@@ -1,0 +1,45 @@
+"""E2 — SESQL latency scaling in databank size.
+
+Fixed knowledge base, elem_contained rows swept over ~120..2400.
+Expected shape: linear in the base result size for SELECT enrichments
+(schema extension over a full scan + hash combine).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import bench_engine, scaled_databank
+
+SIZES = [120, 600, 1200, 2400]
+
+SESQL = """
+    SELECT elem_name, landfill_name, amount FROM elem_contained
+    ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)
+"""
+
+_ENGINES = {}
+
+
+def _engine(rows):
+    if rows not in _ENGINES:
+        _ENGINES[rows] = bench_engine(scaled_databank(rows))
+    return _ENGINES[rows]
+
+
+@pytest.mark.parametrize("rows", SIZES)
+def test_e2_schema_extension_scaling(benchmark, rows):
+    engine = _engine(rows)
+    result = benchmark(lambda: engine.execute(SESQL))
+    assert len(result.rows) >= rows * 0.5
+
+
+@pytest.mark.parametrize("rows", SIZES)
+def test_e2_replace_constant_scaling(benchmark, rows):
+    engine = _engine(rows)
+    sesql = """
+        SELECT landfill_name FROM elem_contained
+        WHERE ${elem_name = HazardousWaste:cond1}
+        ENRICH REPLACECONSTANT(cond1, HazardousWaste, dangerQuery)"""
+    result = benchmark(lambda: engine.execute(sesql))
+    assert result.columns == ["landfill_name"]

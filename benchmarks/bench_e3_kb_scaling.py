@@ -1,0 +1,49 @@
+"""E3 — SESQL latency scaling in knowledge-base size.
+
+Fixed databank (~600 rows), synthetic KB swept over 1k..50k triples.
+Expected shape: flat-ish for property extraction (the POS index touches
+only matching triples), linear for the full pipeline as the extraction
+result grows with the dangerLevel share of the KB.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.smartground import synthetic_kb
+from repro.workloads import bench_engine, scaled_databank
+
+SIZES = [1_000, 5_000, 20_000, 50_000]
+
+SESQL = """
+    SELECT elem_name, landfill_name FROM elem_contained
+    ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)
+"""
+
+_KBS = {}
+_DB = None
+
+
+def _engine(triples):
+    global _DB
+    if _DB is None:
+        _DB = scaled_databank(600)
+    if triples not in _KBS:
+        _KBS[triples] = synthetic_kb(triples)
+    return bench_engine(_DB, _KBS[triples])
+
+
+@pytest.mark.parametrize("triples", SIZES)
+def test_e3_pipeline_vs_kb_size(benchmark, triples):
+    engine = _engine(triples)
+    result = benchmark(lambda: engine.execute(SESQL))
+    assert result.columns[-1] == "dangerLevel"
+
+
+@pytest.mark.parametrize("triples", SIZES)
+def test_e3_sparql_extraction_only(benchmark, triples):
+    engine = _engine(triples)
+    kb = engine.knowledge_base
+    result = benchmark(
+        lambda: engine.sqm.pairs_for(kb, "dangerLevel"))
+    assert result.pairs

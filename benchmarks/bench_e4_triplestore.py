@@ -1,0 +1,50 @@
+"""E4 — triple-store index ablation.
+
+The same pattern workload on a fully indexed store (SPO+POS+OSP) and on
+the SPO-only ablation.  Expected shape: predicate-bound and object-bound
+lookups collapse to full scans without POS/OSP, costing orders of
+magnitude at 20k triples; subject-bound lookups are unaffected.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rdf import SMG, TripleStore
+from repro.smartground import synthetic_kb
+
+TRIPLES = 20_000
+
+_STORES = {}
+
+
+def _store(indexing):
+    if indexing not in _STORES:
+        full = synthetic_kb(TRIPLES)
+        if indexing == "full":
+            _STORES[indexing] = full
+        else:
+            reduced = TripleStore(indexing="spo")
+            reduced.add_all(full.triples())
+            _STORES[indexing] = reduced
+    return _STORES[indexing]
+
+
+@pytest.mark.parametrize("indexing", ["full", "spo"])
+def test_e4_predicate_bound_lookup(benchmark, indexing):
+    store = _store(indexing)
+    count = benchmark(lambda: store.count(None, SMG.dangerLevel, None))
+    assert count > 0
+
+
+@pytest.mark.parametrize("indexing", ["full", "spo"])
+def test_e4_object_bound_lookup(benchmark, indexing):
+    store = _store(indexing)
+    benchmark(lambda: store.count(None, None, SMG.Mercury))
+
+
+@pytest.mark.parametrize("indexing", ["full", "spo"])
+def test_e4_subject_bound_lookup(benchmark, indexing):
+    store = _store(indexing)
+    count = benchmark(lambda: store.count(SMG.Mercury, None, None))
+    assert count > 0

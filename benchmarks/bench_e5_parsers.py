@@ -1,0 +1,58 @@
+"""E5 — parser throughput: SQL, SPARQL and SESQL front ends.
+
+Expected shape: SESQL parsing costs SQL parsing plus a small constant
+for the tag scanner and the ENRICH grammar — the language front end is
+never the bottleneck of the pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.core.sqp import parse_sesql
+from repro.relational import parse_sql
+from repro.smartground import PAPER_EXAMPLES, SQL_BASELINES
+from repro.sparql import parse_sparql
+
+SQL_CORPUS = list(SQL_BASELINES.values()) + [
+    """SELECT l.city, COUNT(*) AS n, AVG(e.amount) AS avg_amount
+       FROM landfill l JOIN elem_contained e ON l.name = e.landfill_name
+       WHERE e.purity BETWEEN 0.2 AND 0.9
+       GROUP BY l.city HAVING COUNT(*) > 2
+       ORDER BY n DESC LIMIT 10""",
+    """SELECT name FROM landfill WHERE EXISTS (
+         SELECT 1 FROM elem_contained e WHERE e.landfill_name = name
+           AND e.elem_name IN ('Mercury', 'Lead', 'Asbestos'))""",
+]
+
+SESQL_CORPUS = [query.sesql for query in PAPER_EXAMPLES]
+
+SPARQL_CORPUS = [
+    "SELECT ?s ?o WHERE { ?s <http://smartground.eu/ns#dangerLevel> ?o }",
+    """PREFIX smg: <http://smartground.eu/ns#>
+       SELECT DISTINCT ?e WHERE {
+         { ?e smg:isA smg:HazardousWaste } UNION
+         { ?e smg:dangerLevel "extreme" }
+         FILTER(ISIRI(?e)) } ORDER BY ?e LIMIT 50""",
+    """PREFIX smg: <http://smartground.eu/ns#>
+       SELECT ?x WHERE { smg:Torino smg:inCountry/smg:inContinent ?x }""",
+]
+
+
+def test_e5_sql_parser(benchmark):
+    def run():
+        for sql in SQL_CORPUS:
+            parse_sql(sql)
+    benchmark(run)
+
+
+def test_e5_sesql_parser(benchmark):
+    def run():
+        for sesql in SESQL_CORPUS:
+            parse_sesql(sesql)
+    benchmark(run)
+
+
+def test_e5_sparql_parser(benchmark):
+    def run():
+        for sparql in SPARQL_CORPUS:
+            parse_sparql(sparql)
+    benchmark(run)

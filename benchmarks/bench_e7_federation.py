@@ -1,0 +1,68 @@
+"""E7 — mediated-query overhead over 1..8 federated sources.
+
+The same 2000 logical rows are (a) held locally, (b) split across N
+mediator sources, (c) attached through a foreign table.  Expected
+shape: mediation costs per-source shipping + materialisation, growing
+mildly with N at constant total data; the FDW live scan adds a
+per-scan penalty relative to local.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.federation import (Mediator, RemoteTableSource,
+                              attach_foreign_table)
+from repro.relational import Database
+
+TOTAL_ROWS = 2_000
+
+QUERY = """SELECT city, COUNT(*) AS n, AVG(size) AS avg_size
+           FROM eu_landfill GROUP BY city ORDER BY n DESC"""
+
+
+def _source(name: str, start: int, count: int) -> Database:
+    db = Database(name)
+    db.execute("CREATE TABLE landfill (name TEXT, city TEXT, size REAL)")
+    db.insert_rows("landfill", (
+        {"name": f"lf{start + i:05d}",
+         "city": f"city{(start + i) % 25:02d}",
+         "size": float((start + i) % 997)}
+        for i in range(count)))
+    return db
+
+
+def _mediator(n_sources: int) -> Mediator:
+    mediator = Mediator()
+    per_source = TOTAL_ROWS // n_sources
+    fragments = []
+    for index in range(n_sources):
+        name = f"src{index}"
+        mediator.register_source(
+            name, _source(name, index * per_source, per_source))
+        fragments.append((name, "SELECT name, city, size FROM landfill"))
+    mediator.define_view("eu_landfill", fragments)
+    return mediator
+
+
+@pytest.mark.parametrize("n_sources", [1, 2, 4, 8])
+def test_e7_mediated_query(benchmark, n_sources):
+    mediator = _mediator(n_sources)
+    result, report = benchmark(lambda: mediator.query(QUERY))
+    assert sum(report.rows_per_source.values()) == TOTAL_ROWS
+
+
+def test_e7_local_baseline(benchmark):
+    local = _source("local", 0, TOTAL_ROWS)
+    sql = QUERY.replace("eu_landfill", "landfill")
+    result = benchmark(lambda: local.query(sql))
+    assert len(result.rows) == 25
+
+
+def test_e7_foreign_table_scan(benchmark):
+    remote = _source("remote", 0, TOTAL_ROWS)
+    front = Database("front")
+    attach_foreign_table(front, "eu_landfill",
+                         RemoteTableSource(remote, "landfill"))
+    result = benchmark(lambda: front.query(QUERY))
+    assert len(result.rows) == 25

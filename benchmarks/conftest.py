@@ -1,0 +1,39 @@
+"""Shared fixtures for the E1-E8 benchmark harness (DESIGN.md §5).
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each file regenerates
+one experiment; EXPERIMENTS.md records the measured series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.smartground.ontology import researcher_kb
+from repro.workloads import bench_engine, scaled_databank
+
+
+@pytest.fixture(scope="session")
+def databank_1200():
+    """~1200 elem_contained rows (the default E1 working set)."""
+    return scaled_databank(1200)
+
+
+@pytest.fixture(scope="session")
+def databank_150():
+    """Small databank for the quadratic self-join query (ex4.6)."""
+    return scaled_databank(150)
+
+
+@pytest.fixture(scope="session")
+def engine_1200(databank_1200):
+    return bench_engine(databank_1200)
+
+
+@pytest.fixture(scope="session")
+def engine_150(databank_150):
+    return bench_engine(databank_150)
+
+
+@pytest.fixture(scope="session")
+def kb_researcher():
+    return researcher_kb()

@@ -1,0 +1,92 @@
+"""The full CroSSE social loop (Sections I-B and III).
+
+Three users on one platform:
+
+1. Giulia (researcher) annotates elements she finds in the databank —
+   the *integrated* scenario — and adds free statements (*independent*).
+2. Marco (city planner) explores the public annotations and imports the
+   ones he believes (*crowdsourced*), so his queries start seeing them.
+3. Eva shares Giulia's interests; the platform recommends her as a
+   peer, recommends the landfills peers explored, and previews a report
+   with context-aware snippets.
+
+Run:  python examples/crowdsourced_knowledge.py
+"""
+
+from repro.crosse import CrossePlatform, Reference
+from repro.rdf import SMG
+from repro.smartground import SmartGroundConfig, generate_databank
+
+SESQL = """
+    SELECT DISTINCT elem_name FROM elem_contained
+    ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)
+"""
+
+
+def main() -> None:
+    databank = generate_databank(SmartGroundConfig(n_landfills=25))
+    platform = CrossePlatform(databank)
+
+    platform.register_user("giulia", "Giulia R.", "UniTo Earth Sciences",
+                           interests=["Mercury", "Asbestos", "pollution"])
+    platform.register_user("marco", "Marco B.", "City of Torino",
+                           interests=["urban", "planning"])
+    platform.register_user("eva", "Eva N.", "EnviroTest",
+                           interests=["Mercury", "sampling"])
+
+    # -- 1. Giulia annotates -----------------------------------------------
+    mercury = platform.annotate_concept(
+        "giulia", "elem_contained", "elem_name", "Mercury",
+        SMG.dangerLevel, "high",
+        reference=Reference(title="WHO mercury factsheet",
+                            link="https://who.int/mercury"))
+    platform.annotate_free("giulia", SMG.Mercury, SMG.isA,
+                           SMG.HazardousWaste)
+    print(f"Giulia inserted statement #{mercury.statement_id} "
+          f"({mercury.triple.n3()})")
+
+    # -- 2. Marco explores and borrows ---------------------------------------
+    print("\nMarco, before borrowing any knowledge:")
+    before = platform.run_sesql("marco", SESQL)
+    print(f"  dangerLevel known for "
+          f"{sum(1 for row in before.rows if row[1] is not None)} "
+          f"of {len(before.rows)} materials")
+
+    for record in platform.explore_annotations("marco"):
+        platform.accept_statement("marco", record.statement_id)
+        print(f"  Marco accepts #{record.statement_id} by {record.author}")
+
+    after = platform.run_sesql("marco", SESQL)
+    print("Marco, after borrowing:")
+    print(f"  dangerLevel known for "
+          f"{sum(1 for row in after.rows if row[1] is not None)} "
+          f"of {len(after.rows)} materials")
+
+    # -- 3. Peers, recommendations and previews --------------------------------
+    platform.record_exploration("giulia", "lf0001", ["Mercury"])
+    platform.record_exploration("eva", "lf0003", ["Mercury"])
+    platform.record_exploration("eva", "lf0007", ["Mercury"])
+
+    print("\nPeers recommended to Giulia:")
+    for username, similarity in platform.recommend_peers("giulia"):
+        print(f"  {username:8s} similarity={similarity:.3f}")
+
+    print("Landfills recommended to Giulia (explored by similar peers):")
+    for resource, score in platform.recommend_resources("giulia"):
+        print(f"  {resource:8s} score={score:.3f}")
+
+    platform.add_document(
+        "report-42", "Mercury contamination survey",
+        "Routine procedures were followed across all sites. "
+        "Sampling depth varied by sector. "
+        "Elevated Mercury and Asbestos readings were confirmed in the "
+        "northern mining landfills near Torino. "
+        "Administrative appendices follow.",
+        tags=["Mercury", "Asbestos"])
+    preview = platform.preview_document("giulia", "report-42")
+    print(f"\nContext-aware preview for Giulia:\n  {preview['snippet']}")
+    print(f"  key concepts: {preview['key_concepts']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Two users, one query, different answers (Section I-B).
+
+A researcher and a city planner both ask "which landfills hold
+pollutants?".  Each runs the *same* SESQL query; because queries are
+evaluated in the user's personal knowledge context, the planner — who
+additionally flags urban-concern materials like Zinc — sees more
+hazardous matches than the researcher.
+
+Run:  python examples/pollution_personas.py
+"""
+
+from repro.core import SESQLEngine, StoredQueryRegistry
+from repro.smartground import (DANGER_QUERY_SPARQL, SmartGroundConfig,
+                               city_planner_kb, generate_databank,
+                               researcher_kb)
+
+QUERY = """
+    SELECT landfill_name, COUNT(*) AS hazardous_materials
+    FROM elem_contained
+    WHERE ${elem_name = HazardousWaste:cond1}
+    GROUP BY landfill_name
+    ORDER BY hazardous_materials DESC, landfill_name
+    LIMIT 8
+    ENRICH
+    REPLACECONSTANT(cond1, HazardousWaste, dangerQuery)
+"""
+
+#: The planner's dangerQuery casts a wider net: anything with *any*
+#: recorded danger level counts as a concern in an urban context.
+PLANNER_DANGER_QUERY = """
+    PREFIX smg: <http://smartground.eu/ns#>
+    SELECT ?e WHERE { ?e smg:dangerLevel ?level }
+"""
+
+
+def main() -> None:
+    config = SmartGroundConfig(n_landfills=60)
+    databank = generate_databank(config)
+
+    researcher_queries = StoredQueryRegistry()
+    researcher_queries.register("dangerQuery", DANGER_QUERY_SPARQL)
+    researcher = SESQLEngine(databank, researcher_kb(config),
+                             stored_queries=researcher_queries)
+
+    planner_queries = StoredQueryRegistry()
+    planner_queries.register("dangerQuery", PLANNER_DANGER_QUERY)
+    planner = SESQLEngine(databank, city_planner_kb(config),
+                          stored_queries=planner_queries)
+
+    print("Researcher's view (scientific hazard classification):")
+    print(researcher.execute(QUERY).result.format_table())
+
+    print("\nCity planner's view (urban concerns included):")
+    print(planner.execute(QUERY).result.format_table())
+
+    print("\nSame databank, same query text — the personal knowledge "
+          "base and the per-user\nstored dangerQuery change what "
+          "'pollutant' means for each of them.")
+
+
+if __name__ == "__main__":
+    main()

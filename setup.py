@@ -1,0 +1,14 @@
+"""Legacy setup shim: the runtime image has no `wheel`, so editable
+installs must go through `setup.py develop` (pip --no-use-pep517)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=("Reproduction of 'Contextually-Enriched Querying of "
+                 "Integrated Data Sources' (ICDE 2018)"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

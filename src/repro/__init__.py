@@ -1,0 +1,18 @@
+"""repro — reproduction of "Contextually-Enriched Querying of Integrated
+Data Sources" (Cavallo et al., ICDE 2018).
+
+The package implements the CroSSE platform end to end:
+
+* :mod:`repro.relational` — in-memory SQL engine (the databank substrate)
+* :mod:`repro.rdf` / :mod:`repro.sparql` — RDF triple store + SPARQL subset
+  (the personal knowledge-base substrate)
+* :mod:`repro.core` — the SESQL language and its processing pipeline
+  (the paper's primary contribution)
+* :mod:`repro.crosse` — users, semantic tagging, knowledge sharing,
+  context tracking, recommendations and previews
+* :mod:`repro.federation` — foreign data wrappers and the GAV mediator
+* :mod:`repro.smartground` — the SmartGround use case: schema, synthetic
+  data and contextual ontologies
+"""
+
+__version__ = "0.1.0"

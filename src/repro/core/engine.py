@@ -1,0 +1,157 @@
+"""The SESQL engine: the full Fig. 6 pipeline behind one call.
+
+``SESQLEngine.execute`` runs a SESQL query end to end:
+
+1. the **SQP** splits the text, strips condition tags and parses both
+   the SQL part and the enrichment specification;
+2. the **SQM** builds one SPARQL extraction per enrichment and runs it
+   on the (per-user) knowledge base;
+3. WHERE enrichments rewrite the tagged conditions over temp tables
+   injected next to the databank tables, and the (rewritten) SQL query
+   executes on the databank;
+4. the **JoinManager** combines the base result with each SELECT
+   enrichment through the temporary support database, issuing the final
+   SQL query that yields the enriched result.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..rdf.store import TripleStore
+from ..relational.engine import Database
+from ..relational.render import render_query
+from ..relational.result import ResultSet
+from .ast import (BoolSchemaExtension, BoolSchemaReplacement, EnrichedQuery,
+                  ReplaceConstant, ReplaceVariable, SchemaExtension,
+                  SchemaReplacement)
+from .enrichment import WhereRewriter
+from .errors import EnrichmentError
+from .join_manager import JoinManager
+from .mapping import ResourceMapping
+from .sqm import SemanticQueryModule
+from .sqp import SemanticQueryParser
+from .stored_queries import StoredQueryRegistry
+
+
+@dataclass
+class SESQLResult:
+    """The outcome of one SESQL execution, with full observability."""
+
+    result: ResultSet
+    enriched: EnrichedQuery
+    base_sql: str                 # cleaned SQL as parsed
+    executed_sql: str             # SQL actually run on the databank
+    sparql_queries: list[str] = field(default_factory=list)
+    final_sqls: list[str] = field(default_factory=list)
+    timings: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def rows(self) -> list[tuple]:
+        return self.result.rows
+
+    @property
+    def columns(self) -> list[str]:
+        return self.result.columns
+
+
+class SESQLEngine:
+    """Executes SESQL queries against a databank + knowledge base pair."""
+
+    def __init__(self, databank: Database,
+                 knowledge_base: TripleStore | None = None,
+                 mapping: ResourceMapping | None = None,
+                 stored_queries: StoredQueryRegistry | None = None,
+                 include_original: bool = False,
+                 join_strategy: str = "tempdb") -> None:
+        self.databank = databank
+        # Explicit None check: an *empty* TripleStore is falsy but must be
+        # kept — the caller may populate it after constructing the engine.
+        self.knowledge_base = (knowledge_base if knowledge_base is not None
+                               else TripleStore())
+        self.mapping = mapping or ResourceMapping()
+        self.stored_queries = stored_queries or StoredQueryRegistry()
+        self.include_original = include_original
+        self.join_strategy = join_strategy
+        self.sqp = SemanticQueryParser()
+        self.sqm = SemanticQueryModule(self.mapping, self.stored_queries)
+
+    def execute(self, text: str,
+                knowledge_base: TripleStore | None = None,
+                include_original: bool | None = None,
+                join_strategy: str | None = None) -> SESQLResult:
+        """Run a SESQL query; per-call arguments override engine defaults."""
+        kb = knowledge_base if knowledge_base is not None \
+            else self.knowledge_base
+        include = (self.include_original if include_original is None
+                   else include_original)
+        strategy = join_strategy or self.join_strategy
+
+        started = time.perf_counter()
+        enriched = self.sqp.parse(text)
+        timings = {"parse": time.perf_counter() - started}
+        sparql_queries: list[str] = []
+        final_sqls: list[str] = []
+
+        rewriter = WhereRewriter(self.databank, self.mapping, include)
+        try:
+            stage = time.perf_counter()
+            for enrichment in enriched.where_enrichments():
+                condition = enriched.conditions[enrichment.cond]
+                if isinstance(enrichment, ReplaceConstant):
+                    extraction = self.sqm.values_for(
+                        kb, enrichment.prop, enrichment.constant)
+                    sparql_queries.append(extraction.sparql)
+                    rewriter.apply_replace_constant(
+                        enriched.query, enrichment, condition, extraction)
+                elif isinstance(enrichment, ReplaceVariable):
+                    extraction = self.sqm.pairs_for(kb, enrichment.prop)
+                    sparql_queries.append(extraction.sparql)
+                    rewriter.apply_replace_variable(
+                        enriched.query, enrichment, condition, extraction)
+            timings["where_rewrite"] = time.perf_counter() - stage
+
+            executed_sql = render_query(enriched.query)
+            stage = time.perf_counter()
+            base = self.databank.execute_ast(enriched.query)
+            timings["sql"] = time.perf_counter() - stage
+            if not isinstance(base, ResultSet):  # pragma: no cover
+                raise EnrichmentError("the SQL part did not produce rows")
+        finally:
+            rewriter.cleanup()
+
+        join_manager = JoinManager(self.mapping, strategy)
+        current = base
+        stage = time.perf_counter()
+        for enrichment in enriched.select_enrichments():
+            if isinstance(enrichment, (SchemaExtension, SchemaReplacement)):
+                extraction = self.sqm.pairs_for(kb, enrichment.prop)
+            elif isinstance(enrichment, (BoolSchemaExtension,
+                                         BoolSchemaReplacement)):
+                extraction = self.sqm.subjects_for(
+                    kb, enrichment.prop, enrichment.concept)
+            else:  # pragma: no cover - exhaustive
+                raise EnrichmentError(
+                    f"unhandled enrichment {enrichment.kind}")
+            sparql_queries.append(extraction.sparql)
+            outcome = join_manager.combine(current, enrichment, extraction)
+            current = outcome.result
+            if outcome.final_sql is not None:
+                final_sqls.append(outcome.final_sql)
+        timings["combine"] = time.perf_counter() - stage
+        timings["total"] = time.perf_counter() - started
+
+        return SESQLResult(
+            result=current,
+            enriched=enriched,
+            base_sql=enriched.sql_text,
+            executed_sql=executed_sql,
+            sparql_queries=sparql_queries,
+            final_sqls=final_sqls,
+            timings=timings,
+        )
+
+    def query(self, text: str, **kwargs) -> ResultSet:
+        """Execute and return just the enriched result rows."""
+        return self.execute(text, **kwargs).result

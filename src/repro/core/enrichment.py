@@ -1,0 +1,254 @@
+"""WHERE-clause enrichment strategies: REPLACECONSTANT / REPLACEVARIABLE.
+
+These two strategies change which rows the relational query returns, so
+they are applied *before* the databank query runs: the tagged condition
+is rewritten into a correlated predicate over a temporary table holding
+the SPARQL extraction (semantics decision #3 in DESIGN.md — existential
+over the replacement set), and the rewritten query executes once with
+the temp tables injected into the databank, mirroring how PostgreSQL
+temp tables share the session of the original query.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..relational import ast as sql_ast
+from ..relational.engine import Database
+from ..relational.parser import parse_expr
+from .ast import ReplaceConstant, ReplaceVariable, TaggedCondition
+from .errors import EnrichmentError
+from .mapping import ResourceMapping
+from .sqm import Extraction
+from .tempdb import materialize
+
+ExprTransform = Callable[[sql_ast.Expr], sql_ast.Expr | None]
+
+
+def transform_expr(expr: sql_ast.Expr,
+                   visit: ExprTransform) -> sql_ast.Expr:
+    """Rebuild an expression tree, letting *visit* replace subtrees.
+
+    ``visit`` returns a replacement node or ``None`` to recurse.
+    """
+    replaced = visit(expr)
+    if replaced is not None:
+        return replaced
+    if isinstance(expr, sql_ast.UnaryOp):
+        return sql_ast.UnaryOp(expr.op, transform_expr(expr.operand, visit))
+    if isinstance(expr, sql_ast.BinaryOp):
+        return sql_ast.BinaryOp(expr.op,
+                                transform_expr(expr.left, visit),
+                                transform_expr(expr.right, visit))
+    if isinstance(expr, sql_ast.IsNull):
+        return sql_ast.IsNull(transform_expr(expr.operand, visit),
+                              expr.negated)
+    if isinstance(expr, sql_ast.Like):
+        return sql_ast.Like(transform_expr(expr.operand, visit),
+                            transform_expr(expr.pattern, visit),
+                            expr.negated)
+    if isinstance(expr, sql_ast.InList):
+        return sql_ast.InList(
+            transform_expr(expr.operand, visit),
+            [transform_expr(item, visit) for item in expr.items],
+            expr.negated)
+    if isinstance(expr, sql_ast.Between):
+        return sql_ast.Between(transform_expr(expr.operand, visit),
+                               transform_expr(expr.low, visit),
+                               transform_expr(expr.high, visit),
+                               expr.negated)
+    if isinstance(expr, sql_ast.FunctionCall):
+        return sql_ast.FunctionCall(
+            expr.name, [transform_expr(arg, visit) for arg in expr.args],
+            expr.distinct, expr.star)
+    if isinstance(expr, sql_ast.CaseExpr):
+        operand = (transform_expr(expr.operand, visit)
+                   if expr.operand is not None else None)
+        whens = [(transform_expr(c, visit), transform_expr(r, visit))
+                 for c, r in expr.whens]
+        else_result = (transform_expr(expr.else_result, visit)
+                       if expr.else_result is not None else None)
+        return sql_ast.CaseExpr(operand, whens, else_result)
+    if isinstance(expr, sql_ast.Cast):
+        return sql_ast.Cast(transform_expr(expr.operand, visit),
+                            expr.type_name)
+    # Literals, column refs, subqueries: returned as-is.
+    return expr
+
+
+def replace_condition(where: sql_ast.Expr, target_key,
+                      replacement: sql_ast.Expr) -> tuple[sql_ast.Expr, bool]:
+    """Replace the first subtree whose node_key matches *target_key*."""
+    found = [False]
+
+    def visit(node: sql_ast.Expr) -> sql_ast.Expr | None:
+        if not found[0]:
+            try:
+                key = sql_ast.node_key(node)
+            except TypeError:
+                return None
+            if key == target_key:
+                found[0] = True
+                return replacement
+        return None
+
+    rewritten = transform_expr(where, visit)
+    return rewritten, found[0]
+
+
+def _is_constant_ref(node: sql_ast.Expr, constant: str) -> bool:
+    """Does *node* denote the REPLACECONSTANT constant?
+
+    The constant appears either as a bare identifier (parsed as an
+    unqualified column reference, since it is not in the schema) or as a
+    string literal equal to the constant.
+    """
+    if isinstance(node, sql_ast.ColumnRef) and node.qualifier is None \
+            and node.name.lower() == constant.lower():
+        return True
+    if isinstance(node, sql_ast.Literal) and isinstance(node.value, str) \
+            and node.value == constant:
+        return True
+    return False
+
+
+def _exists_over(temp_table: str, alias: str,
+                 where: sql_ast.Expr) -> sql_ast.Exists:
+    return sql_ast.Exists(sql_ast.SelectQuery(core=sql_ast.SelectCore(
+        items=[sql_ast.SelectItem(sql_ast.Literal(1))],
+        from_clause=sql_ast.TableRef(temp_table, alias),
+        where=where)))
+
+
+class WhereRewriter:
+    """Applies WHERE enrichments by rewriting the query in place."""
+
+    def __init__(self, databank: Database, mapping: ResourceMapping,
+                 include_original: bool = False) -> None:
+        self.databank = databank
+        self.mapping = mapping
+        self.include_original = include_original
+        self.temp_tables: list[str] = []
+
+    def cleanup(self) -> None:
+        for name in self.temp_tables:
+            self.databank.catalog.drop_table(name, if_exists=True)
+        self.temp_tables.clear()
+
+    # -- strategies ---------------------------------------------------------
+
+    def apply_replace_constant(self, query: sql_ast.SelectQuery,
+                               enrichment: ReplaceConstant,
+                               condition: TaggedCondition,
+                               extraction: Extraction) -> None:
+        values = [self.mapping.to_sql_value(term)
+                  for term in extraction.values]
+        if self.include_original:
+            values.append(enrichment.constant)
+        table = materialize(self.databank, "vals", ["value"],
+                            [(value,) for value in values])
+        self.temp_tables.append(table.name)
+
+        cond_expr = condition.expr
+        replacement = self._rewrite_constant_condition(
+            cond_expr, enrichment.constant, table.name)
+        self._splice(query, condition, replacement, enrichment)
+
+    def _rewrite_constant_condition(self, cond_expr: sql_ast.Expr,
+                                    constant: str,
+                                    table: str) -> sql_ast.Expr:
+        # Fast path: `attr = Constant` becomes `attr IN (SELECT value ...)`.
+        if isinstance(cond_expr, sql_ast.BinaryOp) and cond_expr.op == "=":
+            left_is = _is_constant_ref(cond_expr.left, constant)
+            right_is = _is_constant_ref(cond_expr.right, constant)
+            if left_is != right_is:
+                other = cond_expr.right if left_is else cond_expr.left
+                return sql_ast.InSubquery(
+                    other,
+                    sql_ast.SelectQuery(core=sql_ast.SelectCore(
+                        items=[sql_ast.SelectItem(
+                            sql_ast.ColumnRef("c0"))],
+                        from_clause=sql_ast.TableRef(table))))
+        # General form: EXISTS over the value table with the constant
+        # substituted by the table's value column.
+        alias = "__rc"
+        substituted = [False]
+
+        def visit(node: sql_ast.Expr) -> sql_ast.Expr | None:
+            if _is_constant_ref(node, constant):
+                substituted[0] = True
+                return sql_ast.ColumnRef("c0", alias)
+            return None
+
+        inner = transform_expr(cond_expr, visit)
+        if not substituted[0]:
+            raise EnrichmentError(
+                f"constant {constant!r} does not occur in the tagged "
+                f"condition")
+        return _exists_over(table, alias, inner)
+
+    def apply_replace_variable(self, query: sql_ast.SelectQuery,
+                               enrichment: ReplaceVariable,
+                               condition: TaggedCondition,
+                               extraction: Extraction) -> None:
+        pairs = [(self.mapping.to_sql_value(s), self.mapping.to_sql_value(o))
+                 for s, o in extraction.pairs]
+        table = materialize(self.databank, "pairs", ["subject", "object"],
+                            pairs)
+        self.temp_tables.append(table.name)
+
+        try:
+            attr_expr = parse_expr(enrichment.attr)
+        except Exception as exc:
+            raise EnrichmentError(
+                f"REPLACEVARIABLE attribute {enrichment.attr!r} must be a "
+                f"column reference: {exc}") from exc
+        if not isinstance(attr_expr, sql_ast.ColumnRef):
+            raise EnrichmentError(
+                f"REPLACEVARIABLE attribute {enrichment.attr!r} must be a "
+                "column reference")
+        attr_key = sql_ast.node_key(attr_expr)
+        alias = "__rv"
+        substituted = [False]
+
+        def visit(node: sql_ast.Expr) -> sql_ast.Expr | None:
+            try:
+                key = sql_ast.node_key(node)
+            except TypeError:
+                return None
+            if key == attr_key:
+                substituted[0] = True
+                return sql_ast.ColumnRef("c1", alias)
+            return None
+
+        inner = transform_expr(condition.expr, visit)
+        if not substituted[0]:
+            raise EnrichmentError(
+                f"attribute {enrichment.attr!r} does not occur in the "
+                f"tagged condition")
+        correlated = sql_ast.BinaryOp(
+            "AND",
+            sql_ast.BinaryOp("=", sql_ast.ColumnRef("c0", alias), attr_expr),
+            inner)
+        replacement: sql_ast.Expr = _exists_over(table.name, alias,
+                                                 correlated)
+        if self.include_original:
+            replacement = sql_ast.BinaryOp("OR", replacement,
+                                           condition.expr)
+        self._splice(query, condition, replacement, enrichment)
+
+    # -- helpers --------------------------------------------------------------------
+
+    @staticmethod
+    def _splice(query: sql_ast.SelectQuery, condition: TaggedCondition,
+                replacement: sql_ast.Expr, enrichment) -> None:
+        if query.core.where is None:
+            raise EnrichmentError(
+                f"{enrichment.kind} requires a WHERE clause")
+        rewritten, found = replace_condition(
+            query.core.where, sql_ast.node_key(condition.expr), replacement)
+        if not found:
+            raise EnrichmentError(
+                f"tagged condition {condition.cond_id!r} not found in the "
+                "WHERE clause (was it altered by another enrichment?)")
+        query.core.where = rewritten

@@ -1,0 +1,28 @@
+"""Exception hierarchy for the SESQL layer."""
+
+from __future__ import annotations
+
+
+class SesqlError(Exception):
+    """Base class for SESQL processing errors."""
+
+
+class SesqlSyntaxError(SesqlError):
+    """Malformed SESQL text (condition tags or ENRICH clause)."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        location = f" at offset {position}" if position is not None else ""
+        super().__init__(f"{message}{location}")
+
+
+class EnrichmentError(SesqlError):
+    """Semantically invalid enrichment (unknown attribute/condition, ...)."""
+
+
+class MappingError(SesqlError):
+    """Resource-mapping failures (bad XML, unconvertible terms)."""
+
+
+class StoredQueryError(SesqlError):
+    """Stored SPARQL query registry failures."""

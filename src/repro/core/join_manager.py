@@ -1,0 +1,261 @@
+"""The JoinManager of Fig. 6: combines relational and ontological partials.
+
+For the four SELECT-affecting enrichments, the base SQL result and the
+SPARQL extraction are combined into the enriched result.  Two strategies
+are provided:
+
+* ``tempdb`` (paper-faithful): both partials are materialised as
+  temporary tables in the temporary support database and a *final SQL
+  query* — LEFT JOIN shaped — produces the result.  The generated SQL is
+  returned for observability.
+* ``direct`` (ablation, used by benchmark E6): a Python-side hash join
+  that skips materialisation.
+
+Both strategies implement the same semantics: one output row per
+(input row, matching object) pair, with NULL/false padding when the
+knowledge base has nothing to say (so enrichment never drops rows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..relational import ast as sql_ast
+from ..relational.indexes import _normalize
+from ..relational.render import render_query
+from ..relational.result import ResultSet
+from .ast import (BoolSchemaExtension, BoolSchemaReplacement, Enrichment,
+                  SchemaExtension, SchemaReplacement)
+from .errors import EnrichmentError
+from .mapping import ResourceMapping
+from .sqm import Extraction
+from .tempdb import TemporarySupportDatabase
+
+STRATEGIES = ("tempdb", "direct")
+
+
+@dataclass
+class CombineOutcome:
+    result: ResultSet
+    final_sql: str | None  # None for the direct strategy
+
+
+def clean_name(raw: str) -> str:
+    """Derive a result-column name from a property/concept argument."""
+    for separator in ("#", "/", ":"):
+        if separator in raw:
+            raw = raw.rsplit(separator, 1)[1]
+    return raw or "enriched"
+
+
+def find_attr_index(columns: list[str], attr: str) -> int:
+    """Locate the enrichment attribute in the base result's columns."""
+    target = attr.lower()
+    matches = [i for i, name in enumerate(columns)
+               if name.lower() == target]
+    if not matches and "." in target:
+        bare = target.rsplit(".", 1)[1]
+        matches = [i for i, name in enumerate(columns)
+                   if name.lower() == bare]
+    if not matches:
+        raise EnrichmentError(
+            f"enrichment attribute {attr!r} is not in the query result "
+            f"(columns: {', '.join(columns)})")
+    if len(matches) > 1:
+        raise EnrichmentError(
+            f"enrichment attribute {attr!r} is ambiguous in the result")
+    return matches[0]
+
+
+def unique_name(existing: list[str], wanted: str) -> str:
+    taken = {name.lower() for name in existing}
+    if wanted.lower() not in taken:
+        return wanted
+    suffix = 2
+    while f"{wanted}_{suffix}".lower() in taken:
+        suffix += 1
+    return f"{wanted}_{suffix}"
+
+
+class JoinManager:
+    """Combines base results with extractions per enrichment clause."""
+
+    def __init__(self, mapping: ResourceMapping,
+                 strategy: str = "tempdb") -> None:
+        if strategy not in STRATEGIES:
+            raise EnrichmentError(f"unknown join strategy {strategy!r}")
+        self.mapping = mapping
+        self.strategy = strategy
+
+    # -- public API ----------------------------------------------------------
+
+    def combine(self, base: ResultSet, enrichment: Enrichment,
+                extraction: Extraction) -> CombineOutcome:
+        if isinstance(enrichment, (SchemaExtension, SchemaReplacement)):
+            pairs = [(self.mapping.to_sql_value(s),
+                      self.mapping.to_sql_value(o))
+                     for s, o in extraction.pairs]
+            replace = isinstance(enrichment, SchemaReplacement)
+            new_column = clean_name(enrichment.prop)
+            return self._combine_pairs(base, enrichment.attr, pairs,
+                                       new_column, replace)
+        if isinstance(enrichment, (BoolSchemaExtension,
+                                   BoolSchemaReplacement)):
+            subjects = {self.mapping.to_sql_value(term)
+                        for term in extraction.subjects}
+            replace = isinstance(enrichment, BoolSchemaReplacement)
+            new_column = (f"{clean_name(enrichment.prop)}_"
+                          f"{clean_name(enrichment.concept)}")
+            return self._combine_flags(base, enrichment.attr, subjects,
+                                       new_column, replace)
+        raise EnrichmentError(
+            f"{enrichment.kind} is not a SELECT-clause enrichment")
+
+    # -- pair enrichments (extension / replacement) ------------------------------
+
+    def _combine_pairs(self, base: ResultSet, attr: str,
+                       pairs: list[tuple], new_column: str,
+                       replace: bool) -> CombineOutcome:
+        attr_index = find_attr_index(base.columns, attr)
+        if self.strategy == "direct":
+            return self._direct_pairs(base, attr_index, pairs,
+                                      new_column, replace)
+        return self._tempdb_pairs(base, attr_index, pairs,
+                                  new_column, replace)
+
+    def _output_columns(self, base: ResultSet, attr_index: int,
+                        new_column: str, replace: bool) -> list[str]:
+        columns = list(base.columns)
+        name = unique_name(columns, new_column)
+        if replace:
+            columns[attr_index] = name
+        else:
+            columns.append(name)
+        return columns
+
+    def _direct_pairs(self, base: ResultSet, attr_index: int,
+                      pairs: list[tuple], new_column: str,
+                      replace: bool) -> CombineOutcome:
+        buckets: dict[object, list[object]] = {}
+        for subject, obj in pairs:
+            if subject is None:
+                continue
+            buckets.setdefault(_normalize(subject), []).append(obj)
+        rows: list[tuple] = []
+        for row in base.rows:
+            key = row[attr_index]
+            matches = (buckets.get(_normalize(key), [None])
+                       if key is not None else [None])
+            for obj in matches:
+                if replace:
+                    new_row = (row[:attr_index] + (obj,)
+                               + row[attr_index + 1:])
+                else:
+                    new_row = row + (obj,)
+                rows.append(new_row)
+        columns = self._output_columns(base, attr_index, new_column, replace)
+        return CombineOutcome(ResultSet(columns, rows), None)
+
+    def _tempdb_pairs(self, base: ResultSet, attr_index: int,
+                      pairs: list[tuple], new_column: str,
+                      replace: bool) -> CombineOutcome:
+        tempdb = TemporarySupportDatabase()
+        try:
+            t_base = tempdb.store_result(base.columns, base.rows)
+            t_map = tempdb.store_pairs(pairs)
+            columns = self._output_columns(base, attr_index, new_column,
+                                           replace)
+            items: list[sql_ast.SelectItem] = []
+            output_index = 0
+            for index, internal in enumerate(t_base.internal_columns):
+                if replace and index == attr_index:
+                    items.append(sql_ast.SelectItem(
+                        sql_ast.ColumnRef("c1", "m"),
+                        alias=columns[output_index]))
+                else:
+                    items.append(sql_ast.SelectItem(
+                        sql_ast.ColumnRef(internal, "b"),
+                        alias=columns[output_index]))
+                output_index += 1
+            if not replace:
+                items.append(sql_ast.SelectItem(
+                    sql_ast.ColumnRef("c1", "m"), alias=columns[-1]))
+            join = sql_ast.Join(
+                "LEFT",
+                sql_ast.TableRef(t_base.name, "b"),
+                sql_ast.TableRef(t_map.name, "m"),
+                sql_ast.BinaryOp(
+                    "=",
+                    sql_ast.ColumnRef(
+                        t_base.internal_columns[attr_index], "b"),
+                    sql_ast.ColumnRef("c0", "m")))
+            query = sql_ast.SelectQuery(
+                core=sql_ast.SelectCore(items=items, from_clause=join))
+            final_sql = render_query(query)
+            result = tempdb.db.execute_ast(query)
+            return CombineOutcome(ResultSet(columns, result.rows), final_sql)
+        finally:
+            tempdb.cleanup()
+
+    # -- boolean enrichments -----------------------------------------------------------
+
+    def _combine_flags(self, base: ResultSet, attr: str,
+                       subjects: set, new_column: str,
+                       replace: bool) -> CombineOutcome:
+        attr_index = find_attr_index(base.columns, attr)
+        if self.strategy == "direct":
+            keys = {_normalize(subject) for subject in subjects
+                    if subject is not None}
+            rows = []
+            for row in base.rows:
+                value = row[attr_index]
+                flag = value is not None and _normalize(value) in keys
+                if replace:
+                    rows.append(row[:attr_index] + (flag,)
+                                + row[attr_index + 1:])
+                else:
+                    rows.append(row + (flag,))
+            columns = self._output_columns(base, attr_index, new_column,
+                                           replace)
+            return CombineOutcome(ResultSet(columns, rows), None)
+
+        tempdb = TemporarySupportDatabase()
+        try:
+            t_base = tempdb.store_result(base.columns, base.rows)
+            t_flag = tempdb.store_values(sorted(
+                (s for s in subjects if s is not None),
+                key=lambda v: str(v)), hint="flags")
+            columns = self._output_columns(base, attr_index, new_column,
+                                           replace)
+            flag_expr = sql_ast.IsNull(
+                sql_ast.ColumnRef("c0", "m"), negated=True)
+            items = []
+            output_index = 0
+            for index, internal in enumerate(t_base.internal_columns):
+                if replace and index == attr_index:
+                    items.append(sql_ast.SelectItem(
+                        flag_expr, alias=columns[output_index]))
+                else:
+                    items.append(sql_ast.SelectItem(
+                        sql_ast.ColumnRef(internal, "b"),
+                        alias=columns[output_index]))
+                output_index += 1
+            if not replace:
+                items.append(sql_ast.SelectItem(flag_expr,
+                                                alias=columns[-1]))
+            join = sql_ast.Join(
+                "LEFT",
+                sql_ast.TableRef(t_base.name, "b"),
+                sql_ast.TableRef(t_flag.name, "m"),
+                sql_ast.BinaryOp(
+                    "=",
+                    sql_ast.ColumnRef(
+                        t_base.internal_columns[attr_index], "b"),
+                    sql_ast.ColumnRef("c0", "m")))
+            query = sql_ast.SelectQuery(
+                core=sql_ast.SelectCore(items=items, from_clause=join))
+            final_sql = render_query(query)
+            result = tempdb.db.execute_ast(query)
+            return CombineOutcome(ResultSet(columns, result.rows), final_sql)
+        finally:
+            tempdb.cleanup()

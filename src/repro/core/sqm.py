@@ -1,0 +1,154 @@
+"""The Semantic Query Module (SQM) of Fig. 6.
+
+The SQM receives the enrichment syntax tree and constructs the SPARQL
+queries that extract the relevant knowledge from the user's ontology.
+Property arguments are resolved against the stored-query registry first
+(Example 4.5's ``dangerQuery``); otherwise the module synthesises the
+plain property-extraction pattern ``SELECT ?s ?o WHERE { ?s <prop> ?o }``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..rdf.store import TripleStore
+from ..rdf.terms import Literal, Term
+from ..sparql.evaluator import Evaluator, SparqlResults
+from ..sparql.parser import parse_sparql
+from .errors import StoredQueryError
+from .mapping import ResourceMapping
+from .stored_queries import StoredQueryRegistry
+
+
+@dataclass
+class Extraction:
+    """Knowledge extracted from the KB for one enrichment clause."""
+
+    sparql: str
+    pairs: list[tuple[Term, Term]] = field(default_factory=list)
+    values: list[Term] = field(default_factory=list)
+    subjects: set[Term] = field(default_factory=set)
+
+
+class SemanticQueryModule:
+    """Builds and executes SPARQL extraction queries."""
+
+    def __init__(self, mapping: ResourceMapping,
+                 stored_queries: StoredQueryRegistry | None = None) -> None:
+        self.mapping = mapping
+        self.stored_queries = stored_queries or StoredQueryRegistry()
+
+    # -- helpers ------------------------------------------------------------
+
+    _PATH_DELIMITERS = re.compile(r"([\^/|])")
+
+    def _property_path_n3(self, prop: str) -> str:
+        """Render a property argument as a SPARQL predicate or path.
+
+        Extension over the paper: the property argument may be a SPARQL
+        property path over names, e.g. ``^isA`` (inverse: "the things
+        classified as X") or ``inCountry/inContinent`` (composition).
+        Plain names keep the paper's exact semantics.
+        """
+        if not self._PATH_DELIMITERS.search(prop):
+            return self.mapping.property_to_iri(prop).n3()
+        pieces = []
+        for token in self._PATH_DELIMITERS.split(prop):
+            if token in ("^", "/", "|"):
+                pieces.append(token)
+            elif token:
+                pieces.append(self.mapping.property_to_iri(token).n3())
+        return "".join(pieces)
+
+    def _run(self, kb: TripleStore, text: str) -> SparqlResults:
+        query = parse_sparql(text)
+        return Evaluator(kb).select(query)
+
+    def _run_stored(self, kb: TripleStore, name: str) -> SparqlResults:
+        stored = self.stored_queries.get(name)
+        results = Evaluator(kb).select(stored.query)
+        return results
+
+    # -- extraction forms -----------------------------------------------------
+
+    def pairs_for(self, kb: TripleStore, prop: str) -> Extraction:
+        """(subject, object) pairs for schema extension/replacement and
+        REPLACEVARIABLE."""
+        stored = self.stored_queries.get(prop)
+        if stored is not None:
+            results = self._run_stored(kb, prop)
+            if len(results.variables) < 2:
+                raise StoredQueryError(
+                    f"stored query {prop!r} must bind two variables to be "
+                    "used as a pair extraction")
+            first, second = results.variables[0], results.variables[1]
+            pairs = [(solution[first], solution[second])
+                     for solution in results
+                     if first in solution and second in solution]
+            return Extraction(sparql=stored.text, pairs=pairs)
+        prop_n3 = self._property_path_n3(prop)
+        text = f"SELECT ?s ?o WHERE {{ ?s {prop_n3} ?o }}"
+        results = self._run(kb, text)
+        pairs = [(row[0], row[1]) for row in results.tuples()
+                 if row[0] is not None and row[1] is not None]
+        return Extraction(sparql=text, pairs=pairs)
+
+    def values_for(self, kb: TripleStore, prop: str,
+                   constant: str) -> Extraction:
+        """Replacement values for REPLACECONSTANT's constant."""
+        stored = self.stored_queries.get(prop)
+        if stored is not None:
+            results = self._run_stored(kb, prop)
+            if len(results.variables) == 1:
+                variable = results.variables[0]
+                values = [solution[variable] for solution in results
+                          if variable in solution]
+                return Extraction(sparql=stored.text, values=values)
+            first, second = results.variables[0], results.variables[1]
+            constant_term = self.mapping.concept_to_term(constant)
+            values = [solution[second] for solution in results
+                      if solution.get(first) == constant_term
+                      and second in solution]
+            return Extraction(sparql=stored.text, values=values)
+        constant_term = self.mapping.concept_to_term(constant)
+        prop_n3 = self._property_path_n3(prop)
+        text = (f"SELECT ?o WHERE {{ {constant_term.n3()} "
+                f"{prop_n3} ?o }}")
+        results = self._run(kb, text)
+        values = [row[0] for row in results.tuples() if row[0] is not None]
+        return Extraction(sparql=text, values=values)
+
+    def subjects_for(self, kb: TripleStore, prop: str,
+                     concept: str) -> Extraction:
+        """Subjects related to *concept* via *prop* (boolean enrichments).
+
+        The concept argument is matched both as an IRI in the default
+        namespace and as a plain literal, since user KBs state e.g.
+        ``smg:Mercury smg:isA smg:HazardousWaste`` (IRI objects) as well
+        as ``smg:Mercury smg:dangerLevel "high"`` (literal objects).
+        """
+        concept_term = self.mapping.concept_to_term(concept)
+        concept_literal = Literal(concept)
+        stored = self.stored_queries.get(prop)
+        if stored is not None:
+            results = self._run_stored(kb, prop)
+            if len(results.variables) == 1:
+                variable = results.variables[0]
+                subjects = {solution[variable] for solution in results
+                            if variable in solution}
+                return Extraction(sparql=stored.text, subjects=subjects)
+            first, second = results.variables[0], results.variables[1]
+            subjects = {solution[first] for solution in results
+                        if solution.get(second) in (concept_term,
+                                                    concept_literal)
+                        and first in solution}
+            return Extraction(sparql=stored.text, subjects=subjects)
+        prop_n3 = self._property_path_n3(prop)
+        text = (f"SELECT ?s WHERE {{ "
+                f"{{ ?s {prop_n3} {concept_term.n3()} }} UNION "
+                f"{{ ?s {prop_n3} {concept_literal.n3()} }} }}")
+        results = self._run(kb, text)
+        subjects = {row[0] for row in results.tuples()
+                    if row[0] is not None}
+        return Extraction(sparql=text, subjects=subjects)

@@ -1,0 +1,64 @@
+"""Registry of stored SPARQL queries.
+
+Example 4.5 of the paper passes ``dangerQuery`` as the *property*
+argument of REPLACECONSTANT: a name that "refers to a SPARQL query which
+extracts from the contextual ontology the list of dangerous elements".
+The SQM resolves property arguments against this registry first; on a
+miss it synthesises the plain property-extraction query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sparql.ast import SelectQuery
+from ..sparql.parser import parse_sparql
+from .errors import StoredQueryError
+
+
+@dataclass
+class StoredQuery:
+    name: str
+    text: str
+    description: str = ""
+    query: SelectQuery = field(default=None, repr=False)
+
+
+class StoredQueryRegistry:
+    """Named SPARQL SELECT queries usable as enrichment properties."""
+
+    def __init__(self) -> None:
+        self._queries: dict[str, StoredQuery] = {}
+
+    def register(self, name: str, text: str,
+                 description: str = "") -> StoredQuery:
+        try:
+            parsed = parse_sparql(text)
+        except Exception as exc:
+            raise StoredQueryError(
+                f"stored query {name!r} does not parse: {exc}") from exc
+        if not isinstance(parsed, SelectQuery):
+            raise StoredQueryError(
+                f"stored query {name!r} must be a SELECT query")
+        stored = StoredQuery(name, text, description, parsed)
+        self._queries[name] = stored
+        return stored
+
+    def unregister(self, name: str) -> None:
+        if name not in self._queries:
+            raise StoredQueryError(f"no stored query named {name!r}")
+        del self._queries[name]
+
+    def get(self, name: str) -> StoredQuery | None:
+        return self._queries.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._queries
+
+    def names(self) -> list[str]:
+        return sorted(self._queries)
+
+    def copy(self) -> "StoredQueryRegistry":
+        clone = StoredQueryRegistry()
+        clone._queries = dict(self._queries)
+        return clone

@@ -1,0 +1,23 @@
+"""CroSSE platform services: users, tagging, sharing, context,
+recommendations and previews (Sections I-B, III of the paper)."""
+
+from .context import ContextProfile, ContextTracker
+from .errors import (AnnotationError, CrosseError, StatementError,
+                     UnknownUserError)
+from .kb import (KnowledgeBaseStore, Reference, StatementRecord)
+from .platform import CrossePlatform
+from .preview import Document, extract_snippet, highlight_concepts, preview
+from .ranking import rank_documents, rank_result, score_concepts
+from .recommend import PeerRecommender
+from .tagging import SemanticTaggingModule
+from .users import User, UserRegistry
+
+__all__ = [
+    "CrossePlatform", "User", "UserRegistry",
+    "KnowledgeBaseStore", "StatementRecord", "Reference",
+    "SemanticTaggingModule", "ContextProfile", "ContextTracker",
+    "PeerRecommender", "Document", "extract_snippet",
+    "highlight_concepts", "preview", "rank_result", "rank_documents",
+    "score_concepts",
+    "CrosseError", "UnknownUserError", "AnnotationError", "StatementError",
+]

@@ -1,0 +1,101 @@
+"""Personal activity context (Section I-B(a)).
+
+The platform understands a user's context "through analysis of access
+patterns and of the user's own annotations": every query, concept
+exploration and annotation feeds a decayed concept-weight profile.
+Profiles drive context-aware ranking (:mod:`repro.crosse.ranking`) and
+peer discovery (:mod:`repro.crosse.recommend`).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+_EVENT_WEIGHTS = {
+    "query": 1.0,
+    "explore": 2.0,
+    "annotate": 3.0,
+    "declare": 4.0,   # explicitly declared interests weigh most
+}
+
+
+@dataclass
+class ContextProfile:
+    """A concept -> weight vector describing one user's activity."""
+
+    username: str
+    weights: dict[str, float] = field(default_factory=dict)
+    history: list[tuple[str, str]] = field(default_factory=list)
+
+    def record(self, concept: str, event: str = "explore") -> None:
+        if event not in _EVENT_WEIGHTS:
+            raise ValueError(f"unknown context event {event!r}")
+        key = concept.lower()
+        self.weights[key] = self.weights.get(key, 0.0) \
+            + _EVENT_WEIGHTS[event]
+        self.history.append((event, concept))
+
+    def weight(self, concept: str) -> float:
+        return self.weights.get(concept.lower(), 0.0)
+
+    def top_concepts(self, count: int = 10) -> list[tuple[str, float]]:
+        ranked = sorted(self.weights.items(),
+                        key=lambda item: (-item[1], item[0]))
+        return ranked[:count]
+
+    def decay(self, factor: float = 0.5) -> None:
+        """Age the profile (older interests fade)."""
+        self.weights = {concept: weight * factor
+                        for concept, weight in self.weights.items()
+                        if weight * factor > 1e-6}
+
+    def cosine_similarity(self, other: "ContextProfile") -> float:
+        if not self.weights or not other.weights:
+            return 0.0
+        shared = set(self.weights) & set(other.weights)
+        dot = sum(self.weights[c] * other.weights[c] for c in shared)
+        norm_self = sum(w * w for w in self.weights.values()) ** 0.5
+        norm_other = sum(w * w for w in other.weights.values()) ** 0.5
+        if norm_self == 0.0 or norm_other == 0.0:
+            return 0.0
+        return dot / (norm_self * norm_other)
+
+
+class ContextTracker:
+    """Profiles for every user plus resource-access bookkeeping."""
+
+    def __init__(self) -> None:
+        self._profiles: dict[str, ContextProfile] = {}
+        # resource -> {username -> access count}; feeds data recommendation.
+        self._resource_access: dict[str, dict[str, int]] = defaultdict(dict)
+
+    def profile(self, username: str) -> ContextProfile:
+        if username not in self._profiles:
+            self._profiles[username] = ContextProfile(username)
+        return self._profiles[username]
+
+    def profiles(self) -> list[ContextProfile]:
+        return list(self._profiles.values())
+
+    def record_concepts(self, username: str, concepts: list[str],
+                        event: str = "query") -> None:
+        profile = self.profile(username)
+        for concept in concepts:
+            profile.record(concept, event)
+
+    def record_resource(self, username: str, resource: str) -> None:
+        """Track that *username* explored/used *resource*."""
+        accesses = self._resource_access[resource]
+        accesses[username] = accesses.get(username, 0) + 1
+
+    def resources_of(self, username: str) -> list[str]:
+        return sorted(resource
+                      for resource, users in self._resource_access.items()
+                      if username in users)
+
+    def users_of(self, resource: str) -> dict[str, int]:
+        return dict(self._resource_access.get(resource, {}))
+
+    def all_resources(self) -> list[str]:
+        return sorted(self._resource_access)

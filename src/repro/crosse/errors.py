@@ -1,0 +1,19 @@
+"""Exception hierarchy for the CroSSE platform layer."""
+
+from __future__ import annotations
+
+
+class CrosseError(Exception):
+    """Base class for platform-level errors."""
+
+
+class UnknownUserError(CrosseError):
+    """The referenced user is not registered."""
+
+
+class AnnotationError(CrosseError):
+    """Invalid annotation (e.g. integrated-scenario subject not in data)."""
+
+
+class StatementError(CrosseError):
+    """Unknown or inaccessible statement ids."""

@@ -1,0 +1,184 @@
+"""Per-user knowledge bases with statement provenance (Fig. 4).
+
+Every RDF statement in CroSSE is annotated with its *source*: the user
+who inserted it and the users who have accepted it as theirs (the
+``userStatement`` / ``userBelief`` edges of the Fig. 4 schema).  A
+user's *effective* knowledge base — the context her SESQL queries run in
+(Section III-A) — is the union of her own statements and those she has
+accepted from peers.
+
+``to_rdf_graph`` exports the whole book-keeping as reified RDF exactly
+in the Fig. 4 vocabulary (``smg:Statement``, ``rdf:subject/predicate/
+object``, ``userStatement``, ``userBelief``, ``stmReference`` with
+``refTitle``/``refAuthor``/``refLink``), so the metadata store itself is
+queryable with SPARQL.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..rdf.namespace import RDF, SMG
+from ..rdf.store import Triple, TripleStore
+from ..rdf.terms import IRI, Literal, Term, term_from_python
+from .errors import StatementError
+
+_statement_ids = itertools.count()
+
+
+@dataclass
+class Reference:
+    """Bibliographic/file backing for a statement (Fig. 4 smg:Reference)."""
+
+    title: str = ""
+    author: str = ""
+    link: str = ""
+
+
+@dataclass
+class StatementRecord:
+    """One crowd statement plus its provenance."""
+
+    statement_id: int
+    triple: Triple
+    author: str
+    public: bool = True
+    accepted_by: set[str] = field(default_factory=set)
+    reference: Reference | None = None
+
+
+class KnowledgeBaseStore:
+    """All statements on the platform, with per-user effective views.
+
+    There is deliberately **no** consistency checking across users
+    (Section III-A: "there is no centralized control on the correctness
+    and/or consistency of the crowdsourced knowledge").
+    """
+
+    def __init__(self) -> None:
+        self._statements: dict[int, StatementRecord] = {}
+        self._by_author: dict[str, list[int]] = {}
+        self._effective_cache: dict[str, TripleStore] = {}
+
+    # -- insertion ------------------------------------------------------------
+
+    def insert(self, author: str, subject, predicate, obj,
+               public: bool = True,
+               reference: Reference | None = None) -> StatementRecord:
+        triple = Triple(term_from_python(subject), predicate,
+                        term_from_python(obj))
+        record = StatementRecord(next(_statement_ids), triple, author,
+                                 public, reference=reference)
+        self._statements[record.statement_id] = record
+        self._by_author.setdefault(author, []).append(record.statement_id)
+        self._effective_cache.pop(author, None)
+        return record
+
+    def retract(self, author: str, statement_id: int) -> None:
+        record = self.get(statement_id)
+        if record.author != author:
+            raise StatementError(
+                f"statement {statement_id} belongs to {record.author!r}, "
+                f"not {author!r}")
+        del self._statements[statement_id]
+        self._by_author[author].remove(statement_id)
+        self._effective_cache.clear()
+
+    # -- acceptance (the crowdsourced scenario) ------------------------------------
+
+    def accept(self, username: str, statement_id: int) -> StatementRecord:
+        """Import a peer's public statement into one's own context."""
+        record = self.get(statement_id)
+        if record.author == username:
+            raise StatementError("cannot accept one's own statement")
+        if not record.public:
+            raise StatementError(
+                f"statement {statement_id} is not public")
+        record.accepted_by.add(username)
+        self._effective_cache.pop(username, None)
+        return record
+
+    def reject(self, username: str, statement_id: int) -> None:
+        record = self.get(statement_id)
+        record.accepted_by.discard(username)
+        self._effective_cache.pop(username, None)
+
+    # -- lookup --------------------------------------------------------------------
+
+    def get(self, statement_id: int) -> StatementRecord:
+        try:
+            return self._statements[statement_id]
+        except KeyError:
+            raise StatementError(
+                f"no statement with id {statement_id}") from None
+
+    def statements_of(self, author: str) -> list[StatementRecord]:
+        return [self._statements[sid]
+                for sid in self._by_author.get(author, [])]
+
+    def public_statements(self,
+                          exclude_author: str | None = None
+                          ) -> list[StatementRecord]:
+        """Annotations visible to other registered users (Section III-A)."""
+        return [record for record in self._statements.values()
+                if record.public and record.author != exclude_author]
+
+    def accepted_by(self, username: str) -> list[StatementRecord]:
+        return [record for record in self._statements.values()
+                if username in record.accepted_by]
+
+    def __len__(self) -> int:
+        return len(self._statements)
+
+    # -- effective context -------------------------------------------------------------
+
+    def effective_kb(self, username: str) -> TripleStore:
+        """Own statements + accepted statements, as a plain triple store.
+
+        This is the personal knowledge base "that will constitute the
+        context in which a user's query will be evaluated".
+        """
+        cached = self._effective_cache.get(username)
+        if cached is not None:
+            return cached
+        store = TripleStore()
+        for record in self.statements_of(username):
+            store.add(record.triple)
+        for record in self.accepted_by(username):
+            store.add(record.triple)
+        self._effective_cache[username] = store
+        return store
+
+    # -- Fig. 4 reified export ------------------------------------------------------------
+
+    def to_rdf_graph(self) -> TripleStore:
+        """Export statements + provenance in the Fig. 4 RDF schema."""
+        graph = TripleStore()
+        for record in self._statements.values():
+            node = SMG[f"statement_{record.statement_id}"]
+            graph.add(node, RDF.type, SMG.Statement)
+            graph.add(node, RDF.subject, record.triple.subject)
+            graph.add(node, RDF.predicate, record.triple.predicate)
+            graph.add(node, RDF.object, record.triple.object)
+            author = SMG[f"user_{record.author}"]
+            graph.add(author, RDF.type, SMG.User)
+            graph.add(author, SMG.userStatement, node)
+            for username in record.accepted_by:
+                believer = SMG[f"user_{username}"]
+                graph.add(believer, RDF.type, SMG.User)
+                graph.add(believer, SMG.userBelief, node)
+            if record.reference is not None:
+                ref_node = SMG[f"reference_{record.statement_id}"]
+                graph.add(node, SMG.stmReference, ref_node)
+                graph.add(ref_node, RDF.type, SMG.Reference)
+                if record.reference.title:
+                    graph.add(ref_node, SMG.refTitle,
+                              Literal(record.reference.title))
+                if record.reference.author:
+                    graph.add(ref_node, SMG.refAuthor,
+                              Literal(record.reference.author))
+                if record.reference.link:
+                    graph.add(ref_node, SMG.refLink,
+                              Literal(record.reference.link))
+        return graph

@@ -1,0 +1,179 @@
+"""The CroSSE platform facade (Figs. 1-2).
+
+One object wires the Main Platform (relational databank), the Semantic
+Platform (per-user knowledge bases + tagging), the SESQL engine, context
+tracking, recommendations and previews.  Every SESQL query a user poses
+is evaluated in the context of her *effective* knowledge base (own +
+accepted statements), and automatically feeds her activity profile.
+"""
+
+from __future__ import annotations
+
+from ..core.engine import SESQLEngine, SESQLResult
+from ..core.mapping import ResourceMapping
+from ..core.stored_queries import StoredQueryRegistry
+from ..relational.engine import Database
+from .context import ContextTracker
+from .kb import KnowledgeBaseStore, Reference, StatementRecord
+from .preview import Document, preview as build_preview
+from .ranking import rank_documents, rank_result
+from .recommend import PeerRecommender
+from .tagging import SemanticTaggingModule
+from .users import User, UserRegistry
+
+
+class CrossePlatform:
+    """The social knowledge platform around a databank."""
+
+    def __init__(self, databank: Database,
+                 mapping: ResourceMapping | None = None) -> None:
+        self.databank = databank
+        self.mapping = mapping or ResourceMapping()
+        self.users = UserRegistry()
+        self.statements = KnowledgeBaseStore()
+        self.tagging = SemanticTaggingModule(
+            databank, self.statements, self.mapping)
+        self.context = ContextTracker()
+        self.recommender = PeerRecommender(self.context)
+        self.stored_queries = StoredQueryRegistry()
+        self._user_queries: dict[str, StoredQueryRegistry] = {}
+        self.documents: dict[str, Document] = {}
+
+    # -- users ---------------------------------------------------------------
+
+    def register_user(self, username: str, display_name: str = "",
+                      affiliation: str = "",
+                      interests: list[str] | None = None) -> User:
+        user = self.users.register(username, display_name, affiliation,
+                                   interests)
+        if interests:
+            self.context.record_concepts(username, interests,
+                                         event="declare")
+        return user
+
+    # -- stored SPARQL queries ---------------------------------------------------
+
+    def register_stored_query(self, name: str, sparql: str,
+                              username: str | None = None,
+                              description: str = "") -> None:
+        """Register a stored query globally or for one user."""
+        if username is None:
+            self.stored_queries.register(name, sparql, description)
+        else:
+            self.users.get(username)
+            registry = self._user_queries.setdefault(
+                username, StoredQueryRegistry())
+            registry.register(name, sparql, description)
+
+    def _registry_for(self, username: str) -> StoredQueryRegistry:
+        merged = self.stored_queries.copy()
+        personal = self._user_queries.get(username)
+        if personal is not None:
+            for name in personal.names():
+                stored = personal.get(name)
+                merged.register(stored.name, stored.text,
+                                stored.description)
+        return merged
+
+    # -- querying (contextualised) --------------------------------------------------
+
+    def run_sesql(self, username: str, sesql: str,
+                  include_original: bool = False,
+                  join_strategy: str = "tempdb") -> SESQLResult:
+        """Run a SESQL query in the user's personal context."""
+        self.users.get(username)
+        engine = SESQLEngine(
+            self.databank,
+            knowledge_base=self.statements.effective_kb(username),
+            mapping=self.mapping,
+            stored_queries=self._registry_for(username),
+            include_original=include_original,
+            join_strategy=join_strategy,
+        )
+        outcome = engine.execute(sesql)
+        self._feed_context(username, outcome)
+        return outcome
+
+    def _feed_context(self, username: str, outcome: SESQLResult) -> None:
+        concepts = []
+        for enrichment in outcome.enriched.enrichments:
+            concepts.append(getattr(enrichment, "prop", None))
+            concepts.append(getattr(enrichment, "concept", None))
+        self.context.record_concepts(
+            username, [concept for concept in concepts if concept],
+            event="query")
+
+    # -- annotation (all three scenarios) -----------------------------------------------
+
+    def annotate_concept(self, username: str, table: str, column: str,
+                         value: str, prop, obj,
+                         reference: Reference | None = None
+                         ) -> StatementRecord:
+        self.users.get(username)
+        record = self.tagging.annotate_concept(
+            username, table, column, value, prop, obj, reference)
+        self.context.record_concepts(username, [value], event="annotate")
+        return record
+
+    def annotate_free(self, username: str, subject, prop, obj,
+                      reference: Reference | None = None
+                      ) -> StatementRecord:
+        self.users.get(username)
+        record = self.tagging.annotate_free(
+            username, subject, prop, obj, reference)
+        return record
+
+    def explore_annotations(self, username: str, **filters):
+        self.users.get(username)
+        return self.tagging.explore_annotations(username, **filters)
+
+    def accept_statement(self, username: str,
+                         statement_id: int) -> StatementRecord:
+        self.users.get(username)
+        return self.statements.accept(username, statement_id)
+
+    def effective_kb(self, username: str):
+        return self.statements.effective_kb(username)
+
+    # -- exploration / recommendation services -----------------------------------------
+
+    def record_exploration(self, username: str, resource: str,
+                           concepts: list[str] | None = None) -> None:
+        self.context.record_resource(username, resource)
+        if concepts:
+            self.context.record_concepts(username, concepts,
+                                         event="explore")
+
+    def recommend_peers(self, username: str, count: int = 5):
+        self.users.get(username)
+        return self.recommender.recommend_peers(username, count)
+
+    def recommend_resources(self, username: str, count: int = 5):
+        self.users.get(username)
+        return self.recommender.recommend_resources(username, count)
+
+    # -- documents & previews --------------------------------------------------------------
+
+    def add_document(self, doc_id: str, title: str, text: str,
+                     tags: list[str] | None = None) -> Document:
+        document = Document(doc_id, title, text, list(tags or []))
+        self.documents[doc_id] = document
+        return document
+
+    def search_documents(self, username: str,
+                         keyword: str) -> list[tuple[Document, float]]:
+        """Keyword search with context-aware ranking."""
+        profile = self.context.profile(username)
+        matches = [document for document in self.documents.values()
+                   if keyword.lower() in document.text.lower()
+                   or keyword.lower() in document.title.lower()]
+        return rank_documents(profile, matches)
+
+    def preview_document(self, username: str, doc_id: str) -> dict:
+        profile = self.context.profile(username)
+        return build_preview(profile, self.documents[doc_id])
+
+    def rank_result_for(self, username: str, result,
+                        concept_columns: list[str] | None = None):
+        profile = self.context.profile(username)
+        return rank_result(profile, result, concept_columns)

@@ -1,0 +1,89 @@
+"""Content previews: snippet extraction and key-concept highlighting
+(Section I-B(c)).
+
+Instead of a bare result list, the platform shows each document with a
+snippet centred on the window containing the most context-relevant
+concepts, with those concepts highlighted.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .context import ContextProfile
+
+
+@dataclass
+class Document:
+    """A searchable resource (report, dataset description, note)."""
+
+    doc_id: str
+    title: str
+    text: str
+    tags: list[str] = field(default_factory=list)
+
+    def concepts(self) -> list[str]:
+        """Concept candidates: tags plus capitalised terms in the text."""
+        capitalised = re.findall(r"\b[A-Z][a-z]{2,}\b", self.text)
+        return list(dict.fromkeys(self.tags + capitalised))
+
+
+def _tokenize(text: str) -> list[tuple[str, int]]:
+    """(word, start offset) pairs."""
+    return [(match.group(0), match.start())
+            for match in re.finditer(r"\S+", text)]
+
+
+def extract_snippet(profile: ContextProfile, document: Document,
+                    window_words: int = 30) -> str:
+    """The window of *window_words* words with the highest context score.
+
+    Falls back to the document head when nothing matches the profile.
+    """
+    tokens = _tokenize(document.text)
+    if not tokens:
+        return ""
+    def token_weight(word: str) -> float:
+        return profile.weight(word.strip(".,;:()\"'"))
+    weights = [token_weight(word) for word, _offset in tokens]
+    best_start, best_score = 0, -1.0
+    for start in range(0, max(1, len(tokens) - window_words + 1)):
+        score = sum(weights[start:start + window_words])
+        if score > best_score:
+            best_start, best_score = start, score
+    begin = tokens[best_start][1]
+    end_index = min(best_start + window_words, len(tokens)) - 1
+    end_token, end_offset = tokens[end_index]
+    end = end_offset + len(end_token)
+    snippet = document.text[begin:end].strip()
+    prefix = "... " if begin > 0 else ""
+    suffix = " ..." if end < len(document.text) else ""
+    return f"{prefix}{snippet}{suffix}"
+
+
+def highlight_concepts(profile: ContextProfile, text: str,
+                       marker: str = "**", minimum_weight: float = 0.5,
+                       max_concepts: int = 8) -> str:
+    """Wrap the user's strongest context concepts in *marker*."""
+    strong = [concept for concept, weight in profile.top_concepts(
+        max_concepts) if weight >= minimum_weight]
+    highlighted = text
+    for concept in strong:
+        pattern = re.compile(rf"\b({re.escape(concept)})\b", re.IGNORECASE)
+        highlighted = pattern.sub(rf"{marker}\1{marker}", highlighted)
+    return highlighted
+
+
+def preview(profile: ContextProfile, document: Document,
+            window_words: int = 30) -> dict:
+    """The full preview payload the UI would render for one result."""
+    snippet = extract_snippet(profile, document, window_words)
+    return {
+        "doc_id": document.doc_id,
+        "title": document.title,
+        "snippet": highlight_concepts(profile, snippet),
+        "key_concepts": [concept for concept, _w in profile.top_concepts(5)
+                         if re.search(rf"\b{re.escape(concept)}\b",
+                                      document.text, re.IGNORECASE)],
+    }

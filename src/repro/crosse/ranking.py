@@ -1,0 +1,61 @@
+"""Context-aware ranking (Section I-B(a)/(c)).
+
+Two users searching "pollution" should see results ordered differently:
+ranking scores each result row (or document) by how strongly its
+concepts overlap the user's context profile, with a content-relevance
+base score so empty contexts degrade to content-only ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..relational.result import ResultSet
+from .context import ContextProfile
+from .preview import Document
+
+
+@dataclass
+class RankedRow:
+    row: tuple
+    score: float
+
+
+def score_concepts(profile: ContextProfile, concepts: list[str],
+                   base: float = 0.0) -> float:
+    """Sum of profile weights over *concepts* plus a base relevance."""
+    return base + sum(profile.weight(concept) for concept in concepts
+                      if concept)
+
+
+def rank_result(profile: ContextProfile, result: ResultSet,
+                concept_columns: list[str] | None = None) -> ResultSet:
+    """Reorder a query result by context relevance (stable for ties).
+
+    ``concept_columns`` names the columns whose values count as
+    concepts; by default every TEXT-valued cell participates.
+    """
+    if concept_columns is None:
+        indices = list(range(len(result.columns)))
+    else:
+        indices = [result.column_index(name) for name in concept_columns]
+    scored: list[RankedRow] = []
+    for row in result.rows:
+        concepts = [str(row[i]) for i in indices
+                    if row[i] is not None and isinstance(row[i], str)]
+        scored.append(RankedRow(row, score_concepts(profile, concepts)))
+    scored.sort(key=lambda ranked: -ranked.score)
+    return ResultSet(result.columns, [ranked.row for ranked in scored])
+
+
+def rank_documents(profile: ContextProfile,
+                   documents: list["Document"]) -> list[tuple["Document", float]]:
+    """Order documents by context overlap + keyword base relevance."""
+    scored = []
+    for document in documents:
+        concepts = document.concepts()
+        score = score_concepts(profile, concepts,
+                               base=0.1 * len(concepts))
+        scored.append((document, score))
+    scored.sort(key=lambda item: -item[1])
+    return scored

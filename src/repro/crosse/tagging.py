@@ -1,0 +1,95 @@
+"""The semantic tagging module (Section III-A).
+
+Three annotation scenarios:
+
+* **Integrated**: the user annotates a concept she is currently viewing
+  in the platform; the subject *must* be a value extracted from the
+  original data source, which this module validates against the
+  databank.
+* **Independent**: free insertion of any ``<subject, property, object>``
+  triple.
+* **Crowdsourced**: annotations are public; peers explore them and
+  import (accept) them into their own knowledge bases — implemented by
+  :meth:`KnowledgeBaseStore.accept` and surfaced here via
+  ``explore_annotations``.
+"""
+
+from __future__ import annotations
+
+from ..core.mapping import ResourceMapping
+from ..rdf.terms import Term
+from ..relational.engine import Database
+from .errors import AnnotationError
+from .kb import KnowledgeBaseStore, Reference, StatementRecord
+
+
+class SemanticTaggingModule:
+    """Validates and records user annotations."""
+
+    def __init__(self, databank: Database, statements: KnowledgeBaseStore,
+                 mapping: ResourceMapping | None = None) -> None:
+        self.databank = databank
+        self.statements = statements
+        self.mapping = mapping or ResourceMapping()
+
+    # -- integrated scenario --------------------------------------------------
+
+    def annotate_concept(self, username: str, table: str, column: str,
+                         value: str, prop, obj,
+                         reference: Reference | None = None,
+                         public: bool = True) -> StatementRecord:
+        """Integrated annotation: *value* must occur in table.column."""
+        if not self._value_exists(table, column, value):
+            raise AnnotationError(
+                f"integrated annotation requires the subject to come from "
+                f"the data source: {value!r} not found in "
+                f"{table}.{column}")
+        subject = self.mapping.to_term(column, value)
+        return self.statements.insert(username, subject, prop, obj,
+                                      public=public, reference=reference)
+
+    def _value_exists(self, table_name: str, column: str,
+                      value: str) -> bool:
+        table = self.databank.table(table_name)
+        position = table.schema.position_of(column)
+        index = table.find_index_on([column])
+        if index is not None:
+            return bool(index.lookup((value,)))
+        return any(row[position] == value for row in table.rows())
+
+    # -- independent scenario ---------------------------------------------------
+
+    def annotate_free(self, username: str, subject, prop, obj,
+                      reference: Reference | None = None,
+                      public: bool = True) -> StatementRecord:
+        """Independent annotation: any triple the user believes."""
+        return self.statements.insert(username, subject, prop, obj,
+                                      public=public, reference=reference)
+
+    def annotate_note(self, username: str, subject, note: str,
+                      public: bool = False) -> StatementRecord:
+        """A personal exploration note (Section III-A, annotation kind ii)."""
+        from ..rdf.namespace import SMG
+        return self.statements.insert(username, subject, SMG.note, note,
+                                      public=public)
+
+    # -- crowdsourced scenario -----------------------------------------------------
+
+    def explore_annotations(self, username: str,
+                            prop: Term | None = None,
+                            author: str | None = None
+                            ) -> list[StatementRecord]:
+        """Browse peers' public annotations (optionally filtered)."""
+        records = self.statements.public_statements(exclude_author=username)
+        if prop is not None:
+            records = [record for record in records
+                       if record.triple.predicate == prop]
+        if author is not None:
+            records = [record for record in records
+                       if record.author == author]
+        return records
+
+    def import_annotation(self, username: str,
+                          statement_id: int) -> StatementRecord:
+        """Accept a peer's statement into one's own knowledge base."""
+        return self.statements.accept(username, statement_id)

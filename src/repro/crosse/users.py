@@ -1,0 +1,64 @@
+"""User accounts for the CroSSE social knowledge platform."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import UnknownUserError
+
+
+@dataclass
+class User:
+    """A registered platform user.
+
+    ``declared_interests`` are the "exploration emphasis she has
+    declared" of Section I-B(b); actual behaviour is tracked separately
+    by :mod:`repro.crosse.context`.
+    """
+
+    username: str
+    display_name: str = ""
+    affiliation: str = ""
+    declared_interests: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.username:
+            raise ValueError("username must be non-empty")
+        if not self.display_name:
+            self.display_name = self.username
+
+
+class UserRegistry:
+    """Registry of platform users, keyed by username."""
+
+    def __init__(self) -> None:
+        self._users: dict[str, User] = {}
+
+    def register(self, username: str, display_name: str = "",
+                 affiliation: str = "",
+                 declared_interests: list[str] | None = None) -> User:
+        if username in self._users:
+            raise ValueError(f"user {username!r} already registered")
+        user = User(username, display_name, affiliation,
+                    list(declared_interests or []))
+        self._users[username] = user
+        return user
+
+    def get(self, username: str) -> User:
+        try:
+            return self._users[username]
+        except KeyError:
+            raise UnknownUserError(
+                f"no user named {username!r}") from None
+
+    def __contains__(self, username: str) -> bool:
+        return username in self._users
+
+    def __len__(self) -> int:
+        return len(self._users)
+
+    def usernames(self) -> list[str]:
+        return sorted(self._users)
+
+    def users(self) -> list[User]:
+        return [self._users[name] for name in self.usernames()]

@@ -1,0 +1,18 @@
+"""Data-source federation: foreign data wrappers (the postgres_fdw
+analogue), a GAV mediator, and the REST integration layer of Fig. 1."""
+
+from .errors import (FederationError, ForeignTableError, MediationError,
+                     RestError)
+from .foreign import (CallableSource, CsvSource, ForeignSource,
+                      ForeignTable, QuerySource, RemoteTableSource,
+                      attach_foreign_table)
+from .mediator import (GlobalView, MediationReport, Mediator, ViewFragment)
+from .rest import CrosseRestService, Response, RestRouter
+
+__all__ = [
+    "ForeignSource", "ForeignTable", "RemoteTableSource", "QuerySource",
+    "CsvSource", "CallableSource", "attach_foreign_table",
+    "Mediator", "GlobalView", "ViewFragment", "MediationReport",
+    "RestRouter", "CrosseRestService", "Response",
+    "FederationError", "ForeignTableError", "MediationError", "RestError",
+]

@@ -1,0 +1,19 @@
+"""Exception hierarchy for the federation layer."""
+
+from __future__ import annotations
+
+
+class FederationError(Exception):
+    """Base class for federation errors."""
+
+
+class ForeignTableError(FederationError):
+    """Misuse of read-only foreign tables."""
+
+
+class MediationError(FederationError):
+    """Bad view definitions or reconciliation failures."""
+
+
+class RestError(FederationError):
+    """Routing/handler failures in the REST integration layer."""

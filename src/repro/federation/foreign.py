@@ -1,0 +1,227 @@
+"""Foreign data wrappers — the ``postgres_fdw`` stand-in.
+
+The paper integrates the Main Platform and the Semantic Platform's data
+sources "by means of RESTful APIs, while the communication between data
+sources relies on the postgres_fdw extension".  A
+:class:`ForeignTable` makes a remote relation (another in-process
+:class:`~repro.relational.engine.Database`, a CSV file, a REST endpoint
+or any row callable) appear as a local table of the catalog: scans
+delegate to the remote source at query time (``live`` mode) or read a
+materialised copy (``snapshot`` mode).
+
+An optional per-scan latency simulates the network hop so federation
+benchmarks (E7) measure a realistic remote penalty.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import time
+from typing import Any, Callable, Iterable, Iterator
+
+from ..relational.engine import Database
+from ..relational.schema import Column, TableSchema
+from ..relational.types import DataType, coerce_value, infer_type
+from .errors import ForeignTableError
+
+
+class ForeignSource:
+    """A remote relation: schema plus a row supplier."""
+
+    def schema(self) -> TableSchema:
+        raise NotImplementedError
+
+    def rows(self) -> Iterable[tuple]:
+        raise NotImplementedError
+
+
+class RemoteTableSource(ForeignSource):
+    """A table living in another Database instance (the fdw analogue)."""
+
+    def __init__(self, database: Database, table_name: str) -> None:
+        self.database = database
+        self.table_name = table_name
+
+    def schema(self) -> TableSchema:
+        return self.database.table(self.table_name).schema
+
+    def rows(self) -> Iterable[tuple]:
+        return self.database.table(self.table_name).rows()
+
+
+class QuerySource(ForeignSource):
+    """A remote *query* exposed as a relation (a remote view)."""
+
+    def __init__(self, database: Database, sql: str,
+                 name: str = "remote_view") -> None:
+        self.database = database
+        self.sql = sql
+        self.name = name
+
+    def schema(self) -> TableSchema:
+        result = self.database.query(self.sql)
+        columns = []
+        for index, column_name in enumerate(result.columns):
+            values = [row[index] for row in result.rows]
+            columns.append(Column(column_name, _infer(values)))
+        return TableSchema(self.name, columns)
+
+    def rows(self) -> Iterable[tuple]:
+        return self.database.query(self.sql).rows
+
+
+class CsvSource(ForeignSource):
+    """CSV text/file as a relation; types inferred from the data."""
+
+    def __init__(self, text: str, name: str = "csv") -> None:
+        self.name = name
+        reader = csv.reader(io.StringIO(text))
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ForeignTableError("CSV source has no header row")
+        raw_rows = [row for row in reader if row]
+        parsed: list[tuple] = []
+        for raw in raw_rows:
+            if len(raw) != len(header):
+                raise ForeignTableError(
+                    f"CSV row has {len(raw)} fields, expected {len(header)}")
+            parsed.append(tuple(_parse_csv_value(value) for value in raw))
+        self._header = header
+        self._rows = parsed
+
+    @classmethod
+    def from_file(cls, path: str, name: str | None = None) -> "CsvSource":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls(handle.read(), name or path)
+
+    def schema(self) -> TableSchema:
+        columns = []
+        for index, column_name in enumerate(self._header):
+            values = [row[index] for row in self._rows]
+            columns.append(Column(column_name, _infer(values)))
+        return TableSchema(self.name, columns)
+
+    def rows(self) -> Iterable[tuple]:
+        return list(self._rows)
+
+
+class CallableSource(ForeignSource):
+    """Rows supplied by a callable (e.g. wrapping a REST endpoint)."""
+
+    def __init__(self, schema: TableSchema,
+                 supplier: Callable[[], Iterable[tuple]]) -> None:
+        self._schema = schema
+        self._supplier = supplier
+
+    def schema(self) -> TableSchema:
+        return self._schema
+
+    def rows(self) -> Iterable[tuple]:
+        return self._supplier()
+
+
+def _parse_csv_value(text: str) -> Any:
+    if text == "":
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    if text.lower() in ("true", "false"):
+        return text.lower() == "true"
+    return text
+
+
+def _infer(values: list) -> DataType:
+    for value in values:
+        if value is None:
+            continue
+        inferred = infer_type(value)
+        if inferred is not None:
+            return inferred
+    return DataType.TEXT
+
+
+class ForeignTable:
+    """A read-only catalog entry backed by a ForeignSource.
+
+    Duck-types the parts of :class:`~repro.relational.table.Table` the
+    read path uses; every mutation raises.
+    """
+
+    def __init__(self, name: str, source: ForeignSource,
+                 mode: str = "live", latency_s: float = 0.0) -> None:
+        if mode not in ("live", "snapshot"):
+            raise ForeignTableError(f"unknown foreign mode {mode!r}")
+        remote_schema = source.schema()
+        self.schema = TableSchema(name, list(remote_schema.columns))
+        self.source = source
+        self.mode = mode
+        self.latency_s = latency_s
+        self.indexes: dict = {}
+        self.scan_count = 0
+        self._snapshot: list[tuple] | None = None
+        if mode == "snapshot":
+            self._snapshot = [self._coerce(row) for row in source.rows()]
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def _coerce(self, row: tuple) -> tuple:
+        return tuple(
+            coerce_value(value, column.data_type)
+            for value, column in zip(row, self.schema.columns))
+
+    def rows(self) -> Iterator[tuple]:
+        self.scan_count += 1
+        if self.latency_s > 0:
+            time.sleep(self.latency_s)
+        if self._snapshot is not None:
+            return iter(list(self._snapshot))
+        return iter([self._coerce(row) for row in self.source.rows()])
+
+    def refresh(self) -> None:
+        """Re-pull the snapshot (no-op in live mode)."""
+        if self.mode == "snapshot":
+            self._snapshot = [self._coerce(row)
+                              for row in self.source.rows()]
+
+    def __len__(self) -> int:
+        if self._snapshot is not None:
+            return len(self._snapshot)
+        return sum(1 for _row in self.source.rows())
+
+    def find_index_on(self, column_names) -> None:
+        return None  # remote indexes are not visible locally
+
+    # -- read-only guard rails ------------------------------------------------
+
+    def _read_only(self, *args, **kwargs):
+        raise ForeignTableError(
+            f"foreign table {self.name!r} is read-only")
+
+    # UPDATE/DELETE scan via rows_with_ids before mutating, so guard it too.
+    rows_with_ids = _read_only
+    insert_row = _read_only
+    insert_tuple = _read_only
+    update_row = _read_only
+    delete_row = _read_only
+    truncate = _read_only
+    create_index = _read_only
+    drop_index = _read_only
+
+
+def attach_foreign_table(db: Database, name: str, source: ForeignSource,
+                         mode: str = "live",
+                         latency_s: float = 0.0) -> ForeignTable:
+    """Register a foreign table in *db*'s catalog under *name*."""
+    table = ForeignTable(name, source, mode, latency_s)
+    db.catalog.register_table(table)  # duck-typed Table
+    return table

@@ -1,0 +1,209 @@
+"""A GAV (global-as-view) mediated query system (Section II).
+
+The SmartGround platform "integrates existing information from national
+and international databanks".  The mediator provides the single
+read-only query point of such a system:
+
+* sources register as named databases (wrappers);
+* each *global view* is defined in terms of the sources (GAV): a list
+  of (source, SELECT) pairs whose union populates the view;
+* a mediated query decomposes into per-source sub-queries, ships them,
+  reconciles the partial results (``union_all`` / ``union`` dedupe /
+  ``prefer_first`` per-key precedence), materialises the views into a
+  scratch database and runs the user query there.
+
+``MediationReport`` exposes the decomposition so tests and benchmarks
+can check who was asked for what.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..relational.engine import Database
+from ..relational.indexes import _normalize
+from ..relational.result import ResultSet
+from .errors import MediationError
+
+RECONCILIATIONS = ("union_all", "union", "prefer_first")
+
+
+@dataclass
+class ViewFragment:
+    """One GAV mapping entry: a source query feeding a global view."""
+
+    source: str
+    sql: str
+
+
+@dataclass
+class GlobalView:
+    name: str
+    fragments: list[ViewFragment]
+    reconciliation: str = "union_all"
+    key_columns: list[str] = field(default_factory=list)
+
+
+@dataclass
+class MediationReport:
+    """What one mediated query did."""
+
+    sub_queries: list[tuple[str, str]] = field(default_factory=list)
+    rows_per_source: dict[str, int] = field(default_factory=dict)
+    view_rows: dict[str, int] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+
+class Mediator:
+    """The global query processor over registered sources."""
+
+    def __init__(self) -> None:
+        self._sources: dict[str, Database] = {}
+        self._views: dict[str, GlobalView] = {}
+
+    # -- registration ----------------------------------------------------------
+
+    def register_source(self, name: str, database: Database) -> None:
+        if name in self._sources:
+            raise MediationError(f"source {name!r} already registered")
+        self._sources[name] = database
+
+    def source(self, name: str) -> Database:
+        try:
+            return self._sources[name]
+        except KeyError:
+            raise MediationError(f"unknown source {name!r}") from None
+
+    def source_names(self) -> list[str]:
+        return sorted(self._sources)
+
+    def define_view(self, name: str,
+                    fragments: list[tuple[str, str]],
+                    reconciliation: str = "union_all",
+                    key_columns: list[str] | None = None) -> GlobalView:
+        """Define a global relation as the union of source queries (GAV)."""
+        if reconciliation not in RECONCILIATIONS:
+            raise MediationError(
+                f"unknown reconciliation {reconciliation!r}")
+        if reconciliation == "prefer_first" and not key_columns:
+            raise MediationError(
+                "prefer_first reconciliation requires key_columns")
+        if not fragments:
+            raise MediationError(f"view {name!r} needs at least one "
+                                 "fragment")
+        for source_name, _sql in fragments:
+            self.source(source_name)
+        view = GlobalView(
+            name,
+            [ViewFragment(source_name, sql)
+             for source_name, sql in fragments],
+            reconciliation,
+            list(key_columns or []))
+        self._views[name] = view
+        return view
+
+    def view_names(self) -> list[str]:
+        return sorted(self._views)
+
+    # -- mediated querying ----------------------------------------------------------
+
+    def query(self, sql: str,
+              views: list[str] | None = None
+              ) -> tuple[ResultSet, MediationReport]:
+        """Run *sql* against the global schema.
+
+        *views* limits which global views are materialised; by default
+        every defined view is shipped (a real mediator would prune by
+        analysing the query — the report shows what was shipped).
+        """
+        report = MediationReport()
+        started = time.perf_counter()
+        scratch = Database("mediator")
+        wanted = views if views is not None else self.view_names()
+        for view_name in wanted:
+            view = self._views.get(view_name)
+            if view is None:
+                raise MediationError(f"unknown view {view_name!r}")
+            rows, columns = self._materialize_view(view, report)
+            self._store(scratch, view.name, columns, rows)
+            report.view_rows[view.name] = len(rows)
+        result = scratch.query(sql)
+        report.elapsed_s = time.perf_counter() - started
+        return result, report
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _materialize_view(self, view: GlobalView,
+                          report: MediationReport
+                          ) -> tuple[list[tuple], list[str]]:
+        partials: list[tuple[str, ResultSet]] = []
+        columns: list[str] | None = None
+        for fragment in view.fragments:
+            database = self.source(fragment.source)
+            report.sub_queries.append((fragment.source, fragment.sql))
+            partial = database.query(fragment.sql)
+            report.rows_per_source[fragment.source] = \
+                report.rows_per_source.get(fragment.source, 0) \
+                + len(partial)
+            if columns is None:
+                columns = list(partial.columns)
+            elif len(partial.columns) != len(columns):
+                raise MediationError(
+                    f"view {view.name!r}: fragment from "
+                    f"{fragment.source!r} returns {len(partial.columns)} "
+                    f"columns, expected {len(columns)}")
+            partials.append((fragment.source, partial))
+        rows = self._reconcile(view, partials)
+        return rows, columns or []
+
+    @staticmethod
+    def _reconcile(view: GlobalView,
+                   partials: list[tuple[str, ResultSet]]) -> list[tuple]:
+        if view.reconciliation == "union_all":
+            merged: list[tuple] = []
+            for _source, partial in partials:
+                merged.extend(partial.rows)
+            return merged
+        if view.reconciliation == "union":
+            seen: set[tuple] = set()
+            merged = []
+            for _source, partial in partials:
+                for row in partial.rows:
+                    key = tuple(_normalize(v) if v is not None else None
+                                for v in row)
+                    if key not in seen:
+                        seen.add(key)
+                        merged.append(row)
+            return merged
+        # prefer_first: earlier fragments win on key collision — the
+        # "reconciliation of the results" step of mediated systems.
+        key_positions: list[int] | None = None
+        seen_keys: set[tuple] = set()
+        merged = []
+        for _source, partial in partials:
+            if key_positions is None:
+                key_positions = [partial.column_index(column)
+                                 for column in view.key_columns]
+            for row in partial.rows:
+                key = tuple(row[i] for i in key_positions)
+                if key in seen_keys:
+                    continue
+                seen_keys.add(key)
+                merged.append(row)
+        return merged
+
+    @staticmethod
+    def _store(scratch: Database, name: str, columns: list[str],
+               rows: list[tuple]) -> None:
+        from ..core.tempdb import infer_column_type
+        from ..relational.schema import Column
+
+        table_columns = []
+        for index, column_name in enumerate(columns):
+            values = (row[index] for row in rows)
+            table_columns.append(
+                Column(column_name, infer_column_type(values)))
+        table = scratch.create_table(name, table_columns)
+        for row in rows:
+            table.insert_tuple(row)

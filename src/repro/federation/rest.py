@@ -1,0 +1,158 @@
+"""In-process RESTful integration layer (Fig. 1: "the integration
+between the two platforms is managed by means of RESTful APIs").
+
+:class:`RestRouter` is a tiny request router (method + ``/path/{param}``
+patterns, JSON bodies in/out); :class:`CrosseRestService` mounts the
+platform's operations on it so the Main Platform <-> Semantic Platform
+interaction runs through the same API surface the deployed system uses,
+without sockets.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..crosse.platform import CrossePlatform
+from ..rdf.namespace import SMG
+from .errors import RestError
+
+Handler = Callable[[dict, dict], Any]  # (path_params, body) -> payload
+
+
+@dataclass
+class Response:
+    status: int
+    payload: Any
+
+    def json(self) -> str:
+        return json.dumps(self.payload, default=str)
+
+
+class RestRouter:
+    """Method + path-template dispatch."""
+
+    def __init__(self) -> None:
+        self._routes: list[tuple[str, re.Pattern, Handler]] = []
+
+    def register(self, method: str, template: str,
+                 handler: Handler) -> None:
+        pattern = re.compile(
+            "^" + re.sub(r"\{(\w+)\}", r"(?P<\1>[^/]+)", template) + "$")
+        self._routes.append((method.upper(), pattern, handler))
+
+    def handle(self, method: str, path: str,
+               body: dict | None = None) -> Response:
+        for route_method, pattern, handler in self._routes:
+            if route_method != method.upper():
+                continue
+            match = pattern.match(path)
+            if match is None:
+                continue
+            try:
+                payload = handler(match.groupdict(), body or {})
+            except RestError:
+                raise
+            except KeyError as exc:
+                return Response(400, {"error": f"missing field {exc}"})
+            except Exception as exc:
+                return Response(422, {"error": str(exc)})
+            return Response(200, payload)
+        return Response(404, {"error": f"no route for "
+                                       f"{method.upper()} {path}"})
+
+
+class CrosseRestService:
+    """The platform's REST facade used by the integration layer."""
+
+    def __init__(self, platform: CrossePlatform) -> None:
+        self.platform = platform
+        self.router = RestRouter()
+        self._mount()
+
+    # -- transport entry point -------------------------------------------------
+
+    def request(self, method: str, path: str,
+                body: dict | None = None) -> Response:
+        return self.router.handle(method, path, body)
+
+    # -- routes -----------------------------------------------------------------
+
+    def _mount(self) -> None:
+        register = self.router.register
+        register("POST", "/api/users", self._create_user)
+        register("GET", "/api/users", self._list_users)
+        register("POST", "/api/annotations", self._create_annotation)
+        register("GET", "/api/annotations/{username}",
+                 self._list_annotations)
+        register("POST", "/api/statements/{statement_id}/accept",
+                 self._accept_statement)
+        register("POST", "/api/sesql", self._run_sesql)
+        register("GET", "/api/recommendations/peers/{username}",
+                 self._peer_recommendations)
+        register("GET", "/api/recommendations/resources/{username}",
+                 self._resource_recommendations)
+
+    def _create_user(self, _params: dict, body: dict) -> dict:
+        user = self.platform.register_user(
+            body["username"],
+            body.get("display_name", ""),
+            body.get("affiliation", ""),
+            body.get("interests"))
+        return {"username": user.username,
+                "display_name": user.display_name}
+
+    def _list_users(self, _params: dict, _body: dict) -> dict:
+        return {"users": self.platform.users.usernames()}
+
+    def _create_annotation(self, _params: dict, body: dict) -> dict:
+        username = body["username"]
+        prop = SMG[body["property"]]
+        if body.get("scenario", "independent") == "integrated":
+            record = self.platform.annotate_concept(
+                username, body["table"], body["column"], body["value"],
+                prop, body["object"])
+        else:
+            subject = SMG[body["subject"]]
+            record = self.platform.annotate_free(
+                username, subject, prop, body["object"])
+        return {"statement_id": record.statement_id,
+                "author": record.author}
+
+    def _list_annotations(self, params: dict, _body: dict) -> dict:
+        records = self.platform.explore_annotations(params["username"])
+        return {"annotations": [
+            {"statement_id": record.statement_id,
+             "author": record.author,
+             "subject": str(record.triple.subject),
+             "property": str(record.triple.predicate),
+             "object": str(record.triple.object),
+             "accepted_by": sorted(record.accepted_by)}
+            for record in records]}
+
+    def _accept_statement(self, params: dict, body: dict) -> dict:
+        record = self.platform.accept_statement(
+            body["username"], int(params["statement_id"]))
+        return {"statement_id": record.statement_id,
+                "accepted_by": sorted(record.accepted_by)}
+
+    def _run_sesql(self, _params: dict, body: dict) -> dict:
+        outcome = self.platform.run_sesql(body["username"], body["query"])
+        return {
+            "columns": outcome.columns,
+            "rows": [list(row) for row in outcome.rows],
+            "sparql_queries": outcome.sparql_queries,
+            "final_sqls": outcome.final_sqls,
+        }
+
+    def _peer_recommendations(self, params: dict, _body: dict) -> dict:
+        peers = self.platform.recommend_peers(params["username"])
+        return {"peers": [{"username": username, "similarity": score}
+                          for username, score in peers]}
+
+    def _resource_recommendations(self, params: dict, _body: dict) -> dict:
+        resources = self.platform.recommend_resources(params["username"])
+        return {"resources": [{"resource": name, "score": score}
+                              for name, score in resources]}

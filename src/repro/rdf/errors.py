@@ -1,0 +1,24 @@
+"""Exception hierarchy for the RDF substrate."""
+
+from __future__ import annotations
+
+
+class RdfError(Exception):
+    """Base class for all RDF-layer errors."""
+
+
+class RdfTermError(RdfError):
+    """Malformed IRIs, literals or blank nodes."""
+
+
+class RdfParseError(RdfError):
+    """Raised by the Turtle / N-Triples parsers."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        self.line = line
+        location = f" at line {line}" if line is not None else ""
+        super().__init__(f"{message}{location}")
+
+
+class NamespaceError(RdfError):
+    """Unknown prefix or invalid namespace binding."""

@@ -1,0 +1,91 @@
+"""Namespace handling: prefix binding, QName expansion and compaction."""
+
+from __future__ import annotations
+
+from .errors import NamespaceError
+from .terms import IRI
+
+
+class Namespace:
+    """A namespace IRI that mints member IRIs via attribute/index access.
+
+    >>> SMG = Namespace("http://smartground.eu/ns#")
+    >>> SMG.dangerLevel
+    IRI(value='http://smartground.eu/ns#dangerLevel')
+    """
+
+    def __init__(self, base: str) -> None:
+        self.base = base
+
+    def __getattr__(self, name: str) -> IRI:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return IRI(self.base + name)
+
+    def __getitem__(self, name: str) -> IRI:
+        return IRI(self.base + name)
+
+    def term(self, name: str) -> IRI:
+        return IRI(self.base + name)
+
+    def __contains__(self, iri: IRI) -> bool:
+        return isinstance(iri, IRI) and iri.value.startswith(self.base)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.base
+
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+OWL = Namespace("http://www.w3.org/2002/07/owl#")
+
+#: The SmartGround vocabulary of Fig. 4.
+SMG = Namespace("http://smartground.eu/ns#")
+
+RDF_TYPE = RDF.type
+
+
+class NamespaceManager:
+    """Bidirectional prefix <-> namespace registry."""
+
+    DEFAULTS = {
+        "rdf": RDF.base,
+        "rdfs": RDFS.base,
+        "xsd": XSD.base,
+        "owl": OWL.base,
+        "smg": SMG.base,
+    }
+
+    def __init__(self, include_defaults: bool = True) -> None:
+        self._by_prefix: dict[str, str] = {}
+        if include_defaults:
+            self._by_prefix.update(self.DEFAULTS)
+
+    def bind(self, prefix: str, base: str | Namespace) -> None:
+        self._by_prefix[prefix] = str(base)
+
+    def prefixes(self) -> dict[str, str]:
+        return dict(self._by_prefix)
+
+    def expand(self, qname: str) -> IRI:
+        """Expand ``prefix:local`` to a full IRI."""
+        if ":" not in qname:
+            raise NamespaceError(f"not a QName: {qname!r}")
+        prefix, local = qname.split(":", 1)
+        if prefix not in self._by_prefix:
+            raise NamespaceError(f"unknown prefix {prefix!r}")
+        return IRI(self._by_prefix[prefix] + local)
+
+    def compact(self, iri: IRI) -> str:
+        """Compact an IRI to ``prefix:local`` when a binding matches."""
+        best_prefix = None
+        best_base = ""
+        for prefix, base in self._by_prefix.items():
+            if iri.value.startswith(base) and len(base) > len(best_base):
+                local = iri.value[len(base):]
+                if local and all(c.isalnum() or c in "_-." for c in local):
+                    best_prefix, best_base = prefix, base
+        if best_prefix is None:
+            return iri.n3()
+        return f"{best_prefix}:{iri.value[len(best_base):]}"

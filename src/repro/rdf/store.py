@@ -1,0 +1,268 @@
+"""The triple store: SPO/POS/OSP-indexed in-memory RDF graph.
+
+This is the Jena stand-in of the reproduction.  Pattern matching picks
+the most selective index for the bound positions; the POS and OSP
+indexes can be disabled (``TripleStore(indexing="spo")``) which the E4
+benchmark uses as an ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, NamedTuple
+
+from .errors import RdfError
+from .terms import IRI, Term, is_term, term_from_python
+
+
+class Triple(NamedTuple):
+    """An RDF statement."""
+
+    subject: Term
+    predicate: IRI
+    object: Term
+
+    def n3(self) -> str:
+        return (f"{self.subject.n3()} {self.predicate.n3()} "
+                f"{self.object.n3()} .")
+
+
+TriplePatternArg = Term | None
+
+_INDEXING_MODES = ("full", "spo")
+
+
+def _as_triple(subject: Any, predicate: Any, obj: Any) -> Triple:
+    subject_term = term_from_python(subject)
+    predicate_term = predicate if isinstance(predicate, IRI) else None
+    if predicate_term is None:
+        raise RdfError(
+            f"triple predicate must be an IRI, got {predicate!r}")
+    object_term = term_from_python(obj)
+    return Triple(subject_term, predicate_term, object_term)
+
+
+class TripleStore:
+    """A set of triples with hash indexes on each access pattern."""
+
+    def __init__(self, indexing: str = "full") -> None:
+        if indexing not in _INDEXING_MODES:
+            raise RdfError(f"unknown indexing mode {indexing!r}")
+        self.indexing = indexing
+        self._spo: dict[Term, dict[IRI, set[Term]]] = {}
+        self._pos: dict[IRI, dict[Term, set[Term]]] = {}
+        self._osp: dict[Term, dict[Term, set[IRI]]] = {}
+        self._size = 0
+
+    # -- mutation -----------------------------------------------------------
+
+    def add(self, subject: Any, predicate: Any = None,
+            obj: Any = None) -> bool:
+        """Add a triple; returns False when it was already present.
+
+        Accepts either ``add(Triple(...))`` or ``add(s, p, o)``.
+        """
+        if isinstance(subject, Triple) and predicate is None:
+            triple = subject
+        else:
+            triple = _as_triple(subject, predicate, obj)
+        s, p, o = triple
+        objects = self._spo.setdefault(s, {}).setdefault(p, set())
+        if o in objects:
+            return False
+        objects.add(o)
+        if self.indexing == "full":
+            self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
+            self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
+        self._size += 1
+        return True
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        count = 0
+        for triple in triples:
+            if self.add(triple):
+                count += 1
+        return count
+
+    def remove(self, subject: Any, predicate: Any = None,
+               obj: Any = None) -> bool:
+        """Remove a triple; returns False when it was absent."""
+        if isinstance(subject, Triple) and predicate is None:
+            triple = subject
+        else:
+            triple = _as_triple(subject, predicate, obj)
+        s, p, o = triple
+        try:
+            objects = self._spo[s][p]
+            objects.remove(o)
+        except KeyError:
+            return False
+        if not objects:
+            del self._spo[s][p]
+            if not self._spo[s]:
+                del self._spo[s]
+        if self.indexing == "full":
+            subjects = self._pos[p][o]
+            subjects.discard(s)
+            if not subjects:
+                del self._pos[p][o]
+                if not self._pos[p]:
+                    del self._pos[p]
+            predicates = self._osp[o][s]
+            predicates.discard(p)
+            if not predicates:
+                del self._osp[o][s]
+                if not self._osp[o]:
+                    del self._osp[o]
+        self._size -= 1
+        return True
+
+    def remove_pattern(self, subject: TriplePatternArg = None,
+                       predicate: TriplePatternArg = None,
+                       obj: TriplePatternArg = None) -> int:
+        """Remove every triple matching a pattern; returns the count."""
+        doomed = list(self.triples(subject, predicate, obj))
+        for triple in doomed:
+            self.remove(triple)
+        return len(doomed)
+
+    def clear(self) -> None:
+        self._spo.clear()
+        self._pos.clear()
+        self._osp.clear()
+        self._size = 0
+
+    # -- lookup ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, triple: Triple) -> bool:
+        s, p, o = triple
+        return o in self._spo.get(s, {}).get(p, ())
+
+    def __iter__(self) -> Iterator[Triple]:
+        return self.triples()
+
+    def triples(self, subject: TriplePatternArg = None,
+                predicate: TriplePatternArg = None,
+                obj: TriplePatternArg = None) -> Iterator[Triple]:
+        """All triples matching the pattern (None = wildcard)."""
+        s_bound = subject is not None
+        p_bound = predicate is not None
+        o_bound = obj is not None
+        if s_bound and not is_term(subject):
+            subject = term_from_python(subject)
+        if o_bound and not is_term(obj):
+            obj = term_from_python(obj)
+
+        if s_bound:
+            by_predicate = self._spo.get(subject)
+            if by_predicate is None:
+                return
+            if p_bound:
+                objects = by_predicate.get(predicate)
+                if objects is None:
+                    return
+                if o_bound:
+                    if obj in objects:
+                        yield Triple(subject, predicate, obj)
+                    return
+                for o in objects:
+                    yield Triple(subject, predicate, o)
+                return
+            for p, objects in by_predicate.items():
+                if o_bound:
+                    if obj in objects:
+                        yield Triple(subject, p, obj)
+                else:
+                    for o in objects:
+                        yield Triple(subject, p, o)
+            return
+
+        if self.indexing == "full" and o_bound:
+            by_subject = self._osp.get(obj)
+            if by_subject is None:
+                return
+            for s, predicates in by_subject.items():
+                if p_bound:
+                    if predicate in predicates:
+                        yield Triple(s, predicate, obj)
+                else:
+                    for p in predicates:
+                        yield Triple(s, p, obj)
+            return
+
+        if self.indexing == "full" and p_bound:
+            by_object = self._pos.get(predicate)
+            if by_object is None:
+                return
+            for o, subjects in by_object.items():
+                if o_bound and o != obj:
+                    continue
+                for s in subjects:
+                    yield Triple(s, predicate, o)
+            return
+
+        # Fallback: full scan (also the "spo"-only ablation path).
+        for s, by_predicate in self._spo.items():
+            for p, objects in by_predicate.items():
+                if p_bound and p != predicate:
+                    continue
+                for o in objects:
+                    if o_bound and o != obj:
+                        continue
+                    yield Triple(s, p, o)
+
+    # -- convenience views --------------------------------------------------------
+
+    def subjects(self, predicate: TriplePatternArg = None,
+                 obj: TriplePatternArg = None) -> Iterator[Term]:
+        seen: set[Term] = set()
+        for triple in self.triples(None, predicate, obj):
+            if triple.subject not in seen:
+                seen.add(triple.subject)
+                yield triple.subject
+
+    def objects(self, subject: TriplePatternArg = None,
+                predicate: TriplePatternArg = None) -> Iterator[Term]:
+        seen: set[Term] = set()
+        for triple in self.triples(subject, predicate, None):
+            if triple.object not in seen:
+                seen.add(triple.object)
+                yield triple.object
+
+    def predicates(self, subject: TriplePatternArg = None,
+                   obj: TriplePatternArg = None) -> Iterator[IRI]:
+        seen: set[IRI] = set()
+        for triple in self.triples(subject, None, obj):
+            if triple.predicate not in seen:
+                seen.add(triple.predicate)
+                yield triple.predicate
+
+    def value(self, subject: TriplePatternArg = None,
+              predicate: TriplePatternArg = None) -> Term | None:
+        """The single object of (subject, predicate), or None."""
+        for triple in self.triples(subject, predicate, None):
+            return triple.object
+        return None
+
+    def count(self, subject: TriplePatternArg = None,
+              predicate: TriplePatternArg = None,
+              obj: TriplePatternArg = None) -> int:
+        return sum(1 for _ in self.triples(subject, predicate, obj))
+
+    # -- set-style composition -------------------------------------------------------
+
+    def copy(self) -> "TripleStore":
+        clone = TripleStore(self.indexing)
+        clone.add_all(self.triples())
+        return clone
+
+    def union(self, other: "TripleStore") -> "TripleStore":
+        """A new store holding both graphs (used for effective user KBs)."""
+        merged = self.copy()
+        merged.add_all(other.triples())
+        return merged
+
+    def update(self, other: "TripleStore") -> int:
+        return self.add_all(other.triples())

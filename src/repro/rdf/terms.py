@@ -1,0 +1,149 @@
+"""RDF term model: IRIs, literals and blank nodes.
+
+Terms are immutable and hashable so they can live in the triple store's
+set-based indexes.  Literal values are stored as native Python values
+(str/int/float/bool) with an optional language tag; the XSD datatype is
+derived from the value type unless given explicitly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Union
+
+from .errors import RdfTermError
+
+_XSD = "http://www.w3.org/2001/XMLSchema#"
+
+XSD_STRING = _XSD + "string"
+XSD_INTEGER = _XSD + "integer"
+XSD_DOUBLE = _XSD + "double"
+XSD_BOOLEAN = _XSD + "boolean"
+
+
+@dataclass(frozen=True, slots=True)
+class IRI:
+    """An absolute or prefixed-expanded IRI."""
+
+    value: str
+
+    def __post_init__(self) -> None:
+        if not self.value:
+            raise RdfTermError("IRI must be non-empty")
+        if any(char in self.value for char in " <>\"{}|\\^`\n"):
+            raise RdfTermError(f"invalid character in IRI {self.value!r}")
+
+    def n3(self) -> str:
+        return f"<{self.value}>"
+
+    def local_name(self) -> str:
+        """The fragment/last path segment (used to map IRIs to SQL values)."""
+        for separator in ("#", "/", ":"):
+            index = self.value.rfind(separator)
+            if index >= 0 and index < len(self.value) - 1:
+                return self.value[index + 1:]
+        return self.value
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """A literal value with optional language tag and datatype."""
+
+    value: Any
+    lang: str | None = None
+    datatype: str | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.value, bool):
+            inferred = XSD_BOOLEAN
+        elif isinstance(self.value, int):
+            inferred = XSD_INTEGER
+        elif isinstance(self.value, float):
+            inferred = XSD_DOUBLE
+        elif isinstance(self.value, str):
+            inferred = XSD_STRING
+        else:
+            raise RdfTermError(
+                f"unsupported literal value {self.value!r}")
+        if self.lang is not None and not isinstance(self.value, str):
+            raise RdfTermError("language tags require string literals")
+        if self.datatype is None:
+            object.__setattr__(self, "datatype", inferred)
+
+    @property
+    def lexical(self) -> str:
+        if isinstance(self.value, bool):
+            return "true" if self.value else "false"
+        return str(self.value)
+
+    def n3(self) -> str:
+        if isinstance(self.value, bool):
+            return self.lexical
+        if isinstance(self.value, (int, float)) \
+                and self.datatype in (XSD_INTEGER, XSD_DOUBLE):
+            return repr(self.value)
+        escaped = (self.lexical.replace("\\", "\\\\").replace('"', '\\"')
+                   .replace("\n", "\\n").replace("\r", "\\r")
+                   .replace("\t", "\\t"))
+        text = f'"{escaped}"'
+        if self.lang:
+            return f"{text}@{self.lang}"
+        if self.datatype and self.datatype != XSD_STRING:
+            return f"{text}^^<{self.datatype}>"
+        return text
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.lexical
+
+
+_bnode_counter = itertools.count()
+
+
+@dataclass(frozen=True, slots=True)
+class BNode:
+    """A blank node with a stable local identifier."""
+
+    id: str = field(default_factory=lambda: f"b{next(_bnode_counter)}")
+
+    def n3(self) -> str:
+        return f"_:{self.id}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.n3()
+
+
+Term = Union[IRI, Literal, BNode]
+
+
+def is_term(value: Any) -> bool:
+    return isinstance(value, (IRI, Literal, BNode))
+
+
+def term_from_python(value: Any) -> Term:
+    """Coerce a Python value to an RDF term (strings become literals)."""
+    if is_term(value):
+        return value
+    if isinstance(value, (str, int, float, bool)):
+        return Literal(value)
+    raise RdfTermError(f"cannot convert {value!r} to an RDF term")
+
+
+def term_sort_key(term: Term | None) -> tuple:
+    """SPARQL-ish ordering: unbound < blank < IRI < literal."""
+    if term is None:
+        return (0, "")
+    if isinstance(term, BNode):
+        return (1, term.id)
+    if isinstance(term, IRI):
+        return (2, term.value)
+    if isinstance(term, Literal):
+        if isinstance(term.value, bool):
+            return (3, 0, int(term.value))
+        if isinstance(term.value, (int, float)):
+            return (3, 1, float(term.value))
+        return (3, 2, term.lexical)
+    raise RdfTermError(f"not a term: {term!r}")

@@ -1,0 +1,365 @@
+"""Turtle (subset) parser and serializer.
+
+Supports: ``@prefix``/``@base`` directives, IRIs, prefixed names, the
+``a`` keyword, string literals (with language tags and ``^^`` datatypes),
+numeric and boolean literals, blank node labels (``_:b0``), predicate
+lists (``;``), object lists (``,``) and ``#`` comments.  This covers the
+knowledge bases the paper's enrichment scenarios exchange.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .errors import RdfParseError
+from .namespace import RDF_TYPE, NamespaceManager
+from .store import Triple, TripleStore
+from .terms import (XSD_BOOLEAN, XSD_DOUBLE, XSD_INTEGER, XSD_STRING, BNode,
+                    IRI, Literal, Term)
+
+
+class _TurtleLexer:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.position = 0
+        self.line = 1
+
+    def error(self, message: str) -> RdfParseError:
+        return RdfParseError(message, self.line)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.position + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.position < len(self.text):
+                if self.text[self.position] == "\n":
+                    self.line += 1
+                self.position += 1
+
+    def skip_ws(self) -> None:
+        while self.position < len(self.text):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "#":
+                while self.position < len(self.text) and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    def at_end(self) -> bool:
+        self.skip_ws()
+        return self.position >= len(self.text)
+
+    def next_token(self) -> tuple[str, str]:
+        """Returns (kind, text); kinds: iri, pname, var?, literal parts..."""
+        self.skip_ws()
+        if self.position >= len(self.text):
+            return ("eof", "")
+        char = self._peek()
+        if char == "<":
+            return ("iri", self._read_iri())
+        if char in "\"'":
+            return ("string", self._read_string())
+        if char in ".;,[]()":
+            self._advance()
+            return ("punct", char)
+        if char == "@":
+            self._advance()
+            word = self._read_word()
+            return ("at", word)
+        if char == "^" and self._peek(1) == "^":
+            self._advance(2)
+            return ("dtype", "^^")
+        if char.isdigit() or (char in "+-" and (self._peek(1).isdigit()
+                                                or self._peek(1) == ".")):
+            return ("number", self._read_number())
+        if char == "_" and self._peek(1) == ":":
+            self._advance(2)
+            return ("bnode", self._read_word())
+        word_or_pname = self._read_pname_or_word()
+        if word_or_pname is None:
+            raise self.error(f"unexpected character {char!r}")
+        return word_or_pname
+
+    def _read_iri(self) -> str:
+        self._advance()
+        start = self.position
+        while self.position < len(self.text) and self._peek() != ">":
+            if self._peek() == "\n":
+                raise self.error("newline inside IRI")
+            self._advance()
+        if self.position >= len(self.text):
+            raise self.error("unterminated IRI")
+        value = self.text[start:self.position]
+        self._advance()
+        return value
+
+    def _read_string(self) -> str:
+        quote = self._peek()
+        long_quote = (self._peek(1) == quote and self._peek(2) == quote)
+        self._advance(3 if long_quote else 1)
+        pieces: list[str] = []
+        while True:
+            if self.position >= len(self.text):
+                raise self.error("unterminated string literal")
+            char = self._peek()
+            if char == "\\":
+                escape = self._peek(1)
+                mapping = {"n": "\n", "t": "\t", "r": "\r", '"': '"',
+                           "'": "'", "\\": "\\"}
+                if escape in mapping:
+                    pieces.append(mapping[escape])
+                    self._advance(2)
+                    continue
+                raise self.error(f"unknown escape \\{escape}")
+            if long_quote:
+                if (char == quote and self._peek(1) == quote
+                        and self._peek(2) == quote):
+                    self._advance(3)
+                    return "".join(pieces)
+            elif char == quote:
+                self._advance()
+                return "".join(pieces)
+            elif char == "\n":
+                raise self.error("newline in short string literal")
+            pieces.append(char)
+            self._advance()
+
+    def _read_number(self) -> str:
+        start = self.position
+        if self._peek() in "+-":
+            self._advance()
+        saw_dot = saw_exp = False
+        while self.position < len(self.text):
+            char = self._peek()
+            if char.isdigit():
+                self._advance()
+            elif char == "." and not saw_dot and not saw_exp \
+                    and self._peek(1).isdigit():
+                saw_dot = True
+                self._advance()
+            elif char in "eE" and not saw_exp:
+                saw_exp = True
+                self._advance()
+                if self._peek() in "+-":
+                    self._advance()
+            else:
+                break
+        return self.text[start:self.position]
+
+    def _read_word(self) -> str:
+        start = self.position
+        while self.position < len(self.text):
+            char = self._peek()
+            if char.isalnum() or char in "_-":
+                self._advance()
+            else:
+                break
+        return self.text[start:self.position]
+
+    def _read_pname_or_word(self) -> tuple[str, str] | None:
+        start = self.position
+        while self.position < len(self.text):
+            char = self._peek()
+            if char.isalnum() or char in "_-.":
+                self._advance()
+            elif char == ":":
+                self._advance()
+            else:
+                break
+        text = self.text[start:self.position]
+        if not text:
+            return None
+        # Trailing '.' is the statement terminator, not part of the name.
+        while text.endswith("."):
+            text = text[:-1]
+            self.position -= 1
+        if ":" in text:
+            return ("pname", text)
+        return ("word", text)
+
+
+class TurtleParser:
+    """Parses Turtle text into triples."""
+
+    def __init__(self, text: str,
+                 namespaces: NamespaceManager | None = None) -> None:
+        self.lexer = _TurtleLexer(text)
+        self.namespaces = namespaces or NamespaceManager()
+        self._pushed: tuple[str, str] | None = None
+        self._bnodes: dict[str, BNode] = {}
+
+    def _next(self) -> tuple[str, str]:
+        if self._pushed is not None:
+            token, self._pushed = self._pushed, None
+            return token
+        return self.lexer.next_token()
+
+    def _push(self, token: tuple[str, str]) -> None:
+        self._pushed = token
+
+    def parse(self) -> Iterator[Triple]:
+        while True:
+            kind, text = self._next()
+            if kind == "eof":
+                return
+            if kind == "at":
+                self._directive(text)
+                continue
+            if kind == "word" and text.upper() in ("PREFIX", "BASE"):
+                self._directive(text.lower(), sparql_style=True)
+                continue
+            subject = self._term_from(kind, text, role="subject")
+            yield from self._predicate_object_list(subject)
+            kind, text = self._next()
+            if kind != "punct" or text != ".":
+                raise self.lexer.error(
+                    f"expected '.' after statement, found {text!r}")
+
+    def _directive(self, name: str, sparql_style: bool = False) -> None:
+        if name == "prefix":
+            kind, text = self._next()
+            if kind != "pname" or not text.endswith(":"):
+                raise self.lexer.error("expected prefix declaration")
+            prefix = text[:-1]
+            kind, iri = self._next()
+            if kind != "iri":
+                raise self.lexer.error("expected IRI in @prefix")
+            self.namespaces.bind(prefix, iri)
+            if not sparql_style:
+                kind, text = self._next()
+                if kind != "punct" or text != ".":
+                    raise self.lexer.error("expected '.' after @prefix")
+            return
+        if name == "base":
+            kind, _iri = self._next()
+            if kind != "iri":
+                raise self.lexer.error("expected IRI in @base")
+            if not sparql_style:
+                kind, text = self._next()
+                if kind != "punct" or text != ".":
+                    raise self.lexer.error("expected '.' after @base")
+            return
+        raise self.lexer.error(f"unknown directive @{name}")
+
+    def _predicate_object_list(self, subject: Term) -> Iterator[Triple]:
+        while True:
+            kind, text = self._next()
+            predicate = self._predicate_from(kind, text)
+            while True:
+                kind, text = self._next()
+                obj = self._term_from(kind, text, role="object")
+                yield Triple(subject, predicate, obj)
+                kind, text = self._next()
+                if kind == "punct" and text == ",":
+                    continue
+                break
+            if kind == "punct" and text == ";":
+                # Allow trailing ';' before '.'
+                peeked = self._next()
+                if peeked[0] == "punct" and peeked[1] == ".":
+                    self._push(peeked)
+                    return
+                self._push(peeked)
+                continue
+            self._push((kind, text))
+            return
+
+    def _predicate_from(self, kind: str, text: str) -> IRI:
+        if kind == "word" and text == "a":
+            return RDF_TYPE
+        if kind == "iri":
+            return IRI(text)
+        if kind == "pname":
+            return self.namespaces.expand(text)
+        raise self.lexer.error(f"expected predicate, found {text!r}")
+
+    def _term_from(self, kind: str, text: str, role: str) -> Term:
+        if kind == "iri":
+            return IRI(text)
+        if kind == "pname":
+            return self.namespaces.expand(text)
+        if kind == "bnode":
+            if text not in self._bnodes:
+                self._bnodes[text] = BNode(text)
+            return self._bnodes[text]
+        if kind == "number":
+            if any(c in text for c in ".eE"):
+                return Literal(float(text))
+            return Literal(int(text))
+        if kind == "word" and text in ("true", "false"):
+            return Literal(text == "true")
+        if kind == "string":
+            return self._string_literal(text)
+        raise self.lexer.error(f"expected {role}, found {text!r}")
+
+    def _string_literal(self, text: str) -> Literal:
+        kind, next_text = self._next()
+        if kind == "at":
+            return Literal(text, lang=next_text)
+        if kind == "dtype":
+            kind, dtype_text = self._next()
+            if kind == "iri":
+                datatype = dtype_text
+            elif kind == "pname":
+                datatype = self.namespaces.expand(dtype_text).value
+            else:
+                raise self.lexer.error("expected datatype IRI after ^^")
+            return _typed_literal(text, datatype)
+        self._push((kind, next_text))
+        return Literal(text)
+
+
+def _typed_literal(lexical: str, datatype: str) -> Literal:
+    if datatype == XSD_INTEGER:
+        return Literal(int(lexical), datatype=datatype)
+    if datatype in (XSD_DOUBLE,):
+        return Literal(float(lexical), datatype=datatype)
+    if datatype == XSD_BOOLEAN:
+        return Literal(lexical == "true", datatype=datatype)
+    if datatype == XSD_STRING:
+        return Literal(lexical)
+    return Literal(lexical, datatype=datatype)
+
+
+def parse_turtle(text: str,
+                 namespaces: NamespaceManager | None = None) -> TripleStore:
+    """Parse Turtle text into a fresh TripleStore."""
+    store = TripleStore()
+    parser = TurtleParser(text, namespaces)
+    store.add_all(parser.parse())
+    return store
+
+
+def serialize_turtle(store: TripleStore,
+                     namespaces: NamespaceManager | None = None) -> str:
+    """Serialize a store to Turtle, grouping by subject."""
+    manager = namespaces or NamespaceManager()
+    lines = [f"@prefix {prefix}: <{base}> ."
+             for prefix, base in sorted(manager.prefixes().items())]
+    if lines:
+        lines.append("")
+
+    def render(term: Term) -> str:
+        if isinstance(term, IRI):
+            return manager.compact(term)
+        return term.n3()
+
+    by_subject: dict[Term, list[Triple]] = {}
+    for triple in store.triples():
+        by_subject.setdefault(triple.subject, []).append(triple)
+    for subject in sorted(by_subject, key=lambda term: term.n3()):
+        triples = sorted(by_subject[subject],
+                         key=lambda t: (t.predicate.value, t.object.n3()))
+        subject_text = render(subject)
+        parts = []
+        for triple in triples:
+            predicate_text = ("a" if triple.predicate == RDF_TYPE
+                              else render(triple.predicate))
+            parts.append(f"{predicate_text} {render(triple.object)}")
+        joined = " ;\n    ".join(parts)
+        lines.append(f"{subject_text} {joined} .")
+    return "\n".join(lines) + "\n"

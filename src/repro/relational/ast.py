@@ -1,0 +1,407 @@
+"""Abstract syntax tree for the SQL dialect understood by the engine.
+
+The same node classes are produced by the parser and consumed by the
+compiler/executor; the SESQL layer additionally builds these nodes
+programmatically when it synthesises the final enriched query (Fig. 6 of
+the paper), so every node can also be rendered back to SQL text by
+:mod:`repro.relational.render`.
+
+``node_key`` provides structural equality, which the aggregate planner
+uses to match GROUP BY expressions against SELECT expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Union
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+    __slots__ = ()
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+class Expr(Node):
+    __slots__ = ()
+
+
+@dataclass
+class Literal(Expr):
+    value: Any  # None, bool, int, float or str
+
+
+@dataclass
+class ColumnRef(Expr):
+    name: str
+    qualifier: Optional[str] = None
+
+    def display(self) -> str:
+        if self.qualifier:
+            return f"{self.qualifier}.{self.name}"
+        return self.name
+
+
+@dataclass
+class Star(Expr):
+    """``*`` or ``alias.*`` — only valid in select lists and COUNT(*)."""
+
+    qualifier: Optional[str] = None
+
+
+@dataclass
+class UnaryOp(Expr):
+    op: str  # '-', '+', 'NOT'
+    operand: Expr
+
+
+@dataclass
+class BinaryOp(Expr):
+    op: str  # '=', '<>', '<', '<=', '>', '>=', '+', '-', '*', '/', '%', '||'
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+
+@dataclass
+class Like(Expr):
+    operand: Expr
+    pattern: Expr
+    negated: bool = False
+
+
+@dataclass
+class InList(Expr):
+    operand: Expr
+    items: list[Expr] = field(default_factory=list)
+    negated: bool = False
+
+
+@dataclass
+class InSubquery(Expr):
+    operand: Expr
+    query: "SelectQuery" = None
+    negated: bool = False
+
+
+@dataclass
+class Exists(Expr):
+    query: "SelectQuery"
+    negated: bool = False
+
+
+@dataclass
+class Between(Expr):
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass
+class FunctionCall(Expr):
+    name: str
+    args: list[Expr] = field(default_factory=list)
+    distinct: bool = False
+    star: bool = False  # COUNT(*)
+
+
+@dataclass
+class CaseExpr(Expr):
+    operand: Optional[Expr]  # CASE x WHEN ... vs searched CASE
+    whens: list[tuple[Expr, Expr]] = field(default_factory=list)
+    else_result: Optional[Expr] = None
+
+
+@dataclass
+class Cast(Expr):
+    operand: Expr
+    type_name: str
+
+
+@dataclass
+class ScalarSubquery(Expr):
+    query: "SelectQuery"
+
+
+@dataclass
+class SlotRef(Expr):
+    """Internal: positional reference into the current row (aggregation)."""
+
+    index: int
+    name: str = "?slot"
+
+
+# ---------------------------------------------------------------------------
+# Table expressions (FROM clause)
+# ---------------------------------------------------------------------------
+
+class TableExpr(Node):
+    __slots__ = ()
+
+
+@dataclass
+class TableRef(TableExpr):
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass
+class SubqueryRef(TableExpr):
+    query: "SelectQuery"
+    alias: str
+
+
+@dataclass
+class Join(TableExpr):
+    join_type: str  # 'INNER', 'LEFT', 'CROSS'
+    left: TableExpr
+    right: TableExpr
+    condition: Optional[Expr] = None
+
+
+# ---------------------------------------------------------------------------
+# Queries
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SelectItem(Node):
+    """One entry of the SELECT list: an expression with an optional alias,
+    or a (qualified) star."""
+
+    expr: Expr
+    alias: Optional[str] = None
+
+    @property
+    def is_star(self) -> bool:
+        return isinstance(self.expr, Star)
+
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        if isinstance(self.expr, ColumnRef):
+            return self.expr.name
+        if isinstance(self.expr, FunctionCall):
+            return self.expr.name.lower()
+        return "?column?"
+
+
+@dataclass
+class OrderItem(Node):
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass
+class SelectCore(Node):
+    """A single SELECT ... FROM ... WHERE ... GROUP BY ... HAVING block."""
+
+    items: list[SelectItem] = field(default_factory=list)
+    distinct: bool = False
+    from_clause: Optional[TableExpr] = None
+    where: Optional[Expr] = None
+    group_by: list[Expr] = field(default_factory=list)
+    having: Optional[Expr] = None
+
+
+@dataclass
+class SelectQuery(Node):
+    """A full query: one or more cores chained by set operators, plus the
+    trailing ORDER BY / LIMIT / OFFSET that apply to the combined result."""
+
+    core: SelectCore = None
+    compounds: list[tuple[str, SelectCore]] = field(default_factory=list)
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: Optional[Expr] = None
+    offset: Optional[Expr] = None
+
+    @property
+    def is_compound(self) -> bool:
+        return bool(self.compounds)
+
+
+# ---------------------------------------------------------------------------
+# DML
+# ---------------------------------------------------------------------------
+
+@dataclass
+class InsertStmt(Node):
+    table: str
+    columns: Optional[list[str]] = None
+    rows: Optional[list[list[Expr]]] = None
+    query: Optional[SelectQuery] = None
+
+
+@dataclass
+class UpdateStmt(Node):
+    table: str
+    assignments: list[tuple[str, Expr]] = field(default_factory=list)
+    where: Optional[Expr] = None
+
+
+@dataclass
+class DeleteStmt(Node):
+    table: str
+    where: Optional[Expr] = None
+
+
+# ---------------------------------------------------------------------------
+# DDL
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ColumnDef(Node):
+    name: str
+    type_name: str
+    not_null: bool = False
+    primary_key: bool = False
+    unique: bool = False
+    default: Optional[Expr] = None
+
+
+@dataclass
+class CreateTableStmt(Node):
+    name: str
+    columns: list[ColumnDef] = field(default_factory=list)
+    if_not_exists: bool = False
+
+
+@dataclass
+class DropTableStmt(Node):
+    name: str
+    if_exists: bool = False
+
+
+@dataclass
+class CreateIndexStmt(Node):
+    name: str
+    table: str
+    columns: list[str] = field(default_factory=list)
+    unique: bool = False
+    kind: str = "hash"  # CREATE INDEX ... USING SORTED for range indexes
+
+
+@dataclass
+class DropIndexStmt(Node):
+    name: str
+    if_exists: bool = False
+
+
+Statement = Union[SelectQuery, InsertStmt, UpdateStmt, DeleteStmt,
+                  CreateTableStmt, DropTableStmt, CreateIndexStmt,
+                  DropIndexStmt]
+
+
+# ---------------------------------------------------------------------------
+# Structural keys and tree walking
+# ---------------------------------------------------------------------------
+
+def node_key(node: Any) -> Any:
+    """A hashable structural key; column names compare case-insensitively."""
+    if node is None:
+        return None
+    if isinstance(node, Literal):
+        return ("lit", repr(node.value))
+    if isinstance(node, ColumnRef):
+        return ("col", (node.qualifier or "").lower(), node.name.lower())
+    if isinstance(node, Star):
+        return ("star", (node.qualifier or "").lower())
+    if isinstance(node, SlotRef):
+        return ("slot", node.index)
+    if isinstance(node, UnaryOp):
+        return ("un", node.op, node_key(node.operand))
+    if isinstance(node, BinaryOp):
+        return ("bin", node.op, node_key(node.left), node_key(node.right))
+    if isinstance(node, IsNull):
+        return ("isnull", node.negated, node_key(node.operand))
+    if isinstance(node, Like):
+        return ("like", node.negated, node_key(node.operand),
+                node_key(node.pattern))
+    if isinstance(node, InList):
+        return ("inlist", node.negated, node_key(node.operand),
+                tuple(node_key(item) for item in node.items))
+    if isinstance(node, Between):
+        return ("between", node.negated, node_key(node.operand),
+                node_key(node.low), node_key(node.high))
+    if isinstance(node, FunctionCall):
+        return ("fn", node.name.lower(), node.distinct, node.star,
+                tuple(node_key(arg) for arg in node.args))
+    if isinstance(node, CaseExpr):
+        return ("case", node_key(node.operand),
+                tuple((node_key(c), node_key(r)) for c, r in node.whens),
+                node_key(node.else_result))
+    if isinstance(node, Cast):
+        return ("cast", node.type_name.upper(), node_key(node.operand))
+    if isinstance(node, (InSubquery, Exists, ScalarSubquery)):
+        # Subqueries compare by identity: good enough for GROUP BY matching.
+        return ("subq", id(node))
+    raise TypeError(f"no structural key for {type(node).__name__}")
+
+
+def child_exprs(node: Expr) -> list[Expr]:
+    """Direct expression children (subqueries are not descended into)."""
+    if isinstance(node, UnaryOp):
+        return [node.operand]
+    if isinstance(node, BinaryOp):
+        return [node.left, node.right]
+    if isinstance(node, IsNull):
+        return [node.operand]
+    if isinstance(node, Like):
+        return [node.operand, node.pattern]
+    if isinstance(node, InList):
+        return [node.operand] + list(node.items)
+    if isinstance(node, InSubquery):
+        return [node.operand]
+    if isinstance(node, Between):
+        return [node.operand, node.low, node.high]
+    if isinstance(node, FunctionCall):
+        return list(node.args)
+    if isinstance(node, CaseExpr):
+        children: list[Expr] = []
+        if node.operand is not None:
+            children.append(node.operand)
+        for condition, result in node.whens:
+            children.extend((condition, result))
+        if node.else_result is not None:
+            children.append(node.else_result)
+        return children
+    if isinstance(node, Cast):
+        return [node.operand]
+    return []
+
+
+def walk_expr(node: Expr):
+    """Yield *node* and every expression beneath it (not into subqueries)."""
+    yield node
+    for child in child_exprs(node):
+        yield from walk_expr(child)
+
+
+def conjuncts(expr: Optional[Expr]) -> list[Expr]:
+    """Split a predicate on top-level ANDs."""
+    if expr is None:
+        return []
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        return conjuncts(expr.left) + conjuncts(expr.right)
+    return [expr]
+
+
+def conjoin(parts: list[Expr]) -> Optional[Expr]:
+    """Rebuild a predicate from conjuncts (inverse of :func:`conjuncts`)."""
+    result: Optional[Expr] = None
+    for part in parts:
+        result = part if result is None else BinaryOp("AND", result, part)
+    return result

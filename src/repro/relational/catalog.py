@@ -1,0 +1,58 @@
+"""The catalog: the namespace of tables and indexes inside one database."""
+
+from __future__ import annotations
+
+from .errors import CatalogError
+from .schema import TableSchema
+from .table import Table
+
+
+class Catalog:
+    """Case-insensitive registry of tables (and their indexes)."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+
+    def create_table(self, schema: TableSchema,
+                     if_not_exists: bool = False) -> Table | None:
+        key = schema.name.lower()
+        if key in self._tables:
+            if if_not_exists:
+                return None
+            raise CatalogError(f"table {schema.name!r} already exists")
+        table = Table(schema)
+        self._tables[key] = table
+        return table
+
+    def register_table(self, table: Table) -> None:
+        """Adopt an externally constructed table (used by foreign wrappers)."""
+        key = table.name.lower()
+        if key in self._tables:
+            raise CatalogError(f"table {table.name!r} already exists")
+        self._tables[key] = table
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            if if_exists:
+                return
+            raise CatalogError(f"table {name!r} does not exist")
+        del self._tables[key]
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"table {name!r} does not exist") from None
+
+    def table_names(self) -> list[str]:
+        return [table.name for table in self._tables.values()]
+
+    def find_index(self, index_name: str) -> tuple[Table, str] | None:
+        for table in self._tables.values():
+            if index_name in table.indexes:
+                return table, index_name
+        return None

@@ -1,0 +1,368 @@
+"""Expression compilation: AST -> Python closures.
+
+Expressions are compiled once per (sub)query against a *scope chain*: a
+list of :class:`~repro.relational.schema.RowSchema` objects, outermost
+first.  The compiled closure receives a parallel tuple of row tuples and
+returns the SQL value, honouring three-valued logic.
+
+Correlated subqueries are supported through the scope chain: a column
+that does not resolve in the innermost scope is looked up outwards.  The
+:class:`CompileContext` tracks which scope depths were referenced so the
+executor can detect (and cache) uncorrelated subqueries.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Callable, Protocol
+
+from . import ast
+from .errors import (AmbiguousColumnError, ExecutionError, NotSupportedError,
+                     TypeMismatchError, UnknownColumnError)
+from .functions import lookup_function
+from .aggregates import AGGREGATE_NAMES
+from .schema import RowSchema
+from .types import (and3, coerce_value, compare_values, format_value, is_true,
+                    not3, or3, parse_type_name, values_equal)
+
+Rows = tuple
+CompiledExpr = Callable[[Rows], Any]
+
+
+class SubPlanLike(Protocol):
+    """What compiled expressions need from a subquery plan."""
+
+    def scalar(self, outer_rows: Rows) -> Any: ...
+
+    def exists(self, outer_rows: Rows) -> bool: ...
+
+    def column_values(self, outer_rows: Rows) -> list[Any]: ...
+
+
+class CompileContext:
+    """Compilation state shared across a query tree.
+
+    ``subplan_factory`` is injected by the executor (it owns query
+    planning); the compiler only knows the :class:`SubPlanLike` protocol.
+    """
+
+    def __init__(self, subplan_factory: Callable[..., SubPlanLike]) -> None:
+        self.subplan_factory = subplan_factory
+        self._watchers: list[set[int]] = []
+
+    def push_watcher(self) -> set[int]:
+        watcher: set[int] = set()
+        self._watchers.append(watcher)
+        return watcher
+
+    def pop_watcher(self) -> set[int]:
+        return self._watchers.pop()
+
+    def mark_reference(self, depth: int) -> None:
+        for watcher in self._watchers:
+            watcher.add(depth)
+
+
+def resolve_column(ref: ast.ColumnRef, scopes: list[RowSchema],
+                   ctx: CompileContext | None = None) -> tuple[int, int]:
+    """Resolve a column reference to (scope depth, position)."""
+    for depth in range(len(scopes) - 1, -1, -1):
+        matches = scopes[depth].find(ref.name, ref.qualifier)
+        if len(matches) > 1:
+            raise AmbiguousColumnError(
+                f"column reference {ref.display()!r} is ambiguous")
+        if matches:
+            if ctx is not None:
+                ctx.mark_reference(depth)
+            return depth, matches[0]
+    raise UnknownColumnError(f"no such column: {ref.display()!r}")
+
+
+# ---------------------------------------------------------------------------
+# Operator semantics
+# ---------------------------------------------------------------------------
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _numeric(op: str, value: Any) -> Any:
+    if not _is_number(value):
+        raise TypeMismatchError(
+            f"operator {op} expects numbers, got {type(value).__name__}")
+    return value
+
+
+def arithmetic(op: str, left: Any, right: Any) -> Any:
+    """NULL-propagating SQL arithmetic with PostgreSQL-style division."""
+    if left is None or right is None:
+        return None
+    if op == "||":
+        left_text = left if isinstance(left, str) else format_value(left)
+        right_text = right if isinstance(right, str) else format_value(right)
+        return left_text + right_text
+    _numeric(op, left)
+    _numeric(op, right)
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise ExecutionError("division by zero")
+        if isinstance(left, int) and isinstance(right, int):
+            return int(left / right)  # truncate toward zero, like PostgreSQL
+        return left / right
+    if op == "%":
+        if right == 0:
+            raise ExecutionError("modulo by zero")
+        result = math.fmod(left, right)
+        if isinstance(left, int) and isinstance(right, int):
+            return int(result)
+        return result
+    raise NotSupportedError(f"unknown arithmetic operator {op!r}")
+
+
+def comparison(op: str, left: Any, right: Any) -> bool | None:
+    """Three-valued comparison dispatch."""
+    if op == "=":
+        return values_equal(left, right)
+    if op == "<>":
+        return not3(values_equal(left, right))
+    result = compare_values(left, right)
+    if result is None:
+        return None
+    if op == "<":
+        return result < 0
+    if op == "<=":
+        return result <= 0
+    if op == ">":
+        return result > 0
+    if op == ">=":
+        return result >= 0
+    raise NotSupportedError(f"unknown comparison operator {op!r}")
+
+
+_LIKE_CACHE: dict[str, re.Pattern] = {}
+
+
+def like_match(value: Any, pattern: Any) -> bool | None:
+    """SQL LIKE with %/_ wildcards; NULL operands yield unknown."""
+    if value is None or pattern is None:
+        return None
+    if not isinstance(value, str) or not isinstance(pattern, str):
+        raise TypeMismatchError("LIKE expects TEXT operands")
+    compiled = _LIKE_CACHE.get(pattern)
+    if compiled is None:
+        pieces = ["^"]
+        for char in pattern:
+            if char == "%":
+                pieces.append(".*")
+            elif char == "_":
+                pieces.append(".")
+            else:
+                pieces.append(re.escape(char))
+        pieces.append("$")
+        compiled = re.compile("".join(pieces), re.DOTALL)
+        if len(_LIKE_CACHE) < 1024:
+            _LIKE_CACHE[pattern] = compiled
+    return compiled.match(value) is not None
+
+
+def membership(value: Any, candidates: list[Any]) -> bool | None:
+    """3VL semantics of ``value IN (candidates)``."""
+    saw_unknown = False
+    for candidate in candidates:
+        result = values_equal(value, candidate)
+        if result is True:
+            return True
+        if result is None:
+            saw_unknown = True
+    if saw_unknown:
+        return None
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Compilation
+# ---------------------------------------------------------------------------
+
+def compile_expr(expr: ast.Expr, scopes: list[RowSchema],
+                 ctx: CompileContext) -> CompiledExpr:
+    """Compile an expression against a scope chain."""
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        return lambda rows: value
+
+    if isinstance(expr, ast.ColumnRef):
+        depth, position = resolve_column(expr, scopes, ctx)
+        return lambda rows: rows[depth][position]
+
+    if isinstance(expr, ast.SlotRef):
+        index = expr.index
+        return lambda rows: rows[-1][index]
+
+    if isinstance(expr, ast.UnaryOp):
+        operand = compile_expr(expr.operand, scopes, ctx)
+        if expr.op == "NOT":
+            return lambda rows: not3(operand(rows))
+        if expr.op == "-":
+            def negate(rows: Rows) -> Any:
+                value = operand(rows)
+                if value is None:
+                    return None
+                return -_numeric("-", value)
+            return negate
+        if expr.op == "+":
+            def positive(rows: Rows) -> Any:
+                value = operand(rows)
+                if value is None:
+                    return None
+                return _numeric("+", value)
+            return positive
+        raise NotSupportedError(f"unknown unary operator {expr.op!r}")
+
+    if isinstance(expr, ast.BinaryOp):
+        op = expr.op
+        if op == "AND":
+            left = compile_expr(expr.left, scopes, ctx)
+            right = compile_expr(expr.right, scopes, ctx)
+
+            def and_eval(rows: Rows) -> bool | None:
+                left_value = _truth(left(rows))
+                if left_value is False:
+                    return False
+                return and3(left_value, _truth(right(rows)))
+            return and_eval
+        if op == "OR":
+            left = compile_expr(expr.left, scopes, ctx)
+            right = compile_expr(expr.right, scopes, ctx)
+
+            def or_eval(rows: Rows) -> bool | None:
+                left_value = _truth(left(rows))
+                if left_value is True:
+                    return True
+                return or3(left_value, _truth(right(rows)))
+            return or_eval
+        left = compile_expr(expr.left, scopes, ctx)
+        right = compile_expr(expr.right, scopes, ctx)
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            return lambda rows: comparison(op, left(rows), right(rows))
+        return lambda rows: arithmetic(op, left(rows), right(rows))
+
+    if isinstance(expr, ast.IsNull):
+        operand = compile_expr(expr.operand, scopes, ctx)
+        if expr.negated:
+            return lambda rows: operand(rows) is not None
+        return lambda rows: operand(rows) is None
+
+    if isinstance(expr, ast.Like):
+        operand = compile_expr(expr.operand, scopes, ctx)
+        pattern = compile_expr(expr.pattern, scopes, ctx)
+        if expr.negated:
+            return lambda rows: not3(like_match(operand(rows), pattern(rows)))
+        return lambda rows: like_match(operand(rows), pattern(rows))
+
+    if isinstance(expr, ast.Between):
+        operand = compile_expr(expr.operand, scopes, ctx)
+        low = compile_expr(expr.low, scopes, ctx)
+        high = compile_expr(expr.high, scopes, ctx)
+
+        def between(rows: Rows) -> bool | None:
+            value = operand(rows)
+            result = and3(comparison(">=", value, low(rows)),
+                          comparison("<=", value, high(rows)))
+            return result
+        if expr.negated:
+            return lambda rows: not3(between(rows))
+        return between
+
+    if isinstance(expr, ast.InList):
+        operand = compile_expr(expr.operand, scopes, ctx)
+        items = [compile_expr(item, scopes, ctx) for item in expr.items]
+
+        def in_list(rows: Rows) -> bool | None:
+            return membership(operand(rows), [item(rows) for item in items])
+        if expr.negated:
+            return lambda rows: not3(in_list(rows))
+        return in_list
+
+    if isinstance(expr, ast.InSubquery):
+        operand = compile_expr(expr.operand, scopes, ctx)
+        plan = ctx.subplan_factory(expr.query, scopes)
+
+        def in_subquery(rows: Rows) -> bool | None:
+            return membership(operand(rows), plan.column_values(rows))
+        if expr.negated:
+            return lambda rows: not3(in_subquery(rows))
+        return in_subquery
+
+    if isinstance(expr, ast.Exists):
+        plan = ctx.subplan_factory(expr.query, scopes)
+        if expr.negated:
+            return lambda rows: not plan.exists(rows)
+        return lambda rows: plan.exists(rows)
+
+    if isinstance(expr, ast.ScalarSubquery):
+        plan = ctx.subplan_factory(expr.query, scopes)
+        return lambda rows: plan.scalar(rows)
+
+    if isinstance(expr, ast.FunctionCall):
+        if expr.name.upper() in AGGREGATE_NAMES:
+            raise ExecutionError(
+                f"aggregate {expr.name.upper()} is not allowed here")
+        function = lookup_function(expr.name, len(expr.args))
+        args = [compile_expr(arg, scopes, ctx) for arg in expr.args]
+        return lambda rows: function(*[arg(rows) for arg in args])
+
+    if isinstance(expr, ast.CaseExpr):
+        whens = [(compile_expr(condition, scopes, ctx),
+                  compile_expr(result, scopes, ctx))
+                 for condition, result in expr.whens]
+        else_fn = (compile_expr(expr.else_result, scopes, ctx)
+                   if expr.else_result is not None else None)
+        if expr.operand is None:
+            def searched_case(rows: Rows) -> Any:
+                for condition, result in whens:
+                    if is_true(_truth(condition(rows))):
+                        return result(rows)
+                return else_fn(rows) if else_fn else None
+            return searched_case
+        operand = compile_expr(expr.operand, scopes, ctx)
+
+        def simple_case(rows: Rows) -> Any:
+            subject = operand(rows)
+            for condition, result in whens:
+                if is_true(values_equal(subject, condition(rows))):
+                    return result(rows)
+            return else_fn(rows) if else_fn else None
+        return simple_case
+
+    if isinstance(expr, ast.Cast):
+        target = parse_type_name(expr.type_name)
+        operand = compile_expr(expr.operand, scopes, ctx)
+        return lambda rows: coerce_value(operand(rows), target)
+
+    if isinstance(expr, ast.Star):
+        raise ExecutionError("'*' is only valid in a SELECT list")
+
+    raise NotSupportedError(
+        f"cannot compile {type(expr).__name__} expression")
+
+
+def _truth(value: Any) -> bool | None:
+    """Interpret a value in boolean context (non-boolean -> error)."""
+    if value is None or isinstance(value, bool):
+        return value
+    raise TypeMismatchError(
+        f"expected a boolean condition, got {type(value).__name__}")
+
+
+def compile_predicate(expr: ast.Expr, scopes: list[RowSchema],
+                      ctx: CompileContext) -> Callable[[Rows], bool]:
+    """Compile a WHERE/ON/HAVING predicate to a strict boolean test."""
+    compiled = compile_expr(expr, scopes, ctx)
+    return lambda rows: is_true(_truth(compiled(rows)))

@@ -1,0 +1,124 @@
+"""CSV import/export for databank tables.
+
+The SmartGround platform collects landfill data from partner
+institutions; CSV is the exchange format such databanks actually move.
+``load_csv`` creates (or appends to) a table from CSV text with type
+inference; ``dump_csv`` writes any query result or table back out.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any
+
+from .engine import Database
+from .errors import RelationalError
+from .result import ResultSet
+from .schema import Column
+from .types import DataType, infer_type
+
+
+def _parse_cell(text: str) -> Any:
+    if text == "":
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    if text.lower() in ("true", "false"):
+        return text.lower() == "true"
+    return text
+
+
+def _infer_column(values: list[Any]) -> DataType:
+    chosen: DataType | None = None
+    for value in values:
+        if value is None:
+            continue
+        inferred = infer_type(value)
+        if chosen is None:
+            chosen = inferred
+        elif chosen is not inferred:
+            if {chosen, inferred} == {DataType.INTEGER, DataType.REAL}:
+                chosen = DataType.REAL
+            else:
+                return DataType.TEXT
+    return chosen or DataType.TEXT
+
+
+def load_csv(db: Database, table_name: str, text: str,
+             create: bool = True) -> int:
+    """Load CSV text (header row required) into *table_name*.
+
+    With ``create=True`` the table is created with inferred column
+    types; otherwise rows append to the existing table (whose schema
+    coerces them). Returns the number of rows inserted.
+    """
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise RelationalError("CSV input has no header row") from None
+    rows: list[list[Any]] = []
+    for raw in reader:
+        if not raw:
+            continue
+        if len(raw) != len(header):
+            raise RelationalError(
+                f"CSV row has {len(raw)} fields, expected {len(header)}")
+        rows.append([_parse_cell(cell) for cell in raw])
+    if create:
+        columns = []
+        for index, name in enumerate(header):
+            values = [row[index] for row in rows]
+            columns.append(Column(name, _infer_column(values)))
+        db.create_table(table_name, columns)
+    table = db.table(table_name)
+    for row in rows:
+        table.insert_row(dict(zip(header, row)))
+    return len(rows)
+
+
+def load_csv_file(db: Database, table_name: str, path: str,
+                  create: bool = True) -> int:
+    with open(path, "r", encoding="utf-8") as handle:
+        return load_csv(db, table_name, handle.read(), create)
+
+
+def _format_cell(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def dump_csv(source: Database | ResultSet,
+             table_or_sql: str | None = None) -> str:
+    """Serialize a table, a query, or a ResultSet to CSV text."""
+    if isinstance(source, ResultSet):
+        result = source
+    else:
+        if table_or_sql is None:
+            raise RelationalError("dump_csv needs a table name or SQL")
+        if table_or_sql.strip().upper().startswith("SELECT"):
+            result = source.query(table_or_sql)
+        else:
+            result = source.query(f"SELECT * FROM {table_or_sql}")
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(result.columns)
+    for row in result.rows:
+        writer.writerow([_format_cell(value) for value in row])
+    return buffer.getvalue()
+
+
+def dump_csv_file(source: Database | ResultSet, path: str,
+                  table_or_sql: str | None = None) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dump_csv(source, table_or_sql))

@@ -1,0 +1,229 @@
+"""The :class:`Database` facade: parse, plan and execute SQL statements.
+
+This is the component that stands in for PostgreSQL in the CroSSE
+architecture: both the SmartGround databank and the temporary support
+database of the SESQL pipeline (Fig. 6) are instances of it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from . import ast
+from .catalog import Catalog
+from .compiler import CompileContext, compile_expr
+from .errors import ExecutionError, RelationalError, SchemaError
+from .executor import _make_context, compile_query
+from .parser import parse_script, parse_sql
+from .result import ResultSet
+from .schema import Column, TableSchema
+from .table import Table
+from .types import DataType, parse_type_name
+
+
+class Database:
+    """An in-memory relational database with a SQL front end."""
+
+    def __init__(self, name: str = "main") -> None:
+        self.name = name
+        self.catalog = Catalog()
+
+    # -- SQL entry points ---------------------------------------------------
+
+    def execute(self, sql: str) -> ResultSet | int | None:
+        """Execute one statement.
+
+        Returns a :class:`ResultSet` for SELECT, an affected-row count for
+        DML, and ``None`` for DDL.
+        """
+        return self.execute_ast(parse_sql(sql))
+
+    def execute_script(self, sql: str) -> list[ResultSet | int | None]:
+        """Execute a semicolon-separated script, returning all results."""
+        return [self.execute_ast(stmt) for stmt in parse_script(sql)]
+
+    def query(self, sql: str) -> ResultSet:
+        """Execute a statement that must produce rows."""
+        result = self.execute(sql)
+        if not isinstance(result, ResultSet):
+            raise ExecutionError("statement did not produce rows")
+        return result
+
+    def execute_ast(self, stmt: ast.Statement) -> ResultSet | int | None:
+        if isinstance(stmt, ast.SelectQuery):
+            return self._run_select(stmt)
+        if isinstance(stmt, ast.InsertStmt):
+            return self._run_insert(stmt)
+        if isinstance(stmt, ast.UpdateStmt):
+            return self._run_update(stmt)
+        if isinstance(stmt, ast.DeleteStmt):
+            return self._run_delete(stmt)
+        if isinstance(stmt, ast.CreateTableStmt):
+            return self._run_create_table(stmt)
+        if isinstance(stmt, ast.DropTableStmt):
+            self.catalog.drop_table(stmt.name, stmt.if_exists)
+            return None
+        if isinstance(stmt, ast.CreateIndexStmt):
+            return self._run_create_index(stmt)
+        if isinstance(stmt, ast.DropIndexStmt):
+            return self._run_drop_index(stmt)
+        raise RelationalError(
+            f"cannot execute {type(stmt).__name__}")
+
+    # -- SELECT ----------------------------------------------------------------
+
+    def _run_select(self, query: ast.SelectQuery) -> ResultSet:
+        plan = compile_query(query, self.catalog)
+        rows = plan.run(())
+        return ResultSet(plan.schema.names(), rows)
+
+    # -- DML ----------------------------------------------------------------------
+
+    def _constant_context(self) -> CompileContext:
+        return _make_context(self.catalog)
+
+    def _run_insert(self, stmt: ast.InsertStmt) -> int:
+        table = self.catalog.table(stmt.table)
+        columns = stmt.columns or table.schema.column_names()
+        for name in columns:
+            if not table.schema.has_column(name):
+                raise SchemaError(
+                    f"table {table.name!r} has no column {name!r}")
+        count = 0
+        if stmt.rows is not None:
+            ctx = self._constant_context()
+            for row_exprs in stmt.rows:
+                if len(row_exprs) != len(columns):
+                    raise ExecutionError(
+                        f"INSERT expects {len(columns)} values per row, "
+                        f"got {len(row_exprs)}")
+                values = {}
+                for name, expr in zip(columns, row_exprs):
+                    fn = compile_expr(expr, [], ctx)
+                    values[name] = fn(())
+                table.insert_row(values)
+                count += 1
+            return count
+        plan = compile_query(stmt.query, self.catalog)
+        if len(plan.schema) != len(columns):
+            raise ExecutionError(
+                f"INSERT ... SELECT expects {len(columns)} columns, "
+                f"got {len(plan.schema)}")
+        for row in plan.run(()):
+            table.insert_row(dict(zip(columns, row)))
+            count += 1
+        return count
+
+    def _run_update(self, stmt: ast.UpdateStmt) -> int:
+        table = self.catalog.table(stmt.table)
+        from .schema import RowSchema
+        scope = RowSchema.for_table(table.schema, table.name)
+        ctx = self._constant_context()
+        assignment_fns = []
+        for column, expr in stmt.assignments:
+            if not table.schema.has_column(column):
+                raise SchemaError(
+                    f"table {table.name!r} has no column {column!r}")
+            assignment_fns.append((column, compile_expr(expr, [scope], ctx)))
+        where_fn = None
+        if stmt.where is not None:
+            from .compiler import compile_predicate
+            where_fn = compile_predicate(stmt.where, [scope], ctx)
+        pending: list[tuple[int, dict[str, Any]]] = []
+        for row_id, row in list(table.rows_with_ids()):
+            if where_fn is None or where_fn(((row),)):
+                changes = {column: fn((row,))
+                           for column, fn in assignment_fns}
+                pending.append((row_id, changes))
+        for row_id, changes in pending:
+            table.update_row(row_id, changes)
+        return len(pending)
+
+    def _run_delete(self, stmt: ast.DeleteStmt) -> int:
+        table = self.catalog.table(stmt.table)
+        from .schema import RowSchema
+        scope = RowSchema.for_table(table.schema, table.name)
+        ctx = self._constant_context()
+        where_fn = None
+        if stmt.where is not None:
+            from .compiler import compile_predicate
+            where_fn = compile_predicate(stmt.where, [scope], ctx)
+        doomed = [row_id for row_id, row in list(table.rows_with_ids())
+                  if where_fn is None or where_fn((row,))]
+        for row_id in doomed:
+            table.delete_row(row_id)
+        return len(doomed)
+
+    # -- DDL ---------------------------------------------------------------------------
+
+    def _run_create_table(self, stmt: ast.CreateTableStmt) -> None:
+        columns = []
+        ctx = self._constant_context()
+        for definition in stmt.columns:
+            data_type = parse_type_name(definition.type_name)
+            default_value = None
+            has_default = False
+            if definition.default is not None:
+                default_value = compile_expr(definition.default, [], ctx)(())
+                has_default = True
+            columns.append(Column(
+                name=definition.name,
+                data_type=data_type,
+                nullable=not (definition.not_null or definition.primary_key),
+                primary_key=definition.primary_key,
+                unique=definition.unique,
+                default=default_value,
+                has_default=has_default,
+            ))
+        schema = TableSchema(stmt.name, columns)
+        self.catalog.create_table(schema, stmt.if_not_exists)
+        return None
+
+    def _run_create_index(self, stmt: ast.CreateIndexStmt) -> None:
+        table = self.catalog.table(stmt.table)
+        table.create_index(stmt.name, stmt.columns, stmt.unique, stmt.kind)
+        return None
+
+    def _run_drop_index(self, stmt: ast.DropIndexStmt) -> None:
+        found = self.catalog.find_index(stmt.name)
+        if found is None:
+            if stmt.if_exists:
+                return None
+            raise SchemaError(f"index {stmt.name!r} does not exist")
+        table, name = found
+        table.drop_index(name)
+        return None
+
+    # -- convenience helpers ---------------------------------------------------------
+
+    def create_table(self, name: str, columns: list[Column],
+                     if_not_exists: bool = False) -> Table | None:
+        """Programmatic CREATE TABLE."""
+        return self.catalog.create_table(
+            TableSchema(name, columns), if_not_exists)
+
+    def insert_rows(self, table_name: str,
+                    rows: Iterable[dict[str, Any]]) -> int:
+        """Bulk-insert dictionaries (used by data generators)."""
+        table = self.catalog.table(table_name)
+        count = 0
+        for row in rows:
+            table.insert_row(row)
+            count += 1
+        return count
+
+    def table(self, name: str) -> Table:
+        return self.catalog.table(name)
+
+    def table_names(self) -> list[str]:
+        return self.catalog.table_names()
+
+
+def column(name: str, type_name: str, nullable: bool = True,
+           primary_key: bool = False, unique: bool = False,
+           default: Any = None, has_default: bool = False) -> Column:
+    """Shorthand Column factory accepting SQL type names."""
+    data_type = (type_name if isinstance(type_name, DataType)
+                 else parse_type_name(type_name))
+    return Column(name, data_type, nullable and not primary_key,
+                  primary_key, unique, default, has_default)

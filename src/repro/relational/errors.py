@@ -1,0 +1,63 @@
+"""Exception hierarchy for the relational engine.
+
+Every error raised by the relational substrate derives from
+:class:`RelationalError`, so callers (the SESQL engine, the federation
+mediator) can catch one base class at the integration boundary.
+"""
+
+from __future__ import annotations
+
+
+class RelationalError(Exception):
+    """Base class for all relational-engine errors."""
+
+
+class SqlSyntaxError(RelationalError):
+    """Raised by the lexer/parser on malformed SQL.
+
+    Carries the offending position so callers can point at the source.
+    """
+
+    def __init__(self, message: str, position: int | None = None,
+                 line: int | None = None, column: int | None = None) -> None:
+        self.position = position
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None and column is not None:
+            location = f" at line {line}, column {column}"
+        elif position is not None:
+            location = f" at offset {position}"
+        super().__init__(f"{message}{location}")
+
+
+class CatalogError(RelationalError):
+    """Unknown or duplicate table/index names."""
+
+
+class SchemaError(RelationalError):
+    """Bad table definitions or column references."""
+
+
+class AmbiguousColumnError(SchemaError):
+    """An unqualified column name matches more than one visible column."""
+
+
+class UnknownColumnError(SchemaError):
+    """A column reference matches nothing in scope."""
+
+
+class TypeMismatchError(RelationalError):
+    """An operation was applied to operands of incompatible types."""
+
+
+class ConstraintViolation(RelationalError):
+    """NOT NULL / PRIMARY KEY / UNIQUE constraint failures."""
+
+
+class NotSupportedError(RelationalError):
+    """A recognised but unimplemented SQL construct."""
+
+
+class ExecutionError(RelationalError):
+    """Runtime failures during query evaluation (division by zero, ...)."""

@@ -1,0 +1,780 @@
+"""Query planning and execution.
+
+``compile_query`` turns a SELECT AST into a :class:`QueryPlan` whose
+``run(outer_rows)`` produces result tuples.  Compilation happens once;
+correlated subqueries re-run the compiled plan per outer row, and
+uncorrelated subqueries are cached after their first execution.
+
+The physical operators are deliberately simple (hash joins when the ON
+clause has equi-conjuncts, nested loops otherwise; hash aggregation; sort
+via Python's timsort), which keeps behaviour easy to validate against the
+paper's semantics while still scaling to the benchmark sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator
+
+from . import ast
+from .catalog import Catalog
+from .compiler import (CompileContext, compile_expr, compile_predicate,
+                       resolve_column)
+from .aggregates import AGGREGATE_NAMES, make_aggregate
+from .errors import (ExecutionError, NotSupportedError, SchemaError,
+                     UnknownColumnError)
+from .indexes import _normalize
+from .schema import ResultColumn, RowSchema
+from .types import sort_key
+
+Rows = tuple
+RowFn = Callable[[Rows], Any]
+
+
+def _norm_tuple(values: Iterable[Any]) -> tuple:
+    """Hashable, type-normalised key for grouping / distinct / set ops."""
+    return tuple(("null",) if value is None else _normalize(value)
+                 for value in values)
+
+
+class QueryPlan:
+    """A compiled query: output schema plus a run function."""
+
+    def __init__(self, schema: RowSchema,
+                 run: Callable[[Rows], list[tuple]]) -> None:
+        self.schema = schema
+        self._run = run
+
+    def run(self, outer_rows: Rows = ()) -> list[tuple]:
+        return self._run(outer_rows)
+
+
+class SubPlan:
+    """A compiled subquery usable from WHERE/SELECT expressions."""
+
+    def __init__(self, query: ast.SelectQuery, catalog: Catalog,
+                 scopes: list[RowSchema], ctx: CompileContext) -> None:
+        watcher = ctx.push_watcher()
+        try:
+            self.plan = compile_query(query, catalog, scopes, ctx)
+        finally:
+            ctx.pop_watcher()
+        self.correlated = any(depth < len(scopes) for depth in watcher)
+        self._cache: list[tuple] | None = None
+
+    def rows(self, outer_rows: Rows) -> list[tuple]:
+        if not self.correlated:
+            if self._cache is None:
+                self._cache = self.plan.run(outer_rows)
+            return self._cache
+        return self.plan.run(outer_rows)
+
+    def scalar(self, outer_rows: Rows) -> Any:
+        if len(self.plan.schema) != 1:
+            raise ExecutionError(
+                "scalar subquery must return exactly one column")
+        rows = self.rows(outer_rows)
+        if not rows:
+            return None
+        if len(rows) > 1:
+            raise ExecutionError("scalar subquery returned more than one row")
+        return rows[0][0]
+
+    def exists(self, outer_rows: Rows) -> bool:
+        return bool(self.rows(outer_rows))
+
+    def column_values(self, outer_rows: Rows) -> list[Any]:
+        if len(self.plan.schema) != 1:
+            raise ExecutionError(
+                "IN subquery must return exactly one column")
+        return [row[0] for row in self.rows(outer_rows)]
+
+
+def _make_context(catalog: Catalog) -> CompileContext:
+    ctx = CompileContext(subplan_factory=None)  # type: ignore[arg-type]
+
+    def factory(query: ast.SelectQuery, scopes: list[RowSchema]) -> SubPlan:
+        return SubPlan(query, catalog, scopes, ctx)
+
+    ctx.subplan_factory = factory
+    return ctx
+
+
+# ---------------------------------------------------------------------------
+# FROM clause compilation
+# ---------------------------------------------------------------------------
+
+class FromPlan:
+    def __init__(self, schema: RowSchema,
+                 run: Callable[[Rows], Iterator[tuple]]) -> None:
+        self.schema = schema
+        self.run = run
+
+
+def _collect_bindings(table_expr: ast.TableExpr, seen: set[str]) -> None:
+    if isinstance(table_expr, ast.TableRef):
+        name = table_expr.binding.lower()
+        if name in seen:
+            raise SchemaError(f"duplicate table alias {table_expr.binding!r}")
+        seen.add(name)
+    elif isinstance(table_expr, ast.SubqueryRef):
+        name = table_expr.alias.lower()
+        if name in seen:
+            raise SchemaError(f"duplicate table alias {table_expr.alias!r}")
+        seen.add(name)
+    elif isinstance(table_expr, ast.Join):
+        _collect_bindings(table_expr.left, seen)
+        _collect_bindings(table_expr.right, seen)
+
+
+def compile_table_expr(table_expr: ast.TableExpr, catalog: Catalog,
+                       outer_scopes: list[RowSchema],
+                       ctx: CompileContext) -> FromPlan:
+    if isinstance(table_expr, ast.TableRef):
+        table = catalog.table(table_expr.name)
+        schema = RowSchema.for_table(table.schema, table_expr.binding)
+
+        def scan(outer_rows: Rows) -> Iterator[tuple]:
+            return iter(list(table.rows()))
+        return FromPlan(schema, scan)
+
+    if isinstance(table_expr, ast.SubqueryRef):
+        plan = compile_query(table_expr.query, catalog, outer_scopes, ctx)
+        schema = RowSchema([
+            ResultColumn(column.name, table_expr.alias, column.data_type)
+            for column in plan.schema.columns
+        ])
+
+        def scan_subquery(outer_rows: Rows) -> Iterator[tuple]:
+            return iter(plan.run(outer_rows))
+        return FromPlan(schema, scan_subquery)
+
+    if isinstance(table_expr, ast.Join):
+        return _compile_join(table_expr, catalog, outer_scopes, ctx)
+
+    raise NotSupportedError(
+        f"cannot compile {type(table_expr).__name__} in FROM")
+
+
+def _try_compile(expr: ast.Expr, scopes: list[RowSchema],
+                 ctx: CompileContext) -> RowFn | None:
+    try:
+        return compile_expr(expr, scopes, ctx)
+    except UnknownColumnError:
+        return None
+
+
+def _compile_join(join: ast.Join, catalog: Catalog,
+                  outer_scopes: list[RowSchema],
+                  ctx: CompileContext) -> FromPlan:
+    left = compile_table_expr(join.left, catalog, outer_scopes, ctx)
+    right = compile_table_expr(join.right, catalog, outer_scopes, ctx)
+    combined = left.schema.extended(right.schema)
+    left_scopes = outer_scopes + [left.schema]
+    right_scopes = outer_scopes + [right.schema]
+    combined_scopes = outer_scopes + [combined]
+    pad = (None,) * len(right.schema)
+
+    if join.join_type == "CROSS" or join.condition is None:
+        if join.join_type == "LEFT":
+            raise ExecutionError("LEFT JOIN requires an ON condition")
+
+        def cross(outer_rows: Rows) -> Iterator[tuple]:
+            right_rows = list(right.run(outer_rows))
+            for left_row in left.run(outer_rows):
+                for right_row in right_rows:
+                    yield left_row + right_row
+        return FromPlan(combined, cross)
+
+    # Split the ON condition into hashable equi-conjuncts and a residual.
+    equi_pairs: list[tuple[RowFn, RowFn]] = []
+    residual: list[ast.Expr] = []
+    for conjunct in ast.conjuncts(join.condition):
+        pair = None
+        if isinstance(conjunct, ast.BinaryOp) and conjunct.op == "=":
+            left_fn = _try_compile(conjunct.left, left_scopes, ctx)
+            right_fn = _try_compile(conjunct.right, right_scopes, ctx)
+            if left_fn is not None and right_fn is not None:
+                pair = (left_fn, right_fn)
+            else:
+                left_fn = _try_compile(conjunct.right, left_scopes, ctx)
+                right_fn = _try_compile(conjunct.left, right_scopes, ctx)
+                if left_fn is not None and right_fn is not None:
+                    pair = (left_fn, right_fn)
+        if pair is not None:
+            equi_pairs.append(pair)
+        else:
+            residual.append(conjunct)
+
+    residual_expr = ast.conjoin(residual)
+    residual_fn = (compile_predicate(residual_expr, combined_scopes, ctx)
+                   if residual_expr is not None else None)
+    is_left_join = join.join_type == "LEFT"
+
+    if equi_pairs:
+        left_keys = [pair[0] for pair in equi_pairs]
+        right_keys = [pair[1] for pair in equi_pairs]
+
+        def hash_join(outer_rows: Rows) -> Iterator[tuple]:
+            buckets: dict[tuple, list[tuple]] = {}
+            for right_row in right.run(outer_rows):
+                key_rows = outer_rows + (right_row,)
+                values = [fn(key_rows) for fn in right_keys]
+                if any(value is None for value in values):
+                    continue  # NULL never matches in an equi-join
+                buckets.setdefault(_norm_tuple(values), []).append(right_row)
+            for left_row in left.run(outer_rows):
+                key_rows = outer_rows + (left_row,)
+                values = [fn(key_rows) for fn in left_keys]
+                matched = False
+                if not any(value is None for value in values):
+                    for right_row in buckets.get(_norm_tuple(values), ()):
+                        combined_row = left_row + right_row
+                        if residual_fn is None or residual_fn(
+                                outer_rows + (combined_row,)):
+                            matched = True
+                            yield combined_row
+                if is_left_join and not matched:
+                    yield left_row + pad
+        return FromPlan(combined, hash_join)
+
+    condition_fn = compile_predicate(join.condition, combined_scopes, ctx)
+
+    def nested_loop(outer_rows: Rows) -> Iterator[tuple]:
+        right_rows = list(right.run(outer_rows))
+        for left_row in left.run(outer_rows):
+            matched = False
+            for right_row in right_rows:
+                combined_row = left_row + right_row
+                if condition_fn(outer_rows + (combined_row,)):
+                    matched = True
+                    yield combined_row
+            if is_left_join and not matched:
+                yield left_row + pad
+    return FromPlan(combined, nested_loop)
+
+
+# ---------------------------------------------------------------------------
+# Aggregation rewriting
+# ---------------------------------------------------------------------------
+
+class _AggregateRewriter:
+    """Rewrites expressions over grouped input into slot references.
+
+    Slots 0..G-1 hold the group keys, slots G.. hold aggregate results.
+    """
+
+    def __init__(self, group_exprs: list[ast.Expr],
+                 outer_depth: int, scopes: list[RowSchema],
+                 ctx: CompileContext) -> None:
+        self.group_keys = {ast.node_key(expr): index
+                           for index, expr in enumerate(group_exprs)}
+        self.group_count = len(group_exprs)
+        self.aggregates: list[ast.FunctionCall] = []
+        self._agg_slots: dict[Any, int] = {}
+        self.outer_depth = outer_depth
+        self.scopes = scopes
+        self.ctx = ctx
+
+    def rewrite(self, expr: ast.Expr) -> ast.Expr:
+        key = ast.node_key(expr)
+        if key in self.group_keys:
+            return ast.SlotRef(self.group_keys[key])
+        if isinstance(expr, ast.FunctionCall) \
+                and expr.name.upper() in AGGREGATE_NAMES:
+            if key in self._agg_slots:
+                slot = self._agg_slots[key]
+            else:
+                slot = self.group_count + len(self.aggregates)
+                self.aggregates.append(expr)
+                self._agg_slots[key] = slot
+            return ast.SlotRef(slot)
+        if isinstance(expr, ast.ColumnRef):
+            depth, _position = resolve_column(expr, self.scopes)
+            if depth < self.outer_depth:
+                return expr  # correlated outer reference: constant per run
+            raise ExecutionError(
+                f"column {expr.display()!r} must appear in GROUP BY "
+                "or be used in an aggregate")
+        if isinstance(expr, (ast.Literal, ast.SlotRef)):
+            return expr
+        if isinstance(expr, (ast.InSubquery, ast.Exists, ast.ScalarSubquery)):
+            # Subqueries in grouped context may only reference group slots
+            # through correlation, which we conservatively do not rewrite.
+            return expr
+        return self._rebuild(expr)
+
+    def _rebuild(self, expr: ast.Expr) -> ast.Expr:
+        if isinstance(expr, ast.UnaryOp):
+            return ast.UnaryOp(expr.op, self.rewrite(expr.operand))
+        if isinstance(expr, ast.BinaryOp):
+            return ast.BinaryOp(expr.op, self.rewrite(expr.left),
+                                self.rewrite(expr.right))
+        if isinstance(expr, ast.IsNull):
+            return ast.IsNull(self.rewrite(expr.operand), expr.negated)
+        if isinstance(expr, ast.Like):
+            return ast.Like(self.rewrite(expr.operand),
+                            self.rewrite(expr.pattern), expr.negated)
+        if isinstance(expr, ast.InList):
+            return ast.InList(self.rewrite(expr.operand),
+                              [self.rewrite(item) for item in expr.items],
+                              expr.negated)
+        if isinstance(expr, ast.Between):
+            return ast.Between(self.rewrite(expr.operand),
+                               self.rewrite(expr.low),
+                               self.rewrite(expr.high), expr.negated)
+        if isinstance(expr, ast.FunctionCall):
+            return ast.FunctionCall(expr.name,
+                                    [self.rewrite(arg) for arg in expr.args],
+                                    expr.distinct, expr.star)
+        if isinstance(expr, ast.CaseExpr):
+            operand = (self.rewrite(expr.operand)
+                       if expr.operand is not None else None)
+            whens = [(self.rewrite(c), self.rewrite(r))
+                     for c, r in expr.whens]
+            else_result = (self.rewrite(expr.else_result)
+                           if expr.else_result is not None else None)
+            return ast.CaseExpr(operand, whens, else_result)
+        if isinstance(expr, ast.Cast):
+            return ast.Cast(self.rewrite(expr.operand), expr.type_name)
+        raise NotSupportedError(
+            f"cannot use {type(expr).__name__} in grouped query")
+
+
+def _contains_aggregate(expr: ast.Expr | None) -> bool:
+    if expr is None:
+        return False
+    for node in ast.walk_expr(expr):
+        if isinstance(node, ast.FunctionCall) \
+                and node.name.upper() in AGGREGATE_NAMES:
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# SELECT core compilation
+# ---------------------------------------------------------------------------
+
+def _substitute_order_targets(exprs: list[ast.Expr],
+                              items: list[ast.SelectItem],
+                              scopes: list[RowSchema]) -> list[ast.Expr]:
+    """Resolve ORDER/GROUP BY ordinals and select-list aliases."""
+    resolved: list[ast.Expr] = []
+    for expr in exprs:
+        if isinstance(expr, ast.Literal) and isinstance(expr.value, int) \
+                and not isinstance(expr.value, bool):
+            index = expr.value
+            if index < 1 or index > len(items):
+                raise ExecutionError(
+                    f"ORDER/GROUP BY position {index} is out of range")
+            item = items[index - 1]
+            if item.is_star:
+                raise ExecutionError(
+                    "ORDER/GROUP BY position cannot reference '*'")
+            resolved.append(item.expr)
+            continue
+        if isinstance(expr, ast.ColumnRef) and expr.qualifier is None:
+            alias_matches = [item for item in items
+                            if item.alias
+                            and item.alias.lower() == expr.name.lower()]
+            if len(alias_matches) == 1:
+                # An output alias shadows input columns (PostgreSQL rule).
+                resolved.append(alias_matches[0].expr)
+                continue
+        resolved.append(expr)
+    return resolved
+
+
+def _expand_items(items: list[ast.SelectItem],
+                  from_schema: RowSchema) -> list[tuple[ast.SelectItem, list[int] | None]]:
+    """Expand star items to column position lists."""
+    expanded: list[tuple[ast.SelectItem, list[int] | None]] = []
+    for item in items:
+        if item.is_star:
+            star: ast.Star = item.expr  # type: ignore[assignment]
+            if star.qualifier is None:
+                positions = list(range(len(from_schema)))
+            else:
+                positions = [
+                    index for index, column in enumerate(from_schema.columns)
+                    if (column.qualifier or "").lower()
+                    == star.qualifier.lower()]
+                if not positions:
+                    raise UnknownColumnError(
+                        f"no table named {star.qualifier!r} in FROM")
+            expanded.append((item, positions))
+        else:
+            expanded.append((item, None))
+    return expanded
+
+
+def compile_core(core: ast.SelectCore, catalog: Catalog,
+                 outer_scopes: list[RowSchema], ctx: CompileContext,
+                 order_by: list[ast.OrderItem] | None = None) -> QueryPlan:
+    order_by = order_by or []
+    if core.from_clause is not None:
+        _collect_bindings(core.from_clause, set())
+        from_plan = compile_table_expr(
+            core.from_clause, catalog, outer_scopes, ctx)
+    else:
+        from_plan = FromPlan(RowSchema([]),
+                             lambda outer_rows: iter([()]))
+    scopes = outer_scopes + [from_plan.schema]
+
+    # WHERE, with a single-table index fast path for equality conjuncts.
+    where_fn: Callable[[Rows], bool] | None = None
+    index_probe: tuple[Any, RowFn] | None = None
+    where_expr = core.where
+    if where_expr is not None and isinstance(core.from_clause, ast.TableRef):
+        table = catalog.table(core.from_clause.name)
+        remaining = []
+        for conjunct in ast.conjuncts(where_expr):
+            if index_probe is None and isinstance(conjunct, ast.BinaryOp) \
+                    and conjunct.op == "=":
+                sides = [(conjunct.left, conjunct.right),
+                         (conjunct.right, conjunct.left)]
+                chosen = None
+                for column_side, value_side in sides:
+                    if isinstance(column_side, ast.ColumnRef) \
+                            and isinstance(value_side, ast.Literal):
+                        try:
+                            depth, _pos = resolve_column(column_side, scopes)
+                        except UnknownColumnError:
+                            continue
+                        if depth != len(scopes) - 1:
+                            continue
+                        index = table.find_index_on([column_side.name])
+                        if index is not None:
+                            chosen = (index, value_side.value)
+                            break
+                if chosen is not None:
+                    index_probe = (chosen[0],
+                                   lambda rows, v=chosen[1]: v)
+                    continue
+            remaining.append(conjunct)
+        where_expr = ast.conjoin(remaining)
+        if index_probe is not None:
+            probe_table = table
+
+    if where_expr is not None:
+        where_fn = compile_predicate(where_expr, scopes, ctx)
+
+    def input_rows(outer_rows: Rows) -> Iterator[tuple]:
+        if index_probe is not None:
+            index, value_fn = index_probe
+            row_ids = index.lookup((value_fn(outer_rows),))
+            source: Iterable[tuple] = [probe_table.row(row_id)
+                                       for row_id in sorted(row_ids)]
+        else:
+            source = from_plan.run(outer_rows)
+        if where_fn is None:
+            yield from source
+        else:
+            for row in source:
+                if where_fn(outer_rows + (row,)):
+                    yield row
+
+    has_aggregate = bool(core.group_by) or core.having is not None \
+        or any(_contains_aggregate(item.expr) for item in core.items) \
+        or any(_contains_aggregate(item.expr) for item in order_by)
+
+    if has_aggregate:
+        return _compile_aggregate_core(
+            core, order_by, from_plan, scopes, input_rows, ctx,
+            len(outer_scopes))
+    return _compile_plain_core(
+        core, order_by, from_plan, scopes, input_rows, ctx)
+
+
+def _output_schema(expanded, from_schema: RowSchema) -> RowSchema:
+    columns: list[ResultColumn] = []
+    for item, star_positions in expanded:
+        if star_positions is not None:
+            for position in star_positions:
+                source = from_schema.columns[position]
+                columns.append(ResultColumn(
+                    source.name, source.qualifier, source.data_type))
+        else:
+            qualifier = None
+            if isinstance(item.expr, ast.ColumnRef) and not item.alias:
+                qualifier = item.expr.qualifier
+            columns.append(ResultColumn(item.output_name(), qualifier))
+    return RowSchema(columns)
+
+
+def _compile_plain_core(core: ast.SelectCore,
+                        order_by: list[ast.OrderItem],
+                        from_plan: FromPlan,
+                        scopes: list[RowSchema],
+                        input_rows: Callable[[Rows], Iterator[tuple]],
+                        ctx: CompileContext) -> QueryPlan:
+    expanded = _expand_items(core.items, from_plan.schema)
+    out_schema = _output_schema(expanded, from_plan.schema)
+
+    item_fns: list[tuple[list[int] | None, RowFn | None]] = []
+    for item, star_positions in expanded:
+        if star_positions is not None:
+            item_fns.append((star_positions, None))
+        else:
+            item_fns.append((None, compile_expr(item.expr, scopes, ctx)))
+
+    def project(outer_rows: Rows, row: tuple) -> tuple:
+        values: list[Any] = []
+        rows = outer_rows + (row,)
+        for star_positions, fn in item_fns:
+            if star_positions is not None:
+                values.extend(row[position] for position in star_positions)
+            else:
+                values.append(fn(rows))
+        return tuple(values)
+
+    order_fns: list[tuple[RowFn, bool]] = []
+    order_on_output = core.distinct
+    if order_by:
+        order_exprs = _substitute_order_targets(
+            [item.expr for item in order_by], core.items, scopes)
+        if order_on_output:
+            output_scopes = [out_schema]
+            for expr, item in zip(order_exprs, order_by):
+                order_fns.append((compile_expr(expr, output_scopes, ctx),
+                                  item.descending))
+        else:
+            for expr, item in zip(order_exprs, order_by):
+                order_fns.append((compile_expr(expr, scopes, ctx),
+                                  item.descending))
+
+    def run(outer_rows: Rows) -> list[tuple]:
+        if core.distinct:
+            seen: set[tuple] = set()
+            results: list[tuple] = []
+            for row in input_rows(outer_rows):
+                output = project(outer_rows, row)
+                key = _norm_tuple(output)
+                if key not in seen:
+                    seen.add(key)
+                    results.append(output)
+            if order_fns:
+                results.sort(key=lambda output: tuple(
+                    sort_key(fn((output,)), descending)
+                    for fn, descending in order_fns))
+            return results
+        if order_fns:
+            pairs = [(row, project(outer_rows, row))
+                     for row in input_rows(outer_rows)]
+            pairs.sort(key=lambda pair: tuple(
+                sort_key(fn(outer_rows + (pair[0],)), descending)
+                for fn, descending in order_fns))
+            return [output for _row, output in pairs]
+        return [project(outer_rows, row) for row in input_rows(outer_rows)]
+
+    return QueryPlan(out_schema, run)
+
+
+def _compile_aggregate_core(core: ast.SelectCore,
+                            order_by: list[ast.OrderItem],
+                            from_plan: FromPlan,
+                            scopes: list[RowSchema],
+                            input_rows: Callable[[Rows], Iterator[tuple]],
+                            ctx: CompileContext,
+                            outer_depth: int) -> QueryPlan:
+    for item in core.items:
+        if item.is_star:
+            raise ExecutionError("'*' cannot be used with GROUP BY")
+
+    group_exprs = _substitute_order_targets(core.group_by, core.items, scopes)
+    group_fns = [compile_expr(expr, scopes, ctx) for expr in group_exprs]
+
+    rewriter = _AggregateRewriter(group_exprs, outer_depth, scopes, ctx)
+    rewritten_items = [rewriter.rewrite(item.expr) for item in core.items]
+    rewritten_having = (rewriter.rewrite(core.having)
+                        if core.having is not None else None)
+    order_exprs = _substitute_order_targets(
+        [item.expr for item in order_by], core.items, scopes)
+    rewritten_order = [rewriter.rewrite(expr) for expr in order_exprs]
+
+    # Build aggregate machines and their argument evaluators.
+    agg_specs = []
+    for call in rewriter.aggregates:
+        aggregate = make_aggregate(call.name, call.star, len(call.args))
+        arg_fns = [compile_expr(arg, scopes, ctx) for arg in call.args]
+        agg_specs.append((aggregate, arg_fns, call.distinct))
+
+    slot_count = rewriter.group_count + len(agg_specs)
+    slot_schema = RowSchema([
+        ResultColumn(f"?slot{i}", None) for i in range(slot_count)])
+    slot_scopes = scopes[:outer_depth] + [slot_schema]
+
+    item_fns = [compile_expr(expr, slot_scopes, ctx)
+                for expr in rewritten_items]
+    having_fn = (compile_predicate(rewritten_having, slot_scopes, ctx)
+                 if rewritten_having is not None else None)
+    order_fns = [(compile_expr(expr, slot_scopes, ctx), item.descending)
+                 for expr, item in zip(rewritten_order, order_by)]
+
+    out_schema = RowSchema([
+        ResultColumn(item.output_name(), None) for item in core.items])
+
+    def run(outer_rows: Rows) -> list[tuple]:
+        groups: dict[tuple, tuple[tuple, list[Any], list[set]]] = {}
+        for row in input_rows(outer_rows):
+            rows = outer_rows + (row,)
+            key_values = tuple(fn(rows) for fn in group_fns)
+            key = _norm_tuple(key_values)
+            entry = groups.get(key)
+            if entry is None:
+                states = [aggregate.initial()
+                          for aggregate, _args, _distinct in agg_specs]
+                distinct_seen: list[set] = [set() for _spec in agg_specs]
+                entry = (key_values, states, distinct_seen)
+                groups[key] = entry
+            _key_values, states, distinct_seen = entry
+            for index, (aggregate, arg_fns, distinct) in enumerate(agg_specs):
+                args = tuple(fn(rows) for fn in arg_fns)
+                if distinct:
+                    marker = _norm_tuple(args)
+                    if marker in distinct_seen[index]:
+                        continue
+                    distinct_seen[index].add(marker)
+                states[index] = aggregate.step(states[index], args)
+        if not groups and not group_fns:
+            states = [aggregate.initial()
+                      for aggregate, _args, _distinct in agg_specs]
+            groups[()] = ((), states, [])
+
+        slot_rows: list[tuple] = []
+        for key_values, states, _seen in groups.values():
+            finals = tuple(
+                aggregate.final(state)
+                for (aggregate, _a, _d), state in zip(agg_specs, states))
+            slot_rows.append(tuple(key_values) + finals)
+
+        prefix = outer_rows[:outer_depth]
+        if having_fn is not None:
+            slot_rows = [slot_row for slot_row in slot_rows
+                         if having_fn(prefix + (slot_row,))]
+        if order_fns:
+            slot_rows.sort(key=lambda slot_row: tuple(
+                sort_key(fn(prefix + (slot_row,)), descending)
+                for fn, descending in order_fns))
+        results = [tuple(fn(prefix + (slot_row,)) for fn in item_fns)
+                   for slot_row in slot_rows]
+        if core.distinct:
+            seen: set[tuple] = set()
+            deduped = []
+            for output in results:
+                key = _norm_tuple(output)
+                if key not in seen:
+                    seen.add(key)
+                    deduped.append(output)
+            results = deduped
+        return results
+
+    return QueryPlan(out_schema, run)
+
+
+# ---------------------------------------------------------------------------
+# Query-level compilation (set operations, ORDER BY, LIMIT)
+# ---------------------------------------------------------------------------
+
+def compile_query(query: ast.SelectQuery, catalog: Catalog,
+                  outer_scopes: list[RowSchema] | None = None,
+                  ctx: CompileContext | None = None) -> QueryPlan:
+    outer_scopes = outer_scopes or []
+    if ctx is None:
+        ctx = _make_context(catalog)
+
+    limit_fn = (compile_expr(query.limit, outer_scopes, ctx)
+                if query.limit is not None else None)
+    offset_fn = (compile_expr(query.offset, outer_scopes, ctx)
+                 if query.offset is not None else None)
+
+    if not query.is_compound:
+        core_plan = compile_core(query.core, catalog, outer_scopes, ctx,
+                                 order_by=query.order_by)
+
+        def run_simple(outer_rows: Rows) -> list[tuple]:
+            rows = core_plan.run(outer_rows)
+            return _apply_limit(rows, outer_rows, limit_fn, offset_fn)
+        return QueryPlan(core_plan.schema, run_simple)
+
+    plans = [compile_core(query.core, catalog, outer_scopes, ctx)]
+    for _op, core in query.compounds:
+        plans.append(compile_core(core, catalog, outer_scopes, ctx))
+    width = len(plans[0].schema)
+    for plan in plans[1:]:
+        if len(plan.schema) != width:
+            raise ExecutionError(
+                "set operation operands must have the same column count")
+    schema = plans[0].schema
+    operations = [op for op, _core in query.compounds]
+
+    order_fns: list[tuple[RowFn, bool]] = []
+    if query.order_by:
+        fake_items = [ast.SelectItem(ast.ColumnRef(column.name), None)
+                      for column in schema.columns]
+        order_exprs = _substitute_order_targets(
+            [item.expr for item in query.order_by], fake_items, [schema])
+        for expr, item in zip(order_exprs, query.order_by):
+            order_fns.append((compile_expr(expr, [schema], ctx),
+                              item.descending))
+
+    def run_compound(outer_rows: Rows) -> list[tuple]:
+        current = plans[0].run(outer_rows)
+        for operation, plan in zip(operations, plans[1:]):
+            other = plan.run(outer_rows)
+            if operation == "UNION ALL":
+                current = current + other
+            elif operation == "UNION":
+                seen = set()
+                merged = []
+                for row in current + other:
+                    key = _norm_tuple(row)
+                    if key not in seen:
+                        seen.add(key)
+                        merged.append(row)
+                current = merged
+            elif operation == "INTERSECT":
+                other_keys = {_norm_tuple(row) for row in other}
+                seen = set()
+                merged = []
+                for row in current:
+                    key = _norm_tuple(row)
+                    if key in other_keys and key not in seen:
+                        seen.add(key)
+                        merged.append(row)
+                current = merged
+            elif operation == "EXCEPT":
+                other_keys = {_norm_tuple(row) for row in other}
+                seen = set()
+                merged = []
+                for row in current:
+                    key = _norm_tuple(row)
+                    if key not in other_keys and key not in seen:
+                        seen.add(key)
+                        merged.append(row)
+                current = merged
+            else:  # pragma: no cover - parser prevents this
+                raise NotSupportedError(f"unknown set operation {operation}")
+        if order_fns:
+            current = sorted(current, key=lambda row: tuple(
+                sort_key(fn((row,)), descending)
+                for fn, descending in order_fns))
+        return _apply_limit(current, outer_rows, limit_fn, offset_fn)
+
+    return QueryPlan(schema, run_compound)
+
+
+def _apply_limit(rows: list[tuple], outer_rows: Rows,
+                 limit_fn: RowFn | None,
+                 offset_fn: RowFn | None) -> list[tuple]:
+    start = 0
+    if offset_fn is not None:
+        offset_value = offset_fn(outer_rows)
+        if offset_value is not None:
+            start = max(int(offset_value), 0)
+    if limit_fn is not None:
+        limit_value = limit_fn(outer_rows)
+        if limit_value is None:
+            return rows[start:]
+        count = max(int(limit_value), 0)
+        return rows[start:start + count]
+    return rows[start:]

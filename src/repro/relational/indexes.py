@@ -1,0 +1,186 @@
+"""Secondary index structures for heap tables.
+
+Two index kinds are provided:
+
+* :class:`HashIndex` — equality lookups (the workhorse for enrichment
+  joins and foreign-key style probes);
+* :class:`SortedIndex` — range lookups via a sorted key list kept in sync
+  with bisection (a stand-in for a B-tree; adequate at in-memory scale).
+
+Both map *key tuples* to sets of row ids; NULL-containing keys are never
+indexed (SQL indexes skip NULL keys for uniqueness purposes).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable, Iterator
+
+from .errors import ConstraintViolation
+
+
+def _normalize(value: Any) -> Any:
+    """Normalise values so 1 and 1.0 land in the same hash bucket."""
+    if isinstance(value, bool):
+        return ("b", value)
+    if isinstance(value, (int, float)):
+        return ("n", float(value))
+    if isinstance(value, str):
+        return ("s", value)
+    return ("o", value)
+
+
+class HashIndex:
+    """Equality index over one or more columns of a table."""
+
+    kind = "hash"
+
+    def __init__(self, name: str, table_name: str, column_names: list[str],
+                 unique: bool = False) -> None:
+        self.name = name
+        self.table_name = table_name
+        self.column_names = list(column_names)
+        self.unique = unique
+        self._buckets: dict[tuple, set[int]] = {}
+
+    def _key(self, values: tuple) -> tuple | None:
+        if any(value is None for value in values):
+            return None
+        return tuple(_normalize(value) for value in values)
+
+    def insert(self, row_id: int, values: tuple) -> None:
+        key = self._key(values)
+        if key is None:
+            return
+        bucket = self._buckets.setdefault(key, set())
+        if self.unique and bucket:
+            raise ConstraintViolation(
+                f"UNIQUE index {self.name!r} violated by key {values!r}")
+        bucket.add(row_id)
+
+    def delete(self, row_id: int, values: tuple) -> None:
+        key = self._key(values)
+        if key is None:
+            return
+        bucket = self._buckets.get(key)
+        if bucket is not None:
+            bucket.discard(row_id)
+            if not bucket:
+                del self._buckets[key]
+
+    def lookup(self, values: tuple) -> set[int]:
+        key = self._key(values)
+        if key is None:
+            return set()
+        return set(self._buckets.get(key, ()))
+
+    def contains_key(self, values: tuple) -> bool:
+        key = self._key(values)
+        return key is not None and key in self._buckets
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+
+class SortedIndex:
+    """Ordered index supporting range scans over a single column."""
+
+    kind = "sorted"
+
+    def __init__(self, name: str, table_name: str, column_names: list[str],
+                 unique: bool = False) -> None:
+        if len(column_names) != 1:
+            raise ConstraintViolation(
+                "sorted indexes support exactly one column")
+        self.name = name
+        self.table_name = table_name
+        self.column_names = list(column_names)
+        self.unique = unique
+        # Parallel arrays of (key, row_id) kept sorted by key then row id.
+        self._entries: list[tuple[Any, int]] = []
+
+    @staticmethod
+    def _sortable(value: Any) -> Any:
+        if isinstance(value, bool):
+            return (0, int(value))
+        if isinstance(value, (int, float)):
+            return (1, float(value))
+        return (2, str(value))
+
+    def insert(self, row_id: int, values: tuple) -> None:
+        value = values[0]
+        if value is None:
+            return
+        entry = (self._sortable(value), row_id)
+        position = bisect.bisect_left(self._entries, entry)
+        if self.unique:
+            key = entry[0]
+            if position < len(self._entries) and self._entries[position][0] == key:
+                raise ConstraintViolation(
+                    f"UNIQUE index {self.name!r} violated by key {value!r}")
+            if position > 0 and self._entries[position - 1][0] == key:
+                raise ConstraintViolation(
+                    f"UNIQUE index {self.name!r} violated by key {value!r}")
+        self._entries.insert(position, entry)
+
+    def delete(self, row_id: int, values: tuple) -> None:
+        value = values[0]
+        if value is None:
+            return
+        entry = (self._sortable(value), row_id)
+        position = bisect.bisect_left(self._entries, entry)
+        if position < len(self._entries) and self._entries[position] == entry:
+            self._entries.pop(position)
+
+    def lookup(self, values: tuple) -> set[int]:
+        value = values[0]
+        if value is None:
+            return set()
+        key = self._sortable(value)
+        start = bisect.bisect_left(self._entries, (key, -1))
+        found: set[int] = set()
+        for entry_key, row_id in self._entries[start:]:
+            if entry_key != key:
+                break
+            found.add(row_id)
+        return found
+
+    def range(self, low: Any = None, high: Any = None,
+              low_inclusive: bool = True,
+              high_inclusive: bool = True) -> Iterator[int]:
+        """Yield row ids whose key falls within [low, high]."""
+        if low is None:
+            start = 0
+        else:
+            key = self._sortable(low)
+            if low_inclusive:
+                start = bisect.bisect_left(self._entries, (key, -1))
+            else:
+                start = bisect.bisect_right(
+                    self._entries, (key, float("inf")))
+        for entry_key, row_id in self._entries[start:]:
+            if high is not None:
+                high_key = self._sortable(high)
+                if high_inclusive:
+                    if entry_key > high_key:
+                        break
+                elif entry_key >= high_key:
+                    break
+            yield row_id
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+IndexType = HashIndex | SortedIndex
+
+
+def build_index(kind: str, name: str, table_name: str,
+                column_names: Iterable[str], unique: bool = False) -> IndexType:
+    """Index factory used by DDL execution."""
+    columns = list(column_names)
+    if kind == "hash":
+        return HashIndex(name, table_name, columns, unique)
+    if kind == "sorted":
+        return SortedIndex(name, table_name, columns, unique)
+    raise ConstraintViolation(f"unknown index kind {kind!r}")

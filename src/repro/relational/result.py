@@ -1,0 +1,93 @@
+"""Query results: a small, inspectable container for rows and columns."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from .errors import ExecutionError
+from .types import format_value
+
+
+class ResultSet:
+    """An ordered table of result rows with named columns."""
+
+    def __init__(self, columns: list[str], rows: list[tuple]) -> None:
+        self.columns = list(columns)
+        self.rows = list(rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResultSet):
+            return NotImplemented
+        return self.columns == other.columns and self.rows == other.rows
+
+    def column_index(self, name: str) -> int:
+        lowered = [column.lower() for column in self.columns]
+        try:
+            return lowered.index(name.lower())
+        except ValueError:
+            raise ExecutionError(
+                f"result has no column {name!r} "
+                f"(columns: {', '.join(self.columns)})") from None
+
+    def column_values(self, name: str) -> list[Any]:
+        index = self.column_index(name)
+        return [row[index] for row in self.rows]
+
+    def first(self) -> tuple | None:
+        return self.rows[0] if self.rows else None
+
+    def scalar(self) -> Any:
+        """The single value of a 1x1 result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise ExecutionError(
+                f"expected a 1x1 result, got {len(self.rows)} rows x "
+                f"{len(self.columns)} columns")
+        return self.rows[0][0]
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def sorted_rows(self) -> list[tuple]:
+        """Rows in a canonical order (for order-insensitive comparisons)."""
+        return sorted(self.rows, key=lambda row: tuple(
+            (value is None, str(type(value)), str(value)) for value in row))
+
+    def same_rows(self, other: "ResultSet") -> bool:
+        """Order-insensitive row equality."""
+        return self.sorted_rows() == other.sorted_rows()
+
+    def format_table(self, max_rows: int | None = 40) -> str:
+        """ASCII rendering, handy in examples and EXPERIMENTS output."""
+        header = list(self.columns)
+        body = self.rows if max_rows is None else self.rows[:max_rows]
+        cells = [[format_value(value) for value in row] for row in body]
+        widths = [len(name) for name in header]
+        for row in cells:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        divider = "+" + "+".join("-" * (width + 2) for width in widths) + "+"
+        lines = [divider,
+                 "|" + "|".join(f" {name.ljust(width)} "
+                                for name, width in zip(header, widths)) + "|",
+                 divider]
+        for row in cells:
+            lines.append("|" + "|".join(
+                f" {cell.ljust(width)} "
+                for cell, width in zip(row, widths)) + "|")
+        lines.append(divider)
+        if max_rows is not None and len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ResultSet(columns={self.columns!r}, "
+                f"rows={len(self.rows)})")

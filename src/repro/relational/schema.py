@@ -1,0 +1,126 @@
+"""Table schemas: column definitions and name resolution metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .errors import SchemaError
+from .types import DataType
+
+
+@dataclass
+class Column:
+    """A single column definition.
+
+    ``default`` is the literal default value used when an INSERT omits the
+    column; ``None`` with ``has_default=False`` means "no default" (NULL is
+    used when nullable, otherwise the insert fails).
+    """
+
+    name: str
+    data_type: DataType
+    nullable: bool = True
+    primary_key: bool = False
+    unique: bool = False
+    default: Any = None
+    has_default: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("column name must be non-empty")
+        if self.primary_key:
+            self.nullable = False
+
+
+class TableSchema:
+    """An ordered collection of columns with fast name lookup."""
+
+    def __init__(self, name: str, columns: list[Column]) -> None:
+        if not name:
+            raise SchemaError("table name must be non-empty")
+        if not columns:
+            raise SchemaError(f"table {name!r} must have at least one column")
+        self.name = name
+        self.columns = list(columns)
+        self._positions: dict[str, int] = {}
+        for index, column in enumerate(self.columns):
+            key = column.name.lower()
+            if key in self._positions:
+                raise SchemaError(
+                    f"duplicate column {column.name!r} in table {name!r}")
+            self._positions[key] = index
+        pk = [c.name for c in self.columns if c.primary_key]
+        self.primary_key: tuple[str, ...] = tuple(pk)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._positions
+
+    def position_of(self, name: str) -> int:
+        try:
+            return self._positions[name.lower()]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.name!r} has no column {name!r}") from None
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.position_of(name)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cols = ", ".join(f"{c.name} {c.data_type}" for c in self.columns)
+        return f"TableSchema({self.name!r}: {cols})"
+
+
+@dataclass
+class ResultColumn:
+    """A column of a query result: display name plus optional qualifier."""
+
+    name: str
+    qualifier: str | None = None
+    data_type: DataType | None = None
+
+    def matches(self, name: str, qualifier: str | None) -> bool:
+        """Does a reference ``qualifier.name`` (or bare ``name``) hit us?"""
+        if name.lower() != self.name.lower():
+            return False
+        if qualifier is None:
+            return True
+        return (self.qualifier or "").lower() == qualifier.lower()
+
+
+@dataclass
+class RowSchema:
+    """The shape of the tuples flowing between executor operators."""
+
+    columns: list[ResultColumn] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    def find(self, name: str, qualifier: str | None) -> list[int]:
+        """All positions matching a column reference (for ambiguity checks)."""
+        return [i for i, column in enumerate(self.columns)
+                if column.matches(name, qualifier)]
+
+    def extended(self, other: "RowSchema") -> "RowSchema":
+        return RowSchema(self.columns + other.columns)
+
+    @staticmethod
+    def for_table(schema: TableSchema, alias: str | None = None) -> "RowSchema":
+        qualifier = alias or schema.name
+        return RowSchema([
+            ResultColumn(column.name, qualifier, column.data_type)
+            for column in schema.columns
+        ])

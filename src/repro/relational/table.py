@@ -1,0 +1,200 @@
+"""Heap table storage with constraint enforcement and index maintenance."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from .errors import ConstraintViolation, SchemaError
+from .indexes import HashIndex, IndexType, build_index
+from .schema import TableSchema
+from .types import coerce_value
+
+
+class Table:
+    """An in-memory heap of rows plus the indexes defined over it.
+
+    Rows are stored as tuples keyed by a monotonically increasing row id, so
+    deletes never shift other rows and indexes can reference rows stably.
+    """
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: dict[int, tuple] = {}
+        self._next_row_id = 0
+        self.indexes: dict[str, IndexType] = {}
+        self._pk_index: HashIndex | None = None
+        if schema.primary_key:
+            self._pk_index = HashIndex(
+                f"__pk_{schema.name}", schema.name,
+                list(schema.primary_key), unique=True)
+        self._unique_indexes: list[HashIndex] = []
+        for column in schema.columns:
+            if column.unique and not column.primary_key:
+                self._unique_indexes.append(HashIndex(
+                    f"__uq_{schema.name}_{column.name}", schema.name,
+                    [column.name], unique=True))
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> Iterator[tuple]:
+        """Iterate over row tuples (order of insertion)."""
+        return iter(self._rows.values())
+
+    def rows_with_ids(self) -> Iterator[tuple[int, tuple]]:
+        return iter(self._rows.items())
+
+    def row(self, row_id: int) -> tuple:
+        return self._rows[row_id]
+
+    # -- constraint helpers --------------------------------------------------
+
+    def _key_values(self, row: tuple, column_names: Iterable[str]) -> tuple:
+        return tuple(row[self.schema.position_of(name)]
+                     for name in column_names)
+
+    def _check_and_prepare(self, values: dict[str, Any]) -> tuple:
+        """Coerce an insert dict to a full row tuple, enforcing NOT NULL."""
+        row = []
+        for column in self.schema.columns:
+            if column.name in values:
+                value = coerce_value(values[column.name], column.data_type)
+            elif column.has_default:
+                value = coerce_value(column.default, column.data_type)
+            else:
+                value = None
+            if value is None and not column.nullable:
+                raise ConstraintViolation(
+                    f"column {column.name!r} of table {self.name!r} "
+                    f"is NOT NULL")
+            row.append(value)
+        return tuple(row)
+
+    def _constraint_indexes(self) -> list[HashIndex]:
+        constraint_indexes = list(self._unique_indexes)
+        if self._pk_index is not None:
+            constraint_indexes.append(self._pk_index)
+        return constraint_indexes
+
+    def _all_indexes(self) -> list[IndexType]:
+        return self._constraint_indexes() + list(self.indexes.values())
+
+    def _pk_values_present(self, row: tuple) -> None:
+        for name in self.schema.primary_key:
+            if row[self.schema.position_of(name)] is None:
+                raise ConstraintViolation(
+                    f"primary key column {name!r} may not be NULL")
+
+    # -- mutation ------------------------------------------------------------
+
+    def insert_row(self, values: dict[str, Any]) -> int:
+        """Insert one row given a column-name -> value mapping."""
+        unknown = [key for key in values if not self.schema.has_column(key)]
+        if unknown:
+            raise SchemaError(
+                f"table {self.name!r} has no column {unknown[0]!r}")
+        row = self._check_and_prepare(values)
+        if self._pk_index is not None:
+            self._pk_values_present(row)
+        row_id = self._next_row_id
+        inserted: list[tuple[IndexType, tuple]] = []
+        try:
+            for index in self._all_indexes():
+                key = self._key_values(row, index.column_names)
+                index.insert(row_id, key)
+                inserted.append((index, key))
+        except ConstraintViolation:
+            for index, key in inserted:
+                index.delete(row_id, key)
+            raise
+        self._rows[row_id] = row
+        self._next_row_id += 1
+        return row_id
+
+    def insert_tuple(self, row: Iterable[Any]) -> int:
+        """Insert a positional row (must cover every column)."""
+        row = list(row)
+        if len(row) != len(self.schema):
+            raise SchemaError(
+                f"table {self.name!r} expects {len(self.schema)} values, "
+                f"got {len(row)}")
+        values = dict(zip(self.schema.column_names(), row))
+        return self.insert_row(values)
+
+    def delete_row(self, row_id: int) -> None:
+        row = self._rows.pop(row_id)
+        for index in self._all_indexes():
+            index.delete(row_id, self._key_values(row, index.column_names))
+
+    def update_row(self, row_id: int, changes: dict[str, Any]) -> None:
+        """Apply column changes to one row, re-checking constraints."""
+        old_row = self._rows[row_id]
+        values = dict(zip(self.schema.column_names(), old_row))
+        for name, value in changes.items():
+            if not self.schema.has_column(name):
+                raise SchemaError(
+                    f"table {self.name!r} has no column {name!r}")
+            values[name] = value
+        new_row = self._check_and_prepare(values)
+        if self._pk_index is not None:
+            self._pk_values_present(new_row)
+        # Remove old index entries, then insert new ones; roll back on failure.
+        for index in self._all_indexes():
+            index.delete(row_id, self._key_values(old_row, index.column_names))
+        inserted: list[tuple[IndexType, tuple]] = []
+        try:
+            for index in self._all_indexes():
+                key = self._key_values(new_row, index.column_names)
+                index.insert(row_id, key)
+                inserted.append((index, key))
+        except ConstraintViolation:
+            for index, key in inserted:
+                index.delete(row_id, key)
+            for index in self._all_indexes():
+                index.insert(
+                    row_id, self._key_values(old_row, index.column_names))
+            raise
+        self._rows[row_id] = new_row
+
+    def truncate(self) -> None:
+        self._rows.clear()
+        for index in self._all_indexes():
+            if isinstance(index, HashIndex):
+                index._buckets.clear()
+            else:
+                index._entries.clear()
+
+    # -- secondary index management -------------------------------------------
+
+    def create_index(self, name: str, column_names: list[str],
+                     unique: bool = False, kind: str = "hash") -> IndexType:
+        if name in self.indexes:
+            raise SchemaError(f"index {name!r} already exists")
+        for column_name in column_names:
+            if not self.schema.has_column(column_name):
+                raise SchemaError(
+                    f"table {self.name!r} has no column {column_name!r}")
+        index = build_index(kind, name, self.name, column_names, unique)
+        for row_id, row in self._rows.items():
+            index.insert(row_id, self._key_values(row, column_names))
+        self.indexes[name] = index
+        return index
+
+    def drop_index(self, name: str) -> None:
+        if name not in self.indexes:
+            raise SchemaError(f"index {name!r} does not exist")
+        del self.indexes[name]
+
+    def find_index_on(self, column_names: list[str]) -> IndexType | None:
+        """Find any index (incl. PK/unique) covering exactly these columns."""
+        wanted = [name.lower() for name in column_names]
+        for index in self._all_indexes():
+            if [c.lower() for c in index.column_names] == wanted:
+                return index
+        return None

@@ -1,0 +1,284 @@
+"""SQL value model: data types, coercion rules and three-valued logic.
+
+The engine stores values as plain Python objects:
+
+* SQL ``NULL``     -> ``None``
+* ``INTEGER``      -> ``int``
+* ``REAL``         -> ``float``
+* ``TEXT``         -> ``str``
+* ``BOOLEAN``      -> ``bool``
+
+Boolean *expressions* evaluate in three-valued logic (3VL): ``True``,
+``False`` and *unknown*, where unknown is represented by ``None``.  The
+helpers :func:`and3`, :func:`or3` and :func:`not3` implement the SQL truth
+tables; WHERE clauses keep a row only when the predicate is exactly
+``True``.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Any
+
+from .errors import TypeMismatchError
+
+
+class DataType(enum.Enum):
+    """Column data types supported by the engine."""
+
+    INTEGER = "INTEGER"
+    REAL = "REAL"
+    TEXT = "TEXT"
+    BOOLEAN = "BOOLEAN"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+_TYPE_ALIASES = {
+    "INT": DataType.INTEGER,
+    "INTEGER": DataType.INTEGER,
+    "BIGINT": DataType.INTEGER,
+    "SMALLINT": DataType.INTEGER,
+    "REAL": DataType.REAL,
+    "FLOAT": DataType.REAL,
+    "DOUBLE": DataType.REAL,
+    "NUMERIC": DataType.REAL,
+    "DECIMAL": DataType.REAL,
+    "TEXT": DataType.TEXT,
+    "VARCHAR": DataType.TEXT,
+    "CHAR": DataType.TEXT,
+    "STRING": DataType.TEXT,
+    "BOOLEAN": DataType.BOOLEAN,
+    "BOOL": DataType.BOOLEAN,
+}
+
+
+def parse_type_name(name: str) -> DataType:
+    """Map a SQL type name (with aliases such as ``VARCHAR``) to a DataType."""
+    normalized = name.strip().upper()
+    # Strip a length suffix such as VARCHAR(40).
+    if "(" in normalized:
+        normalized = normalized[: normalized.index("(")].strip()
+    if normalized not in _TYPE_ALIASES:
+        raise TypeMismatchError(f"unknown SQL type: {name!r}")
+    return _TYPE_ALIASES[normalized]
+
+
+def coerce_value(value: Any, data_type: DataType) -> Any:
+    """Coerce a Python value to the storage representation of *data_type*.
+
+    ``None`` passes through (NULL is typeless).  Raises
+    :class:`TypeMismatchError` when no faithful conversion exists, e.g.
+    ``coerce_value('abc', INTEGER)``.
+    """
+    if value is None:
+        return None
+    if data_type is DataType.INTEGER:
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        if isinstance(value, str):
+            try:
+                return int(value)
+            except ValueError as exc:
+                raise TypeMismatchError(
+                    f"cannot store {value!r} in INTEGER column") from exc
+        raise TypeMismatchError(f"cannot store {value!r} in INTEGER column")
+    if data_type is DataType.REAL:
+        if isinstance(value, bool):
+            return float(value)
+        if isinstance(value, (int, float)):
+            return float(value)
+        if isinstance(value, str):
+            try:
+                return float(value)
+            except ValueError as exc:
+                raise TypeMismatchError(
+                    f"cannot store {value!r} in REAL column") from exc
+        raise TypeMismatchError(f"cannot store {value!r} in REAL column")
+    if data_type is DataType.TEXT:
+        if isinstance(value, str):
+            return value
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        if isinstance(value, (int, float)):
+            return format_value(value)
+        raise TypeMismatchError(f"cannot store {value!r} in TEXT column")
+    if data_type is DataType.BOOLEAN:
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, int) and value in (0, 1):
+            return bool(value)
+        if isinstance(value, str) and value.lower() in ("true", "false", "t", "f"):
+            return value.lower() in ("true", "t")
+        raise TypeMismatchError(f"cannot store {value!r} in BOOLEAN column")
+    raise TypeMismatchError(f"unsupported data type {data_type}")
+
+
+def infer_type(value: Any) -> DataType | None:
+    """Infer a DataType from a Python value; ``None`` for NULL."""
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return DataType.BOOLEAN
+    if isinstance(value, int):
+        return DataType.INTEGER
+    if isinstance(value, float):
+        return DataType.REAL
+    if isinstance(value, str):
+        return DataType.TEXT
+    raise TypeMismatchError(f"unsupported Python value {value!r}")
+
+
+def format_value(value: Any) -> str:
+    """Render a value the way result printers and TEXT casts display it."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        if math.isinf(value) or math.isnan(value):
+            return str(value)
+        if value.is_integer():
+            return f"{value:.1f}"
+        return repr(value)
+    return str(value)
+
+
+# --------------------------------------------------------------------------
+# Three-valued logic.  Unknown is represented by None.
+# --------------------------------------------------------------------------
+
+def and3(left: bool | None, right: bool | None) -> bool | None:
+    """SQL AND: false dominates, unknown otherwise propagates."""
+    if left is False or right is False:
+        return False
+    if left is None or right is None:
+        return None
+    return True
+
+
+def or3(left: bool | None, right: bool | None) -> bool | None:
+    """SQL OR: true dominates, unknown otherwise propagates."""
+    if left is True or right is True:
+        return True
+    if left is None or right is None:
+        return None
+    return False
+
+
+def not3(operand: bool | None) -> bool | None:
+    """SQL NOT: unknown stays unknown."""
+    if operand is None:
+        return None
+    return not operand
+
+
+def is_true(value: bool | None) -> bool:
+    """WHERE-clause acceptance: only a definite ``True`` passes."""
+    return value is True
+
+
+# --------------------------------------------------------------------------
+# Comparison semantics shared by the evaluator, indexes and sorting.
+# --------------------------------------------------------------------------
+
+def _is_numeric(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def compare_values(left: Any, right: Any) -> int | None:
+    """Compare two non-NULL-or-NULL values; returns -1/0/1 or None (unknown).
+
+    * any NULL operand yields ``None`` (unknown),
+    * numbers compare numerically across int/float,
+    * strings compare lexicographically,
+    * booleans compare with False < True,
+    * mixed incompatible types raise :class:`TypeMismatchError`.
+    """
+    if left is None or right is None:
+        return None
+    if _is_numeric(left) and _is_numeric(right):
+        if left < right:
+            return -1
+        if left > right:
+            return 1
+        return 0
+    if isinstance(left, str) and isinstance(right, str):
+        if left < right:
+            return -1
+        if left > right:
+            return 1
+        return 0
+    if isinstance(left, bool) and isinstance(right, bool):
+        return (left > right) - (left < right)
+    raise TypeMismatchError(
+        f"cannot compare {type(left).__name__} with {type(right).__name__}")
+
+
+def values_equal(left: Any, right: Any) -> bool | None:
+    """SQL equality: NULL-propagating, type-lenient.
+
+    Unlike ordered comparison, equality between *incompatible* types is
+    simply ``False`` (e.g. ``1 = 'a'``); this keeps enrichment joins robust
+    when RDF literals and SQL values disagree on type.
+    """
+    if left is None or right is None:
+        return None
+    if _is_numeric(left) and _is_numeric(right):
+        return float(left) == float(right)
+    if isinstance(left, bool) or isinstance(right, bool):
+        if isinstance(left, bool) and isinstance(right, bool):
+            return left == right
+        return False
+    if type(left) is type(right):
+        return left == right
+    return False
+
+
+class _NullsOrderKey:
+    """Sort key wrapper implementing NULL placement and type-safe ordering."""
+
+    __slots__ = ("value", "descending", "nulls_low")
+
+    def __init__(self, value: Any, descending: bool, nulls_low: bool) -> None:
+        self.value = value
+        self.descending = descending
+        self.nulls_low = nulls_low
+
+    def __lt__(self, other: "_NullsOrderKey") -> bool:
+        a, b = self.value, other.value
+        if a is None and b is None:
+            return False
+        if a is None:
+            return self.nulls_low
+        if b is None:
+            return not self.nulls_low
+        result = compare_values(a, b)
+        if result is None:  # pragma: no cover - both non-null here
+            return False
+        if self.descending:
+            return result > 0
+        return result < 0
+
+    def __eq__(self, other: object) -> bool:
+        # Required so tuple comparison falls through to later sort keys.
+        if not isinstance(other, _NullsOrderKey):
+            return NotImplemented
+        a, b = self.value, other.value
+        if a is None or b is None:
+            return a is None and b is None
+        return compare_values(a, b) == 0
+
+
+def sort_key(value: Any, descending: bool = False,
+             nulls_low: bool | None = None) -> _NullsOrderKey:
+    """Build a sort key: PostgreSQL default is NULLS LAST for ASC."""
+    if nulls_low is None:
+        nulls_low = descending  # ASC -> nulls high (last); DESC -> first.
+    return _NullsOrderKey(value, descending, nulls_low)

@@ -1,0 +1,26 @@
+"""The SmartGround use case: schema, synthetic databank and ontologies.
+
+Stands in for the (non-public) SmartGround EU project data described in
+Sections I and III of the paper; see DESIGN.md §3 for the substitution
+rationale.
+"""
+
+from .datagen import (CITIES, ELEMENTS, MINERALS, SmartGroundConfig,
+                      generate_databank, material_names)
+from .ontology import (ASSEMBLAGES, HAZARDOUS, assemblage_ontology,
+                       city_planner_kb, geo_ontology, hazard_ontology,
+                       lab_ontology, regulation_ontology, researcher_kb,
+                       synthetic_kb)
+from .queries import (DANGER_QUERY_SPARQL, EXPLORATION, PAPER_EXAMPLES,
+                      SQL_BASELINES, WORKLOAD, WorkloadQuery)
+from .schema import SCHEMA_SQL, TABLES, create_schema
+
+__all__ = [
+    "SmartGroundConfig", "generate_databank", "create_schema",
+    "material_names", "CITIES", "ELEMENTS", "MINERALS",
+    "hazard_ontology", "geo_ontology", "assemblage_ontology",
+    "lab_ontology", "regulation_ontology", "researcher_kb",
+    "city_planner_kb", "synthetic_kb", "HAZARDOUS", "ASSEMBLAGES",
+    "PAPER_EXAMPLES", "EXPLORATION", "WORKLOAD", "SQL_BASELINES",
+    "WorkloadQuery", "DANGER_QUERY_SPARQL", "SCHEMA_SQL", "TABLES",
+]

@@ -1,0 +1,184 @@
+"""Seeded synthetic data for the SmartGround databank.
+
+The production SmartGround databank (EU landfill inventories) is not
+public; this generator reproduces its *shape*: landfills spread over
+European cities, a periodic-table slice of elements and minerals,
+skewed element-occurrence distributions (a few ubiquitous metals, a
+long tail of rare ones), and lab analyses signed by technicians.  All
+randomness flows from one seed, so every experiment is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..relational.engine import Database
+from .schema import create_schema
+
+#: (city, country) pairs used for landfill placement and geo ontologies.
+CITIES: list[tuple[str, str]] = [
+    ("Torino", "Italy"), ("Milano", "Italy"), ("Genova", "Italy"),
+    ("Roma", "Italy"), ("Napoli", "Italy"),
+    ("Lyon", "France"), ("Paris", "France"), ("Marseille", "France"),
+    ("Lille", "France"),
+    ("Madrid", "Spain"), ("Sevilla", "Spain"), ("Bilbao", "Spain"),
+    ("Berlin", "Germany"), ("Essen", "Germany"), ("Leipzig", "Germany"),
+    ("Katowice", "Poland"), ("Krakow", "Poland"),
+    ("Ostrava", "Czechia"), ("Brno", "Czechia"),
+    ("Gent", "Belgium"), ("Liege", "Belgium"),
+    ("Ljubljana", "Slovenia"), ("Maribor", "Slovenia"),
+    ("Athens", "Greece"), ("Thessaloniki", "Greece"),
+]
+
+#: (symbol, name, atomic number, is-metal); includes the paper's examples.
+ELEMENTS: list[tuple[str, str, int, bool]] = [
+    ("Hg", "Mercury", 80, True), ("Pb", "Lead", 82, True),
+    ("Cd", "Cadmium", 48, True), ("As", "Arsenic", 33, False),
+    ("Cr", "Chromium", 24, True), ("Ni", "Nickel", 28, True),
+    ("Cu", "Copper", 29, True), ("Zn", "Zinc", 30, True),
+    ("Fe", "Iron", 26, True), ("Al", "Aluminium", 13, True),
+    ("Sn", "Tin", 50, True), ("Sb", "Antimony", 51, False),
+    ("Co", "Cobalt", 27, True), ("Mn", "Manganese", 25, True),
+    ("Ti", "Titanium", 22, True), ("V", "Vanadium", 23, True),
+    ("W", "Tungsten", 74, True), ("Mo", "Molybdenum", 42, True),
+    ("Ag", "Silver", 47, True), ("Au", "Gold", 79, True),
+    ("Pt", "Platinum", 78, True), ("Pd", "Palladium", 46, True),
+    ("Li", "Lithium", 3, True), ("Be", "Beryllium", 4, True),
+    ("Ba", "Barium", 56, True), ("Se", "Selenium", 34, False),
+    ("Tl", "Thallium", 81, True), ("U", "Uranium", 92, True),
+    ("Nd", "Neodymium", 60, True), ("Ce", "Cerium", 58, True),
+]
+
+#: Minerals/compounds that appear alongside elements (Example 3.1 mentions
+#: minerals and chemical compounds; Asbestos drives Section I-B's scenario).
+MINERALS: list[str] = [
+    "Asbestos", "Cinnabar", "Galena", "Sphalerite", "Pyrite",
+    "Chalcopyrite", "Bauxite", "Magnetite", "Hematite", "Cassiterite",
+    "Wolframite", "Monazite", "Fluorite", "Barite", "Gypsum",
+]
+
+LANDFILL_TYPES = ("urban", "mining", "industrial")
+
+LAB_NAMES = ["ChemLab", "GeoAnalytica", "EnviroTest", "PoliTo-Lab",
+             "EuroAssay", "TerraProbe", "WasteWatch", "MineralScan"]
+
+FIRST_NAMES = ["Giulia", "Marco", "Elena", "Luca", "Anna", "Pierre",
+               "Marie", "Hans", "Eva", "Jan", "Sofia", "Pavel"]
+LAST_NAMES = ["Rossi", "Bianchi", "Dupont", "Muller", "Novak", "Kowalski",
+              "Garcia", "Papadopoulos", "Ferrari", "Moreau"]
+
+
+@dataclass
+class SmartGroundConfig:
+    """Size knobs for the synthetic databank."""
+
+    n_landfills: int = 40
+    n_materials: int = 30          # elements + minerals actually used
+    avg_elements_per_landfill: int = 6
+    n_labs: int = 4
+    samples_per_landfill: int = 2
+    analyses_per_sample: int = 3
+    seed: int = 20180416           # ICDE 2018 opening day
+
+
+def material_names(config: SmartGroundConfig) -> list[str]:
+    """The element/mineral names the generator draws from."""
+    pool = [name for _symbol, name, _z, _metal in ELEMENTS] + MINERALS
+    return pool[:max(1, min(config.n_materials, len(pool)))]
+
+
+def generate_databank(config: SmartGroundConfig | None = None,
+                      db: Database | None = None) -> Database:
+    """Create the schema and fill it with seeded synthetic data."""
+    config = config or SmartGroundConfig()
+    rng = random.Random(config.seed)
+    database = create_schema(db)
+
+    database.insert_rows("element", (
+        {"symbol": symbol, "elem_name": name,
+         "atomic_number": z, "metal": metal}
+        for symbol, name, z, metal in ELEMENTS))
+
+    labs = LAB_NAMES[:max(1, config.n_labs)]
+    database.insert_rows("lab", (
+        {"lab_name": lab, "city": rng.choice(CITIES)[0]} for lab in labs))
+
+    materials = material_names(config)
+    # Zipf-ish weights: early materials are far more common (iron,
+    # aluminium dominate real landfills).
+    weights = [1.0 / (rank + 1) for rank in range(len(materials))]
+
+    landfill_rows = []
+    contained_rows = []
+    sample_rows = []
+    analysis_rows = []
+    sample_id = 0
+    analysis_id = 0
+    technicians = [f"{rng.choice(FIRST_NAMES)} {rng.choice(LAST_NAMES)}"
+                   for _ in range(max(4, config.n_labs * 3))]
+
+    for index in range(config.n_landfills):
+        name = f"lf{index:04d}"
+        city, _country = rng.choice(CITIES)
+        landfill_rows.append({
+            "id": index,
+            "name": name,
+            "city": city,
+            "landfill_type": rng.choice(LANDFILL_TYPES),
+            "area_m2": round(rng.uniform(5_000, 500_000), 1),
+            "opened_year": rng.randint(1955, 2015),
+        })
+        count = max(1, min(len(materials), int(rng.gauss(
+            config.avg_elements_per_landfill,
+            config.avg_elements_per_landfill / 3))))
+        chosen = _weighted_sample(rng, materials, weights, count)
+        for material in chosen:
+            contained_rows.append({
+                "landfill_name": name,
+                "elem_name": material,
+                "amount": round(rng.lognormvariate(2.0, 1.2), 3),
+                "purity": round(rng.uniform(0.05, 0.98), 3),
+            })
+        for _ in range(config.samples_per_landfill):
+            sample_rows.append({
+                "id": sample_id,
+                "landfill_name": name,
+                "depth_m": round(rng.uniform(0.5, 40.0), 2),
+                "taken_year": rng.randint(2010, 2017),
+            })
+            for _ in range(config.analyses_per_sample):
+                analysis_rows.append({
+                    "id": analysis_id,
+                    "sample_id": sample_id,
+                    "lab_name": rng.choice(labs),
+                    "elem_name": rng.choice(chosen),
+                    "concentration": round(rng.lognormvariate(3.0, 1.5), 2),
+                    "signed_by": rng.choice(technicians),
+                })
+                analysis_id += 1
+            sample_id += 1
+
+    database.insert_rows("landfill", landfill_rows)
+    database.insert_rows("elem_contained", contained_rows)
+    database.insert_rows("sample", sample_rows)
+    database.insert_rows("analysis", analysis_rows)
+    return database
+
+
+def _weighted_sample(rng: random.Random, population: list[str],
+                     weights: list[float], count: int) -> list[str]:
+    """Weighted sampling without replacement."""
+    chosen: list[str] = []
+    candidates = list(zip(population, weights))
+    for _ in range(min(count, len(candidates))):
+        total = sum(weight for _item, weight in candidates)
+        pick = rng.uniform(0, total)
+        cumulative = 0.0
+        for index, (item, weight) in enumerate(candidates):
+            cumulative += weight
+            if pick <= cumulative:
+                chosen.append(item)
+                candidates.pop(index)
+                break
+    return chosen

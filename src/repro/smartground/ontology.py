@@ -1,0 +1,171 @@
+"""Synthetic contextual ontologies for SmartGround users.
+
+These generators produce the *personal knowledge* side of the paper:
+hazard classifications (``isA HazardousWaste``, ``dangerLevel``),
+geographic knowledge (``inCountry``, ``inContinent``), geological
+co-occurrence (``oreAssemblage``), laboratory organisation (Example 3.1:
+who signed an analysis and their role — knowledge the database schema
+does not capture) and per-country regulation thresholds.
+
+Each builder is deterministic in its seed; `researcher_kb` and
+`city_planner_kb` compose them into the two personas of Section I-B
+(same data, different contexts → different query answers).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..rdf.namespace import SMG
+from ..rdf.store import TripleStore
+from ..rdf.terms import Literal
+from .datagen import (CITIES, FIRST_NAMES, LAB_NAMES, LAST_NAMES,
+                      SmartGroundConfig, material_names)
+
+#: Hazard knowledge: (material, danger level) — scientific consensus side.
+HAZARDOUS: dict[str, str] = {
+    "Mercury": "high", "Lead": "high", "Cadmium": "high",
+    "Arsenic": "extreme", "Asbestos": "extreme", "Chromium": "mid",
+    "Nickel": "mid", "Thallium": "extreme", "Uranium": "extreme",
+    "Beryllium": "high", "Selenium": "mid", "Antimony": "mid",
+}
+
+#: Materials a city planner additionally flags (urban-planning context):
+URBAN_CONCERNS: dict[str, str] = {
+    "Zinc": "mid", "Copper": "low", "Barium": "mid", "Gypsum": "low",
+}
+
+#: Geological co-occurrence (oreAssemblage of Example 4.6).
+ASSEMBLAGES: list[tuple[str, str]] = [
+    ("Mercury", "Cinnabar"), ("Lead", "Galena"), ("Zinc", "Sphalerite"),
+    ("Iron", "Pyrite"), ("Iron", "Magnetite"), ("Iron", "Hematite"),
+    ("Copper", "Chalcopyrite"), ("Aluminium", "Bauxite"),
+    ("Tin", "Cassiterite"), ("Tungsten", "Wolframite"),
+    ("Neodymium", "Monazite"), ("Cerium", "Monazite"),
+    ("Galena", "Sphalerite"), ("Pyrite", "Chalcopyrite"),
+]
+
+CONTINENTS: dict[str, str] = {
+    "Italy": "Europe", "France": "Europe", "Spain": "Europe",
+    "Germany": "Europe", "Poland": "Europe", "Czechia": "Europe",
+    "Belgium": "Europe", "Slovenia": "Europe", "Greece": "Europe",
+}
+
+
+def hazard_ontology(store: TripleStore | None = None,
+                    extra: dict[str, str] | None = None) -> TripleStore:
+    """isA HazardousWaste + dangerLevel statements."""
+    kb = store if store is not None else TripleStore()
+    levels = dict(HAZARDOUS)
+    if extra:
+        levels.update(extra)
+    for material, level in levels.items():
+        kb.add(SMG[material], SMG.dangerLevel, Literal(level))
+        if level in ("high", "extreme"):
+            kb.add(SMG[material], SMG.isA, SMG.HazardousWaste)
+        kb.add(SMG[material], SMG.isA, SMG.Material)
+    return kb
+
+
+def geo_ontology(store: TripleStore | None = None) -> TripleStore:
+    """inCountry / inContinent for every generator city."""
+    kb = store if store is not None else TripleStore()
+    for city, country in CITIES:
+        kb.add(SMG[city], SMG.inCountry, SMG[country])
+    for country, continent in CONTINENTS.items():
+        kb.add(SMG[country], SMG.inContinent, SMG[continent])
+    return kb
+
+
+def assemblage_ontology(store: TripleStore | None = None) -> TripleStore:
+    """oreAssemblage pairs (symmetric closure)."""
+    kb = store if store is not None else TripleStore()
+    for left, right in ASSEMBLAGES:
+        kb.add(SMG[left], SMG.oreAssemblage, SMG[right])
+        kb.add(SMG[right], SMG.oreAssemblage, SMG[left])
+    return kb
+
+
+def lab_ontology(store: TripleStore | None = None,
+                 n_labs: int = 4, seed: int = 7) -> TripleStore:
+    """Example 3.1: lab hierarchies and the roles of report signers."""
+    kb = store if store is not None else TripleStore()
+    rng = random.Random(seed)
+    roles = ["director", "senior-analyst", "analyst", "technician"]
+    for lab in LAB_NAMES[:n_labs]:
+        kb.add(SMG[lab], SMG.isA, SMG.Laboratory)
+        people = [f"{rng.choice(FIRST_NAMES)} {rng.choice(LAST_NAMES)}"
+                  for _ in range(3)]
+        for person, role in zip(people, roles):
+            person_iri = SMG[person.replace(" ", "_")]
+            kb.add(person_iri, SMG.worksAt, SMG[lab])
+            kb.add(person_iri, SMG.role, Literal(role))
+    return kb
+
+
+def regulation_ontology(store: TripleStore | None = None,
+                        config: SmartGroundConfig | None = None,
+                        seed: int = 11) -> TripleStore:
+    """Per-country thresholds: maxAmount statements (Example 3.1's
+    'local rules and regulations fixing thresholds')."""
+    kb = store if store is not None else TripleStore()
+    rng = random.Random(seed)
+    config = config or SmartGroundConfig()
+    countries = sorted({country for _city, country in CITIES})
+    for material in HAZARDOUS:
+        for country in countries:
+            threshold = round(rng.uniform(0.5, 30.0), 2)
+            rule = SMG[f"rule_{country}_{material}"]
+            kb.add(rule, SMG.regulates, SMG[material])
+            kb.add(rule, SMG.inForce, SMG[country])
+            kb.add(rule, SMG.maxAmount, Literal(threshold))
+    return kb
+
+
+def researcher_kb(config: SmartGroundConfig | None = None) -> TripleStore:
+    """The researcher persona: scientific hazard + geology + labs."""
+    kb = TripleStore()
+    hazard_ontology(kb)
+    assemblage_ontology(kb)
+    lab_ontology(kb, (config or SmartGroundConfig()).n_labs)
+    geo_ontology(kb)
+    return kb
+
+
+def city_planner_kb(config: SmartGroundConfig | None = None) -> TripleStore:
+    """The city-planner persona: urban-pollution interpretation.
+
+    Same platform, different context (Section I-B): the planner accepts
+    the consensus hazards *plus* urban concerns, and cares about
+    geography and regulations rather than geology.
+    """
+    kb = TripleStore()
+    hazard_ontology(kb, extra=URBAN_CONCERNS)
+    geo_ontology(kb)
+    regulation_ontology(kb, config)
+    return kb
+
+
+def synthetic_kb(n_triples: int, seed: int = 3) -> TripleStore:
+    """A KB of roughly *n_triples* statements for scaling benchmarks.
+
+    Subjects cycle through the material pool so enrichment joins hit;
+    predicates cycle through a small realistic vocabulary.
+    """
+    rng = random.Random(seed)
+    kb = TripleStore()
+    materials = material_names(SmartGroundConfig(n_materials=45))
+    predicates = [SMG.dangerLevel, SMG.note, SMG.relatedTo,
+                  SMG.observedAt, SMG.tag]
+    levels = ["low", "mid", "high", "extreme"]
+    while len(kb) < n_triples:
+        subject = SMG[rng.choice(materials)]
+        predicate = rng.choice(predicates)
+        if predicate == SMG.dangerLevel:
+            kb.add(subject, predicate, Literal(rng.choice(levels)))
+        elif predicate == SMG.relatedTo:
+            kb.add(subject, predicate, SMG[rng.choice(materials)])
+        else:
+            kb.add(subject, predicate,
+                   Literal(f"v{rng.randrange(10 * n_triples)}"))
+    return kb

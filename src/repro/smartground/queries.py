@@ -1,0 +1,129 @@
+"""The canonical SESQL workload over the SmartGround databank.
+
+``PAPER_EXAMPLES`` holds the six queries of Section IV verbatim (adapted
+only in the literal landfill name, which the generator calls lf0000);
+``WORKLOAD`` extends them with the exploration queries the introduction
+motivates ("What is available where?", quality across landfills, ...).
+Benchmarks iterate these so measured numbers correspond to concrete,
+paper-anchored query shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """A named SESQL query with its enrichment profile."""
+
+    name: str
+    sesql: str
+    enrichment: str  # which strategy it exercises ('none' for plain SQL)
+
+
+PAPER_EXAMPLES: list[WorkloadQuery] = [
+    WorkloadQuery(
+        "ex4.1-schema-extension",
+        """SELECT elem_name, landfill_name
+           FROM elem_contained
+           WHERE landfill_name = 'lf0000'
+           ENRICH SCHEMAEXTENSION( elem_name, dangerLevel)""",
+        "SCHEMAEXTENSION"),
+    WorkloadQuery(
+        "ex4.2-schema-replacement",
+        """SELECT name, city FROM landfill
+           ENRICH SCHEMAREPLACEMENT(city, inCountry)""",
+        "SCHEMAREPLACEMENT"),
+    WorkloadQuery(
+        "ex4.3-bool-extension",
+        """SELECT elem_name FROM elem_contained
+           WHERE landfill_name = 'lf0000'
+           ENRICH BOOLSCHEMAEXTENSION( elem_name, isA, HazardousWaste)""",
+        "BOOLSCHEMAEXTENSION"),
+    WorkloadQuery(
+        "ex4.4-bool-replacement",
+        """SELECT name, city FROM landfill
+           ENRICH BOOLSCHEMAREPLACEMENT(city, inCountry, Italy)""",
+        "BOOLSCHEMAREPLACEMENT"),
+    WorkloadQuery(
+        "ex4.5-replace-constant",
+        """SELECT landfill_name FROM elem_contained
+           WHERE ${elem_name = HazardousWaste:cond1}
+           ENRICH REPLACECONSTANT(cond1, HazardousWaste, dangerQuery)""",
+        "REPLACECONSTANT"),
+    WorkloadQuery(
+        "ex4.6-replace-variable",
+        """SELECT Elecond1.landfill_name AS l_name1,
+                  Elecond2.landfill_name AS l_name2,
+                  Elecond1.elem_name
+           FROM elem_contained AS Elecond1, elem_contained AS Elecond2
+           WHERE ${ Elecond1.elem_name <> Elecond2.elem_name:cond1} AND
+                 Elecond1.landfill_name <> Elecond2.landfill_name
+           ENRICH REPLACEVARIABLE(cond1, Elecond2.elem_name,
+                                  oreAssemblage)""",
+        "REPLACEVARIABLE"),
+]
+
+#: Plain-SQL twins of the enrichment queries (the E1 baseline): the same
+#: relational work without the ENRICH clause.
+SQL_BASELINES: dict[str, str] = {
+    "ex4.1-schema-extension":
+        """SELECT elem_name, landfill_name FROM elem_contained
+           WHERE landfill_name = 'lf0000'""",
+    "ex4.2-schema-replacement":
+        "SELECT name, city FROM landfill",
+    "ex4.3-bool-extension":
+        """SELECT elem_name FROM elem_contained
+           WHERE landfill_name = 'lf0000'""",
+    "ex4.4-bool-replacement":
+        "SELECT name, city FROM landfill",
+    "ex4.5-replace-constant":
+        """SELECT landfill_name FROM elem_contained
+           WHERE elem_name = 'Mercury'""",
+    "ex4.6-replace-variable":
+        """SELECT Elecond1.landfill_name AS l_name1,
+                  Elecond2.landfill_name AS l_name2,
+                  Elecond1.elem_name
+           FROM elem_contained AS Elecond1, elem_contained AS Elecond2
+           WHERE Elecond1.elem_name = Elecond2.elem_name AND
+                 Elecond1.landfill_name <> Elecond2.landfill_name""",
+}
+
+#: Exploration queries from the introduction's motivating questions.
+EXPLORATION: list[WorkloadQuery] = [
+    WorkloadQuery(
+        "what-is-available-where",
+        """SELECT elem_name, landfill_name, amount FROM elem_contained
+           WHERE amount > 5.0
+           ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)""",
+        "SCHEMAEXTENSION"),
+    WorkloadQuery(
+        "quality-across-landfills",
+        """SELECT elem_name, landfill_name, purity FROM elem_contained
+           ORDER BY elem_name, purity DESC
+           ENRICH BOOLSCHEMAEXTENSION(elem_name, isA, HazardousWaste)""",
+        "BOOLSCHEMAEXTENSION"),
+    WorkloadQuery(
+        "hazard-hotspots",
+        """SELECT landfill_name, COUNT(*) AS hazards
+           FROM elem_contained
+           WHERE ${elem_name = HazardousWaste:cond1}
+           GROUP BY landfill_name
+           ORDER BY hazards DESC
+           ENRICH REPLACECONSTANT(cond1, HazardousWaste, dangerQuery)""",
+        "REPLACECONSTANT"),
+    WorkloadQuery(
+        "country-level-rollup",
+        """SELECT name, city FROM landfill
+           WHERE area_m2 > 50000
+           ENRICH SCHEMAREPLACEMENT(city, inCountry)""",
+        "SCHEMAREPLACEMENT"),
+]
+
+WORKLOAD: list[WorkloadQuery] = PAPER_EXAMPLES + EXPLORATION
+
+DANGER_QUERY_SPARQL = """
+PREFIX smg: <http://smartground.eu/ns#>
+SELECT ?e WHERE { ?e smg:isA smg:HazardousWaste }
+"""

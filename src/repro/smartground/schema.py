@@ -1,0 +1,72 @@
+"""The SmartGround databank schema (the Fig. 3 fragment, completed).
+
+The paper's figure shows tables for landfills and the elements, minerals
+and chemical compounds they contain; the prose (Example 3.1) adds that
+analyses are performed by labs whose organisation is *not* captured in
+the schema — that knowledge lives in the users' contextual KBs.
+"""
+
+from __future__ import annotations
+
+from ..relational.engine import Database
+
+SCHEMA_SQL = """
+CREATE TABLE landfill (
+    id INTEGER PRIMARY KEY,
+    name TEXT NOT NULL UNIQUE,
+    city TEXT,
+    landfill_type TEXT,          -- 'urban' | 'mining' | 'industrial'
+    area_m2 REAL,
+    opened_year INTEGER
+);
+
+CREATE TABLE element (
+    symbol TEXT PRIMARY KEY,
+    elem_name TEXT NOT NULL UNIQUE,
+    atomic_number INTEGER,
+    metal BOOLEAN
+);
+
+CREATE TABLE elem_contained (
+    landfill_name TEXT NOT NULL,
+    elem_name TEXT NOT NULL,
+    amount REAL,                 -- tonnes (estimated recoverable)
+    purity REAL                  -- fraction in [0, 1]
+);
+
+CREATE TABLE lab (
+    lab_name TEXT PRIMARY KEY,
+    city TEXT
+);
+
+CREATE TABLE sample (
+    id INTEGER PRIMARY KEY,
+    landfill_name TEXT NOT NULL,
+    depth_m REAL,
+    taken_year INTEGER
+);
+
+CREATE TABLE analysis (
+    id INTEGER PRIMARY KEY,
+    sample_id INTEGER NOT NULL,
+    lab_name TEXT NOT NULL,
+    elem_name TEXT NOT NULL,
+    concentration REAL,          -- mg/kg
+    signed_by TEXT
+);
+
+CREATE INDEX idx_elem_contained_landfill ON elem_contained (landfill_name);
+CREATE INDEX idx_elem_contained_elem ON elem_contained (elem_name);
+CREATE INDEX idx_analysis_sample ON analysis (sample_id);
+CREATE INDEX idx_sample_landfill ON sample (landfill_name);
+"""
+
+TABLES = ("landfill", "element", "elem_contained", "lab", "sample",
+          "analysis")
+
+
+def create_schema(db: Database | None = None) -> Database:
+    """Create the SmartGround schema in *db* (or a fresh database)."""
+    database = db or Database("smartground")
+    database.execute_script(SCHEMA_SQL)
+    return database

@@ -1,0 +1,19 @@
+"""SPARQL subset engine over :class:`repro.rdf.TripleStore`.
+
+Supported forms: SELECT (DISTINCT, ORDER BY, LIMIT/OFFSET), ASK and
+CONSTRUCT, with basic graph patterns, FILTER, OPTIONAL, UNION, BIND and
+property paths.  This is the query language the SESQL Semantic Query
+Module (SQM) generates against per-user knowledge bases.
+"""
+
+from .ast import Variable
+from .errors import (FilterError, SparqlError, SparqlEvalError,
+                     SparqlSyntaxError)
+from .evaluator import Evaluator, SparqlEngine, SparqlResults
+from .parser import parse_sparql
+
+__all__ = [
+    "SparqlEngine", "SparqlResults", "Evaluator", "Variable",
+    "parse_sparql", "SparqlError", "SparqlSyntaxError", "SparqlEvalError",
+    "FilterError",
+]

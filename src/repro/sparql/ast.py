@@ -1,0 +1,193 @@
+"""SPARQL abstract syntax: patterns, property paths and expressions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..rdf.terms import IRI, Term
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A SPARQL variable (``?x`` / ``$x``)."""
+
+    name: str
+
+    def n3(self) -> str:
+        return f"?{self.name}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.n3()
+
+
+PatternTerm = Union[Term, Variable]
+
+
+# -- property paths ----------------------------------------------------------
+
+class Path:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class InversePath(Path):
+    inner: "PathLike"
+
+
+@dataclass(frozen=True)
+class SequencePath(Path):
+    parts: tuple
+
+
+@dataclass(frozen=True)
+class AlternativePath(Path):
+    parts: tuple
+
+
+@dataclass(frozen=True)
+class ZeroOrMorePath(Path):
+    inner: "PathLike"
+
+
+@dataclass(frozen=True)
+class OneOrMorePath(Path):
+    inner: "PathLike"
+
+
+@dataclass(frozen=True)
+class ZeroOrOnePath(Path):
+    inner: "PathLike"
+
+
+PathLike = Union[IRI, Path]
+
+
+# -- graph patterns -------------------------------------------------------------
+
+@dataclass
+class TriplePattern:
+    subject: PatternTerm
+    predicate: Union[PatternTerm, Path]
+    object: PatternTerm
+
+    def variables(self) -> set[Variable]:
+        found = set()
+        for position in (self.subject, self.predicate, self.object):
+            if isinstance(position, Variable):
+                found.add(position)
+        return found
+
+
+@dataclass
+class Filter:
+    expression: "Expr"
+
+
+@dataclass
+class Bind:
+    expression: "Expr"
+    variable: Variable
+
+
+@dataclass
+class GroupPattern:
+    elements: list = field(default_factory=list)
+
+
+@dataclass
+class OptionalPattern:
+    group: GroupPattern
+
+
+@dataclass
+class UnionPattern:
+    branches: list[GroupPattern] = field(default_factory=list)
+
+
+PatternElement = Union[TriplePattern, Filter, Bind, GroupPattern,
+                       OptionalPattern, UnionPattern]
+
+
+# -- expressions -------------------------------------------------------------------
+
+class Expr:
+    __slots__ = ()
+
+
+@dataclass
+class VarExpr(Expr):
+    variable: Variable
+
+
+@dataclass
+class TermExpr(Expr):
+    term: Term
+
+
+@dataclass
+class UnaryExpr(Expr):
+    op: str  # '!', '-', '+'
+    operand: Expr
+
+
+@dataclass
+class BinaryExpr(Expr):
+    op: str  # '&&', '||', '=', '!=', '<', '<=', '>', '>=', '+', '-', '*', '/'
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class CallExpr(Expr):
+    name: str  # upper-cased builtin name
+    args: list[Expr] = field(default_factory=list)
+
+
+# -- queries ---------------------------------------------------------------------------
+
+@dataclass
+class SelectQuery:
+    variables: Optional[list[Variable]]  # None means '*'
+    where: GroupPattern
+    distinct: bool = False
+    order_by: list[tuple[Expr, bool]] = field(default_factory=list)
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+
+
+@dataclass
+class AskQuery:
+    where: GroupPattern
+
+
+@dataclass
+class ConstructQuery:
+    template: list[TriplePattern]
+    where: GroupPattern
+
+
+Query = Union[SelectQuery, AskQuery, ConstructQuery]
+
+
+def group_variables(group: GroupPattern) -> set[Variable]:
+    """All variables mentioned anywhere in a group (for SELECT *)."""
+    found: set[Variable] = set()
+
+    def visit(element) -> None:
+        if isinstance(element, TriplePattern):
+            found.update(element.variables())
+        elif isinstance(element, GroupPattern):
+            for child in element.elements:
+                visit(child)
+        elif isinstance(element, OptionalPattern):
+            visit(element.group)
+        elif isinstance(element, UnionPattern):
+            for branch in element.branches:
+                visit(branch)
+        elif isinstance(element, Bind):
+            found.add(element.variable)
+        # Filters do not introduce bindings.
+
+    visit(group)
+    return found

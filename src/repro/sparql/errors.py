@@ -1,0 +1,24 @@
+"""Exception hierarchy for the SPARQL engine."""
+
+from __future__ import annotations
+
+
+class SparqlError(Exception):
+    """Base class for all SPARQL-layer errors."""
+
+
+class SparqlSyntaxError(SparqlError):
+    """Malformed SPARQL query text."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        location = f" at offset {position}" if position is not None else ""
+        super().__init__(f"{message}{location}")
+
+
+class SparqlEvalError(SparqlError):
+    """Runtime evaluation failures (bad function usage, type errors)."""
+
+
+class FilterError(SparqlEvalError):
+    """Internal: a FILTER expression errored; the solution is dropped."""

@@ -1,0 +1,313 @@
+"""SPARQL query evaluation over a TripleStore.
+
+Solutions are dicts mapping :class:`~repro.sparql.ast.Variable` to RDF
+terms.  Basic graph patterns are joined pattern-by-pattern, greedily
+reordering each run of triple patterns so the most-bound pattern runs
+first (index-friendly).  OPTIONAL implements left-join semantics, UNION
+concatenates branch solutions, FILTERs drop solutions whose expression
+is not (effectively) true.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from ..rdf.store import TripleStore
+from ..rdf.terms import Literal, Term, term_from_python, term_sort_key
+from . import ast
+from .errors import FilterError, SparqlEvalError
+from .filters import evaluate, evaluate_boolean
+from .parser import parse_sparql
+from .paths import eval_path
+
+Solution = dict[ast.Variable, Term]
+
+
+class SparqlResults:
+    """SELECT results: ordered variables plus a list of bindings."""
+
+    def __init__(self, variables: list[ast.Variable],
+                 solutions: list[Solution]) -> None:
+        self.variables = variables
+        self.solutions = solutions
+
+    def __len__(self) -> int:
+        return len(self.solutions)
+
+    def __iter__(self) -> Iterator[Solution]:
+        return iter(self.solutions)
+
+    def var_names(self) -> list[str]:
+        return [variable.name for variable in self.variables]
+
+    def tuples(self) -> list[tuple]:
+        """Rows of terms in variable order (None for unbound)."""
+        return [tuple(solution.get(variable) for variable in self.variables)
+                for solution in self.solutions]
+
+    def values(self, name: str) -> list[Term | None]:
+        variable = ast.Variable(name)
+        return [solution.get(variable) for solution in self.solutions]
+
+    def python_tuples(self) -> list[tuple]:
+        """Rows with literals unwrapped to Python values, IRIs as strings."""
+        def plain(term: Term | None) -> Any:
+            if term is None:
+                return None
+            if isinstance(term, Literal):
+                return term.value
+            return str(term)
+        return [tuple(plain(value) for value in row)
+                for row in self.tuples()]
+
+
+def _substitute(position, solution: Solution):
+    if isinstance(position, ast.Variable):
+        return solution.get(position)
+    return position
+
+
+def _pattern_boundness(pattern: ast.TriplePattern,
+                       bound: set[ast.Variable]) -> int:
+    score = 0
+    for position in (pattern.subject, pattern.predicate, pattern.object):
+        if not isinstance(position, ast.Variable) or position in bound:
+            score += 1
+    return score
+
+
+class Evaluator:
+    def __init__(self, store: TripleStore) -> None:
+        self.store = store
+
+    # -- group evaluation -------------------------------------------------------
+
+    def eval_group(self, group: ast.GroupPattern,
+                   seeds: Iterable[Solution]) -> list[Solution]:
+        solutions = list(seeds)
+        elements = list(group.elements)
+        index = 0
+        while index < len(elements):
+            element = elements[index]
+            if isinstance(element, ast.TriplePattern):
+                # Collect the whole run of triple patterns and join them
+                # in a selectivity-friendly order.
+                run = []
+                while index < len(elements) and isinstance(
+                        elements[index], ast.TriplePattern):
+                    run.append(elements[index])
+                    index += 1
+                solutions = self._eval_bgp(run, solutions)
+                continue
+            if isinstance(element, ast.Filter):
+                solutions = [solution for solution in solutions
+                             if evaluate_boolean(element.expression,
+                                                 solution)]
+            elif isinstance(element, ast.Bind):
+                solutions = self._eval_bind(element, solutions)
+            elif isinstance(element, ast.OptionalPattern):
+                solutions = self._eval_optional(element.group, solutions)
+            elif isinstance(element, ast.UnionPattern):
+                merged: list[Solution] = []
+                for branch in element.branches:
+                    merged.extend(self.eval_group(branch, solutions))
+                solutions = merged
+            elif isinstance(element, ast.GroupPattern):
+                solutions = self.eval_group(element, solutions)
+            else:  # pragma: no cover - parser prevents this
+                raise SparqlEvalError(
+                    f"unknown pattern element {type(element).__name__}")
+            index += 1
+        return solutions
+
+    def _eval_bgp(self, patterns: list[ast.TriplePattern],
+                  solutions: list[Solution]) -> list[Solution]:
+        remaining = list(patterns)
+        bound: set[ast.Variable] = set()
+        for solution in solutions[:1]:
+            bound.update(solution.keys())
+        while remaining:
+            remaining.sort(key=lambda pattern: -_pattern_boundness(
+                pattern, bound))
+            pattern = remaining.pop(0)
+            solutions = self._extend(pattern, solutions)
+            bound.update(pattern.variables())
+            if not solutions:
+                return []
+        return solutions
+
+    def _extend(self, pattern: ast.TriplePattern,
+                solutions: list[Solution]) -> list[Solution]:
+        extended: list[Solution] = []
+        for solution in solutions:
+            subject = _substitute(pattern.subject, solution)
+            predicate = pattern.predicate
+            obj = _substitute(pattern.object, solution)
+            if isinstance(predicate, ast.Variable):
+                bound_predicate = solution.get(predicate)
+                for triple in self.store.triples(
+                        subject, bound_predicate, obj):
+                    candidate = dict(solution)
+                    if self._unify(pattern, triple.subject,
+                                   triple.predicate, triple.object,
+                                   candidate):
+                        extended.append(candidate)
+            elif isinstance(predicate, (ast.Path,)):
+                for s_term, o_term in eval_path(
+                        self.store, subject, predicate, obj):
+                    candidate = dict(solution)
+                    if self._unify(pattern, s_term, None, o_term, candidate):
+                        extended.append(candidate)
+            else:
+                for triple in self.store.triples(subject, predicate, obj):
+                    candidate = dict(solution)
+                    if self._unify(pattern, triple.subject,
+                                   triple.predicate, triple.object,
+                                   candidate):
+                        extended.append(candidate)
+        return extended
+
+    @staticmethod
+    def _unify(pattern: ast.TriplePattern, subject: Term,
+               predicate: Term | None, obj: Term,
+               solution: Solution) -> bool:
+        pairs = [(pattern.subject, subject), (pattern.object, obj)]
+        if predicate is not None:
+            pairs.append((pattern.predicate, predicate))
+        for position, value in pairs:
+            if isinstance(position, ast.Variable):
+                existing = solution.get(position)
+                if existing is None:
+                    solution[position] = value
+                elif existing != value:
+                    return False
+        return True
+
+    def _eval_bind(self, bind: ast.Bind,
+                   solutions: list[Solution]) -> list[Solution]:
+        results: list[Solution] = []
+        for solution in solutions:
+            if bind.variable in solution:
+                raise SparqlEvalError(
+                    f"BIND would rebind {bind.variable.n3()}")
+            candidate = dict(solution)
+            try:
+                value = evaluate(bind.expression, solution)
+                candidate[bind.variable] = (
+                    value if isinstance(value, Term)
+                    or hasattr(value, "n3")
+                    else term_from_python(value))
+            except FilterError:
+                pass  # BIND errors leave the variable unbound.
+            results.append(candidate)
+        return results
+
+    def _eval_optional(self, group: ast.GroupPattern,
+                       solutions: list[Solution]) -> list[Solution]:
+        results: list[Solution] = []
+        for solution in solutions:
+            matches = self.eval_group(group, [solution])
+            if matches:
+                results.extend(matches)
+            else:
+                results.append(solution)
+        return results
+
+    # -- query forms ------------------------------------------------------------------
+
+    def select(self, query: ast.SelectQuery) -> SparqlResults:
+        solutions = self.eval_group(query.where, [{}])
+        if query.variables is None:
+            variables = sorted(ast.group_variables(query.where),
+                               key=lambda variable: variable.name)
+        else:
+            variables = query.variables
+        projected = [
+            {variable: solution[variable]
+             for variable in variables if variable in solution}
+            for solution in solutions
+        ]
+        if query.order_by:
+            def order_key(solution: Solution):
+                keys = []
+                for expr, descending in query.order_by:
+                    try:
+                        value = evaluate(expr, solution)
+                    except FilterError:
+                        value = None
+                    if value is not None and not isinstance(
+                            value, Term) and not hasattr(value, "n3"):
+                        value = term_from_python(value)
+                    key = term_sort_key(value)
+                    keys.append(_Reversed(key) if descending else key)
+                return tuple(keys)
+            # Order over full solutions so ORDER BY can use any variable.
+            paired = sorted(zip(solutions, projected),
+                            key=lambda pair: order_key(pair[0]))
+            projected = [projection for _solution, projection in paired]
+        if query.distinct:
+            seen: set[tuple] = set()
+            deduped: list[Solution] = []
+            for solution in projected:
+                key = tuple(sorted(
+                    (variable.name, repr(value))
+                    for variable, value in solution.items()))
+                if key not in seen:
+                    seen.add(key)
+                    deduped.append(solution)
+            projected = deduped
+        start = query.offset or 0
+        end = (start + query.limit) if query.limit is not None else None
+        projected = projected[start:end]
+        return SparqlResults(variables, projected)
+
+    def ask(self, query: ast.AskQuery) -> bool:
+        return bool(self.eval_group(query.where, [{}]))
+
+    def construct(self, query: ast.ConstructQuery) -> TripleStore:
+        result = TripleStore()
+        for solution in self.eval_group(query.where, [{}]):
+            for pattern in query.template:
+                subject = _substitute(pattern.subject, solution)
+                predicate = _substitute(pattern.predicate, solution)
+                obj = _substitute(pattern.object, solution)
+                if subject is None or predicate is None or obj is None:
+                    continue  # incomplete instantiation is skipped
+                result.add(subject, predicate, obj)
+        return result
+
+
+class _Reversed:
+    """Inverts comparison for DESC sort keys."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key) -> None:
+        self.key = key
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.key < self.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and self.key == other.key
+
+
+class SparqlEngine:
+    """Convenience front end binding a store to the parser + evaluator."""
+
+    def __init__(self, store: TripleStore) -> None:
+        self.store = store
+
+    def query(self, text: str | ast.Query):
+        """Run a query; returns SparqlResults, bool (ASK) or TripleStore
+        (CONSTRUCT) depending on the query form."""
+        parsed = parse_sparql(text) if isinstance(text, str) else text
+        evaluator = Evaluator(self.store)
+        if isinstance(parsed, ast.SelectQuery):
+            return evaluator.select(parsed)
+        if isinstance(parsed, ast.AskQuery):
+            return evaluator.ask(parsed)
+        if isinstance(parsed, ast.ConstructQuery):
+            return evaluator.construct(parsed)
+        raise SparqlEvalError(
+            f"unsupported query form {type(parsed).__name__}")

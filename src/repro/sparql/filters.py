@@ -1,0 +1,257 @@
+"""FILTER / BIND expression evaluation.
+
+Values flow as RDF terms; arithmetic and comparisons unwrap literal
+values.  Per the SPARQL spec, expression errors (type errors, unbound
+variables outside BOUND) make the enclosing FILTER reject the solution —
+signalled here with :class:`FilterError`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from ..rdf.terms import BNode, IRI, Literal, Term
+from . import ast
+from .errors import FilterError
+
+Solution = dict  # Variable -> Term
+
+
+def evaluate(expr: ast.Expr, solution: Solution) -> Any:
+    """Evaluate to a term or raw Python value; raises FilterError."""
+    if isinstance(expr, ast.TermExpr):
+        return expr.term
+    if isinstance(expr, ast.VarExpr):
+        value = solution.get(expr.variable)
+        if value is None:
+            raise FilterError(f"unbound variable {expr.variable.n3()}")
+        return value
+    if isinstance(expr, ast.UnaryExpr):
+        if expr.op == "!":
+            return not effective_boolean(evaluate(expr.operand, solution))
+        value = _number(evaluate(expr.operand, solution))
+        return -value if expr.op == "-" else value
+    if isinstance(expr, ast.BinaryExpr):
+        return _binary(expr, solution)
+    if isinstance(expr, ast.CallExpr):
+        return _call(expr, solution)
+    raise FilterError(f"cannot evaluate {type(expr).__name__}")
+
+
+def evaluate_boolean(expr: ast.Expr, solution: Solution) -> bool:
+    """FILTER semantics: errors count as rejection."""
+    try:
+        return effective_boolean(evaluate(expr, solution))
+    except FilterError:
+        return False
+
+
+def effective_boolean(value: Any) -> bool:
+    """SPARQL effective boolean value."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, Literal):
+        inner = value.value
+        if isinstance(inner, bool):
+            return inner
+        if isinstance(inner, (int, float)):
+            return inner != 0
+        if isinstance(inner, str):
+            return len(inner) > 0
+    if isinstance(value, (int, float)):
+        return value != 0
+    if isinstance(value, str):
+        return len(value) > 0
+    raise FilterError(f"no effective boolean value for {value!r}")
+
+
+def _plain(value: Any) -> Any:
+    """Unwrap literals to raw Python values; keep IRIs/BNodes as terms."""
+    if isinstance(value, Literal):
+        return value.value
+    return value
+
+
+def _number(value: Any) -> int | float:
+    plain = _plain(value)
+    if isinstance(plain, bool) or not isinstance(plain, (int, float)):
+        raise FilterError(f"expected a number, got {plain!r}")
+    return plain
+
+
+def _string(value: Any) -> str:
+    plain = _plain(value)
+    if not isinstance(plain, str):
+        raise FilterError(f"expected a string, got {plain!r}")
+    return plain
+
+
+def _binary(expr: ast.BinaryExpr, solution: Solution) -> Any:
+    op = expr.op
+    if op == "&&":
+        return (effective_boolean(evaluate(expr.left, solution))
+                and effective_boolean(evaluate(expr.right, solution)))
+    if op == "||":
+        # SPARQL || is true if either side is true even when the other errs.
+        left_error = right_error = False
+        left = right = False
+        try:
+            left = effective_boolean(evaluate(expr.left, solution))
+        except FilterError:
+            left_error = True
+        if left:
+            return True
+        try:
+            right = effective_boolean(evaluate(expr.right, solution))
+        except FilterError:
+            right_error = True
+        if right:
+            return True
+        if left_error or right_error:
+            raise FilterError("|| operand errored")
+        return False
+
+    left = evaluate(expr.left, solution)
+    right = evaluate(expr.right, solution)
+    if op in ("+", "-", "*", "/"):
+        a, b = _number(left), _number(right)
+        if op == "+":
+            return a + b
+        if op == "-":
+            return a - b
+        if op == "*":
+            return a * b
+        if b == 0:
+            raise FilterError("division by zero")
+        return a / b
+    if op in ("=", "!="):
+        equal = _terms_equal(left, right)
+        return equal if op == "=" else not equal
+    # Ordered comparison.
+    a, b = _plain(left), _plain(right)
+    if isinstance(a, bool) or isinstance(b, bool):
+        raise FilterError("booleans are not ordered")
+    numeric = (isinstance(a, (int, float)) and isinstance(b, (int, float)))
+    stringy = (isinstance(a, str) and isinstance(b, str))
+    if not numeric and not stringy:
+        raise FilterError(
+            f"cannot order {type(a).__name__} against {type(b).__name__}")
+    if op == "<":
+        return a < b
+    if op == "<=":
+        return a <= b
+    if op == ">":
+        return a > b
+    return a >= b
+
+
+def _terms_equal(left: Any, right: Any) -> bool:
+    if isinstance(left, (IRI, BNode)) or isinstance(right, (IRI, BNode)):
+        return left == right
+    a, b = _plain(left), _plain(right)
+    if isinstance(a, bool) != isinstance(b, bool):
+        return False
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)) \
+            and not isinstance(a, bool):
+        return float(a) == float(b)
+    return a == b
+
+
+def _call(expr: ast.CallExpr, solution: Solution) -> Any:
+    name = expr.name
+
+    def arg(index: int) -> Any:
+        return evaluate(expr.args[index], solution)
+
+    def require(count: int, maximum: int | None = None) -> None:
+        maximum = maximum if maximum is not None else count
+        if not (count <= len(expr.args) <= maximum):
+            raise FilterError(f"{name} arity mismatch")
+
+    if name == "BOUND":
+        require(1)
+        inner = expr.args[0]
+        if not isinstance(inner, ast.VarExpr):
+            raise FilterError("BOUND expects a variable")
+        return inner.variable in solution
+    if name == "COALESCE":
+        for candidate in expr.args:
+            try:
+                return evaluate(candidate, solution)
+            except FilterError:
+                continue
+        raise FilterError("COALESCE: all arguments errored")
+    if name == "IF":
+        require(3)
+        condition = effective_boolean(arg(0))
+        return arg(1) if condition else arg(2)
+    if name == "STR":
+        require(1)
+        value = arg(0)
+        if isinstance(value, IRI):
+            return value.value
+        if isinstance(value, Literal):
+            return value.lexical
+        if isinstance(value, (str, int, float, bool)):
+            return Literal(value).lexical
+        raise FilterError("STR expects an IRI or literal")
+    if name == "LANG":
+        require(1)
+        value = arg(0)
+        if isinstance(value, Literal):
+            return value.lang or ""
+        raise FilterError("LANG expects a literal")
+    if name == "DATATYPE":
+        require(1)
+        value = arg(0)
+        if isinstance(value, Literal):
+            return IRI(value.datatype)
+        raise FilterError("DATATYPE expects a literal")
+    if name in ("ISIRI", "ISURI"):
+        require(1)
+        return isinstance(arg(0), IRI)
+    if name == "ISLITERAL":
+        require(1)
+        value = arg(0)
+        return isinstance(value, Literal) \
+            or isinstance(value, (str, int, float, bool))
+    if name == "ISBLANK":
+        require(1)
+        return isinstance(arg(0), BNode)
+    if name == "SAMETERM":
+        require(2)
+        return arg(0) == arg(1)
+    if name == "REGEX":
+        require(2, 3)
+        text = _string(arg(0))
+        pattern = _string(arg(1))
+        flags = 0
+        if len(expr.args) == 3 and "i" in _string(arg(2)):
+            flags = re.IGNORECASE
+        try:
+            return re.search(pattern, text, flags) is not None
+        except re.error as exc:
+            raise FilterError(f"bad REGEX pattern: {exc}") from exc
+    if name == "STRSTARTS":
+        require(2)
+        return _string(arg(0)).startswith(_string(arg(1)))
+    if name == "STRENDS":
+        require(2)
+        return _string(arg(0)).endswith(_string(arg(1)))
+    if name == "CONTAINS":
+        require(2)
+        return _string(arg(1)) in _string(arg(0))
+    if name == "LCASE":
+        require(1)
+        return _string(arg(0)).lower()
+    if name == "UCASE":
+        require(1)
+        return _string(arg(0)).upper()
+    if name == "STRLEN":
+        require(1)
+        return len(_string(arg(0)))
+    if name == "ABS":
+        require(1)
+        return abs(_number(arg(0)))
+    raise FilterError(f"unknown function {name}")

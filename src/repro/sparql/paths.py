@@ -1,0 +1,139 @@
+"""Property path evaluation over a TripleStore.
+
+``eval_path(store, subject, path, obj)`` yields (subject, object) pairs
+reachable through the path; either end may be ``None`` (unbound).
+Transitive closures are computed by breadth-first search from the bound
+side (or from every graph node when both ends are unbound, per the
+SPARQL spec's zero-length path semantics).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from ..rdf.store import TripleStore
+from ..rdf.terms import IRI, Term
+from . import ast
+
+Pair = tuple[Term, Term]
+
+
+def _nodes(store: TripleStore) -> set[Term]:
+    found: set[Term] = set()
+    for triple in store.triples():
+        found.add(triple.subject)
+        found.add(triple.object)
+    return found
+
+
+def _step(store: TripleStore, path, node: Term,
+          forward: bool = True) -> Iterator[Term]:
+    """One-step neighbours of *node* through *path*."""
+    if forward:
+        for _s, neighbour in eval_path(store, node, path, None):
+            yield neighbour
+    else:
+        for neighbour, _o in eval_path(store, None, path, node):
+            yield neighbour
+
+
+def _closure(store: TripleStore, path, start: Term,
+             include_start: bool, forward: bool = True) -> Iterator[Term]:
+    """Nodes reachable from *start* via one-or-more (or zero-or-more) steps."""
+    seen: set[Term] = set()
+    queue: deque[Term] = deque([start])
+    if include_start:
+        seen.add(start)
+        yield start
+    while queue:
+        node = queue.popleft()
+        for neighbour in _step(store, path, node, forward):
+            if neighbour not in seen:
+                seen.add(neighbour)
+                queue.append(neighbour)
+                yield neighbour
+
+
+def eval_path(store: TripleStore, subject: Term | None, path,
+              obj: Term | None) -> Iterator[Pair]:
+    """All (s, o) pairs connected by *path*, honouring bound endpoints."""
+    if isinstance(path, IRI):
+        for triple in store.triples(subject, path, obj):
+            yield (triple.subject, triple.object)
+        return
+
+    if isinstance(path, ast.InversePath):
+        for o, s in eval_path(store, obj, path.inner, subject):
+            yield (s, o)
+        return
+
+    if isinstance(path, ast.AlternativePath):
+        seen: set[Pair] = set()
+        for part in path.parts:
+            for pair in eval_path(store, subject, part, obj):
+                if pair not in seen:
+                    seen.add(pair)
+                    yield pair
+        return
+
+    if isinstance(path, ast.SequencePath):
+        yield from _eval_sequence(store, subject, list(path.parts), obj)
+        return
+
+    if isinstance(path, ast.ZeroOrOnePath):
+        seen = set()
+        if subject is not None and obj is not None:
+            if subject == obj:
+                seen.add((subject, obj))
+                yield (subject, obj)
+        elif subject is not None:
+            seen.add((subject, subject))
+            yield (subject, subject)
+        elif obj is not None:
+            seen.add((obj, obj))
+            yield (obj, obj)
+        else:
+            for node in _nodes(store):
+                seen.add((node, node))
+                yield (node, node)
+        for pair in eval_path(store, subject, path.inner, obj):
+            if pair not in seen:
+                seen.add(pair)
+                yield pair
+        return
+
+    if isinstance(path, (ast.ZeroOrMorePath, ast.OneOrMorePath)):
+        include_start = isinstance(path, ast.ZeroOrMorePath)
+        inner = path.inner
+        if subject is not None:
+            for node in _closure(store, inner, subject, include_start):
+                if obj is None or node == obj:
+                    yield (subject, node)
+            return
+        if obj is not None:
+            for node in _closure(store, inner, obj, include_start,
+                                 forward=False):
+                yield (node, obj)
+            return
+        for start in _nodes(store):
+            for node in _closure(store, inner, start, include_start):
+                yield (start, node)
+        return
+
+    raise TypeError(f"not a property path: {path!r}")
+
+
+def _eval_sequence(store: TripleStore, subject: Term | None,
+                   parts: list, obj: Term | None) -> Iterator[Pair]:
+    if len(parts) == 1:
+        yield from eval_path(store, subject, parts[0], obj)
+        return
+    head, tail = parts[0], parts[1:]
+    seen: set[Pair] = set()
+    for s, middle in eval_path(store, subject, head, None):
+        for _m, o in _eval_sequence(store, middle, tail, obj):
+            pair = (s, o)
+            if pair not in seen:
+                seen.add(pair)
+                yield pair

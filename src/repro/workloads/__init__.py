@@ -1,0 +1,7 @@
+"""Shared builders and reporting helpers for the benchmark harness."""
+
+from .builders import (bench_engine, print_series, scaled_databank,
+                       seeded_tracker)
+
+__all__ = ["scaled_databank", "bench_engine", "seeded_tracker",
+           "print_series"]

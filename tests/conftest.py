@@ -1,0 +1,46 @@
+"""Shared fixtures: a small SmartGround-shaped database used across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational import Database
+
+
+@pytest.fixture
+def db() -> Database:
+    """Empty database."""
+    return Database()
+
+
+@pytest.fixture
+def landfill_db() -> Database:
+    """The Fig. 3 fragment in miniature: landfills and contained elements."""
+    database = Database()
+    database.execute_script("""
+        CREATE TABLE landfill (
+            id INTEGER PRIMARY KEY,
+            name TEXT NOT NULL UNIQUE,
+            city TEXT,
+            area REAL
+        );
+        CREATE TABLE elem_contained (
+            landfill_name TEXT NOT NULL,
+            elem_name TEXT NOT NULL,
+            amount REAL
+        );
+        INSERT INTO landfill VALUES
+            (1, 'a', 'Torino', 120.5),
+            (2, 'b', 'Lyon', 80.0),
+            (3, 'c', 'Torino', 45.25),
+            (4, 'd', NULL, NULL);
+        INSERT INTO elem_contained VALUES
+            ('a', 'Mercury', 12.0),
+            ('a', 'Asbestos', 3.5),
+            ('a', 'Iron', 140.0),
+            ('b', 'Mercury', 7.25),
+            ('b', 'Copper', 55.0),
+            ('c', 'Lead', 9.0),
+            ('c', 'Iron', 220.0);
+    """)
+    return database

@@ -1,0 +1,153 @@
+"""Resource mapping (XML round trip) and the Semantic Query Module."""
+
+import pytest
+
+from repro.core import (MappingError, ResourceMapping, SemanticQueryModule,
+                        StoredQueryRegistry, StoredQueryError)
+from repro.rdf import IRI, Literal, Namespace, parse_turtle
+
+SMG = Namespace("http://smartground.eu/ns#")
+
+KB = parse_turtle("""
+@prefix smg: <http://smartground.eu/ns#> .
+smg:Mercury smg:dangerLevel "high" ; smg:isA smg:HazardousWaste .
+smg:Asbestos smg:isA smg:HazardousWaste .
+smg:Iron smg:dangerLevel "low" .
+smg:Torino smg:inCountry smg:Italy .
+smg:depth smg:threshold 4.5 .
+""")
+
+
+def test_to_term_default_iri_for_strings():
+    mapping = ResourceMapping()
+    assert mapping.to_term("elem_name", "Mercury") == SMG.Mercury
+
+
+def test_to_term_literal_for_numbers():
+    mapping = ResourceMapping()
+    assert mapping.to_term("amount", 3.5) == Literal(3.5)
+
+
+def test_explicit_literal_mapping():
+    mapping = ResourceMapping()
+    mapping.map_attribute("code", kind="literal")
+    assert mapping.to_term("code", "X1") == Literal("X1")
+
+
+def test_explicit_namespace_mapping():
+    mapping = ResourceMapping()
+    mapping.map_attribute("lab", kind="iri", namespace="http://lab.eu/")
+    assert mapping.to_term("lab", "Chem") == IRI("http://lab.eu/Chem")
+
+
+def test_to_sql_value_round_trips():
+    mapping = ResourceMapping()
+    assert mapping.to_sql_value(SMG.Mercury) == "Mercury"
+    assert mapping.to_sql_value(Literal(4.5)) == 4.5
+    assert mapping.to_sql_value(None) is None
+
+
+def test_concept_and_property_expansion():
+    mapping = ResourceMapping()
+    assert mapping.concept_to_term("HazardousWaste") == SMG.HazardousWaste
+    assert mapping.concept_to_term("rdfs:label").value.endswith("label")
+    assert mapping.concept_to_term("http://x.org/C") == IRI("http://x.org/C")
+
+
+def test_xml_round_trip():
+    mapping = ResourceMapping("http://base.eu/ns#")
+    mapping.map_attribute("elem_name", kind="iri")
+    mapping.map_attribute("amount", kind="literal", datatype="real")
+    xml = mapping.to_xml()
+    again = ResourceMapping.from_xml(xml)
+    assert again.default_namespace == "http://base.eu/ns#"
+    assert again.attribute("elem_name").kind == "iri"
+    assert again.attribute("amount").datatype == "real"
+
+
+def test_xml_errors():
+    with pytest.raises(MappingError):
+        ResourceMapping.from_xml("<wrong/>")
+    with pytest.raises(MappingError):
+        ResourceMapping.from_xml("not xml at all <")
+    with pytest.raises(MappingError):
+        ResourceMapping.from_xml(
+            "<resource-mapping><attribute/></resource-mapping>")
+
+
+def test_bad_kind_rejected():
+    mapping = ResourceMapping()
+    with pytest.raises(MappingError):
+        mapping.map_attribute("x", kind="nope")
+
+
+# -- SQM -----------------------------------------------------------------------
+
+
+def sqm(registry=None):
+    return SemanticQueryModule(ResourceMapping(), registry)
+
+
+def test_pairs_for_plain_property():
+    extraction = sqm().pairs_for(KB, "dangerLevel")
+    pairs = {(s.local_name(), o.value) for s, o in extraction.pairs}
+    assert pairs == {("Mercury", "high"), ("Iron", "low")}
+    assert "dangerLevel" in extraction.sparql
+
+
+def test_pairs_for_missing_property_is_empty():
+    assert sqm().pairs_for(KB, "noSuchProp").pairs == []
+
+
+def test_subjects_for_concept():
+    extraction = sqm().subjects_for(KB, "isA", "HazardousWaste")
+    assert {s.local_name() for s in extraction.subjects} == {
+        "Mercury", "Asbestos"}
+
+
+def test_values_for_constant_via_property():
+    extraction = sqm().values_for(KB, "inCountry", "Torino")
+    assert [v.local_name() for v in extraction.values] == ["Italy"]
+
+
+def test_values_for_stored_single_var_query():
+    registry = StoredQueryRegistry()
+    registry.register("dangerQuery", """
+        PREFIX smg: <http://smartground.eu/ns#>
+        SELECT ?e WHERE { ?e smg:isA smg:HazardousWaste }""")
+    extraction = sqm(registry).values_for(KB, "dangerQuery", "Whatever")
+    assert {v.local_name() for v in extraction.values} == {
+        "Mercury", "Asbestos"}
+    assert extraction.sparql == registry.get("dangerQuery").text
+
+
+def test_pairs_for_stored_two_var_query():
+    registry = StoredQueryRegistry()
+    registry.register("levels", """
+        PREFIX smg: <http://smartground.eu/ns#>
+        SELECT ?s ?lvl WHERE { ?s smg:dangerLevel ?lvl }""")
+    extraction = sqm(registry).pairs_for(KB, "levels")
+    assert len(extraction.pairs) == 2
+
+
+def test_pairs_for_stored_one_var_query_rejected():
+    registry = StoredQueryRegistry()
+    registry.register("only", """
+        PREFIX smg: <http://smartground.eu/ns#>
+        SELECT ?s WHERE { ?s smg:isA smg:HazardousWaste }""")
+    with pytest.raises(StoredQueryError):
+        sqm(registry).pairs_for(KB, "only")
+
+
+def test_registry_validation():
+    registry = StoredQueryRegistry()
+    with pytest.raises(StoredQueryError):
+        registry.register("bad", "not sparql at all")
+    with pytest.raises(StoredQueryError):
+        registry.register("ask", "ASK { ?s ?p ?o }")
+    registry.register("ok", "SELECT ?s WHERE { ?s ?p ?o }")
+    assert "ok" in registry
+    registry.unregister("ok")
+    assert "ok" not in registry
+    with pytest.raises(StoredQueryError):
+        registry.unregister("ok")

@@ -1,0 +1,219 @@
+"""CroSSE platform: provenance, tagging scenarios, context, recommenders."""
+
+import pytest
+
+from repro.crosse import (AnnotationError, CrossePlatform, Document,
+                          KnowledgeBaseStore, Reference, StatementError,
+                          UnknownUserError, extract_snippet,
+                          highlight_concepts, rank_result)
+from repro.crosse.context import ContextProfile
+from repro.rdf import SMG
+from repro.relational import ResultSet
+from repro.smartground import SmartGroundConfig, generate_databank
+
+
+@pytest.fixture
+def platform():
+    databank = generate_databank(SmartGroundConfig(n_landfills=15, seed=9))
+    p = CrossePlatform(databank)
+    p.register_user("giulia", affiliation="UniTo",
+                    interests=["Mercury", "pollution"])
+    p.register_user("marco", affiliation="Comune di Torino",
+                    interests=["urban", "Zinc"])
+    p.register_user("eva", interests=["Mercury"])
+    return p
+
+
+# -- knowledge base store / Fig. 4 ------------------------------------------
+
+
+def test_statement_provenance_tracked():
+    store = KnowledgeBaseStore()
+    record = store.insert("giulia", SMG.Mercury, SMG.dangerLevel, "high")
+    assert record.author == "giulia"
+    assert record.accepted_by == set()
+    store.accept("marco", record.statement_id)
+    assert "marco" in record.accepted_by
+
+
+def test_effective_kb_is_own_plus_accepted():
+    store = KnowledgeBaseStore()
+    own = store.insert("giulia", SMG.Mercury, SMG.isA, SMG.HazardousWaste)
+    peer = store.insert("marco", SMG.Zinc, SMG.isA, SMG.HazardousWaste)
+    assert len(store.effective_kb("giulia")) == 1
+    store.accept("giulia", peer.statement_id)
+    assert len(store.effective_kb("giulia")) == 2
+    # Acceptance does not leak into the author's own context twice.
+    assert len(store.effective_kb("marco")) == 1
+    assert own.statement_id != peer.statement_id
+
+
+def test_cannot_accept_own_or_private_statement():
+    store = KnowledgeBaseStore()
+    own = store.insert("giulia", SMG.a, SMG.p, "x")
+    with pytest.raises(StatementError):
+        store.accept("giulia", own.statement_id)
+    private = store.insert("marco", SMG.b, SMG.p, "y", public=False)
+    with pytest.raises(StatementError):
+        store.accept("giulia", private.statement_id)
+
+
+def test_retract_requires_author():
+    store = KnowledgeBaseStore()
+    record = store.insert("giulia", SMG.a, SMG.p, "x")
+    with pytest.raises(StatementError):
+        store.retract("marco", record.statement_id)
+    store.retract("giulia", record.statement_id)
+    assert len(store) == 0
+
+
+def test_conflicting_statements_allowed():
+    """Section III-A: no centralized consistency control."""
+    store = KnowledgeBaseStore()
+    store.insert("giulia", SMG.Mercury, SMG.dangerLevel, "high")
+    store.insert("marco", SMG.Mercury, SMG.dangerLevel, "low")
+    assert len(store) == 2
+
+
+def test_fig4_rdf_export():
+    store = KnowledgeBaseStore()
+    record = store.insert(
+        "giulia", SMG.Mercury, SMG.dangerLevel, "high",
+        reference=Reference(title="WHO report", link="http://who.int/x"))
+    store.accept("marco", record.statement_id)
+    graph = store.to_rdf_graph()
+    from repro.rdf import RDF
+    assert graph.count(None, RDF.type, SMG.Statement) == 1
+    assert graph.count(None, SMG.userStatement, None) == 1
+    assert graph.count(None, SMG.userBelief, None) == 1
+    assert graph.count(None, SMG.stmReference, None) == 1
+    assert graph.count(None, SMG.refTitle, None) == 1
+
+
+# -- tagging scenarios ----------------------------------------------------------
+
+
+def test_integrated_annotation_validates_subject(platform):
+    with pytest.raises(AnnotationError):
+        platform.annotate_concept(
+            "giulia", "elem_contained", "elem_name", "Unobtainium",
+            SMG.dangerLevel, "high")
+
+
+def test_integrated_annotation_on_real_value(platform):
+    value = platform.databank.query(
+        "SELECT elem_name FROM elem_contained LIMIT 1").scalar()
+    record = platform.annotate_concept(
+        "giulia", "elem_contained", "elem_name", value,
+        SMG.dangerLevel, "high")
+    assert record.triple.subject == SMG[value]
+
+
+def test_independent_annotation_is_free(platform):
+    record = platform.annotate_free(
+        "giulia", SMG.AnythingAtAll, SMG.note, "personal hypothesis")
+    assert record.public
+
+
+def test_crowdsourced_explore_and_import(platform):
+    record = platform.annotate_free(
+        "giulia", SMG.Mercury, SMG.isA, SMG.HazardousWaste)
+    visible = platform.explore_annotations("marco")
+    assert record.statement_id in {r.statement_id for r in visible}
+    platform.accept_statement("marco", record.statement_id)
+    assert len(platform.effective_kb("marco")) == 1
+
+
+def test_queries_run_in_personal_context(platform):
+    platform.annotate_free("giulia", SMG.Mercury, SMG.dangerLevel, "high")
+    sesql = """SELECT DISTINCT elem_name FROM elem_contained
+               ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)"""
+    giulia_result = platform.run_sesql("giulia", sesql)
+    marco_result = platform.run_sesql("marco", sesql)
+    giulia_levels = {row[1] for row in giulia_result.rows}
+    marco_levels = {row[1] for row in marco_result.rows}
+    assert "high" in giulia_levels
+    assert marco_levels == {None}   # marco has no such knowledge
+
+
+def test_unknown_user_rejected(platform):
+    with pytest.raises(UnknownUserError):
+        platform.run_sesql("nobody", "SELECT 1")
+
+
+def test_per_user_stored_queries(platform):
+    platform.register_stored_query(
+        "myDanger", "SELECT ?e WHERE { ?e ?p ?o }", username="giulia")
+    merged = platform._registry_for("giulia")
+    assert "myDanger" in merged
+    assert "myDanger" not in platform._registry_for("marco")
+
+
+# -- context, recommendation, preview ----------------------------------------------
+
+
+def test_context_profile_weights_and_events():
+    profile = ContextProfile("u")
+    profile.record("Mercury", "query")
+    profile.record("Mercury", "annotate")
+    profile.record("Zinc", "explore")
+    assert profile.weight("mercury") == 4.0   # case-insensitive
+    assert profile.top_concepts(1)[0][0] == "mercury"
+    profile.decay(0.5)
+    assert profile.weight("Mercury") == 2.0
+
+
+def test_peer_recommendation_orders_by_similarity(platform):
+    # eva shares giulia's Mercury focus; marco does not.
+    peers = platform.recommend_peers("giulia")
+    usernames = [name for name, _score in peers]
+    assert usernames[0] == "eva"
+
+
+def test_resource_recommendation_from_peers(platform):
+    platform.record_exploration("eva", "lf0003", ["Mercury"])
+    platform.record_exploration("giulia", "lf0001", ["Mercury"])
+    recommended = platform.recommend_resources("giulia")
+    assert recommended and recommended[0][0] == "lf0003"
+
+
+def test_peer_network_graph(platform):
+    graph = platform.recommender.peer_network()
+    assert graph.has_node("giulia")
+    assert graph.has_edge("giulia", "eva")
+
+
+def test_rank_result_prefers_context_concepts():
+    profile = ContextProfile("u")
+    profile.record("Mercury", "declare")
+    result = ResultSet(["elem"], [("Iron",), ("Mercury",), ("Zinc",)])
+    ranked = rank_result(profile, result)
+    assert ranked.rows[0] == ("Mercury",)
+
+
+def test_snippet_centres_on_context():
+    profile = ContextProfile("u")
+    profile.record("Asbestos", "declare")
+    document = Document(
+        "d", "t", "A long irrelevant preamble about procedures. " * 6
+        + "Findings: Asbestos fibres detected in sector B. "
+        + "Appendix follows. " * 6)
+    snippet = extract_snippet(profile, document, window_words=10)
+    assert "Asbestos" in snippet
+    assert snippet.startswith("...")
+
+
+def test_highlighting_wraps_strong_concepts():
+    profile = ContextProfile("u")
+    profile.record("Mercury", "declare")
+    text = highlight_concepts(profile, "mercury levels rising")
+    assert text == "**mercury** levels rising"
+
+
+def test_document_search_is_context_ranked(platform):
+    platform.add_document("d1", "Mercury in mining waste",
+                          "Mercury Mercury pollution study", ["Mercury"])
+    platform.add_document("d2", "General waste report",
+                          "Administrative mercury mention once")
+    ranked = platform.search_documents("giulia", "mercury")
+    assert ranked[0][0].doc_id == "d1"

@@ -1,0 +1,243 @@
+"""Federation: foreign tables, GAV mediation, REST integration."""
+
+import pytest
+
+from repro.crosse import CrossePlatform
+from repro.federation import (CsvSource, ForeignTableError, MediationError,
+                              Mediator, QuerySource, RemoteTableSource,
+                              CrosseRestService, attach_foreign_table)
+from repro.relational import Database
+from repro.smartground import SmartGroundConfig, generate_databank
+
+
+@pytest.fixture
+def sources():
+    italy = Database("italy")
+    france = Database("france")
+    for db, rows in ((italy, [("lf_it_1", "Torino", 12.0),
+                              ("lf_it_2", "Milano", 7.5)]),
+                     (france, [("lf_fr_1", "Lyon", 9.0),
+                               ("lf_it_2", "Milano", 7.5)])):
+        db.execute(
+            "CREATE TABLE landfill (name TEXT, city TEXT, size REAL)")
+        for name, city, size in rows:
+            db.execute(f"INSERT INTO landfill VALUES "
+                       f"('{name}', '{city}', {size})")
+    return italy, france
+
+
+# -- foreign tables -------------------------------------------------------
+
+
+def test_remote_table_joins_locally(sources):
+    italy, france = sources
+    attach_foreign_table(italy, "landfill_fr",
+                         RemoteTableSource(france, "landfill"))
+    result = italy.query("""
+        SELECT f.name FROM landfill_fr f WHERE f.size > 8""")
+    assert result.rows == [("lf_fr_1",)]
+
+
+def test_live_mode_sees_remote_updates(sources):
+    italy, france = sources
+    attach_foreign_table(italy, "landfill_fr",
+                         RemoteTableSource(france, "landfill"))
+    before = italy.query("SELECT COUNT(*) FROM landfill_fr").scalar()
+    france.execute("INSERT INTO landfill VALUES ('new', 'Nice', 1.0)")
+    after = italy.query("SELECT COUNT(*) FROM landfill_fr").scalar()
+    assert after == before + 1
+
+
+def test_snapshot_mode_is_frozen_until_refresh(sources):
+    italy, france = sources
+    table = attach_foreign_table(
+        italy, "landfill_fr", RemoteTableSource(france, "landfill"),
+        mode="snapshot")
+    before = italy.query("SELECT COUNT(*) FROM landfill_fr").scalar()
+    france.execute("INSERT INTO landfill VALUES ('new', 'Nice', 1.0)")
+    assert italy.query("SELECT COUNT(*) FROM landfill_fr").scalar() == before
+    table.refresh()
+    assert italy.query(
+        "SELECT COUNT(*) FROM landfill_fr").scalar() == before + 1
+
+
+def test_foreign_table_rejects_writes(sources):
+    italy, france = sources
+    attach_foreign_table(italy, "landfill_fr",
+                         RemoteTableSource(france, "landfill"))
+    with pytest.raises(ForeignTableError):
+        italy.execute("INSERT INTO landfill_fr VALUES ('x', 'y', 1)")
+    with pytest.raises(ForeignTableError):
+        italy.execute("DELETE FROM landfill_fr")
+
+
+def test_query_source_exposes_remote_view(sources):
+    italy, france = sources
+    attach_foreign_table(
+        italy, "fr_big",
+        QuerySource(france, "SELECT name FROM landfill WHERE size > 8",
+                    "fr_big"))
+    assert italy.query("SELECT * FROM fr_big").rows == [("lf_fr_1",)]
+
+
+def test_csv_source_types_inferred():
+    db = Database()
+    source = CsvSource("elem,amount,flag\nHg,3.5,true\nPb,7,false\n")
+    attach_foreign_table(db, "t", source, mode="snapshot")
+    rows = db.query("SELECT elem, amount, flag FROM t ORDER BY elem").rows
+    assert rows == [("Hg", 3.5, True), ("Pb", 7.0, False)]
+
+
+def test_csv_source_rejects_ragged_rows():
+    with pytest.raises(ForeignTableError):
+        CsvSource("a,b\n1\n")
+
+
+def test_scan_count_tracks_remote_hits(sources):
+    italy, france = sources
+    table = attach_foreign_table(
+        italy, "landfill_fr", RemoteTableSource(france, "landfill"))
+    italy.query("SELECT * FROM landfill_fr")
+    italy.query("SELECT * FROM landfill_fr")
+    assert table.scan_count == 2
+
+
+# -- mediator -------------------------------------------------------------------
+
+
+def make_mediator(sources):
+    italy, france = sources
+    mediator = Mediator()
+    mediator.register_source("italy", italy)
+    mediator.register_source("france", france)
+    return mediator
+
+
+def test_union_all_reconciliation(sources):
+    mediator = make_mediator(sources)
+    mediator.define_view("eu", [
+        ("italy", "SELECT name, city, size FROM landfill"),
+        ("france", "SELECT name, city, size FROM landfill")])
+    result, report = mediator.query("SELECT COUNT(*) FROM eu")
+    assert result.scalar() == 4
+    assert report.rows_per_source == {"italy": 2, "france": 2}
+
+
+def test_union_dedupes_identical_rows(sources):
+    mediator = make_mediator(sources)
+    mediator.define_view("eu", [
+        ("italy", "SELECT name, city, size FROM landfill"),
+        ("france", "SELECT name, city, size FROM landfill")],
+        reconciliation="union")
+    result, _report = mediator.query("SELECT COUNT(*) FROM eu")
+    assert result.scalar() == 3  # lf_it_2 appears in both sources
+
+
+def test_prefer_first_resolves_key_conflicts(sources):
+    italy, france = sources
+    france.execute(
+        "UPDATE landfill SET size = 999 WHERE name = 'lf_it_2'")
+    mediator = make_mediator(sources)
+    mediator.define_view("eu", [
+        ("italy", "SELECT name, city, size FROM landfill"),
+        ("france", "SELECT name, city, size FROM landfill")],
+        reconciliation="prefer_first", key_columns=["name"])
+    result, _report = mediator.query(
+        "SELECT size FROM eu WHERE name = 'lf_it_2'")
+    assert result.scalar() == 7.5  # italy's value wins
+
+
+def test_mediated_query_over_view_join(sources):
+    mediator = make_mediator(sources)
+    mediator.define_view("eu", [
+        ("italy", "SELECT name, city, size FROM landfill"),
+        ("france", "SELECT name, city, size FROM landfill")])
+    result, _report = mediator.query("""
+        SELECT city, COUNT(*) AS n FROM eu GROUP BY city
+        ORDER BY n DESC, city LIMIT 1""")
+    assert result.rows == [("Milano", 2)]
+
+
+def test_view_definition_validation(sources):
+    mediator = make_mediator(sources)
+    with pytest.raises(MediationError):
+        mediator.define_view("v", [])
+    with pytest.raises(MediationError):
+        mediator.define_view("v", [("nowhere", "SELECT 1")])
+    with pytest.raises(MediationError):
+        mediator.define_view("v", [("italy", "SELECT 1")],
+                             reconciliation="prefer_first")
+    with pytest.raises(MediationError):
+        mediator.query("SELECT 1", views=["missing"])
+
+
+def test_fragment_arity_mismatch_detected(sources):
+    mediator = make_mediator(sources)
+    mediator.define_view("bad", [
+        ("italy", "SELECT name, city FROM landfill"),
+        ("france", "SELECT name FROM landfill")])
+    with pytest.raises(MediationError):
+        mediator.query("SELECT * FROM bad")
+
+
+# -- REST integration --------------------------------------------------------------
+
+
+@pytest.fixture
+def service():
+    platform = CrossePlatform(
+        generate_databank(SmartGroundConfig(n_landfills=10, seed=3)))
+    return CrosseRestService(platform)
+
+
+def test_rest_user_lifecycle(service):
+    created = service.request("POST", "/api/users",
+                              {"username": "giulia"})
+    assert created.status == 200
+    listed = service.request("GET", "/api/users")
+    assert "giulia" in listed.payload["users"]
+
+
+def test_rest_annotation_and_acceptance_flow(service):
+    service.request("POST", "/api/users", {"username": "giulia"})
+    service.request("POST", "/api/users", {"username": "marco"})
+    created = service.request("POST", "/api/annotations", {
+        "username": "giulia", "subject": "Mercury",
+        "property": "dangerLevel", "object": "high"})
+    assert created.status == 200
+    statement_id = created.payload["statement_id"]
+    listed = service.request("GET", "/api/annotations/marco")
+    assert any(a["statement_id"] == statement_id
+               for a in listed.payload["annotations"])
+    accepted = service.request(
+        "POST", f"/api/statements/{statement_id}/accept",
+        {"username": "marco"})
+    assert accepted.payload["accepted_by"] == ["marco"]
+
+
+def test_rest_sesql_round_trip(service):
+    service.request("POST", "/api/users", {"username": "giulia"})
+    service.request("POST", "/api/annotations", {
+        "username": "giulia", "subject": "Iron",
+        "property": "dangerLevel", "object": "low"})
+    response = service.request("POST", "/api/sesql", {
+        "username": "giulia",
+        "query": "SELECT DISTINCT elem_name FROM elem_contained "
+                 "ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)"})
+    assert response.status == 200
+    assert response.payload["columns"] == ["elem_name", "dangerLevel"]
+
+
+def test_rest_missing_route_and_fields(service):
+    assert service.request("GET", "/api/nothing").status == 404
+    assert service.request("POST", "/api/users", {}).status == 400
+
+
+def test_rest_handler_error_becomes_422(service):
+    service.request("POST", "/api/users", {"username": "giulia"})
+    response = service.request("POST", "/api/annotations", {
+        "username": "giulia", "scenario": "integrated",
+        "table": "elem_contained", "column": "elem_name",
+        "value": "Unobtainium", "property": "dangerLevel",
+        "object": "high"})
+    assert response.status == 422

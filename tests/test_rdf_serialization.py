@@ -1,0 +1,108 @@
+"""Turtle and N-Triples round trips and parse errors."""
+
+import pytest
+
+from repro.rdf import (IRI, Literal, Namespace, NamespaceManager,
+                       RdfParseError, parse_ntriples, parse_turtle,
+                       serialize_ntriples, serialize_turtle)
+
+SMG = Namespace("http://smartground.eu/ns#")
+
+SAMPLE = """
+@prefix smg: <http://smartground.eu/ns#> .
+# a comment
+smg:Mercury a smg:Element ;
+    smg:dangerLevel "high" ;
+    smg:oreAssemblage smg:Cinnabar, smg:Sulfur .
+smg:Torino smg:inCountry smg:Italy .
+smg:m smg:amount 12.5 .
+smg:n smg:count 42 .
+smg:f smg:flag true .
+_:note smg:text "it's \\"quoted\\"" .
+"""
+
+
+def test_parse_turtle_counts():
+    store = parse_turtle(SAMPLE)
+    assert len(store) == 9
+
+
+def test_predicate_and_object_lists():
+    store = parse_turtle(SAMPLE)
+    assert store.count(SMG.Mercury, None, None) == 4
+    assert store.count(SMG.Mercury, SMG.oreAssemblage, None) == 2
+
+
+def test_a_keyword_expands_to_rdf_type():
+    store = parse_turtle(SAMPLE)
+    rdf_type = IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+    assert store.count(SMG.Mercury, rdf_type, SMG.Element) == 1
+
+
+def test_numeric_and_boolean_literals():
+    store = parse_turtle(SAMPLE)
+    assert store.value(SMG.m, SMG.amount) == Literal(12.5)
+    assert store.value(SMG.n, SMG.count) == Literal(42)
+    assert store.value(SMG.f, SMG.flag) == Literal(True)
+
+
+def test_escaped_quotes_in_strings():
+    store = parse_turtle(SAMPLE)
+    values = [t.object.value for t in store.triples(None, SMG.text, None)]
+    assert values == ["it's \"quoted\""]
+
+
+def test_turtle_roundtrip():
+    store = parse_turtle(SAMPLE)
+    text = serialize_turtle(store)
+    again = parse_turtle(text)
+    assert set(again.triples()) == set(store.triples())
+
+
+def test_ntriples_roundtrip():
+    store = parse_turtle(SAMPLE)
+    text = serialize_ntriples(store)
+    again = parse_ntriples(text)
+    # Blank node identity survives because labels are preserved.
+    assert len(again) == len(store)
+
+
+def test_lang_tagged_literal_roundtrip_ntriples():
+    text = ('<http://x/a> <http://x/p> "bonjour"@fr .\n')
+    store = parse_ntriples(text)
+    assert list(store.triples())[0].object.lang == "fr"
+    assert serialize_ntriples(store).strip() == text.strip()
+
+
+def test_typed_literal_roundtrip_ntriples():
+    text = ('<http://x/a> <http://x/p> '
+            '"5"^^<http://www.w3.org/2001/XMLSchema#integer> .')
+    store = parse_ntriples(text)
+    assert list(store.triples())[0].object == Literal(5)
+
+
+def test_turtle_unknown_prefix_raises():
+    with pytest.raises(Exception):
+        parse_turtle("unknown:a unknown:b unknown:c .")
+
+
+def test_turtle_missing_dot_raises():
+    with pytest.raises(RdfParseError):
+        parse_turtle("@prefix smg: <http://x#> .\nsmg:a smg:b smg:c")
+
+
+def test_ntriples_malformed_line_raises():
+    with pytest.raises(RdfParseError):
+        parse_ntriples("<http://a> <http://b> .")
+
+
+def test_sparql_style_prefix_directive():
+    store = parse_turtle("PREFIX ex: <http://e/>\nex:a ex:p ex:b .")
+    assert len(store) == 1
+
+
+def test_custom_namespace_manager_survives():
+    manager = NamespaceManager()
+    manager.bind("lab", "http://lab.example/")
+    store = parse_turtle("lab:x lab:leads lab:y .", manager)
+    assert store.count(IRI("http://lab.example/x"), None, None) == 1

@@ -1,0 +1,149 @@
+"""RDF terms and triple store: identity, indexes, pattern matching."""
+
+import pytest
+
+from repro.rdf import (IRI, BNode, Literal, Namespace, RdfError, RdfTermError,
+                       Triple, TripleStore, term_from_python, term_sort_key)
+
+SMG = Namespace("http://smartground.eu/ns#")
+
+
+def test_iri_validation():
+    with pytest.raises(RdfTermError):
+        IRI("")
+    with pytest.raises(RdfTermError):
+        IRI("has space")
+
+
+def test_iri_local_name():
+    assert IRI("http://x.org/ns#Mercury").local_name() == "Mercury"
+    assert IRI("http://x.org/path/Lead").local_name() == "Lead"
+
+
+def test_literal_datatype_inference():
+    assert Literal("x").datatype.endswith("string")
+    assert Literal(3).datatype.endswith("integer")
+    assert Literal(3.5).datatype.endswith("double")
+    assert Literal(True).datatype.endswith("boolean")
+
+
+def test_literal_lang_requires_string():
+    with pytest.raises(RdfTermError):
+        Literal(3, lang="en")
+
+
+def test_terms_are_hashable_and_equal_by_value():
+    assert IRI("http://a") == IRI("http://a")
+    assert hash(Literal("x")) == hash(Literal("x"))
+    assert Literal("x") != Literal("x", lang="en")
+
+
+def test_bnode_ids_unique_by_default():
+    assert BNode() != BNode()
+    assert BNode("same") == BNode("same")
+
+
+def test_term_from_python():
+    assert term_from_python("x") == Literal("x")
+    assert term_from_python(IRI("http://a")) == IRI("http://a")
+    with pytest.raises(RdfTermError):
+        term_from_python(object())
+
+
+def test_term_sort_order():
+    order = [None, BNode("a"), IRI("http://a"), Literal(1), Literal("z")]
+    keys = [term_sort_key(term) for term in order]
+    assert keys == sorted(keys)
+
+
+@pytest.fixture
+def store():
+    s = TripleStore()
+    s.add(SMG.Mercury, SMG.dangerLevel, Literal("high"))
+    s.add(SMG.Mercury, SMG.isA, SMG.HazardousWaste)
+    s.add(SMG.Iron, SMG.dangerLevel, Literal("low"))
+    s.add(SMG.Torino, SMG.inCountry, SMG.Italy)
+    return s
+
+
+def test_add_is_idempotent(store):
+    before = len(store)
+    assert store.add(SMG.Mercury, SMG.isA, SMG.HazardousWaste) is False
+    assert len(store) == before
+
+
+def test_contains_and_remove(store):
+    triple = Triple(SMG.Iron, SMG.dangerLevel, Literal("low"))
+    assert triple in store
+    assert store.remove(triple) is True
+    assert triple not in store
+    assert store.remove(triple) is False
+
+
+def test_pattern_matching_each_shape(store):
+    assert store.count(SMG.Mercury, None, None) == 2
+    assert store.count(None, SMG.dangerLevel, None) == 2
+    assert store.count(None, None, SMG.HazardousWaste) == 1
+    assert store.count(SMG.Mercury, SMG.dangerLevel, None) == 1
+    assert store.count(None, SMG.dangerLevel, Literal("low")) == 1
+    assert store.count(SMG.Mercury, None, SMG.HazardousWaste) == 1
+    assert store.count(None, None, None) == 4
+    assert store.count(SMG.Mercury, SMG.dangerLevel, Literal("high")) == 1
+
+
+def test_python_values_accepted_in_patterns(store):
+    assert store.count(None, SMG.dangerLevel, "high") == 1
+
+
+def test_subjects_objects_predicates_deduped(store):
+    store.add(SMG.Mercury, SMG.dangerLevel, Literal("very-high"))
+    assert len(list(store.subjects(SMG.dangerLevel, None))) == 2
+    assert len(list(store.objects(SMG.Mercury, SMG.dangerLevel))) == 2
+    assert SMG.isA in set(store.predicates(SMG.Mercury, None))
+
+
+def test_value_helper(store):
+    assert store.value(SMG.Torino, SMG.inCountry) == SMG.Italy
+    assert store.value(SMG.Torino, SMG.dangerLevel) is None
+
+
+def test_remove_pattern(store):
+    removed = store.remove_pattern(None, SMG.dangerLevel, None)
+    assert removed == 2
+    assert store.count(None, SMG.dangerLevel, None) == 0
+
+
+def test_union_and_copy_do_not_alias(store):
+    other = TripleStore()
+    other.add(SMG.Lead, SMG.dangerLevel, Literal("mid"))
+    merged = store.union(other)
+    assert len(merged) == len(store) + 1
+    merged.add(SMG.X, SMG.isA, SMG.Y)
+    assert store.count(SMG.X, None, None) == 0
+
+
+def test_spo_only_indexing_matches_full(store):
+    reduced = TripleStore(indexing="spo")
+    reduced.add_all(store.triples())
+    for pattern in [(None, SMG.dangerLevel, None),
+                    (None, None, SMG.HazardousWaste),
+                    (SMG.Mercury, None, None)]:
+        full_result = set(store.triples(*pattern))
+        reduced_result = set(reduced.triples(*pattern))
+        assert full_result == reduced_result
+
+
+def test_predicate_must_be_iri():
+    store = TripleStore()
+    with pytest.raises(RdfError):
+        store.add(SMG.a, Literal("not-a-predicate"), SMG.b)
+
+
+def test_remove_cleans_empty_index_levels():
+    store = TripleStore()
+    store.add(SMG.a, SMG.p, SMG.b)
+    store.remove(SMG.a, SMG.p, SMG.b)
+    assert len(store) == 0
+    assert list(store.triples()) == []
+    # Internal dicts must not leak empty shells.
+    assert store._spo == {} and store._pos == {} and store._osp == {}

@@ -1,0 +1,169 @@
+"""DML/DDL behaviour: constraints, defaults, updates, indexes."""
+
+import pytest
+
+from repro.relational import (CatalogError, ConstraintViolation, Database,
+                              SchemaError, TypeMismatchError)
+
+
+def test_create_and_drop_table(db):
+    db.execute("CREATE TABLE t (x INTEGER)")
+    assert db.catalog.has_table("t")
+    db.execute("DROP TABLE t")
+    assert not db.catalog.has_table("t")
+
+
+def test_create_existing_table_raises(db):
+    db.execute("CREATE TABLE t (x INTEGER)")
+    with pytest.raises(CatalogError):
+        db.execute("CREATE TABLE t (x INTEGER)")
+    db.execute("CREATE TABLE IF NOT EXISTS t (x INTEGER)")  # no error
+
+
+def test_drop_missing_table(db):
+    with pytest.raises(CatalogError):
+        db.execute("DROP TABLE missing")
+    db.execute("DROP TABLE IF EXISTS missing")  # no error
+
+
+def test_primary_key_uniqueness(db):
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+    db.execute("INSERT INTO t VALUES (1, 'a')")
+    with pytest.raises(ConstraintViolation):
+        db.execute("INSERT INTO t VALUES (1, 'b')")
+    # The failed insert must not leave the row behind.
+    assert len(db.query("SELECT * FROM t")) == 1
+
+
+def test_primary_key_not_null(db):
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+    with pytest.raises(ConstraintViolation):
+        db.execute("INSERT INTO t VALUES (NULL)")
+
+
+def test_not_null_enforced(db):
+    db.execute("CREATE TABLE t (v TEXT NOT NULL)")
+    with pytest.raises(ConstraintViolation):
+        db.execute("INSERT INTO t VALUES (NULL)")
+
+
+def test_unique_column(db):
+    db.execute("CREATE TABLE t (v TEXT UNIQUE)")
+    db.execute("INSERT INTO t VALUES ('a'), (NULL), (NULL)")  # NULLs ok
+    with pytest.raises(ConstraintViolation):
+        db.execute("INSERT INTO t VALUES ('a')")
+
+
+def test_default_values(db):
+    db.execute("CREATE TABLE t (id INTEGER, status TEXT DEFAULT 'new')")
+    db.execute("INSERT INTO t (id) VALUES (1)")
+    assert db.query("SELECT status FROM t").rows == [("new",)]
+
+
+def test_insert_column_subset_fills_nulls(db):
+    db.execute("CREATE TABLE t (a INTEGER, b TEXT)")
+    db.execute("INSERT INTO t (b) VALUES ('x')")
+    assert db.query("SELECT a, b FROM t").rows == [(None, "x")]
+
+
+def test_insert_type_coercion_and_errors(db):
+    db.execute("CREATE TABLE t (a INTEGER, b REAL, c TEXT, d BOOLEAN)")
+    db.execute("INSERT INTO t VALUES (1, 2, 'x', TRUE)")
+    assert db.query("SELECT b FROM t").rows == [(2.0,)]
+    with pytest.raises(TypeMismatchError):
+        db.execute("INSERT INTO t VALUES ('abc', 1.0, 'x', FALSE)")
+
+
+def test_insert_select(db):
+    db.execute("CREATE TABLE src (x INTEGER)")
+    db.execute("INSERT INTO src VALUES (1), (2), (3)")
+    db.execute("CREATE TABLE dst (x INTEGER)")
+    affected = db.execute("INSERT INTO dst SELECT x * 10 FROM src")
+    assert affected == 3
+    assert db.query("SELECT x FROM dst ORDER BY x").rows == [
+        (10,), (20,), (30,)]
+
+
+def test_update_with_expression(db):
+    db.execute("CREATE TABLE t (id INTEGER, v INTEGER)")
+    db.execute("INSERT INTO t VALUES (1, 10), (2, 20)")
+    affected = db.execute("UPDATE t SET v = v + 1 WHERE id = 2")
+    assert affected == 1
+    assert db.query("SELECT v FROM t ORDER BY id").rows == [(10,), (21,)]
+
+
+def test_update_reindexes(db):
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+    db.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+    db.execute("CREATE INDEX iv ON t (v)")
+    db.execute("UPDATE t SET v = 'z' WHERE id = 1")
+    assert db.query("SELECT id FROM t WHERE v = 'z'").rows == [(1,)]
+    assert db.query("SELECT id FROM t WHERE v = 'a'").rows == []
+
+
+def test_update_violating_pk_rolls_back(db):
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+    db.execute("INSERT INTO t VALUES (1), (2)")
+    with pytest.raises(ConstraintViolation):
+        db.execute("UPDATE t SET id = 1 WHERE id = 2")
+    assert db.query("SELECT id FROM t ORDER BY id").rows == [(1,), (2,)]
+
+
+def test_delete_with_and_without_where(db):
+    db.execute("CREATE TABLE t (x INTEGER)")
+    db.execute("INSERT INTO t VALUES (1), (2), (3)")
+    assert db.execute("DELETE FROM t WHERE x > 1") == 2
+    assert db.execute("DELETE FROM t") == 1
+    assert db.query("SELECT * FROM t").rows == []
+
+
+def test_index_speeds_equality_lookup_and_stays_correct(db):
+    db.execute("CREATE TABLE t (k INTEGER, v TEXT)")
+    db.insert_rows("t", ({"k": i % 100, "v": f"v{i}"} for i in range(1000)))
+    without = db.query("SELECT COUNT(*) FROM t WHERE k = 7").scalar()
+    db.execute("CREATE INDEX ik ON t (k)")
+    with_index = db.query("SELECT COUNT(*) FROM t WHERE k = 7").scalar()
+    assert without == with_index == 10
+
+
+def test_unique_index_rejects_duplicates(db):
+    db.execute("CREATE TABLE t (k INTEGER)")
+    db.execute("INSERT INTO t VALUES (1)")
+    db.execute("CREATE UNIQUE INDEX uk ON t (k)")
+    with pytest.raises(ConstraintViolation):
+        db.execute("INSERT INTO t VALUES (1)")
+
+
+def test_create_unique_index_on_existing_duplicates_fails(db):
+    db.execute("CREATE TABLE t (k INTEGER)")
+    db.execute("INSERT INTO t VALUES (1), (1)")
+    with pytest.raises(ConstraintViolation):
+        db.execute("CREATE UNIQUE INDEX uk ON t (k)")
+
+
+def test_sorted_index_range(db):
+    db.execute("CREATE TABLE t (k INTEGER)")
+    db.execute("INSERT INTO t VALUES (5), (1), (9), (3)")
+    db.execute("CREATE INDEX sk ON t (k) USING sorted")
+    index = db.table("t").indexes["sk"]
+    values = sorted(db.table("t").row(rid)[0]
+                    for rid in index.range(low=2, high=8))
+    assert values == [3, 5]
+
+
+def test_drop_index(db):
+    db.execute("CREATE TABLE t (k INTEGER)")
+    db.execute("CREATE INDEX ik ON t (k)")
+    db.execute("DROP INDEX ik")
+    with pytest.raises(SchemaError):
+        db.execute("DROP INDEX ik")
+    db.execute("DROP INDEX IF EXISTS ik")  # no error
+
+
+def test_execute_script_multiple_statements(db):
+    results = db.execute_script("""
+        CREATE TABLE t (x INTEGER);
+        INSERT INTO t VALUES (1), (2);
+        SELECT COUNT(*) FROM t;
+    """)
+    assert results[-1].scalar() == 2

@@ -1,0 +1,275 @@
+"""End-to-end SELECT execution: filters, joins, grouping, set ops, NULLs."""
+
+import pytest
+
+from repro.relational import (AmbiguousColumnError, Database, ExecutionError,
+                              UnknownColumnError)
+
+
+def rows(db, sql):
+    return db.query(sql).rows
+
+
+def test_select_without_from(db):
+    assert rows(db, "SELECT 1 + 2, 'x' || 'y'") == [(3, "xy")]
+
+
+def test_where_filters_and_projection(landfill_db):
+    assert rows(landfill_db,
+                "SELECT name FROM landfill WHERE city = 'Torino' "
+                "ORDER BY name") == [("a",), ("c",)]
+
+
+def test_unknown_column_raises(landfill_db):
+    with pytest.raises(UnknownColumnError):
+        landfill_db.query("SELECT nope FROM landfill")
+
+
+def test_ambiguous_column_raises(landfill_db):
+    with pytest.raises(AmbiguousColumnError):
+        landfill_db.query(
+            "SELECT name FROM landfill a, landfill b")
+
+
+def test_qualified_columns_disambiguate(landfill_db):
+    result = rows(landfill_db,
+                  "SELECT a.name FROM landfill a, landfill b "
+                  "WHERE a.id = 1 AND b.id = 2")
+    assert result == [("a",)]
+
+
+def test_inner_join_on_equality(landfill_db):
+    result = rows(landfill_db, """
+        SELECT l.name, e.elem_name
+        FROM landfill l JOIN elem_contained e ON l.name = e.landfill_name
+        WHERE e.elem_name = 'Mercury' ORDER BY l.name""")
+    assert result == [("a", "Mercury"), ("b", "Mercury")]
+
+
+def test_left_join_pads_with_nulls(landfill_db):
+    result = rows(landfill_db, """
+        SELECT l.name, e.elem_name
+        FROM landfill l LEFT JOIN elem_contained e
+            ON l.name = e.landfill_name AND e.elem_name = 'Lead'
+        ORDER BY l.name""")
+    assert result == [("a", None), ("b", None), ("c", "Lead"), ("d", None)]
+
+
+def test_join_null_keys_never_match(db):
+    db.execute("CREATE TABLE t (a TEXT)")
+    db.execute("CREATE TABLE u (a TEXT)")
+    db.execute("INSERT INTO t VALUES (NULL), ('x')")
+    db.execute("INSERT INTO u VALUES (NULL), ('x')")
+    assert rows(db, "SELECT * FROM t JOIN u ON t.a = u.a") == [("x", "x")]
+
+
+def test_non_equi_join_nested_loop(landfill_db):
+    result = rows(landfill_db, """
+        SELECT a.id, b.id FROM landfill a JOIN landfill b ON a.id < b.id
+        WHERE a.id <= 2 AND b.id <= 2""")
+    assert result == [(1, 2)]
+
+
+def test_cross_join_cardinality(landfill_db):
+    result = rows(landfill_db,
+                  "SELECT COUNT(*) FROM landfill, elem_contained")
+    assert result == [(4 * 7,)]
+
+
+def test_self_join_with_aliases_example_46_shape(landfill_db):
+    # The join pattern of paper Example 4.6 (without enrichment).
+    result = rows(landfill_db, """
+        SELECT Elecond1.landfill_name AS l_name1,
+               Elecond2.landfill_name AS l_name2,
+               Elecond1.elem_name
+        FROM elem_contained AS Elecond1, elem_contained AS Elecond2
+        WHERE Elecond1.elem_name = Elecond2.elem_name
+          AND Elecond1.landfill_name < Elecond2.landfill_name
+        ORDER BY 1, 2, 3""")
+    assert result == [("a", "b", "Mercury"), ("a", "c", "Iron")]
+
+
+def test_group_by_with_having(landfill_db):
+    result = rows(landfill_db, """
+        SELECT landfill_name, COUNT(*) AS n, SUM(amount) AS total
+        FROM elem_contained GROUP BY landfill_name
+        HAVING COUNT(*) >= 2 ORDER BY n DESC, landfill_name""")
+    assert result == [("a", 3, 155.5), ("b", 2, 62.25), ("c", 2, 229.0)]
+
+
+def test_group_by_ordinal_and_alias(landfill_db):
+    by_ordinal = rows(landfill_db,
+                      "SELECT city, COUNT(*) FROM landfill GROUP BY 1 "
+                      "ORDER BY 1")
+    by_alias = rows(landfill_db,
+                    "SELECT city AS c, COUNT(*) FROM landfill GROUP BY c "
+                    "ORDER BY c")
+    assert by_ordinal == by_alias
+
+
+def test_global_aggregate_on_empty_table(db):
+    db.execute("CREATE TABLE empty (x INTEGER)")
+    assert rows(db, "SELECT COUNT(*), SUM(x), MIN(x) FROM empty") == [
+        (0, None, None)]
+
+
+def test_aggregate_ignores_nulls(landfill_db):
+    result = rows(landfill_db,
+                  "SELECT COUNT(city), COUNT(*) FROM landfill")
+    assert result == [(3, 4)]
+
+
+def test_count_distinct(landfill_db):
+    result = rows(landfill_db,
+                  "SELECT COUNT(DISTINCT city) FROM landfill")
+    assert result == [(2,)]
+
+
+def test_non_grouped_column_rejected(landfill_db):
+    with pytest.raises(ExecutionError):
+        landfill_db.query(
+            "SELECT name, COUNT(*) FROM landfill GROUP BY city")
+
+
+def test_order_by_nulls_placement(landfill_db):
+    ascending = rows(landfill_db,
+                     "SELECT city FROM landfill ORDER BY city, id")
+    assert ascending[-1] == (None,)
+    descending = rows(landfill_db,
+                      "SELECT city FROM landfill ORDER BY city DESC, id")
+    assert descending[0] == (None,)
+
+
+def test_limit_offset(landfill_db):
+    result = rows(landfill_db,
+                  "SELECT id FROM landfill ORDER BY id LIMIT 2 OFFSET 1")
+    assert result == [(2,), (3,)]
+
+
+def test_distinct_rows(landfill_db):
+    result = rows(landfill_db,
+                  "SELECT DISTINCT city FROM landfill ORDER BY city")
+    assert result == [("Lyon",), ("Torino",), (None,)]
+
+
+def test_union_dedupes_union_all_keeps(landfill_db):
+    union = rows(landfill_db,
+                 "SELECT city FROM landfill UNION SELECT city FROM landfill")
+    union_all = rows(landfill_db, """
+        SELECT city FROM landfill UNION ALL SELECT city FROM landfill""")
+    assert len(union) == 3
+    assert len(union_all) == 8
+
+
+def test_intersect_and_except(landfill_db):
+    intersect = rows(landfill_db, """
+        SELECT elem_name FROM elem_contained WHERE landfill_name = 'a'
+        INTERSECT
+        SELECT elem_name FROM elem_contained WHERE landfill_name = 'b'""")
+    assert intersect == [("Mercury",)]
+    except_rows = rows(landfill_db, """
+        SELECT elem_name FROM elem_contained WHERE landfill_name = 'a'
+        EXCEPT
+        SELECT elem_name FROM elem_contained WHERE landfill_name = 'b'
+        ORDER BY elem_name""")
+    assert except_rows == [("Asbestos",), ("Iron",)]
+
+
+def test_scalar_subquery(landfill_db):
+    result = rows(landfill_db, """
+        SELECT name, (SELECT COUNT(*) FROM elem_contained e
+                      WHERE e.landfill_name = landfill.name) AS n
+        FROM landfill ORDER BY name""")
+    assert result == [("a", 3), ("b", 2), ("c", 2), ("d", 0)]
+
+
+def test_scalar_subquery_multiple_rows_raises(landfill_db):
+    with pytest.raises(ExecutionError):
+        landfill_db.query(
+            "SELECT (SELECT elem_name FROM elem_contained)")
+
+
+def test_correlated_exists(landfill_db):
+    result = rows(landfill_db, """
+        SELECT name FROM landfill l
+        WHERE EXISTS (SELECT 1 FROM elem_contained e
+                      WHERE e.landfill_name = l.name
+                        AND e.elem_name = 'Iron')
+        ORDER BY name""")
+    assert result == [("a",), ("c",)]
+
+
+def test_not_in_with_null_semantics(db):
+    db.execute("CREATE TABLE t (x INTEGER)")
+    db.execute("INSERT INTO t VALUES (1), (2)")
+    db.execute("CREATE TABLE u (x INTEGER)")
+    db.execute("INSERT INTO u VALUES (1), (NULL)")
+    # 2 NOT IN (1, NULL) is unknown, so no rows pass.
+    assert rows(db, "SELECT x FROM t WHERE x NOT IN (SELECT x FROM u)") == []
+
+
+def test_in_subquery(landfill_db):
+    result = rows(landfill_db, """
+        SELECT DISTINCT landfill_name FROM elem_contained
+        WHERE elem_name IN (SELECT elem_name FROM elem_contained
+                            WHERE landfill_name = 'c')
+        ORDER BY landfill_name""")
+    assert result == [("a",), ("c",)]
+
+
+def test_subquery_in_from(landfill_db):
+    result = rows(landfill_db, """
+        SELECT s.city, s.n FROM
+          (SELECT city, COUNT(*) AS n FROM landfill GROUP BY city) AS s
+        WHERE s.n > 1""")
+    assert result == [("Torino", 2)]
+
+
+def test_three_valued_logic_in_where(landfill_db):
+    # city = NULL comparison is unknown -> filtered out, not an error.
+    assert rows(landfill_db,
+                "SELECT name FROM landfill WHERE city = NULL") == []
+
+
+def test_between(landfill_db):
+    result = rows(landfill_db,
+                  "SELECT name FROM landfill WHERE area BETWEEN 50 AND 130 "
+                  "ORDER BY name")
+    assert result == [("a",), ("b",)]
+
+
+def test_like_wildcards(landfill_db):
+    result = rows(landfill_db, """
+        SELECT DISTINCT elem_name FROM elem_contained
+        WHERE elem_name LIKE '_e%' ORDER BY elem_name""")
+    assert result == [("Lead",), ("Mercury",)]
+
+
+def test_division_by_zero_raises(db):
+    with pytest.raises(ExecutionError):
+        db.query("SELECT 1 / 0")
+
+
+def test_integer_division_truncates(db):
+    assert rows(db, "SELECT 7 / 2, -7 / 2, 7.0 / 2") == [(3, -3, 3.5)]
+
+
+def test_order_by_expression(landfill_db):
+    result = rows(landfill_db,
+                  "SELECT name FROM landfill WHERE area IS NOT NULL "
+                  "ORDER BY area * -1")
+    assert result == [("a",), ("b",), ("c",)]
+
+
+def test_case_expression_in_projection(landfill_db):
+    result = rows(landfill_db, """
+        SELECT name, CASE WHEN area > 100 THEN 'big'
+                          WHEN area > 50 THEN 'mid'
+                          ELSE 'small' END
+        FROM landfill WHERE area IS NOT NULL ORDER BY name""")
+    assert result == [("a", "big"), ("b", "mid"), ("c", "small")]
+
+
+def test_duplicate_alias_rejected(landfill_db):
+    with pytest.raises(Exception):
+        landfill_db.query("SELECT * FROM landfill a, landfill a")

@@ -1,0 +1,83 @@
+"""Tokenizer behaviour: literals, comments, operators, error positions."""
+
+import pytest
+
+from repro.relational import SqlSyntaxError
+from repro.relational.lexer import tokenize
+
+
+def kinds(sql):
+    return [(token.type, token.value) for token in tokenize(sql)[:-1]]
+
+
+def test_keywords_case_insensitive():
+    assert kinds("select SELECT SeLeCt") == [
+        ("KEYWORD", "SELECT")] * 3
+
+
+def test_identifiers_preserve_case():
+    assert kinds("Landfill elem_name") == [
+        ("IDENT", "Landfill"), ("IDENT", "elem_name")]
+
+
+def test_quoted_identifier_with_spaces_and_escapes():
+    assert kinds('"week day" "a""b"') == [
+        ("IDENT", "week day"), ("IDENT", 'a"b')]
+
+
+def test_string_literal_with_escaped_quote():
+    assert kinds("'it''s'") == [("STRING", "it's")]
+
+
+def test_unterminated_string_raises_with_position():
+    with pytest.raises(SqlSyntaxError):
+        tokenize("SELECT 'oops")
+
+
+def test_integer_and_float_literals():
+    assert kinds("1 2.5 .5 1e3 2E-2") == [
+        ("NUMBER", 1), ("NUMBER", 2.5), ("NUMBER", 0.5),
+        ("NUMBER", 1000.0), ("NUMBER", 0.02)]
+
+
+def test_number_followed_by_dot_star_stays_separate():
+    values = [token.value for token in tokenize("t1.*")[:-1]]
+    assert values == ["t1", ".", "*"]
+
+
+def test_operators_longest_match():
+    assert kinds("<= >= <> != ||") == [
+        ("OP", "<="), ("OP", ">="), ("OP", "<>"), ("OP", "<>"), ("OP", "||")]
+
+
+def test_line_comment_skipped():
+    assert kinds("SELECT -- comment here\n 1") == [
+        ("KEYWORD", "SELECT"), ("NUMBER", 1)]
+
+
+def test_block_comment_skipped():
+    assert kinds("SELECT /* multi\nline */ 1") == [
+        ("KEYWORD", "SELECT"), ("NUMBER", 1)]
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(SqlSyntaxError):
+        tokenize("SELECT /* oops")
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(SqlSyntaxError):
+        tokenize("SELECT @")
+
+
+def test_line_and_column_tracking():
+    tokens = tokenize("SELECT\n  name")
+    assert tokens[0].line == 1
+    assert tokens[1].line == 2
+    assert tokens[1].column == 3
+
+
+def test_eof_token_terminates_stream():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].type == "EOF"

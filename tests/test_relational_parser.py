@@ -1,0 +1,181 @@
+"""SQL parser: statement shapes, precedence, joins, subqueries, errors."""
+
+import pytest
+
+from repro.relational import (NotSupportedError, SqlSyntaxError, parse_expr,
+                              parse_sql)
+from repro.relational import ast
+
+
+def test_simple_select_shape():
+    query = parse_sql("SELECT name, city FROM landfill WHERE id = 3")
+    assert isinstance(query, ast.SelectQuery)
+    assert [item.output_name() for item in query.core.items] == [
+        "name", "city"]
+    assert isinstance(query.core.from_clause, ast.TableRef)
+    assert isinstance(query.core.where, ast.BinaryOp)
+
+
+def test_select_star_and_qualified_star():
+    query = parse_sql("SELECT *, t.* FROM t")
+    star, qualified = query.core.items
+    assert isinstance(star.expr, ast.Star) and star.expr.qualifier is None
+    assert qualified.expr.qualifier == "t"
+
+
+def test_alias_with_and_without_as():
+    query = parse_sql("SELECT a AS x, b y FROM t")
+    assert [item.alias for item in query.core.items] == ["x", "y"]
+
+
+def test_and_binds_tighter_than_or():
+    expr = parse_expr("a OR b AND c")
+    assert expr.op == "OR"
+    assert expr.right.op == "AND"
+
+
+def test_arithmetic_precedence():
+    expr = parse_expr("1 + 2 * 3")
+    assert expr.op == "+"
+    assert expr.right.op == "*"
+
+
+def test_comparison_chain_not_allowed_silently():
+    # a = b produces a comparison; the remaining '= c' must error.
+    with pytest.raises(SqlSyntaxError):
+        parse_sql("SELECT 1 WHERE a = b = c")
+
+
+def test_not_like_between_in():
+    like = parse_expr("name NOT LIKE 'a%'")
+    assert isinstance(like, ast.Like) and like.negated
+    between = parse_expr("x BETWEEN 1 AND 10")
+    assert isinstance(between, ast.Between) and not between.negated
+    in_list = parse_expr("x NOT IN (1, 2, 3)")
+    assert isinstance(in_list, ast.InList) and in_list.negated
+    assert len(in_list.items) == 3
+
+
+def test_is_null_and_is_not_null():
+    assert isinstance(parse_expr("x IS NULL"), ast.IsNull)
+    expr = parse_expr("x IS NOT NULL")
+    assert expr.negated
+
+
+def test_in_subquery_and_exists():
+    query = parse_sql(
+        "SELECT 1 FROM t WHERE x IN (SELECT y FROM u) "
+        "AND EXISTS (SELECT 1 FROM v)")
+    where = query.core.where
+    assert isinstance(where.left, ast.InSubquery)
+    assert isinstance(where.right, ast.Exists)
+
+
+def test_join_tree_left_and_inner():
+    query = parse_sql(
+        "SELECT * FROM a JOIN b ON a.x = b.x "
+        "LEFT JOIN c ON b.y = c.y")
+    top = query.core.from_clause
+    assert isinstance(top, ast.Join) and top.join_type == "LEFT"
+    assert top.left.join_type == "INNER"
+
+
+def test_comma_join_is_cross():
+    query = parse_sql("SELECT * FROM a, b")
+    assert query.core.from_clause.join_type == "CROSS"
+
+
+def test_right_join_not_supported():
+    with pytest.raises(NotSupportedError):
+        parse_sql("SELECT * FROM a RIGHT JOIN b ON a.x = b.x")
+
+
+def test_subquery_in_from_requires_alias():
+    query = parse_sql("SELECT * FROM (SELECT 1 AS one) AS s")
+    assert isinstance(query.core.from_clause, ast.SubqueryRef)
+    with pytest.raises(SqlSyntaxError):
+        parse_sql("SELECT * FROM (SELECT 1)")
+
+
+def test_group_by_having_order_limit_offset():
+    query = parse_sql(
+        "SELECT city, COUNT(*) AS n FROM landfill "
+        "GROUP BY city HAVING COUNT(*) > 1 "
+        "ORDER BY n DESC, city LIMIT 10 OFFSET 5")
+    assert len(query.core.group_by) == 1
+    assert query.core.having is not None
+    assert query.order_by[0].descending
+    assert not query.order_by[1].descending
+    assert query.limit.value == 10
+    assert query.offset.value == 5
+
+
+def test_union_and_union_all():
+    query = parse_sql("SELECT a FROM t UNION SELECT b FROM u "
+                      "UNION ALL SELECT c FROM v")
+    assert [op for op, _core in query.compounds] == ["UNION", "UNION ALL"]
+
+
+def test_case_searched_and_simple():
+    searched = parse_expr("CASE WHEN a > 1 THEN 'x' ELSE 'y' END")
+    assert searched.operand is None
+    simple = parse_expr("CASE a WHEN 1 THEN 'x' END")
+    assert simple.operand is not None
+    assert simple.else_result is None
+
+
+def test_cast_expression():
+    cast = parse_expr("CAST(x AS INTEGER)")
+    assert isinstance(cast, ast.Cast)
+    assert cast.type_name == "INTEGER"
+
+
+def test_count_star_and_distinct():
+    star = parse_expr("COUNT(*)")
+    assert star.star
+    distinct = parse_expr("COUNT(DISTINCT city)")
+    assert distinct.distinct
+
+
+def test_insert_values_and_select_forms():
+    stmt = parse_sql("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+    assert stmt.columns == ["a", "b"]
+    assert len(stmt.rows) == 2
+    stmt = parse_sql("INSERT INTO t SELECT a, b FROM u")
+    assert stmt.query is not None and stmt.columns is None
+
+
+def test_update_and_delete():
+    update = parse_sql("UPDATE t SET a = 1, b = b + 1 WHERE id = 2")
+    assert len(update.assignments) == 2
+    delete = parse_sql("DELETE FROM t")
+    assert delete.where is None
+
+
+def test_create_table_with_constraints():
+    stmt = parse_sql(
+        "CREATE TABLE IF NOT EXISTS t ("
+        "id INTEGER PRIMARY KEY, name VARCHAR(40) NOT NULL UNIQUE, "
+        "score REAL DEFAULT 0.0)")
+    assert stmt.if_not_exists
+    assert stmt.columns[0].primary_key
+    assert stmt.columns[1].not_null and stmt.columns[1].unique
+    assert stmt.columns[2].default.value == 0.0
+
+
+def test_create_index_variants():
+    stmt = parse_sql("CREATE UNIQUE INDEX i ON t (a, b)")
+    assert stmt.unique and stmt.columns == ["a", "b"]
+    stmt = parse_sql("CREATE INDEX i ON t (a) USING sorted")
+    assert stmt.kind == "sorted"
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(SqlSyntaxError):
+        parse_sql("SELECT 1 FROM t garbage extra")
+
+
+def test_keywords_cannot_be_aliases():
+    # 'FROM' after the item list must start the FROM clause.
+    query = parse_sql("SELECT a FROM t")
+    assert query.core.items[0].alias is None

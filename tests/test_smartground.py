@@ -1,0 +1,120 @@
+"""SmartGround generators: determinism, shape, workload executability."""
+
+import pytest
+
+from repro.core import SESQLEngine, StoredQueryRegistry
+from repro.rdf import SMG
+from repro.smartground import (DANGER_QUERY_SPARQL, HAZARDOUS,
+                               PAPER_EXAMPLES, SQL_BASELINES,
+                               SmartGroundConfig, WORKLOAD,
+                               assemblage_ontology, city_planner_kb,
+                               generate_databank, hazard_ontology,
+                               lab_ontology, regulation_ontology,
+                               researcher_kb, synthetic_kb, TABLES)
+
+
+@pytest.fixture(scope="module")
+def databank():
+    return generate_databank(SmartGroundConfig(n_landfills=25, seed=42))
+
+
+def test_all_tables_populated(databank):
+    for table in TABLES:
+        assert len(databank.table(table)) > 0, table
+
+
+def test_generation_is_deterministic():
+    config = SmartGroundConfig(n_landfills=10, seed=7)
+    first = generate_databank(config)
+    second = generate_databank(config)
+    rows_first = first.query(
+        "SELECT * FROM elem_contained ORDER BY landfill_name, elem_name")
+    rows_second = second.query(
+        "SELECT * FROM elem_contained ORDER BY landfill_name, elem_name")
+    assert rows_first.rows == rows_second.rows
+
+
+def test_different_seeds_differ():
+    first = generate_databank(SmartGroundConfig(n_landfills=10, seed=1))
+    second = generate_databank(SmartGroundConfig(n_landfills=10, seed=2))
+    assert first.query("SELECT city FROM landfill ORDER BY id").rows != \
+        second.query("SELECT city FROM landfill ORDER BY id").rows
+
+
+def test_referential_shape(databank):
+    """Every contained element references an existing landfill."""
+    orphans = databank.query("""
+        SELECT COUNT(*) FROM elem_contained e
+        WHERE NOT EXISTS (SELECT 1 FROM landfill l
+                          WHERE l.name = e.landfill_name)""")
+    assert orphans.scalar() == 0
+
+
+def test_occurrence_skew(databank):
+    """Early pool materials (Mercury, Lead...) occur more than the tail."""
+    counts = databank.query("""
+        SELECT elem_name, COUNT(*) AS n FROM elem_contained
+        GROUP BY elem_name ORDER BY n DESC""")
+    top = counts.rows[0][1]
+    bottom = counts.rows[-1][1]
+    assert top > bottom
+
+
+def test_hazard_ontology_contents():
+    kb = hazard_ontology()
+    assert kb.count(SMG.Mercury, SMG.isA, SMG.HazardousWaste) == 1
+    assert kb.count(None, SMG.dangerLevel, None) == len(HAZARDOUS)
+
+
+def test_assemblage_is_symmetric():
+    kb = assemblage_ontology()
+    for triple in kb.triples(None, SMG.oreAssemblage, None):
+        assert kb.count(triple.object, SMG.oreAssemblage,
+                        triple.subject) == 1
+
+
+def test_lab_ontology_roles():
+    kb = lab_ontology(n_labs=3)
+    assert kb.count(None, SMG.isA, SMG.Laboratory) == 3
+    assert kb.count(None, SMG.worksAt, None) > 0
+
+
+def test_regulation_thresholds_are_literals():
+    kb = regulation_ontology()
+    thresholds = [t.object.value
+                  for t in kb.triples(None, SMG.maxAmount, None)]
+    assert thresholds and all(isinstance(v, float) for v in thresholds)
+
+
+def test_personas_differ():
+    researcher = researcher_kb()
+    planner = city_planner_kb()
+    # The planner flags Zinc (urban concern); the researcher does not.
+    assert planner.count(SMG.Zinc, SMG.dangerLevel, None) == 1
+    assert researcher.count(SMG.Zinc, SMG.dangerLevel, None) == 0
+    # The researcher knows geology; the planner does not.
+    assert researcher.count(None, SMG.oreAssemblage, None) > 0
+    assert planner.count(None, SMG.oreAssemblage, None) == 0
+
+
+def test_synthetic_kb_size_and_determinism():
+    kb = synthetic_kb(500, seed=5)
+    assert len(kb) == 500
+    again = synthetic_kb(500, seed=5)
+    assert set(kb.triples()) == set(again.triples())
+
+
+def test_full_workload_executes(databank):
+    registry = StoredQueryRegistry()
+    registry.register("dangerQuery", DANGER_QUERY_SPARQL)
+    engine = SESQLEngine(databank, researcher_kb(),
+                         stored_queries=registry)
+    for query in WORKLOAD:
+        outcome = engine.execute(query.sesql)
+        assert outcome.columns, query.name
+
+
+def test_baselines_cover_all_paper_examples(databank):
+    assert set(SQL_BASELINES) == {q.name for q in PAPER_EXAMPLES}
+    for sql in SQL_BASELINES.values():
+        databank.query(sql)  # must be plain executable SQL
