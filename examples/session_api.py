@@ -1,0 +1,80 @@
+"""The unified session API: connect -> prepare -> explain -> execute.
+
+One entry point for every backend: a plain databank session with a
+prepared, parameterised SESQL query (plan cached, SPARQL memoized),
+then a mediator session over two federated sources showing view
+pruning and materialization reuse.
+
+Run:  python examples/session_api.py
+"""
+
+import repro
+from repro.federation import Mediator
+from repro.rdf import parse_turtle
+from repro.relational import Database
+
+
+def main() -> None:
+    # 1. A databank session with a personal knowledge base.
+    databank = Database()
+    databank.execute_script("""
+        CREATE TABLE elem_contained (
+            landfill_name TEXT, elem_name TEXT, amount REAL);
+        INSERT INTO elem_contained VALUES
+            ('a', 'Mercury', 12.0),
+            ('a', 'Asbestos', 3.5),
+            ('a', 'Iron', 140.0),
+            ('b', 'Mercury', 7.25);
+    """)
+    knowledge = parse_turtle("""
+        @prefix smg: <http://smartground.eu/ns#> .
+        smg:Mercury  smg:dangerLevel "high" .
+        smg:Asbestos smg:dangerLevel "extreme" .
+    """)
+    session = repro.connect(databank, knowledge_base=knowledge)
+
+    # 2. Prepare once; `?` binds typed values injection-safely.
+    prepared = session.prepare("""
+        SELECT elem_name, amount FROM elem_contained WHERE amount > ?
+        ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)""")
+
+    # 3. explain(): the plan — stages, SPARQL, SQL — without running.
+    print("The plan:")
+    print(prepared.explain([5.0]).format())
+
+    # 4. Execute twice: the second run reuses the memoized extraction.
+    first = prepared.execute([5.0])
+    second = prepared.execute([1.0])
+    print("\nEnriched result (amount > 1.0):")
+    print(second.result.format_table())
+    print(f"\nFirst run extraction cache hits:  {first.cache_hits}"
+          " (explain() already warmed the cache)")
+    print(f"Second run extraction cache hits: {second.cache_hits}"
+          " (SPARQL skipped)")
+
+    # 5. A mediator session: federated sources behind one global view.
+    italy, france = Database("italy"), Database("france")
+    for db, rows in ((italy, [("lf_it_1", 12.0)]),
+                     (france, [("lf_fr_1", 9.0), ("lf_fr_2", 3.0)])):
+        db.execute("CREATE TABLE landfill (name TEXT, size REAL)")
+        for name, size in rows:
+            db.execute(
+                f"INSERT INTO landfill VALUES ('{name}', {size})")
+    mediator = Mediator()
+    mediator.register_source("italy", italy)
+    mediator.register_source("france", france)
+    mediator.define_view("eu_landfill", [
+        ("italy", "SELECT name, size FROM landfill"),
+        ("france", "SELECT name, size FROM landfill")])
+
+    fed = repro.connect(mediator)
+    _result, cold = fed.execute("SELECT COUNT(*) AS n FROM eu_landfill")
+    result, warm = fed.execute("SELECT COUNT(*) AS n FROM eu_landfill")
+    print(f"\nMediated count over {result.scalar()} EU landfills:")
+    print(f"  cold run shipped {len(cold.sub_queries)} sub-queries")
+    print(f"  warm run shipped {len(warm.sub_queries)}"
+          " (materialization reused)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""The unified session API (DB-API-flavoured front door).
+
+One entry point — :func:`connect` — covers every backend: a plain
+databank, a per-user CroSSE context, or a federated mediator.  Sessions
+add prepared queries with ``?`` parameters, an LRU plan cache, KB-
+generation-keyed SPARQL extraction memoization, batching and
+``explain()`` observability on top of the Fig. 6 pipeline.
+"""
+
+from .cache import ExtractionCache, LRUCache, PlanCache
+from .errors import SessionError
+from .options import QueryOptions
+from .plan import PlanStage, QueryPlan
+from .prepared import PreparedQuery
+from .session import PlatformSession, Session, connect
+
+__all__ = [
+    "connect", "Session", "PlatformSession", "PreparedQuery",
+    "QueryOptions", "QueryPlan", "PlanStage",
+    "PlanCache", "ExtractionCache", "LRUCache",
+    "SessionError",
+]

@@ -1,0 +1,9 @@
+"""Session-layer errors."""
+
+from __future__ import annotations
+
+from ..core.errors import SesqlError
+
+
+class SessionError(SesqlError):
+    """Misuse of the session API (closed session, bad source, ...)."""

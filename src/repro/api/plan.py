@@ -1,0 +1,53 @@
+"""Structured query plans returned by ``Session.explain()``.
+
+``explain()`` runs the *planning* stages of the Fig. 6 pipeline — parse
+(or plan-cache recall), parameter binding, SPARQL extraction and the
+WHERE rewrite — but never the databank query or the combine join, so it
+is safe to call on expensive queries.  The plan exposes exactly what an
+execution would do: the stage list, every SPARQL text, the rewritten
+SQL and how many extractions were served from cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PlanStage:
+    """One step of the pipeline as it would run."""
+
+    name: str                 # parse | bind | extract | rewrite | sql | combine
+    description: str
+    queries: list[str] = field(default_factory=list)
+    cached: bool = False      # served from a cache rather than computed
+
+    def format(self) -> str:
+        marker = " [cached]" if self.cached else ""
+        lines = [f"{self.name}{marker}: {self.description}"]
+        lines.extend(f"    {query}" for query in self.queries)
+        return "\n".join(lines)
+
+
+@dataclass
+class QueryPlan:
+    """What executing the statement would do, without doing it."""
+
+    statement: str            # the SESQL text as given (placeholders intact)
+    base_sql: str             # cleaned SQL part
+    rewritten_sql: str        # SQL after the WHERE-enrichment rewrite
+    join_strategy: str
+    stages: list[PlanStage] = field(default_factory=list)
+    sparql_queries: list[str] = field(default_factory=list)
+    cache_hits: int = 0       # extractions recalled from the memo
+    cache_misses: int = 0
+    parse_cached: bool = False  # template came from the plan cache
+
+    def format(self) -> str:
+        """Pretty multi-line rendering (EXPLAIN-style)."""
+        lines = [f"plan for: {' '.join(self.statement.split())}"]
+        for stage in self.stages:
+            lines.append("  " + stage.format().replace("\n", "\n  "))
+        lines.append(f"  cache: {self.cache_hits} hit(s), "
+                     f"{self.cache_misses} miss(es)")
+        return "\n".join(lines)

@@ -1,0 +1,410 @@
+"""The unified session layer: one entry point for every query backend.
+
+``repro.connect(...)`` hands out a :class:`Session` no matter what is
+being queried — a plain databank, a CroSSE platform user context, or a
+GAV mediator — mirroring how mediator-style systems put a single
+federated query service in front of heterogeneous backends.
+
+A session owns the two hot-path caches:
+
+* the **plan cache** (SESQL text → parsed template), so repeated and
+  prepared queries skip the SQP entirely;
+* the **extraction cache** (KB generation → SPARQL results), so
+  re-executions against an unchanged knowledge base skip re-running
+  their extractions.
+
+``prepare()`` returns a :class:`~repro.api.PreparedQuery` with DB-API
+style ``?`` parameters, ``execute_many()`` batches, and ``explain()``
+returns a structured :class:`~repro.api.QueryPlan` without running the
+query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.ast import EnrichedQuery
+from ..core.engine import SESQLEngine, SESQLResult
+from ..core.sqp import expand_placeholders
+from ..relational.render import render_query
+from ..relational.result import ResultSet
+from .cache import ExtractionCache, PlanCache
+from .errors import SessionError
+from .options import QueryOptions
+from .plan import PlanStage, QueryPlan
+from .prepared import PreparedQuery
+
+
+@dataclass
+class _CachedPlan:
+    """Plan-cache entry: a parsed template plus its placeholder count."""
+
+    template: EnrichedQuery
+    parameter_count: int
+
+
+class Session:
+    """A stateful query session over one SESQL engine.
+
+    Construct via :func:`repro.connect` (plain databank) or
+    :meth:`PlatformSession.as_user` (per-user CroSSE context).  The old
+    entry points — ``SESQLEngine.execute`` and
+    ``CrossePlatform.run_sesql`` — remain supported; the latter now
+    delegates here.
+    """
+
+    def __init__(self, engine: SESQLEngine,
+                 options: QueryOptions | None = None,
+                 kb_provider=None, on_result=None,
+                 engine_factory=None) -> None:
+        self.engine = engine
+        self.options = options or QueryOptions()
+        self.plan_cache = PlanCache(self.options.plan_cache_size)
+        self._owns_extraction_cache = (
+            engine.sqm.cache is None
+            and self.options.extraction_cache_size > 0)
+        if self._owns_extraction_cache:
+            engine.sqm.cache = ExtractionCache(
+                self.options.extraction_cache_size)
+        #: Optional callable returning the KB to evaluate against; used
+        #: by platform sessions so the *effective* KB (own + accepted
+        #: statements) is re-resolved on every call.
+        self._kb_provider = kb_provider
+        #: Optional observer fed every SESQLResult (context tracking).
+        self._on_result = on_result
+        #: Optional zero-arg engine rebuilder; ``invalidate_engine``
+        #: marks the current engine stale and the next query swaps in a
+        #: fresh one (platform sessions use this so invalidation is
+        #: O(1) and held sessions pick up registry changes lazily).
+        self._engine_factory = engine_factory
+        self._engine_stale = False
+        self._closed = False
+
+    # -- plumbing -----------------------------------------------------------
+
+    @property
+    def databank(self):
+        return self.engine.databank
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SessionError("session is closed")
+        self._ensure_engine()
+
+    def _ensure_engine(self) -> None:
+        if self._engine_stale and self._engine_factory is not None:
+            self.engine = self._engine_factory()
+            self._engine_stale = False
+
+    def invalidate_engine(self) -> None:
+        """Mark the engine stale; the next query rebuilds it lazily."""
+        self._engine_stale = True
+
+    def _current_kb(self):
+        if self._kb_provider is not None:
+            return self._kb_provider()
+        return self.engine.knowledge_base
+
+    def close(self) -> None:
+        """Release cached plans; further queries raise SessionError.
+
+        Only caches this session created are cleared — an extraction
+        cache the wrapped engine already carried (and may share with
+        other callers) is left warm.
+        """
+        self.plan_cache.clear()
+        if self._owns_extraction_cache:
+            self.engine.sqm.cache.clear()
+        self._closed = True
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Hit/miss counters of both session caches."""
+        extraction = self.engine.sqm.cache
+        return {
+            "plan_cache": self.plan_cache.stats(),
+            "extraction_cache": (extraction.stats()
+                                 if extraction is not None else {}),
+        }
+
+    # -- the DB-API-flavoured surface ------------------------------------------
+
+    def prepare(self, text: str) -> PreparedQuery:
+        """Parse once (or recall from the plan cache) and return a
+        reusable prepared query with ``?`` parameter slots."""
+        self._check_open()
+        cached = self.plan_cache.get(text)
+        from_cache = cached is not None
+        if cached is None:
+            expanded, count = expand_placeholders(text)
+            template = self.engine.parse(expanded)
+            cached = _CachedPlan(template, count)
+            self.plan_cache.put(text, cached)
+        return PreparedQuery(self, text, cached.template,
+                             cached.parameter_count, from_cache=from_cache)
+
+    def execute(self, text: str, params=None,
+                include_original: bool | None = None,
+                join_strategy: str | None = None) -> SESQLResult:
+        """Run one SESQL query (goes through the plan cache)."""
+        return self.prepare(text).execute(
+            params, include_original=include_original,
+            join_strategy=join_strategy)
+
+    def query(self, text: str, params=None) -> ResultSet:
+        """Execute and return just the enriched result rows."""
+        return self.execute(text, params).result
+
+    def execute_many(self, text: str, param_rows) -> list[SESQLResult]:
+        """Execute the statement once per parameter row (single parse)."""
+        return self.prepare(text).execute_many(param_rows)
+
+    def explain(self, text: str, params=None) -> QueryPlan:
+        """Plan the query — stages, SPARQL, rewritten SQL — without
+        running it."""
+        return self.prepare(text).explain(params)
+
+    # -- prepared-query internals ------------------------------------------------
+
+    def _overrides(self, overrides: dict) -> tuple[bool | None, str | None]:
+        """Per-call > session options > engine defaults (None = defer)."""
+        include = overrides.get("include_original")
+        if include is None:
+            include = self.options.include_original
+        strategy = overrides.get("join_strategy") \
+            or self.options.join_strategy
+        return include, strategy
+
+    def _execute_prepared(self, prepared: PreparedQuery, params,
+                          overrides: dict) -> SESQLResult:
+        self._check_open()
+        include, strategy = self._overrides(overrides)
+        enriched = prepared.bind(params)
+        outcome = self.engine.execute_parsed(
+            enriched, knowledge_base=self._current_kb(),
+            include_original=include, join_strategy=strategy,
+            reuse_ast=True)  # bind() already produced a private copy
+        if self._on_result is not None:
+            self._on_result(outcome)
+        return outcome
+
+    def _explain_prepared(self, prepared: PreparedQuery,
+                          params) -> QueryPlan:
+        self._check_open()
+        include, strategy = self._overrides({})
+        engine = self.engine
+        if include is None:
+            include = engine.include_original
+        strategy = strategy or engine.join_strategy
+        enriched = prepared.bind(params)
+        kb = self._current_kb()
+        cache = engine.sqm.cache
+        hits_before = cache.hits if cache is not None else 0
+        misses_before = cache.misses if cache is not None else 0
+
+        stages = [PlanStage(
+            "parse", "SQP: split SESQL, strip tags, parse SQL + enrichments",
+            [enriched.sql_text], cached=prepared.from_cache)]
+        if prepared.parameter_count:
+            stages.append(PlanStage(
+                "bind", f"splice {prepared.parameter_count} typed "
+                "parameter(s) into the AST"))
+
+        sparql_queries: list[str] = []
+
+        def extract_stage(enrichment):
+            seen = cache.hits if cache is not None else 0
+            extraction = engine.extraction_for(enrichment, kb)
+            hit = cache is not None and cache.hits > seen
+            sparql_queries.append(extraction.sparql)
+            stages.append(PlanStage(
+                "extract", f"SQM extraction for {enrichment.kind}",
+                [extraction.sparql], cached=hit))
+            return extraction
+
+        where_plan = [(enrichment, extract_stage(enrichment))
+                      for enrichment in enriched.where_enrichments()]
+        if where_plan:
+            rewriter = engine.apply_where_rewrites(enriched, where_plan,
+                                                   include)
+            rewriter.cleanup()
+        rewritten_sql = render_query(enriched.query)
+        if where_plan:
+            stages.append(PlanStage(
+                "rewrite", "tagged conditions rewritten over extraction "
+                "temp tables", [rewritten_sql]))
+        stages.append(PlanStage(
+            "sql", "databank executes the (rewritten) SQL",
+            [rewritten_sql]))
+
+        select_enrichments = enriched.select_enrichments()
+        for enrichment in select_enrichments:
+            extract_stage(enrichment)
+        if select_enrichments:
+            stages.append(PlanStage(
+                "combine", f"JoinManager folds {len(select_enrichments)} "
+                f"SELECT enrichment(s) [{strategy} strategy]"))
+
+        return QueryPlan(
+            statement=prepared.text,
+            base_sql=enriched.sql_text,
+            rewritten_sql=rewritten_sql,
+            join_strategy=strategy,
+            stages=stages,
+            sparql_queries=sparql_queries,
+            cache_hits=(cache.hits - hits_before
+                        if cache is not None else 0),
+            cache_misses=(cache.misses - misses_before
+                          if cache is not None else 0),
+            parse_cached=prepared.from_cache,
+        )
+
+
+class PlatformSession:
+    """Session factory over a :class:`~repro.crosse.CrossePlatform`.
+
+    ``as_user`` hands out one cached :class:`Session` (hence one cached
+    engine) per user, instead of the historical engine-per-call;
+    statement acceptance and annotation invalidate the user's entry.
+    """
+
+    def __init__(self, platform, options: QueryOptions | None = None) -> None:
+        self.platform = platform
+        self.options = options or QueryOptions()
+        self._users: dict[str, Session] = {}
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def as_user(self, username: str) -> Session:
+        """The user-scoped session (own + accepted statements context).
+
+        A cached session the caller closed (e.g. by using it as a
+        context manager) is transparently replaced with a fresh one.
+        """
+        if self._closed:
+            raise SessionError("platform session is closed")
+        self.platform.users.get(username)
+        session = self._users.get(username)
+        if session is None or session._closed:
+            session = self._build(username)
+            self._users[username] = session
+        session._ensure_engine()
+        return session
+
+    def _build_engine(self, username: str) -> SESQLEngine:
+        platform = self.platform
+        return SESQLEngine(
+            platform.databank,
+            knowledge_base=platform.statements.effective_kb(username),
+            mapping=platform.mapping,
+            stored_queries=platform._registry_for(username),
+            include_original=bool(self.options.include_original),
+            join_strategy=self.options.join_strategy or "tempdb",
+            extraction_cache=ExtractionCache(
+                self.options.extraction_cache_size),
+        )
+
+    def _build(self, username: str) -> Session:
+        platform = self.platform
+        return Session(
+            self._build_engine(username), self.options,
+            kb_provider=lambda: platform.statements.effective_kb(username),
+            on_result=lambda outcome: platform._feed_context(username,
+                                                             outcome),
+            engine_factory=lambda: self._build_engine(username))
+
+    def invalidate(self, username: str | None = None) -> None:
+        """Mark cached per-user engines stale (all of them when no name).
+
+        Handed-out :class:`Session` / prepared-query objects stay
+        usable: the engine is rebuilt lazily on the user's next query
+        (fresh stored-query registry snapshot and extraction cache)
+        rather than the session being closed under the caller — and
+        users who never query again cost nothing.
+        """
+        if username is None:
+            for session in self._users.values():
+                session.invalidate_engine()
+            return
+        session = self._users.get(username)
+        if session is not None:
+            session.invalidate_engine()
+
+    def close(self) -> None:
+        """Close every cached session; the platform stops tracking a
+        closed session (and replaces it, if it was the shared one)."""
+        for session in self._users.values():
+            session.close()
+        self._users.clear()
+        self._closed = True
+
+
+def connect(source, options: QueryOptions | None = None,
+            knowledge_base=None, mapping=None, stored_queries=None,
+            **option_overrides):
+    """The one entry point: a session over whatever *source* is.
+
+    * :class:`~repro.relational.Database` — a plain databank; pass
+      ``knowledge_base`` / ``mapping`` / ``stored_queries`` to wire the
+      SESQL engine.
+    * :class:`~repro.core.SESQLEngine` — wrap an existing engine.
+    * :class:`~repro.crosse.CrossePlatform` — returns the platform's
+      shared :class:`PlatformSession`; use ``.as_user(name)``.
+    * :class:`~repro.federation.Mediator` — returns a
+      :class:`~repro.federation.MediatorSession` over the global schema.
+
+    Keyword overrides (``join_strategy="direct"``, ...) build a
+    :class:`QueryOptions` on the fly.
+    """
+    if option_overrides:
+        options = (options or QueryOptions()).replace(**option_overrides)
+    engine_wiring = any(value is not None for value
+                        in (knowledge_base, mapping, stored_queries))
+
+    def reject_wiring(kind: str) -> None:
+        if engine_wiring:
+            raise SessionError(
+                "knowledge_base/mapping/stored_queries only apply when "
+                f"connecting a plain Database; configure the {kind} "
+                "directly instead")
+
+    from ..relational.engine import Database
+    if isinstance(source, SESQLEngine):
+        reject_wiring("engine")
+        return Session(source, options)
+    if isinstance(source, Database):
+        resolved = options or QueryOptions()
+        engine = SESQLEngine(
+            source, knowledge_base=knowledge_base, mapping=mapping,
+            stored_queries=stored_queries,
+            include_original=bool(resolved.include_original),
+            join_strategy=resolved.join_strategy or "tempdb",
+            extraction_cache=ExtractionCache(
+                resolved.extraction_cache_size))
+        return Session(engine, resolved)
+
+    from ..crosse.platform import CrossePlatform
+    if isinstance(source, CrossePlatform):
+        reject_wiring("platform")
+        return source.connect(options)
+
+    from ..federation.mediator import Mediator
+    if isinstance(source, Mediator):
+        reject_wiring("mediator")
+        if options is not None:
+            raise SessionError(
+                "QueryOptions do not apply to mediator sessions (no "
+                "SESQL pipeline); call mediator.connect() directly")
+        return source.connect()
+
+    raise SessionError(
+        f"cannot open a session over {type(source).__name__}; expected a "
+        "Database, SESQLEngine, CrossePlatform or Mediator")

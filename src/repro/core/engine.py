@@ -12,6 +12,12 @@
 4. the **JoinManager** combines the base result with each SELECT
    enrichment through the temporary support database, issuing the final
    SQL query that yields the enriched result.
+
+The pipeline is factored into *resumable stages* so the session layer
+(:mod:`repro.api`) can drive them independently: ``execute_parsed``
+accepts a pre-parsed (prepared) query and skips the SQP, while
+``extraction_plan`` / ``apply_where_rewrites`` let ``explain()`` run the
+planning stages without touching the databank result.
 """
 
 from __future__ import annotations
@@ -24,14 +30,14 @@ from ..relational.engine import Database
 from ..relational.render import render_query
 from ..relational.result import ResultSet
 from .ast import (BoolSchemaExtension, BoolSchemaReplacement, EnrichedQuery,
-                  ReplaceConstant, ReplaceVariable, SchemaExtension,
-                  SchemaReplacement)
+                  Enrichment, ReplaceConstant, ReplaceVariable,
+                  SchemaExtension, SchemaReplacement)
 from .enrichment import WhereRewriter
 from .errors import EnrichmentError
 from .join_manager import JoinManager
 from .mapping import ResourceMapping
-from .sqm import SemanticQueryModule
-from .sqp import SemanticQueryParser
+from .sqm import Extraction, SemanticQueryModule
+from .sqp import SemanticQueryParser, clone_enriched
 from .stored_queries import StoredQueryRegistry
 
 
@@ -46,6 +52,8 @@ class SESQLResult:
     sparql_queries: list[str] = field(default_factory=list)
     final_sqls: list[str] = field(default_factory=list)
     timings: dict[str, float] = field(default_factory=dict)
+    cache_hits: int = 0           # memoized SPARQL extractions reused
+    cache_misses: int = 0
 
     @property
     def rows(self) -> list[tuple]:
@@ -64,7 +72,8 @@ class SESQLEngine:
                  mapping: ResourceMapping | None = None,
                  stored_queries: StoredQueryRegistry | None = None,
                  include_original: bool = False,
-                 join_strategy: str = "tempdb") -> None:
+                 join_strategy: str = "tempdb",
+                 extraction_cache=None) -> None:
         self.databank = databank
         # Explicit None check: an *empty* TripleStore is falsy but must be
         # kept — the caller may populate it after constructing the engine.
@@ -75,43 +84,139 @@ class SESQLEngine:
         self.include_original = include_original
         self.join_strategy = join_strategy
         self.sqp = SemanticQueryParser()
-        self.sqm = SemanticQueryModule(self.mapping, self.stored_queries)
+        self.sqm = SemanticQueryModule(self.mapping, self.stored_queries,
+                                       cache=extraction_cache)
+
+    @property
+    def extraction_cache(self):
+        return self.sqm.cache
+
+    # -- stage 1: parsing --------------------------------------------------------
+
+    def parse(self, text: str) -> EnrichedQuery:
+        """Run the SQP alone (stage 1 of the pipeline)."""
+        return self.sqp.parse(text)
+
+    # -- stage 2: SPARQL extraction ----------------------------------------------
+
+    def extraction_for(self, enrichment: Enrichment,
+                       kb: TripleStore) -> Extraction:
+        """Run (or recall from cache) the SQM extraction for one clause."""
+        if isinstance(enrichment, ReplaceConstant):
+            return self.sqm.values_for(kb, enrichment.prop,
+                                       enrichment.constant)
+        if isinstance(enrichment, (ReplaceVariable, SchemaExtension,
+                                   SchemaReplacement)):
+            return self.sqm.pairs_for(kb, enrichment.prop)
+        if isinstance(enrichment, (BoolSchemaExtension,
+                                   BoolSchemaReplacement)):
+            return self.sqm.subjects_for(kb, enrichment.prop,
+                                         enrichment.concept)
+        raise EnrichmentError(  # pragma: no cover - exhaustive
+            f"unhandled enrichment {enrichment.kind}")
+
+    def extraction_plan(self, enriched: EnrichedQuery, kb: TripleStore,
+                        which: str) -> list[tuple[Enrichment, Extraction]]:
+        """Extractions for the ``"where"`` or ``"select"`` enrichments."""
+        enrichments = (enriched.where_enrichments() if which == "where"
+                       else enriched.select_enrichments())
+        return [(enrichment, self.extraction_for(enrichment, kb))
+                for enrichment in enrichments]
+
+    # -- stage 3: WHERE rewrite + databank query ----------------------------------
+
+    def apply_where_rewrites(self, enriched: EnrichedQuery,
+                             plan: list[tuple[Enrichment, Extraction]],
+                             include_original: bool) -> WhereRewriter:
+        """Rewrite tagged conditions in place over materialized temp tables.
+
+        The caller owns the returned rewriter and must ``cleanup()`` it
+        once the databank query has run (or been skipped, for explain).
+        """
+        rewriter = WhereRewriter(self.databank, self.mapping,
+                                 include_original)
+        try:
+            for enrichment, extraction in plan:
+                condition = enriched.conditions[enrichment.cond]
+                if isinstance(enrichment, ReplaceConstant):
+                    rewriter.apply_replace_constant(
+                        enriched.query, enrichment, condition, extraction)
+                else:
+                    rewriter.apply_replace_variable(
+                        enriched.query, enrichment, condition, extraction)
+        except BaseException:
+            rewriter.cleanup()
+            raise
+        return rewriter
+
+    # -- stage 4: combine ----------------------------------------------------------
+
+    def combine_enrichments(self, base: ResultSet,
+                            plan: list[tuple[Enrichment, Extraction]],
+                            join_strategy: str,
+                            final_sqls: list[str]) -> ResultSet:
+        """JoinManager pass: fold each SELECT enrichment into the result."""
+        join_manager = JoinManager(self.mapping, join_strategy)
+        current = base
+        for enrichment, extraction in plan:
+            outcome = join_manager.combine(current, enrichment, extraction)
+            current = outcome.result
+            if outcome.final_sql is not None:
+                final_sqls.append(outcome.final_sql)
+        return current
+
+    # -- the full pipeline ---------------------------------------------------------
 
     def execute(self, text: str,
                 knowledge_base: TripleStore | None = None,
                 include_original: bool | None = None,
                 join_strategy: str | None = None) -> SESQLResult:
         """Run a SESQL query; per-call arguments override engine defaults."""
+        started = time.perf_counter()
+        enriched = self.sqp.parse(text)
+        parse_time = time.perf_counter() - started
+        # The freshly parsed AST is private to this call, so the rewrite
+        # stage may mutate it directly (reuse_ast=True).
+        return self.execute_parsed(
+            enriched, knowledge_base=knowledge_base,
+            include_original=include_original, join_strategy=join_strategy,
+            reuse_ast=True, parse_time=parse_time)
+
+    def execute_parsed(self, enriched: EnrichedQuery,
+                       knowledge_base: TripleStore | None = None,
+                       include_original: bool | None = None,
+                       join_strategy: str | None = None,
+                       reuse_ast: bool = False,
+                       parse_time: float = 0.0) -> SESQLResult:
+        """Run stages 2-4 on an already-parsed (e.g. prepared) query.
+
+        Unless ``reuse_ast`` is set, *enriched* is deep-copied first: the
+        WHERE rewrite mutates the query AST, and a prepared template must
+        survive the call unchanged.
+        """
         kb = knowledge_base if knowledge_base is not None \
             else self.knowledge_base
         include = (self.include_original if include_original is None
                    else include_original)
         strategy = join_strategy or self.join_strategy
+        if not reuse_ast:
+            enriched = clone_enriched(enriched)
 
         started = time.perf_counter()
-        enriched = self.sqp.parse(text)
-        timings = {"parse": time.perf_counter() - started}
+        timings = {"parse": parse_time}
         sparql_queries: list[str] = []
         final_sqls: list[str] = []
+        cache = self.sqm.cache
+        hits_before = cache.hits if cache is not None else 0
+        misses_before = cache.misses if cache is not None else 0
 
-        rewriter = WhereRewriter(self.databank, self.mapping, include)
+        stage = time.perf_counter()
+        where_plan = self.extraction_plan(enriched, kb, "where")
+        sparql_queries.extend(x.sparql for _e, x in where_plan)
+        rewriter = self.apply_where_rewrites(enriched, where_plan, include)
+        timings["where_rewrite"] = time.perf_counter() - stage
+
         try:
-            stage = time.perf_counter()
-            for enrichment in enriched.where_enrichments():
-                condition = enriched.conditions[enrichment.cond]
-                if isinstance(enrichment, ReplaceConstant):
-                    extraction = self.sqm.values_for(
-                        kb, enrichment.prop, enrichment.constant)
-                    sparql_queries.append(extraction.sparql)
-                    rewriter.apply_replace_constant(
-                        enriched.query, enrichment, condition, extraction)
-                elif isinstance(enrichment, ReplaceVariable):
-                    extraction = self.sqm.pairs_for(kb, enrichment.prop)
-                    sparql_queries.append(extraction.sparql)
-                    rewriter.apply_replace_variable(
-                        enriched.query, enrichment, condition, extraction)
-            timings["where_rewrite"] = time.perf_counter() - stage
-
             executed_sql = render_query(enriched.query)
             stage = time.perf_counter()
             base = self.databank.execute_ast(enriched.query)
@@ -121,26 +226,13 @@ class SESQLEngine:
         finally:
             rewriter.cleanup()
 
-        join_manager = JoinManager(self.mapping, strategy)
-        current = base
         stage = time.perf_counter()
-        for enrichment in enriched.select_enrichments():
-            if isinstance(enrichment, (SchemaExtension, SchemaReplacement)):
-                extraction = self.sqm.pairs_for(kb, enrichment.prop)
-            elif isinstance(enrichment, (BoolSchemaExtension,
-                                         BoolSchemaReplacement)):
-                extraction = self.sqm.subjects_for(
-                    kb, enrichment.prop, enrichment.concept)
-            else:  # pragma: no cover - exhaustive
-                raise EnrichmentError(
-                    f"unhandled enrichment {enrichment.kind}")
-            sparql_queries.append(extraction.sparql)
-            outcome = join_manager.combine(current, enrichment, extraction)
-            current = outcome.result
-            if outcome.final_sql is not None:
-                final_sqls.append(outcome.final_sql)
+        select_plan = self.extraction_plan(enriched, kb, "select")
+        sparql_queries.extend(x.sparql for _e, x in select_plan)
+        current = self.combine_enrichments(base, select_plan, strategy,
+                                           final_sqls)
         timings["combine"] = time.perf_counter() - stage
-        timings["total"] = time.perf_counter() - started
+        timings["total"] = parse_time + time.perf_counter() - started
 
         return SESQLResult(
             result=current,
@@ -150,6 +242,10 @@ class SESQLEngine:
             sparql_queries=sparql_queries,
             final_sqls=final_sqls,
             timings=timings,
+            cache_hits=(cache.hits - hits_before
+                        if cache is not None else 0),
+            cache_misses=(cache.misses - misses_before
+                          if cache is not None else 0),
         )
 
     def query(self, text: str, **kwargs) -> ResultSet:

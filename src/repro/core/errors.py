@@ -26,3 +26,7 @@ class MappingError(SesqlError):
 
 class StoredQueryError(SesqlError):
     """Stored SPARQL query registry failures."""
+
+
+class ParameterError(SesqlError):
+    """Prepared-query parameter binding failures (count/type mismatch)."""

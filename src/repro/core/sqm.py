@@ -5,6 +5,12 @@ queries that extract the relevant knowledge from the user's ontology.
 Property arguments are resolved against the stored-query registry first
 (Example 4.5's ``dangerQuery``); otherwise the module synthesises the
 plain property-extraction pattern ``SELECT ?s ?o WHERE { ?s <prop> ?o }``.
+
+An optional extraction *cache* (any mapping-like object with ``get``/
+``put``, e.g. :class:`repro.api.ExtractionCache`) memoizes extraction
+results keyed on the knowledge base's mutation ``generation``, so a
+prepared query re-executed against an unchanged KB skips re-running its
+SPARQL entirely.
 """
 
 from __future__ import annotations
@@ -35,9 +41,28 @@ class SemanticQueryModule:
     """Builds and executes SPARQL extraction queries."""
 
     def __init__(self, mapping: ResourceMapping,
-                 stored_queries: StoredQueryRegistry | None = None) -> None:
+                 stored_queries: StoredQueryRegistry | None = None,
+                 cache=None) -> None:
         self.mapping = mapping
         self.stored_queries = stored_queries or StoredQueryRegistry()
+        #: Optional get/put memo for extraction results (see module doc).
+        self.cache = cache
+
+    # -- memoization hook -----------------------------------------------------
+
+    def _memoized(self, kind: str, kb: TripleStore, args: tuple,
+                  compute) -> Extraction:
+        generation = getattr(kb, "generation", None)
+        if self.cache is None or generation is None:
+            return compute()
+        stored = self.stored_queries.get(args[0])
+        key = (kind, generation, args,
+               stored.text if stored is not None else None)
+        extraction = self.cache.get(key)
+        if extraction is None:
+            extraction = compute()
+            self.cache.put(key, extraction)
+        return extraction
 
     # -- helpers ------------------------------------------------------------
 
@@ -75,6 +100,10 @@ class SemanticQueryModule:
     def pairs_for(self, kb: TripleStore, prop: str) -> Extraction:
         """(subject, object) pairs for schema extension/replacement and
         REPLACEVARIABLE."""
+        return self._memoized("pairs", kb, (prop,),
+                              lambda: self._pairs_for(kb, prop))
+
+    def _pairs_for(self, kb: TripleStore, prop: str) -> Extraction:
         stored = self.stored_queries.get(prop)
         if stored is not None:
             results = self._run_stored(kb, prop)
@@ -97,6 +126,11 @@ class SemanticQueryModule:
     def values_for(self, kb: TripleStore, prop: str,
                    constant: str) -> Extraction:
         """Replacement values for REPLACECONSTANT's constant."""
+        return self._memoized("values", kb, (prop, constant),
+                              lambda: self._values_for(kb, prop, constant))
+
+    def _values_for(self, kb: TripleStore, prop: str,
+                    constant: str) -> Extraction:
         stored = self.stored_queries.get(prop)
         if stored is not None:
             results = self._run_stored(kb, prop)
@@ -128,6 +162,11 @@ class SemanticQueryModule:
         ``smg:Mercury smg:isA smg:HazardousWaste`` (IRI objects) as well
         as ``smg:Mercury smg:dangerLevel "high"`` (literal objects).
         """
+        return self._memoized("subjects", kb, (prop, concept),
+                              lambda: self._subjects_for(kb, prop, concept))
+
+    def _subjects_for(self, kb: TripleStore, prop: str,
+                      concept: str) -> Extraction:
         concept_term = self.mapping.concept_to_term(concept)
         concept_literal = Literal(concept)
         stored = self.stored_queries.get(prop)

@@ -21,7 +21,9 @@ class StoredQuery:
     name: str
     text: str
     description: str = ""
-    query: SelectQuery = field(default=None, repr=False)
+    #: Parsed form; ``None`` only for hand-built instances — every query
+    #: that goes through :meth:`StoredQueryRegistry.register` has it set.
+    query: SelectQuery | None = field(default=None, repr=False)
 
 
 class StoredQueryRegistry:

@@ -9,7 +9,11 @@ accepted statements), and automatically feeds her activity profile.
 
 from __future__ import annotations
 
-from ..core.engine import SESQLEngine, SESQLResult
+import weakref
+
+from ..api.options import QueryOptions
+from ..api.session import PlatformSession, Session
+from ..core.engine import SESQLResult
 from ..core.mapping import ResourceMapping
 from ..core.stored_queries import StoredQueryRegistry
 from ..relational.engine import Database
@@ -38,6 +42,12 @@ class CrossePlatform:
         self.stored_queries = StoredQueryRegistry()
         self._user_queries: dict[str, StoredQueryRegistry] = {}
         self.documents: dict[str, Document] = {}
+        self._session: PlatformSession | None = None
+        #: Every live session handed out (shared + custom-options ones),
+        #: so KB/registry invalidation reaches all cached user engines.
+        #: Weak references: an abandoned custom-options session is
+        #: garbage-collected instead of accumulating forever.
+        self._sessions: list[weakref.ref[PlatformSession]] = []
 
     # -- users ---------------------------------------------------------------
 
@@ -64,6 +74,8 @@ class CrossePlatform:
             registry = self._user_queries.setdefault(
                 username, StoredQueryRegistry())
             registry.register(name, sparql, description)
+        # Cached engines carry a merged registry snapshot; rebuild lazily.
+        self._invalidate_sessions(username)
 
     def _registry_for(self, username: str) -> StoredQueryRegistry:
         merged = self.stored_queries.copy()
@@ -77,22 +89,49 @@ class CrossePlatform:
 
     # -- querying (contextualised) --------------------------------------------------
 
+    def connect(self, options: QueryOptions | None = None) -> PlatformSession:
+        """The platform's session factory (``.as_user(name)``).
+
+        With no *options* the shared default session is returned; with
+        options a new, independent session is created.  Either way one
+        engine per user is cached across calls, and KB mutations
+        (acceptance, annotation) and stored-query registration
+        invalidate the affected entries in every session handed out.
+        """
+        if options is None:
+            if self._session is None or self._session.closed:
+                self._session = PlatformSession(self)
+                self._sessions.append(weakref.ref(self._session))
+            return self._session
+        session = PlatformSession(self, options)
+        self._sessions.append(weakref.ref(session))
+        return session
+
+    def session_for(self, username: str) -> Session:
+        """Shorthand for ``connect().as_user(username)``."""
+        return self.connect().as_user(username)
+
+    def _invalidate_sessions(self, username: str | None = None) -> None:
+        alive: list[weakref.ref[PlatformSession]] = []
+        for ref in self._sessions:
+            session = ref()
+            if session is not None and not session.closed:
+                session.invalidate(username)
+                alive.append(ref)
+        self._sessions = alive
+
     def run_sesql(self, username: str, sesql: str,
                   include_original: bool = False,
                   join_strategy: str = "tempdb") -> SESQLResult:
-        """Run a SESQL query in the user's personal context."""
-        self.users.get(username)
-        engine = SESQLEngine(
-            self.databank,
-            knowledge_base=self.statements.effective_kb(username),
-            mapping=self.mapping,
-            stored_queries=self._registry_for(username),
-            include_original=include_original,
-            join_strategy=join_strategy,
-        )
-        outcome = engine.execute(sesql)
-        self._feed_context(username, outcome)
-        return outcome
+        """Run a SESQL query in the user's personal context.
+
+        Delegates to the cached per-user session, so repeated calls
+        reuse one engine (and its plan/extraction caches) instead of
+        rebuilding the stack per query; context feeding is unchanged.
+        """
+        return self.session_for(username).execute(
+            sesql, include_original=include_original,
+            join_strategy=join_strategy)
 
     def _feed_context(self, username: str, outcome: SESQLResult) -> None:
         concepts = []
@@ -113,6 +152,7 @@ class CrossePlatform:
         record = self.tagging.annotate_concept(
             username, table, column, value, prop, obj, reference)
         self.context.record_concepts(username, [value], event="annotate")
+        self._invalidate_sessions(username)
         return record
 
     def annotate_free(self, username: str, subject, prop, obj,
@@ -121,6 +161,7 @@ class CrossePlatform:
         self.users.get(username)
         record = self.tagging.annotate_free(
             username, subject, prop, obj, reference)
+        self._invalidate_sessions(username)
         return record
 
     def explore_annotations(self, username: str, **filters):
@@ -130,7 +171,9 @@ class CrossePlatform:
     def accept_statement(self, username: str,
                          statement_id: int) -> StatementRecord:
         self.users.get(username)
-        return self.statements.accept(username, statement_id)
+        record = self.statements.accept(username, statement_id)
+        self._invalidate_sessions(username)
+        return record
 
     def effective_kb(self, username: str):
         return self.statements.effective_kb(username)

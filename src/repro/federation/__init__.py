@@ -6,13 +6,15 @@ from .errors import (FederationError, ForeignTableError, MediationError,
 from .foreign import (CallableSource, CsvSource, ForeignSource,
                       ForeignTable, QuerySource, RemoteTableSource,
                       attach_foreign_table)
-from .mediator import (GlobalView, MediationReport, Mediator, ViewFragment)
+from .mediator import (GlobalView, MediationReport, Mediator,
+                       MediatorSession, ViewFragment)
 from .rest import CrosseRestService, Response, RestRouter
 
 __all__ = [
     "ForeignSource", "ForeignTable", "RemoteTableSource", "QuerySource",
     "CsvSource", "CallableSource", "attach_foreign_table",
-    "Mediator", "GlobalView", "ViewFragment", "MediationReport",
+    "Mediator", "MediatorSession", "GlobalView", "ViewFragment",
+    "MediationReport",
     "RestRouter", "CrosseRestService", "Response",
     "FederationError", "ForeignTableError", "MediationError", "RestError",
 ]

@@ -21,8 +21,10 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from ..relational import ast as sql_ast
 from ..relational.engine import Database
 from ..relational.indexes import _normalize
+from ..relational.parser import parse_sql
 from ..relational.result import ResultSet
 from .errors import MediationError
 
@@ -106,6 +108,24 @@ class Mediator:
     def view_names(self) -> list[str]:
         return sorted(self._views)
 
+    def referenced_views(self, sql: str) -> list[str]:
+        """Views whose names occur as table references in *sql*.
+
+        This is the mediator's pruning step: only views the query can
+        actually touch are decomposed and shipped to the sources.  On a
+        parse failure every view is returned (the scratch database will
+        report the real syntax error when it runs the query).
+        """
+        try:
+            statement = parse_sql(sql)
+        except Exception:
+            return self.view_names()
+        if not isinstance(statement, sql_ast.SelectQuery):
+            return self.view_names()
+        referenced = sql_ast.referenced_tables(statement)
+        return [name for name in self.view_names()
+                if name.lower() in referenced]
+
     # -- mediated querying ----------------------------------------------------------
 
     def query(self, sql: str,
@@ -114,23 +134,20 @@ class Mediator:
         """Run *sql* against the global schema.
 
         *views* limits which global views are materialised; by default
-        every defined view is shipped (a real mediator would prune by
-        analysing the query — the report shows what was shipped).
+        the query is parsed and only the views it references are shipped
+        (``referenced_views``) — the report shows what was shipped.
+
+        Each call uses a throwaway session, so every referenced view is
+        re-shipped (always-fresh snapshot semantics); use ``connect()``
+        for a session that reuses materializations across queries.
         """
-        report = MediationReport()
-        started = time.perf_counter()
-        scratch = Database("mediator")
-        wanted = views if views is not None else self.view_names()
-        for view_name in wanted:
-            view = self._views.get(view_name)
-            if view is None:
-                raise MediationError(f"unknown view {view_name!r}")
-            rows, columns = self._materialize_view(view, report)
-            self._store(scratch, view.name, columns, rows)
-            report.view_rows[view.name] = len(rows)
-        result = scratch.query(sql)
-        report.elapsed_s = time.perf_counter() - started
-        return result, report
+        return MediatorSession(self).execute(sql, views)
+
+    # -- sessions -------------------------------------------------------------------
+
+    def connect(self) -> "MediatorSession":
+        """A session over the global schema with materialization reuse."""
+        return MediatorSession(self)
 
     # -- internals ----------------------------------------------------------------------
 
@@ -207,3 +224,91 @@ class Mediator:
         table = scratch.create_table(name, table_columns)
         for row in rows:
             table.insert_tuple(row)
+
+
+class MediatorSession:
+    """A stateful query session over a mediator's global schema.
+
+    Where :meth:`Mediator.query` rebuilds its scratch database per call
+    (always-fresh snapshot semantics), a session keeps one scratch
+    database alive and reuses already-materialized views across queries:
+    the first query touching view V ships V's sub-queries, later ones
+    hit the local copy.  ``refresh()`` drops materializations to pick up
+    source-side changes (or redefined views).
+    """
+
+    def __init__(self, mediator: Mediator) -> None:
+        self.mediator = mediator
+        self._scratch = Database("mediator-session")
+        self._view_rows: dict[str, int] = {}
+        self.hits = 0      # views served from the local materialization
+        self.misses = 0    # views shipped to the sources
+
+    def execute(self, sql: str, views: list[str] | None = None
+                ) -> tuple[ResultSet, MediationReport]:
+        """Run *sql* on the global schema, materializing views lazily."""
+        report = MediationReport()
+        started = time.perf_counter()
+        wanted = views if views is not None \
+            else self.mediator.referenced_views(sql)
+        for view_name in wanted:
+            view = self.mediator._views.get(view_name)
+            if view is None:
+                raise MediationError(f"unknown view {view_name!r}")
+            if view_name in self._view_rows:
+                self.hits += 1
+            else:
+                rows, columns = self.mediator._materialize_view(view,
+                                                                report)
+                Mediator._store(self._scratch, view.name, columns, rows)
+                self._view_rows[view.name] = len(rows)
+                self.misses += 1
+            report.view_rows[view.name] = self._view_rows[view.name]
+        result = self._scratch.query(sql)
+        report.elapsed_s = time.perf_counter() - started
+        return result, report
+
+    def query(self, sql: str) -> ResultSet:
+        """Execute and return just the rows."""
+        return self.execute(sql)[0]
+
+    def refresh(self, views: list[str] | None = None) -> None:
+        """Drop cached materializations (all views when none given)."""
+        doomed = list(self._view_rows) if views is None else views
+        for view_name in doomed:
+            if self._view_rows.pop(view_name, None) is not None:
+                self._scratch.catalog.drop_table(view_name,
+                                                 if_exists=True)
+
+    def explain(self, sql: str) -> "QueryPlan":
+        """The mediation plan — pruned views, per-source sub-queries and
+        materialization cache state — without shipping anything."""
+        from ..api.plan import PlanStage, QueryPlan
+
+        wanted = self.mediator.referenced_views(sql)
+        stages = [PlanStage(
+            "prune", f"query references {len(wanted)} of "
+            f"{len(self.mediator.view_names())} global view(s)",
+            [", ".join(wanted) or "(none)"])]
+        hits = misses = 0
+        for view_name in wanted:
+            view = self.mediator._views[view_name]
+            cached = view_name in self._view_rows
+            hits += cached
+            misses += not cached
+            stages.append(PlanStage(
+                "materialize",
+                f"view {view_name!r}: {view.reconciliation} over "
+                f"{len(view.fragments)} fragment(s)",
+                [f"{fragment.source}: {fragment.sql}"
+                 for fragment in view.fragments],
+                cached=cached))
+        stages.append(PlanStage(
+            "sql", "scratch database executes the global query", [sql]))
+        return QueryPlan(
+            statement=sql, base_sql=sql, rewritten_sql=sql,
+            join_strategy="mediation", stages=stages,
+            cache_hits=hits, cache_misses=misses)
+
+    def close(self) -> None:
+        self.refresh()

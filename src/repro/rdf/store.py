@@ -8,10 +8,16 @@ benchmark uses as an ablation.
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Iterable, Iterator, NamedTuple
 
 from .errors import RdfError
 from .terms import IRI, Term, is_term, term_from_python
+
+#: Global mutation clock shared by every store: each store state gets a
+#: stamp no other (store, state) pair can ever carry, so ``generation``
+#: alone is a safe cache key for KB-derived artefacts (SQM extractions).
+_GENERATIONS = itertools.count(1)
 
 
 class Triple(NamedTuple):
@@ -48,6 +54,7 @@ class TripleStore:
         if indexing not in _INDEXING_MODES:
             raise RdfError(f"unknown indexing mode {indexing!r}")
         self.indexing = indexing
+        self.generation = next(_GENERATIONS)
         self._spo: dict[Term, dict[IRI, set[Term]]] = {}
         self._pos: dict[IRI, dict[Term, set[Term]]] = {}
         self._osp: dict[Term, dict[Term, set[IRI]]] = {}
@@ -74,6 +81,7 @@ class TripleStore:
             self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
             self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
         self._size += 1
+        self.generation = next(_GENERATIONS)
         return True
 
     def add_all(self, triples: Iterable[Triple]) -> int:
@@ -114,6 +122,7 @@ class TripleStore:
                 if not self._osp[o]:
                     del self._osp[o]
         self._size -= 1
+        self.generation = next(_GENERATIONS)
         return True
 
     def remove_pattern(self, subject: TriplePatternArg = None,
@@ -130,6 +139,7 @@ class TripleStore:
         self._pos.clear()
         self._osp.clear()
         self._size = 0
+        self.generation = next(_GENERATIONS)
 
     # -- lookup ------------------------------------------------------------------
 

@@ -390,6 +390,58 @@ def walk_expr(node: Expr):
         yield from walk_expr(child)
 
 
+def iter_query_nodes(query: SelectQuery):
+    """Yield every Expr and TableExpr node of *query*, including the
+    contents of nested subqueries (IN/EXISTS/scalar subqueries and
+    derived tables).  Used for whole-query analyses such as prepared-
+    statement parameter binding and mediator view pruning."""
+    cores = [query.core] + [core for _op, core in query.compounds]
+    for core in cores:
+        for item in core.items:
+            yield from iter_expr_nodes(item.expr)
+        if core.from_clause is not None:
+            yield from _iter_table_nodes(core.from_clause)
+        roots: list[Expr] = []
+        if core.where is not None:
+            roots.append(core.where)
+        roots.extend(core.group_by)
+        if core.having is not None:
+            roots.append(core.having)
+        for root in roots:
+            yield from iter_expr_nodes(root)
+    for order_item in query.order_by:
+        yield from iter_expr_nodes(order_item.expr)
+    if query.limit is not None:
+        yield from iter_expr_nodes(query.limit)
+    if query.offset is not None:
+        yield from iter_expr_nodes(query.offset)
+
+
+def iter_expr_nodes(expr: Expr):
+    for node in walk_expr(expr):
+        yield node
+        if isinstance(node, (InSubquery, Exists, ScalarSubquery)) \
+                and node.query is not None:
+            yield from iter_query_nodes(node.query)
+
+
+def _iter_table_nodes(table_expr: TableExpr):
+    yield table_expr
+    if isinstance(table_expr, SubqueryRef):
+        yield from iter_query_nodes(table_expr.query)
+    elif isinstance(table_expr, Join):
+        yield from _iter_table_nodes(table_expr.left)
+        yield from _iter_table_nodes(table_expr.right)
+        if table_expr.condition is not None:
+            yield from iter_expr_nodes(table_expr.condition)
+
+
+def referenced_tables(query: SelectQuery) -> set[str]:
+    """Lower-cased names of every table referenced anywhere in *query*."""
+    return {node.name.lower() for node in iter_query_nodes(query)
+            if isinstance(node, TableRef)}
+
+
 def conjuncts(expr: Optional[Expr]) -> list[Expr]:
     """Split a predicate on top-level ANDs."""
     if expr is None:

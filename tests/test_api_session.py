@@ -1,0 +1,401 @@
+"""The unified session API: connect, prepare, bind, explain, caches."""
+
+import pytest
+
+import repro
+from repro.api import ExtractionCache, LRUCache, SessionError
+from repro.core import ParameterError, SESQLEngine
+from repro.crosse import CrossePlatform
+from repro.federation import Mediator
+from repro.rdf import Namespace, TripleStore, parse_turtle
+from repro.relational import Database
+from repro.smartground import SmartGroundConfig, generate_databank
+
+SMG = Namespace("http://smartground.eu/ns#")
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute_script("""
+        CREATE TABLE elem_contained (
+            landfill_name TEXT, elem_name TEXT, amount REAL);
+        INSERT INTO elem_contained VALUES
+            ('a','Mercury',12.0), ('a','Iron',140.0), ('b','Mercury',7.0);
+    """)
+    return database
+
+
+@pytest.fixture
+def kb():
+    return parse_turtle("""
+        @prefix smg: <http://smartground.eu/ns#> .
+        smg:Mercury smg:dangerLevel "high" .
+        smg:Iron smg:dangerLevel "low" .
+    """)
+
+
+@pytest.fixture
+def session(db, kb):
+    return repro.connect(db, knowledge_base=kb)
+
+
+ENRICHED = ("SELECT elem_name FROM elem_contained WHERE amount > ? "
+            "ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)")
+
+
+# -- connect dispatch -------------------------------------------------------
+
+
+def test_connect_wraps_database_and_engine(db, kb):
+    assert repro.connect(db).databank is db
+    engine = SESQLEngine(db, kb)
+    assert repro.connect(engine).engine is engine
+
+
+def test_connect_rejects_unknown_sources():
+    with pytest.raises(SessionError):
+        repro.connect(42)
+
+
+def test_connect_rejects_inapplicable_kwargs(db, kb):
+    engine = SESQLEngine(db, kb)
+    with pytest.raises(SessionError):
+        repro.connect(engine, knowledge_base=TripleStore())
+    mediator = Mediator()
+    with pytest.raises(SessionError):
+        repro.connect(mediator, join_strategy="direct")
+
+
+def test_connect_matches_direct_engine_execution(session, db, kb):
+    sesql = ("SELECT elem_name FROM elem_contained "
+             "ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)")
+    via_session = session.query(sesql)
+    via_engine = SESQLEngine(db, kb).query(sesql)
+    assert via_session.columns == via_engine.columns
+    assert via_session.same_rows(via_engine)
+
+
+# -- prepared queries and parameter binding ---------------------------------
+
+
+def test_prepared_binding_preserves_types(session):
+    prepared = session.prepare(
+        "SELECT elem_name FROM elem_contained WHERE amount > ?")
+    assert prepared.parameter_count == 1
+    as_float = prepared.execute([10.0])
+    as_int = prepared.execute([10])
+    assert sorted(as_float.rows) == sorted(as_int.rows) \
+        == [("Iron",), ("Mercury",)]
+    # The bound literal keeps its Python type in the rendered SQL.
+    assert "10.0" in as_float.executed_sql
+    assert "(amount > 10)" in as_int.executed_sql
+
+
+def test_prepared_binding_is_injection_safe(session):
+    prepared = session.prepare(
+        "SELECT elem_name FROM elem_contained WHERE elem_name = ?")
+    hostile = "x' OR '1'='1"
+    assert prepared.execute([hostile]).rows == []
+    # The value is spliced as a literal, quoted, not interpreted.
+    assert prepared.execute(["Iron"]).rows == [("Iron",)]
+
+
+def test_placeholder_inside_string_literal_is_not_a_parameter(session):
+    prepared = session.prepare(
+        "SELECT elem_name FROM elem_contained WHERE elem_name = 'who?'")
+    assert prepared.parameter_count == 0
+    assert prepared.execute().rows == []
+
+
+def test_placeholder_inside_comments_is_not_a_parameter(session):
+    prepared = session.prepare(
+        "SELECT elem_name FROM elem_contained -- really?\n"
+        "WHERE /* sure? */ amount > ?")
+    assert prepared.parameter_count == 1
+    assert sorted(prepared.execute([10.0]).rows) == [
+        ("Iron",), ("Mercury",)]
+
+
+def test_parameter_count_mismatch_rejected(session):
+    prepared = session.prepare(
+        "SELECT elem_name FROM elem_contained WHERE amount > ?")
+    with pytest.raises(ParameterError):
+        prepared.execute()
+    with pytest.raises(ParameterError):
+        prepared.execute([1, 2])
+
+
+def test_sentinel_namespace_is_reserved(session):
+    # A literal spelling the internal parameter sentinel could be
+    # confused with a ? slot; prepare() rejects it outright.
+    with pytest.raises(ParameterError):
+        session.prepare("SELECT elem_name FROM elem_contained "
+                        "WHERE elem_name = '__sesql_param_0__'")
+
+
+def test_unbindable_parameter_type_rejected(session):
+    prepared = session.prepare(
+        "SELECT elem_name FROM elem_contained WHERE amount > ?")
+    with pytest.raises(ParameterError):
+        prepared.execute([object()])
+
+
+def test_placeholder_in_enrich_clause_rejected_at_bind(session):
+    # A ? in the ENRICH clause has no literal to bind to; it must fail
+    # loudly rather than leak the sentinel into the SPARQL extraction.
+    prepared = session.prepare(
+        "SELECT elem_name FROM elem_contained "
+        "ENRICH SCHEMAEXTENSION(elem_name, ?)")
+    assert prepared.parameter_count == 1
+    with pytest.raises(ParameterError, match="no binding site"):
+        prepared.execute(["dangerLevel"])
+
+
+def test_parameters_work_inside_tagged_conditions(session):
+    outcome = session.execute(
+        "SELECT landfill_name FROM elem_contained "
+        "WHERE ${elem_name = Dangerous:c1} AND amount > ? "
+        "ENRICH REPLACECONSTANT(c1, Dangerous, dangerLevel)",
+        [8.0])
+    # dangerLevel values ("high"/"low") never match elem_name, so the
+    # rewritten condition filters everything out — but it must bind.
+    assert outcome.rows == []
+    assert "(amount > 8.0)" in outcome.executed_sql
+
+
+def test_prepared_template_survives_execution(session):
+    prepared = session.prepare(ENRICHED)
+    first = prepared.execute([10.0])
+    second = prepared.execute([10.0])
+    assert first.result.same_rows(second.result)
+
+
+# -- caching ----------------------------------------------------------------
+
+
+def test_plan_cache_skips_reparsing(session):
+    session.execute(ENRICHED, [10.0])
+    assert session.plan_cache.misses == 1
+    prepared = session.prepare(ENRICHED)
+    assert prepared.from_cache
+    assert session.plan_cache.hits == 1
+
+
+def test_repeated_execution_hits_extraction_cache(session):
+    first = session.execute(ENRICHED, [10.0])
+    second = session.execute(ENRICHED, [5.0])
+    assert first.cache_hits == 0 and first.cache_misses == 1
+    assert second.cache_hits == 1 and second.cache_misses == 0
+
+
+def test_kb_mutation_invalidates_extractions(session, kb):
+    session.execute(ENRICHED, [10.0])
+    kb.add(SMG.Copper, SMG.dangerLevel, "medium")
+    outcome = session.execute(ENRICHED, [10.0])
+    assert outcome.cache_misses == 1  # new KB generation, fresh SPARQL
+
+
+def test_lru_cache_evicts_oldest():
+    cache = LRUCache(maxsize=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.get("a")
+    cache.put("c", 3)          # evicts "b" (least recently used)
+    assert "a" in cache and "c" in cache and "b" not in cache
+
+
+def test_zero_sized_cache_is_disabled():
+    cache = ExtractionCache(maxsize=0)
+    cache.put("k", "v")
+    assert cache.get("k") is None
+    assert len(cache) == 0
+
+
+def test_closed_session_rejects_queries(session):
+    session.close()
+    with pytest.raises(SessionError):
+        session.execute("SELECT 1")
+
+
+# -- execute_many -----------------------------------------------------------
+
+
+def test_execute_many_equals_looped_execute(session):
+    rows = [[5.0], [10.0], [100.0]]
+    batched = session.execute_many(ENRICHED, rows)
+    for params, outcome in zip(rows, batched):
+        solo = session.execute(ENRICHED, params)
+        assert outcome.result.same_rows(solo.result)
+    assert len(batched) == 3
+
+
+# -- explain ----------------------------------------------------------------
+
+
+def test_explain_reports_stages_without_running(session, db):
+    tables_before = set(db.table_names())
+    plan = session.explain(
+        "SELECT landfill_name FROM elem_contained "
+        "WHERE ${elem_name = Dangerous:c1} "
+        "ENRICH REPLACECONSTANT(c1, Dangerous, dangerLevel) "
+        "SCHEMAEXTENSION(elem_name, dangerLevel)")
+    assert [stage.name for stage in plan.stages] == [
+        "parse", "extract", "rewrite", "sql", "extract", "combine"]
+    assert len(plan.sparql_queries) == 2
+    assert "dangerLevel" in plan.sparql_queries[0]
+    assert "IN (SELECT" in plan.rewritten_sql   # the WHERE rewrite fired
+    assert plan.join_strategy == "tempdb"
+    assert set(db.table_names()) == tables_before  # temp tables cleaned
+    assert "plan for:" in plan.format()
+
+
+def test_explain_sees_cache_hits_after_execute(session):
+    session.execute(ENRICHED, [10.0])
+    plan = session.explain(ENRICHED, [10.0])
+    assert plan.parse_cached
+    assert plan.cache_hits == 1 and plan.cache_misses == 0
+    extract = [s for s in plan.stages if s.name == "extract"]
+    assert extract and all(stage.cached for stage in extract)
+
+
+# -- platform sessions ------------------------------------------------------
+
+
+@pytest.fixture
+def platform():
+    p = CrossePlatform(
+        generate_databank(SmartGroundConfig(n_landfills=10, seed=3)))
+    p.register_user("giulia")
+    p.register_user("marco")
+    return p
+
+
+PLATFORM_SESQL = ("SELECT DISTINCT elem_name FROM elem_contained "
+                  "ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)")
+
+
+def test_platform_reuses_one_engine_per_user(platform):
+    platform.run_sesql("giulia", PLATFORM_SESQL)
+    engine = platform.connect().as_user("giulia").engine
+    outcome = platform.run_sesql("giulia", PLATFORM_SESQL)
+    assert platform.connect().as_user("giulia").engine is engine
+    assert outcome.cache_hits >= 1  # second run reused the extraction
+
+
+def test_platform_connect_dispatch(platform):
+    assert repro.connect(platform) is platform.connect()
+
+
+def test_accept_statement_invalidates_user_session(platform):
+    value = platform.databank.query(
+        "SELECT elem_name FROM elem_contained LIMIT 1").scalar()
+    record = platform.annotate_free(
+        "marco", SMG[value], SMG.dangerLevel, "high")
+    before = platform.run_sesql("giulia", PLATFORM_SESQL)
+    assert all(row[1] is None for row in before.rows)
+    platform.accept_statement("giulia", record.statement_id)
+    after = platform.run_sesql("giulia", PLATFORM_SESQL)
+    assert any(row[1] == "high" for row in after.rows)
+
+
+def test_session_queries_still_feed_context(platform):
+    platform.connect().as_user("giulia").execute(PLATFORM_SESQL)
+    assert platform.context.profile("giulia").weight("dangerLevel") > 0
+
+
+def test_stored_query_registration_reaches_cached_session(platform):
+    platform.connect().as_user("giulia")  # warm the cache
+    platform.register_stored_query(
+        "anyPair", "SELECT ?s ?o WHERE { ?s ?p ?o }", username="giulia")
+    engine = platform.connect().as_user("giulia").engine
+    assert "anyPair" in engine.stored_queries
+
+
+def test_held_session_survives_invalidation(platform):
+    # Accepting a statement refreshes the engine in place; a session
+    # (or prepared query) the caller still holds keeps working and
+    # sees the new knowledge.
+    held = platform.session_for("giulia")
+    prepared = held.prepare(PLATFORM_SESQL)
+    assert all(row[1] is None for row in prepared.execute().rows)
+    value = platform.databank.query(
+        "SELECT elem_name FROM elem_contained LIMIT 1").scalar()
+    record = platform.annotate_free(
+        "marco", SMG[value], SMG.dangerLevel, "high")
+    platform.accept_statement("giulia", record.statement_id)
+    assert any(row[1] == "high" for row in prepared.execute().rows)
+    assert platform.session_for("giulia") is held
+
+
+def test_closed_platform_session_is_replaced(platform):
+    shared = platform.connect()
+    shared.close()
+    from repro.api import SessionError as SE
+    with pytest.raises(SE):
+        shared.as_user("giulia")
+    replacement = platform.connect()
+    assert replacement is not shared
+    assert replacement.as_user("giulia") is not None
+
+
+def test_closing_user_session_does_not_poison_platform(platform):
+    # The documented context-manager use must not permanently break
+    # run_sesql for that user: as_user replaces a closed session.
+    with platform.connect().as_user("giulia") as session:
+        session.execute(PLATFORM_SESQL)
+    outcome = platform.run_sesql("giulia", PLATFORM_SESQL)
+    assert outcome.columns == ["elem_name", "dangerLevel"]
+
+
+def test_typoed_execute_override_raises(session):
+    prepared = session.prepare("SELECT elem_name FROM elem_contained")
+    with pytest.raises(TypeError):
+        prepared.execute(None, strategy="direct")
+
+
+def test_invalidation_is_lazy(platform):
+    held = platform.session_for("giulia")
+    engine = held.engine
+    platform.register_stored_query(
+        "anyPair", "SELECT ?s ?o WHERE { ?s ?p ?o }")
+    assert held.engine is engine          # nothing rebuilt yet
+    held.execute(PLATFORM_SESQL)          # first query swaps it in
+    assert held.engine is not engine
+    assert "anyPair" in held.engine.stored_queries
+
+
+def test_custom_options_session_is_independent_and_invalidated(platform):
+    from repro.api import QueryOptions
+    shared = platform.connect()
+    custom = platform.connect(QueryOptions(join_strategy="direct"))
+    assert custom is not shared
+    assert platform.connect() is shared  # defaults untouched by custom
+    custom.as_user("giulia")  # warm the custom session's engine
+    platform.register_stored_query(
+        "anyPair", "SELECT ?s ?o WHERE { ?s ?p ?o }", username="giulia")
+    assert "anyPair" in custom.as_user("giulia").engine.stored_queries
+
+
+def test_close_leaves_shared_engine_cache_warm(db, kb):
+    from repro.api import ExtractionCache
+    engine = SESQLEngine(db, kb, extraction_cache=ExtractionCache(16))
+    with repro.connect(engine) as wrapper:
+        wrapper.execute("SELECT elem_name FROM elem_contained "
+                        "ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)")
+        assert len(engine.sqm.cache) == 1
+    assert len(engine.sqm.cache) == 1  # close() must not wipe it
+
+
+# -- KB generation stamps ---------------------------------------------------
+
+
+def test_triple_store_generation_is_unique_per_state():
+    first, second = TripleStore(), TripleStore()
+    assert first.generation != second.generation
+    before = first.generation
+    first.add(SMG.Mercury, SMG.dangerLevel, "high")
+    assert first.generation != before
+    unchanged = first.generation
+    first.add(SMG.Mercury, SMG.dangerLevel, "high")  # duplicate: no-op
+    assert first.generation == unchanged

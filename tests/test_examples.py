@@ -49,6 +49,14 @@ def test_crowdsourced_knowledge(capsys):
     assert "**Mercury**" in out              # highlighted snippet
 
 
+def test_session_api(capsys):
+    out = run_example("session_api", capsys)
+    assert "The plan:" in out
+    assert "extract" in out                  # explain shows SQM stages
+    assert "Second run extraction cache hits: 1" in out
+    assert "warm run shipped 0" in out       # mediator reuse
+
+
 def test_federated_databanks(capsys):
     out = run_example("federated_databanks", capsys)
     assert "Mediated EU-wide rollup" in out
@@ -59,7 +67,7 @@ def test_federated_databanks(capsys):
 
 @pytest.mark.parametrize("name", [
     "quickstart", "pollution_personas", "crowdsourced_knowledge",
-    "federated_databanks"])
+    "federated_databanks", "session_api"])
 def test_examples_exist_and_document_themselves(name):
     source = (EXAMPLES_DIR / f"{name}.py").read_text(encoding="utf-8")
     assert source.startswith('"""')          # every example has a docstring

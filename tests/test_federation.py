@@ -180,6 +180,105 @@ def test_fragment_arity_mismatch_detected(sources):
         mediator.query("SELECT * FROM bad")
 
 
+def test_query_ships_only_referenced_views(sources):
+    mediator = make_mediator(sources)
+    mediator.define_view("eu", [
+        ("italy", "SELECT name, city, size FROM landfill"),
+        ("france", "SELECT name, city, size FROM landfill")])
+    mediator.define_view("it_only", [
+        ("italy", "SELECT name FROM landfill")])
+    _result, report = mediator.query("SELECT COUNT(*) FROM eu")
+    # Pruning: it_only is defined but unreferenced, so no sub-query of
+    # it is shipped and it is never materialised.
+    assert [sql for _src, sql in report.sub_queries] == [
+        "SELECT name, city, size FROM landfill",
+        "SELECT name, city, size FROM landfill"]
+    assert list(report.view_rows) == ["eu"]
+
+
+def test_pruning_sees_views_in_subqueries(sources):
+    mediator = make_mediator(sources)
+    mediator.define_view("eu", [
+        ("italy", "SELECT name, city, size FROM landfill")])
+    mediator.define_view("big", [
+        ("france", "SELECT name FROM landfill WHERE size > 8")])
+    _result, report = mediator.query(
+        "SELECT name FROM eu WHERE name IN (SELECT name FROM big)")
+    assert set(report.view_rows) == {"eu", "big"}
+
+
+def test_pruning_falls_back_to_all_views_on_parse_failure(sources):
+    mediator = make_mediator(sources)
+    mediator.define_view("eu", [
+        ("italy", "SELECT name FROM landfill")])
+    assert mediator.referenced_views("THIS IS NOT SQL") == ["eu"]
+
+
+def test_explicit_views_argument_still_wins(sources):
+    mediator = make_mediator(sources)
+    mediator.define_view("eu", [
+        ("italy", "SELECT name, city, size FROM landfill")])
+    mediator.define_view("extra", [
+        ("france", "SELECT name, city, size FROM landfill")])
+    _result, report = mediator.query("SELECT COUNT(*) FROM eu",
+                                     views=["eu", "extra"])
+    assert set(report.view_rows) == {"eu", "extra"}
+
+
+# -- mediator sessions -------------------------------------------------------
+
+
+def test_mediator_session_reuses_materializations(sources):
+    mediator = make_mediator(sources)
+    mediator.define_view("eu", [
+        ("italy", "SELECT name, city, size FROM landfill"),
+        ("france", "SELECT name, city, size FROM landfill")])
+    session = mediator.connect()
+    _result, first = session.execute("SELECT COUNT(*) FROM eu")
+    result, second = session.execute("SELECT COUNT(*) FROM eu")
+    assert len(first.sub_queries) == 2     # cold: both fragments shipped
+    assert second.sub_queries == []        # warm: local copy reused
+    assert result.scalar() == 4
+    assert (session.hits, session.misses) == (1, 1)
+
+
+def test_mediator_session_refresh_picks_up_source_changes(sources):
+    italy, france = sources
+    mediator = make_mediator(sources)
+    mediator.define_view("eu", [
+        ("italy", "SELECT name, city, size FROM landfill")])
+    session = mediator.connect()
+    before = session.query("SELECT COUNT(*) FROM eu").scalar()
+    italy.execute("INSERT INTO landfill VALUES ('new', 'Bari', 2.0)")
+    assert session.query("SELECT COUNT(*) FROM eu").scalar() == before
+    session.refresh()
+    assert session.query("SELECT COUNT(*) FROM eu").scalar() == before + 1
+
+
+def test_mediator_session_explain_shows_pruning_and_cache(sources):
+    mediator = make_mediator(sources)
+    mediator.define_view("eu", [
+        ("italy", "SELECT name, city, size FROM landfill")])
+    mediator.define_view("other", [
+        ("france", "SELECT name FROM landfill")])
+    session = mediator.connect()
+    cold = session.explain("SELECT * FROM eu")
+    assert [stage.name for stage in cold.stages] == [
+        "prune", "materialize", "sql"]
+    assert cold.cache_misses == 1
+    session.query("SELECT * FROM eu")
+    warm = session.explain("SELECT * FROM eu")
+    assert warm.cache_hits == 1
+
+
+def test_stored_query_always_carries_parsed_form():
+    from repro.core import StoredQueryRegistry
+    registry = StoredQueryRegistry()
+    stored = registry.register("anyPair", "SELECT ?s ?o WHERE { ?s ?p ?o }")
+    assert stored.query is not None
+    assert registry.get("anyPair").query is stored.query
+
+
 # -- REST integration --------------------------------------------------------------
 
 
