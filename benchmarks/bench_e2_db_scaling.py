@@ -11,7 +11,9 @@ import pytest
 
 from repro.workloads import bench_engine, scaled_databank
 
-SIZES = [120, 600, 1200, 2400]
+from conftest import scaled
+
+SIZES = [scaled(n) for n in (120, 600, 1200, 2400)]
 
 SESQL = """
     SELECT elem_name, landfill_name, amount FROM elem_contained

@@ -13,7 +13,9 @@ import pytest
 from repro.smartground import synthetic_kb
 from repro.workloads import bench_engine, scaled_databank
 
-SIZES = [1_000, 5_000, 20_000, 50_000]
+from conftest import scaled
+
+SIZES = [scaled(n) for n in (1_000, 5_000, 20_000, 50_000)]
 
 SESQL = """
     SELECT elem_name, landfill_name FROM elem_contained

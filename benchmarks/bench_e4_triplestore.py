@@ -13,7 +13,9 @@ import pytest
 from repro.rdf import SMG, TripleStore
 from repro.smartground import synthetic_kb
 
-TRIPLES = 20_000
+from conftest import scaled
+
+TRIPLES = scaled(20_000)
 
 _STORES = {}
 

@@ -17,8 +17,10 @@ from repro.core.sqm import Extraction
 from repro.rdf import SMG, Literal
 from repro.relational import ResultSet
 
-ROWS = 5_000
-DISTINCT_SUBJECTS = 200
+from conftest import scaled
+
+ROWS = scaled(5_000)
+DISTINCT_SUBJECTS = scaled(200)
 
 
 def _base() -> ResultSet:

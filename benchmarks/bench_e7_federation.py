@@ -15,7 +15,9 @@ from repro.federation import (Mediator, RemoteTableSource,
                               attach_foreign_table)
 from repro.relational import Database
 
-TOTAL_ROWS = 2_000
+from conftest import scaled
+
+TOTAL_ROWS = scaled(2_000)
 
 QUERY = """SELECT city, COUNT(*) AS n, AVG(size) AS avg_size
            FROM eu_landfill GROUP BY city ORDER BY n DESC"""
@@ -34,12 +36,16 @@ def _source(name: str, start: int, count: int) -> Database:
 
 def _mediator(n_sources: int) -> Mediator:
     mediator = Mediator()
-    per_source = TOTAL_ROWS // n_sources
     fragments = []
+    start = 0
     for index in range(n_sources):
         name = f"src{index}"
-        mediator.register_source(
-            name, _source(name, index * per_source, per_source))
+        # Spread the remainder so the shares always sum to TOTAL_ROWS,
+        # whatever the smoke-mode scale is.
+        count = TOTAL_ROWS // n_sources \
+            + (1 if index < TOTAL_ROWS % n_sources else 0)
+        mediator.register_source(name, _source(name, start, count))
+        start += count
         fragments.append((name, "SELECT name, city, size FROM landfill"))
     mediator.define_view("eu_landfill", fragments)
     return mediator

@@ -26,7 +26,9 @@ import repro
 from repro.smartground import synthetic_kb
 from repro.workloads import bench_engine
 
-KB_TRIPLES = 20_000
+from conftest import scaled
+
+KB_TRIPLES = scaled(20_000)
 
 SESQL = """
     SELECT elem_name, amount FROM elem_contained WHERE amount > 5.0

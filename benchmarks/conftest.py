@@ -1,27 +1,44 @@
-"""Shared fixtures for the E1-E8 benchmark harness (DESIGN.md §5).
+"""Shared fixtures for the E1-E10 benchmark harness (DESIGN.md §5).
 
-Run with ``pytest benchmarks/ --benchmark-only``.  Each file regenerates
-one experiment; EXPERIMENTS.md records the measured series.
+Run per experiment file: ``pytest benchmarks/bench_e10_planner.py
+--benchmark-only``.  Each file regenerates one experiment;
+EXPERIMENTS.md records the measured series.
+
+Setting ``BENCH_SMOKE=1`` shrinks every workload to a fraction of its
+measured size: CI runs each benchmark end-to-end on tiny data (with
+``--benchmark-disable``) so the perf scripts cannot silently rot, while
+real measurement runs keep the published scales.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.smartground.ontology import researcher_kb
 from repro.workloads import bench_engine, scaled_databank
 
+#: CI smoke mode: run everything, measure nothing meaningful.
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+
+def scaled(n: int, floor: int = 30) -> int:
+    """The workload size to use: *n*, or a floored fraction in smoke
+    mode (import via ``from conftest import scaled`` in bench modules)."""
+    return max(n // 40, floor) if SMOKE else n
+
 
 @pytest.fixture(scope="session")
 def databank_1200():
     """~1200 elem_contained rows (the default E1 working set)."""
-    return scaled_databank(1200)
+    return scaled_databank(scaled(1200))
 
 
 @pytest.fixture(scope="session")
 def databank_150():
     """Small databank for the quadratic self-join query (ex4.6)."""
-    return scaled_databank(150)
+    return scaled_databank(scaled(150, floor=60))
 
 
 @pytest.fixture(scope="session")

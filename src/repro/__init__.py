@@ -40,10 +40,14 @@ Layers:
 
 from .api import (PlanCache, PlatformSession, PreparedQuery, QueryOptions,
                   QueryPlan, Session, SessionError, connect)
+from .planner import (OperatorNode, PlannedStatement, PlannerOptions,
+                      StatisticsCatalog)
 
 __all__ = [
     "connect", "Session", "PlatformSession", "PreparedQuery",
     "QueryOptions", "QueryPlan", "PlanCache", "SessionError",
+    "PlannerOptions", "PlannedStatement", "OperatorNode",
+    "StatisticsCatalog",
 ]
 
 __version__ = "0.2.0"

@@ -2,10 +2,14 @@
 
 ``explain()`` runs the *planning* stages of the Fig. 6 pipeline — parse
 (or plan-cache recall), parameter binding, SPARQL extraction and the
-WHERE rewrite — but never the databank query or the combine join, so it
-is safe to call on expensive queries.  The plan exposes exactly what an
-execution would do: the stage list, every SPARQL text, the rewritten
-SQL and how many extractions were served from cache.
+WHERE rewrite — but, by default, never the databank query or the
+combine join, so it is safe to call on expensive queries.  The plan
+exposes exactly what an execution would do: the stage list, every
+SPARQL text, the rewritten SQL, how many extractions were served from
+cache, and the databank's cost-based operator tree with estimated rows
+per operator.  ``explain(..., analyze=True)`` additionally runs the
+databank stage with row counters attached, so every operator reports
+estimated *and* actual rows.
 """
 
 from __future__ import annotations
@@ -42,12 +46,26 @@ class QueryPlan:
     cache_hits: int = 0       # extractions recalled from the memo
     cache_misses: int = 0
     parse_cached: bool = False  # template came from the plan cache
+    #: The databank's cost-based plan for the (rewritten) SQL stage — a
+    #: :class:`repro.planner.PlannedStatement` whose operator tree
+    #: carries estimated rows (and actual rows under ``analyze=True``).
+    db_plan: object | None = None
+
+    def operators(self) -> list:
+        """The databank plan's operator nodes, outermost first."""
+        if self.db_plan is None:
+            return []
+        return list(self.db_plan.root.walk())
 
     def format(self) -> str:
         """Pretty multi-line rendering (EXPLAIN-style)."""
         lines = [f"plan for: {' '.join(self.statement.split())}"]
         for stage in self.stages:
             lines.append("  " + stage.format().replace("\n", "\n  "))
+        if self.db_plan is not None:
+            lines.append("  databank operators (est/actual rows):")
+            lines.append("    "
+                         + self.db_plan.format().replace("\n", "\n    "))
         lines.append(f"  cache: {self.cache_hits} hit(s), "
                      f"{self.cache_misses} miss(es)")
         return "\n".join(lines)

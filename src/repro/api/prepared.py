@@ -55,6 +55,9 @@ class PreparedQuery:
         """Execute once per parameter row, reusing the parsed template."""
         return [self.execute(row) for row in param_rows]
 
-    def explain(self, params=None):
-        """The :class:`~repro.api.QueryPlan` without running the query."""
-        return self._session._explain_prepared(self, params)
+    def explain(self, params=None, *, analyze: bool = False):
+        """The :class:`~repro.api.QueryPlan`; by default nothing is
+        executed.  ``analyze=True`` runs the databank stage so the
+        operator tree reports actual rows alongside the estimates."""
+        return self._session._explain_prepared(self, params,
+                                               analyze=analyze)

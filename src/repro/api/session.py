@@ -164,10 +164,13 @@ class Session:
         """Execute the statement once per parameter row (single parse)."""
         return self.prepare(text).execute_many(param_rows)
 
-    def explain(self, text: str, params=None) -> QueryPlan:
-        """Plan the query — stages, SPARQL, rewritten SQL — without
-        running it."""
-        return self.prepare(text).explain(params)
+    def explain(self, text: str, params=None,
+                analyze: bool = False) -> QueryPlan:
+        """Plan the query — stages, SPARQL, rewritten SQL and the
+        databank operator tree with estimated rows.  ``analyze=True``
+        also runs the databank stage so every operator reports actual
+        rows next to its estimate."""
+        return self.prepare(text).explain(params, analyze=analyze)
 
     # -- prepared-query internals ------------------------------------------------
 
@@ -193,8 +196,8 @@ class Session:
             self._on_result(outcome)
         return outcome
 
-    def _explain_prepared(self, prepared: PreparedQuery,
-                          params) -> QueryPlan:
+    def _explain_prepared(self, prepared: PreparedQuery, params,
+                          analyze: bool = False) -> QueryPlan:
         self._check_open()
         include, strategy = self._overrides({})
         engine = self.engine
@@ -229,17 +232,31 @@ class Session:
 
         where_plan = [(enrichment, extract_stage(enrichment))
                       for enrichment in enriched.where_enrichments()]
+        rewriter = None
         if where_plan:
             rewriter = engine.apply_where_rewrites(enriched, where_plan,
                                                    include)
-            rewriter.cleanup()
-        rewritten_sql = render_query(enriched.query)
+        try:
+            rewritten_sql = render_query(enriched.query)
+            # The databank's cost-based plan (estimates; plus actual
+            # rows when analyze is requested).  Planned while the
+            # extraction temp tables still exist, so enrichment-
+            # injected predicates are estimated like any others.
+            db_plan = None
+            databank_explain = getattr(engine.databank, "explain", None)
+            if databank_explain is not None:
+                db_plan = databank_explain(enriched.query, analyze=analyze)
+        finally:
+            if rewriter is not None:
+                rewriter.cleanup()
         if where_plan:
             stages.append(PlanStage(
                 "rewrite", "tagged conditions rewritten over extraction "
                 "temp tables", [rewritten_sql]))
         stages.append(PlanStage(
-            "sql", "databank executes the (rewritten) SQL",
+            "sql", ("databank executed the (rewritten) SQL [analyze]"
+                    if analyze else
+                    "databank executes the (rewritten) SQL"),
             [rewritten_sql]))
 
         select_enrichments = enriched.select_enrichments()
@@ -262,6 +279,7 @@ class Session:
             cache_misses=(cache.misses - misses_before
                           if cache is not None else 0),
             parse_cached=prepared.from_cache,
+            db_plan=db_plan,
         )
 
 

@@ -54,6 +54,12 @@ class SESQLResult:
     timings: dict[str, float] = field(default_factory=dict)
     cache_hits: int = 0           # memoized SPARQL extractions reused
     cache_misses: int = 0
+    #: The databank's cost-based plan for the (rewritten) SQL stage — a
+    #: :class:`repro.planner.PlannedStatement`, or ``None`` when the
+    #: databank planner is disabled.  The WHERE-enrichment rewrite runs
+    #: *before* planning, so enrichment-injected predicates benefit from
+    #: pushdown and join re-ordering like hand-written ones.
+    db_plan: object | None = None
 
     @property
     def rows(self) -> list[tuple]:
@@ -216,11 +222,13 @@ class SESQLEngine:
         rewriter = self.apply_where_rewrites(enriched, where_plan, include)
         timings["where_rewrite"] = time.perf_counter() - stage
 
+        db_plan = None
         try:
             executed_sql = render_query(enriched.query)
             stage = time.perf_counter()
             base = self.databank.execute_ast(enriched.query)
             timings["sql"] = time.perf_counter() - stage
+            db_plan = getattr(self.databank, "last_plan", None)
             if not isinstance(base, ResultSet):  # pragma: no cover
                 raise EnrichmentError("the SQL part did not produce rows")
         finally:
@@ -246,6 +254,7 @@ class SESQLEngine:
                         if cache is not None else 0),
             cache_misses=(cache.misses - misses_before
                           if cache is not None else 0),
+            db_plan=db_plan,
         )
 
     def query(self, text: str, **kwargs) -> ResultSet:

@@ -21,14 +21,24 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from ..planner.joins import estimate_query_rows
+from ..planner.rewrite import (binding_of, from_leaves, map_expr,
+                               null_safe_bindings, query_output_columns,
+                               referenced_bindings)
 from ..relational import ast as sql_ast
 from ..relational.engine import Database
+from ..relational.errors import ExecutionError
 from ..relational.indexes import _normalize
 from ..relational.parser import parse_sql
+from ..relational.render import quote_identifier, render_expr
 from ..relational.result import ResultSet
 from .errors import MediationError
 
 RECONCILIATIONS = ("union_all", "union", "prefer_first")
+
+#: Abstract cost units charged per second of simulated source latency
+#: when ranking views/sources (one remote hop ≈ many local row visits).
+LATENCY_COST = 50_000.0
 
 
 @dataclass
@@ -55,6 +65,11 @@ class MediationReport:
     rows_per_source: dict[str, int] = field(default_factory=dict)
     view_rows: dict[str, int] = field(default_factory=dict)
     elapsed_s: float = 0.0
+    #: Estimated materialization cost per view (0.0 = already local);
+    #: views are shipped cheapest-first in this ranking.
+    view_costs: dict[str, float] = field(default_factory=dict)
+    #: Filters pushed into the per-source sub-queries, per view.
+    pushed_filters: dict[str, str] = field(default_factory=dict)
 
 
 class Mediator:
@@ -116,32 +131,74 @@ class Mediator:
         parse failure every view is returned (the scratch database will
         report the real syntax error when it runs the query).
         """
-        try:
-            statement = parse_sql(sql)
-        except Exception:
+        statement = self._try_parse(sql)
+        if statement is None:
             return self.view_names()
-        if not isinstance(statement, sql_ast.SelectQuery):
-            return self.view_names()
+        return self.referenced_views_in(statement)
+
+    def referenced_views_in(self,
+                            statement: sql_ast.SelectQuery) -> list[str]:
+        """Pruning over an already-parsed statement (no re-parse)."""
         referenced = sql_ast.referenced_tables(statement)
         return [name for name in self.view_names()
                 if name.lower() in referenced]
 
+    @staticmethod
+    def _try_parse(sql: str) -> sql_ast.SelectQuery | None:
+        try:
+            statement = parse_sql(sql)
+        except Exception:
+            return None
+        if not isinstance(statement, sql_ast.SelectQuery):
+            return None
+        return statement
+
+    # -- cost ranking -------------------------------------------------------
+
+    def estimate_view_cost(self, view: GlobalView) -> float:
+        """Estimated cost of materializing *view*: per-fragment row
+        estimates from each source's planner statistics, plus a heavy
+        penalty per simulated remote hop (foreign-table latency)."""
+        total = 0.0
+        for fragment in view.fragments:
+            total += self._fragment_cost(self.source(fragment.source),
+                                         fragment.sql)
+        return total
+
+    @staticmethod
+    def _fragment_cost(database: Database, sql: str) -> float:
+        statement = Mediator._try_parse(sql)
+        if statement is None:
+            return 1000.0
+        cost = estimate_query_rows(statement, database.catalog,
+                                   database.stats)
+        for name in sql_ast.referenced_tables(statement):
+            if database.catalog.has_table(name):
+                table = database.catalog.table(name)
+                cost += getattr(table, "latency_s", 0.0) * LATENCY_COST
+        return cost
+
     # -- mediated querying ----------------------------------------------------------
 
     def query(self, sql: str,
-              views: list[str] | None = None
+              views: list[str] | None = None,
+              pushdown: bool = True
               ) -> tuple[ResultSet, MediationReport]:
         """Run *sql* against the global schema.
 
         *views* limits which global views are materialised; by default
         the query is parsed and only the views it references are shipped
         (``referenced_views``) — the report shows what was shipped.
+        With *pushdown* (the default), single-view WHERE conjuncts are
+        pushed into the per-source sub-queries so sources filter before
+        shipping (the global query still re-applies them locally).
 
         Each call uses a throwaway session, so every referenced view is
         re-shipped (always-fresh snapshot semantics); use ``connect()``
         for a session that reuses materializations across queries.
         """
-        return MediatorSession(self).execute(sql, views)
+        return MediatorSession(self).execute(sql, views,
+                                             pushdown=pushdown)
 
     # -- sessions -------------------------------------------------------------------
 
@@ -152,14 +209,20 @@ class Mediator:
     # -- internals ----------------------------------------------------------------------
 
     def _materialize_view(self, view: GlobalView,
-                          report: MediationReport
+                          report: MediationReport,
+                          filter_sql: str | None = None
                           ) -> tuple[list[tuple], list[str]]:
         partials: list[tuple[str, ResultSet]] = []
         columns: list[str] | None = None
         for fragment in view.fragments:
             database = self.source(fragment.source)
-            report.sub_queries.append((fragment.source, fragment.sql))
-            partial = database.query(fragment.sql)
+            fragment_sql = fragment.sql
+            if filter_sql is not None:
+                fragment_sql = (
+                    f"SELECT * FROM ({fragment.sql}) AS "
+                    f"{quote_identifier(view.name)} WHERE {filter_sql}")
+            report.sub_queries.append((fragment.source, fragment_sql))
+            partial = database.query(fragment_sql)
             report.rows_per_source[fragment.source] = \
                 report.rows_per_source.get(fragment.source, 0) \
                 + len(partial)
@@ -244,27 +307,76 @@ class MediatorSession:
         self.hits = 0      # views served from the local materialization
         self.misses = 0    # views shipped to the sources
 
-    def execute(self, sql: str, views: list[str] | None = None
+    def execute(self, sql: str, views: list[str] | None = None,
+                pushdown: bool = True
                 ) -> tuple[ResultSet, MediationReport]:
-        """Run *sql* on the global schema, materializing views lazily."""
+        """Run *sql* on the global schema, materializing views lazily.
+
+        The statement is parsed once: the same AST drives view pruning,
+        filter pushdown and the final scratch-database execution.  An
+        unparseable statement falls back to materializing every view
+        and letting the scratch database report the real error.
+        """
         report = MediationReport()
         started = time.perf_counter()
-        wanted = views if views is not None \
-            else self.mediator.referenced_views(sql)
+        statement = Mediator._try_parse(sql)
+        if views is not None:
+            wanted = views
+        elif statement is not None:
+            wanted = self.mediator.referenced_views_in(statement)
+        else:
+            wanted = self.mediator.view_names()
+
         for view_name in wanted:
-            view = self.mediator._views.get(view_name)
-            if view is None:
+            if view_name not in self.mediator._views:
                 raise MediationError(f"unknown view {view_name!r}")
-            if view_name in self._view_rows:
-                self.hits += 1
-            else:
-                rows, columns = self.mediator._materialize_view(view,
-                                                                report)
+
+        # Cost-ranked source selection: ship cheapest views first
+        # (already-local materializations cost nothing).
+        for view_name in wanted:
+            view = self.mediator._views[view_name]
+            report.view_costs[view_name] = (
+                0.0 if view_name in self._view_rows
+                else self.mediator.estimate_view_cost(view))
+        ranked = sorted(wanted,
+                        key=lambda name: (report.view_costs[name],
+                                          wanted.index(name)))
+
+        pushable = (_pushable_filters(statement, wanted, self.mediator)
+                    if pushdown and statement is not None else {})
+        partial: list[str] = []
+        try:
+            for view_name in ranked:
+                view = self.mediator._views[view_name]
+                if view_name in self._view_rows:
+                    self.hits += 1
+                    report.view_rows[view.name] = \
+                        self._view_rows[view.name]
+                    continue
+                filter_sql = pushable.get(view_name)
+                rows, columns = self.mediator._materialize_view(
+                    view, report, filter_sql)
                 Mediator._store(self._scratch, view.name, columns, rows)
-                self._view_rows[view.name] = len(rows)
                 self.misses += 1
-            report.view_rows[view.name] = self._view_rows[view.name]
-        result = self._scratch.query(sql)
+                if filter_sql is not None:
+                    # A filtered materialization is partial: usable for
+                    # this query only, never cached for later ones.
+                    partial.append(view.name)
+                    report.pushed_filters[view.name] = filter_sql
+                else:
+                    self._view_rows[view.name] = len(rows)
+                report.view_rows[view.name] = len(rows)
+            if statement is not None:
+                outcome = self._scratch.execute_ast(statement)
+                if not isinstance(outcome, ResultSet):
+                    raise ExecutionError("statement did not produce rows")
+                result = outcome
+            else:
+                result = self._scratch.query(sql)
+        finally:
+            for view_name in partial:
+                self._scratch.catalog.drop_table(view_name,
+                                                 if_exists=True)
         report.elapsed_s = time.perf_counter() - started
         return result, report
 
@@ -280,35 +392,136 @@ class MediatorSession:
                 self._scratch.catalog.drop_table(view_name,
                                                  if_exists=True)
 
-    def explain(self, sql: str) -> "QueryPlan":
-        """The mediation plan — pruned views, per-source sub-queries and
-        materialization cache state — without shipping anything."""
+    def explain(self, sql: str, pushdown: bool = True) -> "QueryPlan":
+        """The mediation plan — pruned views, cost-ranked per-source
+        sub-queries, pushed filters and materialization cache state —
+        without shipping anything."""
         from ..api.plan import PlanStage, QueryPlan
 
-        wanted = self.mediator.referenced_views(sql)
+        statement = Mediator._try_parse(sql)
+        wanted = (self.mediator.referenced_views_in(statement)
+                  if statement is not None else self.mediator.view_names())
         stages = [PlanStage(
             "prune", f"query references {len(wanted)} of "
             f"{len(self.mediator.view_names())} global view(s)",
             [", ".join(wanted) or "(none)"])]
+        costs = {name: (0.0 if name in self._view_rows
+                        else self.mediator.estimate_view_cost(
+                            self.mediator._views[name]))
+                 for name in wanted}
+        ranked = sorted(wanted, key=lambda name: (costs[name],
+                                                  wanted.index(name)))
+        pushable = (_pushable_filters(statement, wanted, self.mediator)
+                    if pushdown and statement is not None else {})
         hits = misses = 0
-        for view_name in wanted:
+        for view_name in ranked:
             view = self.mediator._views[view_name]
             cached = view_name in self._view_rows
             hits += cached
             misses += not cached
+            description = (f"view {view_name!r}: {view.reconciliation} "
+                           f"over {len(view.fragments)} fragment(s), "
+                           f"cost~{costs[view_name]:.0f}")
+            if view_name in pushable:
+                description += f", pushdown [{pushable[view_name]}]"
             stages.append(PlanStage(
-                "materialize",
-                f"view {view_name!r}: {view.reconciliation} over "
-                f"{len(view.fragments)} fragment(s)",
+                "materialize", description,
                 [f"{fragment.source}: {fragment.sql}"
                  for fragment in view.fragments],
                 cached=cached))
         stages.append(PlanStage(
             "sql", "scratch database executes the global query", [sql]))
-        return QueryPlan(
+        plan = QueryPlan(
             statement=sql, base_sql=sql, rewritten_sql=sql,
             join_strategy="mediation", stages=stages,
             cache_hits=hits, cache_misses=misses)
+        if statement is not None:
+            try:
+                plan.db_plan = self._scratch.explain(statement)
+            except Exception:
+                plan.db_plan = None  # views not materialized yet
+        return plan
 
     def close(self) -> None:
         self.refresh()
+
+
+def _pushable_filters(statement: sql_ast.SelectQuery, wanted: list[str],
+                      mediator: Mediator) -> dict[str, str]:
+    """WHERE conjuncts that can run at the sources, per view.
+
+    A conjunct qualifies when it touches exactly one FROM leaf, that
+    leaf is a reference to a *wanted* view appearing once, the view's
+    reconciliation is order-insensitive (``prefer_first`` elects rows
+    by precedence *before* filtering, so pre-filtering could change the
+    winners) and the leaf is not on the nullable side of an outer join
+    (pre-filtering there would turn matched rows into NULL-padded
+    ones).  The global query keeps the conjunct regardless — pushdown
+    only reduces what the sources ship.
+    """
+    if statement.is_compound:
+        return {}
+    core = statement.core
+    if core.from_clause is None or core.where is None:
+        return {}
+    wanted_lower = {name.lower(): name for name in wanted}
+    safe = null_safe_bindings(core.from_clause)
+    # Occurrences are counted over the WHOLE statement (subqueries
+    # included): the scratch database holds one materialization per
+    # view, so a second reference anywhere — e.g. inside an IN
+    # subquery — would read the same pre-filtered copy and see too few
+    # rows.
+    occurrences: dict[str, int] = {}
+    for node in sql_ast.iter_query_nodes(statement):
+        if isinstance(node, sql_ast.TableRef) \
+                and node.name.lower() in wanted_lower:
+            view_name = wanted_lower[node.name.lower()]
+            occurrences[view_name] = occurrences.get(view_name, 0) + 1
+    view_of_binding: dict[str, str] = {}
+    binding_columns: dict[str, list[str] | None] = {}
+    for leaf in from_leaves(core.from_clause):
+        binding = binding_of(leaf)
+        if binding is None:
+            continue
+        columns = None
+        if isinstance(leaf, sql_ast.TableRef) \
+                and leaf.name.lower() in wanted_lower:
+            view_name = wanted_lower[leaf.name.lower()]
+            view = mediator._views[view_name]
+            if view.reconciliation != "prefer_first" and binding in safe:
+                columns = _view_columns(mediator, view)
+                view_of_binding[binding] = view_name
+        binding_columns[binding] = columns
+
+    pushes: dict[str, list[sql_ast.Expr]] = {}
+    for conjunct in sql_ast.conjuncts(core.where):
+        touched = referenced_bindings(conjunct, binding_columns)
+        if touched is None or len(touched) != 1:
+            continue
+        binding = next(iter(touched))
+        view_name = view_of_binding.get(binding)
+        if view_name is None or occurrences.get(view_name) != 1:
+            continue
+        pushes.setdefault(view_name, []).append(conjunct)
+
+    filters: dict[str, str] = {}
+    for view_name, conjunct_list in pushes.items():
+        requalified = [
+            map_expr(conjunct, lambda node, view_name=view_name:
+                     sql_ast.ColumnRef(node.name, view_name)
+                     if isinstance(node, sql_ast.ColumnRef) else node)
+            for conjunct in conjunct_list]
+        filters[view_name] = " AND ".join(
+            f"({render_expr(conjunct)})" for conjunct in requalified)
+    return filters
+
+
+def _view_columns(mediator: Mediator,
+                  view: GlobalView) -> list[str] | None:
+    """The view's output columns, derived from its first fragment."""
+    fragment = view.fragments[0]
+    statement = Mediator._try_parse(fragment.sql)
+    if statement is None:
+        return None
+    database = mediator.source(fragment.source)
+    return query_output_columns(statement, database.catalog)

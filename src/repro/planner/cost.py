@@ -1,0 +1,67 @@
+"""A simple cost model over the executor's physical operators.
+
+Costs are abstract "row visits" — good enough to rank join orders and
+pick a physical join strategy.  Constants reflect the Python executor:
+hashing a build side costs a bit more per row than streaming the probe
+side, a per-row index lookup costs more than one dict probe (the
+HashIndex copies its bucket and fetches rows by id), and nested loops
+pay the full cross product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+SCAN_COST_PER_ROW = 1.0
+HASH_BUILD_PER_ROW = 1.6
+HASH_PROBE_PER_ROW = 1.0
+INDEX_PROBE_PER_LOOKUP = 3.0
+NESTED_LOOP_PER_PAIR = 0.9
+OUTPUT_COST_PER_ROW = 0.2
+
+
+@dataclass(frozen=True)
+class JoinChoice:
+    """One costed physical alternative for a join step."""
+
+    strategy: str          # 'hash' | 'index' | 'nested-loop'
+    cost: float
+
+
+class CostModel:
+    """Rank scan and join alternatives by estimated row visits."""
+
+    def scan_cost(self, rows: float) -> float:
+        return rows * SCAN_COST_PER_ROW
+
+    def hash_join_cost(self, left_rows: float, right_rows: float,
+                       out_rows: float) -> float:
+        return (right_rows * HASH_BUILD_PER_ROW
+                + left_rows * HASH_PROBE_PER_ROW
+                + out_rows * OUTPUT_COST_PER_ROW)
+
+    def index_join_cost(self, left_rows: float,
+                        out_rows: float) -> float:
+        # The inner side is never scanned or built: each outer row pays
+        # one index lookup plus the matches it yields.
+        return (left_rows * INDEX_PROBE_PER_LOOKUP
+                + out_rows * (1.0 + OUTPUT_COST_PER_ROW))
+
+    def nested_loop_cost(self, left_rows: float, right_rows: float,
+                         out_rows: float) -> float:
+        return (left_rows * right_rows * NESTED_LOOP_PER_PAIR
+                + out_rows * OUTPUT_COST_PER_ROW)
+
+    def choose_join(self, left_rows: float, right_rows: float,
+                    out_rows: float, has_equi: bool,
+                    index_available: bool) -> JoinChoice:
+        """Cheapest strategy the executor can actually run."""
+        if not has_equi:
+            return JoinChoice("nested-loop", self.nested_loop_cost(
+                left_rows, right_rows, out_rows))
+        choices = [JoinChoice("hash", self.hash_join_cost(
+            left_rows, right_rows, out_rows))]
+        if index_available:
+            choices.append(JoinChoice("index", self.index_join_cost(
+                left_rows, out_rows)))
+        return min(choices, key=lambda choice: choice.cost)

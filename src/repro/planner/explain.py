@@ -1,0 +1,53 @@
+"""Operator trees for EXPLAIN: estimated vs. actual rows per operator.
+
+The planner builds one :class:`OperatorNode` per physical operator it
+decided on (scans, filters, joins, aggregation).  The executor, when
+handed the same plan, instruments the corresponding iterators so each
+node also records the rows that actually flowed through it — the
+``est=…`` / ``actual=…`` pair EXPLAIN ANALYZE prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OperatorNode:
+    """One operator of a planned query."""
+
+    kind: str                     # scan | filter | hash-join | index-join |
+    #                               nested-loop | aggregate | result | ...
+    label: str
+    est_rows: float | None = None
+    actual_rows: int | None = None
+    detail: str = ""
+    children: list["OperatorNode"] = field(default_factory=list)
+
+    def count(self, rows: int) -> None:
+        self.actual_rows = (self.actual_rows or 0) + rows
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def format(self, indent: int = 0) -> str:
+        parts = [f"{'  ' * indent}{self.kind} {self.label}".rstrip()]
+        annotations = []
+        if self.est_rows is not None:
+            annotations.append(f"est={_round(self.est_rows)}")
+        if self.actual_rows is not None:
+            annotations.append(f"actual={self.actual_rows}")
+        if self.detail:
+            annotations.append(self.detail)
+        if annotations:
+            parts[0] += "  (" + ", ".join(annotations) + ")"
+        parts.extend(child.format(indent + 1) for child in self.children)
+        return "\n".join(parts)
+
+
+def _round(value: float) -> str:
+    if value >= 100 or float(value).is_integer():
+        return str(int(round(value)))
+    return f"{value:.1f}"

@@ -1,0 +1,375 @@
+"""Join-order optimization: left-deep DP for small FROM lists, greedy
+beyond, with a physical strategy picked per join step.
+
+The optimizer works on a *join graph*: base relations (the leaves of an
+all-INNER/CROSS FROM tree) and conjuncts classified by the set of
+relations they touch.  Single-relation conjuncts are pushed below the
+joins by the caller before ordering; what remains here are genuine join
+predicates (and the residual unclassifiable ones the caller keeps in
+WHERE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from ..relational import ast
+from ..relational.table import Table, find_probe_index
+from .cost import CostModel
+from .estimate import join_selectivity, predicate_selectivity
+from .explain import OperatorNode
+from .stats import StatisticsCatalog, TableStats
+
+FOREIGN_ROWS_GUESS = 1000.0
+GROUP_FACTOR = 0.2
+DISTINCT_FACTOR = 0.5
+
+
+@dataclass
+class BaseRelation:
+    """One FROM leaf as the optimizer sees it."""
+
+    expr: ast.TableExpr          # possibly a pushdown wrapper
+    binding: str                 # lower-cased
+    columns: list[str] | None
+    table: Table | None          # underlying heap table, if a bare scan
+    raw_rows: float              # before any pushed filter
+    est_rows: float              # after pushed filters
+    filtered: bool
+    node: OperatorNode = field(default=None)  # type: ignore[assignment]
+
+
+@dataclass
+class JoinPredicate:
+    """A conjunct spanning two or more relations."""
+
+    expr: ast.Expr
+    bindings: frozenset[str]
+    selectivity: float
+    #: ``(binding_a, column_a, binding_b, column_b)`` for an equi
+    #: conjunct ``a.x = b.y``; ``None`` otherwise.
+    equi: tuple[str, str, str, str] | None = None
+
+
+@dataclass
+class JoinStep:
+    """One step of the chosen left-deep order."""
+
+    relation: BaseRelation
+    predicates: list[JoinPredicate]
+    strategy: str                # 'hash' | 'index' | 'nested-loop'
+    est_rows: float
+    est_cost: float
+
+
+# ---------------------------------------------------------------------------
+# Flattening and predicate analysis
+# ---------------------------------------------------------------------------
+
+
+def flatten_inner_joins(table_expr: ast.TableExpr
+                        ) -> tuple[list[ast.TableExpr],
+                                   list[ast.Expr]] | None:
+    """Leaves and ON-conjuncts of an all-INNER/CROSS join tree, or
+    ``None`` when an outer join pins the written shape."""
+    leaves: list[ast.TableExpr] = []
+    conditions: list[ast.Expr] = []
+
+    def walk(expr: ast.TableExpr) -> bool:
+        if isinstance(expr, ast.Join):
+            if expr.join_type == "LEFT":
+                return False
+            if not walk(expr.left) or not walk(expr.right):
+                return False
+            if expr.condition is not None:
+                conditions.extend(ast.conjuncts(expr.condition))
+            return True
+        leaves.append(expr)
+        return True
+
+    if not walk(table_expr):
+        return None
+    return leaves, conditions
+
+
+def classify_equi(expr: ast.Expr,
+                  binding_columns: dict[str, list[str] | None]
+                  ) -> tuple[str, str, str, str] | None:
+    """``a.x = b.y`` across two distinct relations, resolved."""
+    if not (isinstance(expr, ast.BinaryOp) and expr.op == "="):
+        return None
+    sides = []
+    for side in (expr.left, expr.right):
+        if not isinstance(side, ast.ColumnRef):
+            return None
+        if side.qualifier is not None:
+            binding = side.qualifier.lower()
+            columns = binding_columns.get(binding)
+            if columns is None or side.name.lower() not in columns:
+                return None
+        else:
+            owners = [b for b, columns in binding_columns.items()
+                      if columns is not None
+                      and side.name.lower() in columns]
+            if len(owners) != 1:
+                return None
+            binding = owners[0]
+        sides.append((binding, side.name.lower()))
+    if sides[0][0] == sides[1][0]:
+        return None
+    return sides[0][0], sides[0][1], sides[1][0], sides[1][1]
+
+
+
+
+# ---------------------------------------------------------------------------
+# Row estimation for relations and whole queries
+# ---------------------------------------------------------------------------
+
+
+def table_rows(table, stats: TableStats | None) -> float:
+    if isinstance(table, Table):
+        return float(len(table))
+    if stats is not None:
+        return float(stats.row_count)
+    snapshot = getattr(table, "_snapshot", None)
+    if snapshot is not None:
+        return float(len(snapshot))
+    return FOREIGN_ROWS_GUESS
+
+
+def estimate_query_rows(query: ast.SelectQuery, catalog,
+                        stats: StatisticsCatalog) -> float:
+    total = 0.0
+    for core in [query.core] + [c for _op, c in query.compounds]:
+        total += _estimate_core_rows(core, catalog, stats)
+    if query.limit is not None and isinstance(query.limit, ast.Literal) \
+            and isinstance(query.limit.value, (int, float)):
+        total = min(total, float(query.limit.value))
+    return max(total, 0.1)
+
+
+def _estimate_core_rows(core: ast.SelectCore, catalog,
+                        stats: StatisticsCatalog) -> float:
+    if core.from_clause is None:
+        return 1.0
+    from .rewrite import binding_of, from_leaves, output_columns
+    flat = flatten_inner_joins(core.from_clause)
+    if flat is None:
+        leaves = from_leaves(core.from_clause)
+        conditions = []
+    else:
+        leaves, conditions = flat
+    rows = 1.0
+    binding_columns: dict[str, list[str] | None] = {}
+    binding_stats: dict[str, TableStats | None] = {}
+    for leaf in leaves:
+        rows *= _relation_raw_rows(leaf, catalog, stats)
+        binding = binding_of(leaf)
+        if binding is not None:
+            binding_columns[binding] = output_columns(leaf, catalog)
+            binding_stats[binding] = _leaf_stats(leaf, stats)
+    resolve = make_resolver(binding_stats, binding_columns)
+    for conjunct in conditions + list(ast.conjuncts(core.where)):
+        equi = classify_equi(conjunct, binding_columns)
+        if equi is not None:
+            left = _column_stats(binding_stats.get(equi[0]), equi[1])
+            right = _column_stats(binding_stats.get(equi[2]), equi[3])
+            rows *= join_selectivity(left, right)
+        else:
+            rows *= predicate_selectivity(conjunct, resolve)
+    has_aggregate = bool(core.group_by) or core.having is not None
+    if has_aggregate:
+        rows = max(rows * GROUP_FACTOR, 1.0) if core.group_by else 1.0
+    if core.distinct:
+        rows *= DISTINCT_FACTOR
+    return max(rows, 0.1)
+
+
+def _relation_raw_rows(leaf: ast.TableExpr, catalog,
+                       stats: StatisticsCatalog) -> float:
+    if isinstance(leaf, ast.TableRef):
+        if not catalog.has_table(leaf.name):
+            return FOREIGN_ROWS_GUESS
+        return table_rows(catalog.table(leaf.name), stats.get(leaf.name))
+    if isinstance(leaf, ast.SubqueryRef):
+        return estimate_query_rows(leaf.query, catalog, stats)
+    return FOREIGN_ROWS_GUESS
+
+
+def _leaf_stats(leaf: ast.TableExpr,
+                stats: StatisticsCatalog) -> TableStats | None:
+    if isinstance(leaf, ast.TableRef):
+        return stats.get(leaf.name)
+    return None
+
+
+def _column_stats(table_stats: TableStats | None, column: str):
+    if table_stats is None:
+        return None
+    return table_stats.column(column)
+
+
+def make_resolver(binding_stats: dict[str, TableStats | None],
+                  binding_columns: dict[str, list[str] | None]):
+    """Build the ``ColumnRef -> ColumnStats | None`` lookup the
+    selectivity estimator needs."""
+
+    def resolve(ref: ast.ColumnRef):
+        if ref.qualifier is not None:
+            return _column_stats(binding_stats.get(ref.qualifier.lower()),
+                                 ref.name.lower())
+        owners = [binding for binding, columns in binding_columns.items()
+                  if columns is not None and ref.name.lower() in columns]
+        if len(owners) == 1:
+            return _column_stats(binding_stats.get(owners[0]),
+                                 ref.name.lower())
+        return None
+
+    return resolve
+
+
+# ---------------------------------------------------------------------------
+# Ordering
+# ---------------------------------------------------------------------------
+
+
+def order_joins(relations: list[BaseRelation],
+                predicates: list[JoinPredicate],
+                binding_stats: dict[str, TableStats | None],
+                cost_model: CostModel,
+                dp_limit: int,
+                index_probe: bool) -> tuple[list[int], list[JoinStep]]:
+    """Choose a left-deep order (as relation indices) and its steps."""
+    if len(relations) <= dp_limit:
+        return _order_dp(relations, predicates, cost_model, index_probe)
+    return _order_greedy(relations, predicates, cost_model, index_probe)
+
+
+def _access_cost(relation: BaseRelation, cost_model: CostModel) -> float:
+    return cost_model.scan_cost(relation.raw_rows)
+
+
+def _step_for(acc_bindings: frozenset[str], acc_rows: float,
+              relation: BaseRelation, predicates: list[JoinPredicate],
+              cost_model: CostModel, index_probe: bool) -> JoinStep:
+    joined = acc_bindings | {relation.binding}
+    applicable = [p for p in predicates
+                  if relation.binding in p.bindings
+                  and p.bindings <= joined]
+    out_rows = acc_rows * relation.est_rows
+    for predicate in applicable:
+        out_rows *= predicate.selectivity
+    out_rows = max(out_rows, 0.05)
+
+    inner_equi_columns = []
+    for predicate in applicable:
+        if predicate.equi is None:
+            continue
+        binding_a, column_a, binding_b, column_b = predicate.equi
+        if binding_a == relation.binding and binding_b in acc_bindings:
+            inner_equi_columns.append(column_a)
+        elif binding_b == relation.binding and binding_a in acc_bindings:
+            inner_equi_columns.append(column_b)
+    has_equi = bool(inner_equi_columns)
+    index_available = (
+        index_probe and has_equi and not relation.filtered
+        and relation.table is not None
+        and find_probe_index(relation.table,
+                             inner_equi_columns) is not None)
+
+    choice = cost_model.choose_join(acc_rows, relation.est_rows, out_rows,
+                                    has_equi, index_available)
+    cost = choice.cost
+    if choice.strategy != "index":
+        cost += _access_cost(relation, cost_model)
+    return JoinStep(relation, applicable, choice.strategy, out_rows, cost)
+
+
+def _order_dp(relations: list[BaseRelation],
+              predicates: list[JoinPredicate],
+              cost_model: CostModel,
+              index_probe: bool) -> tuple[list[int], list[JoinStep]]:
+    indices = range(len(relations))
+    best: dict[frozenset[int], tuple[float, float, list[int],
+                                     list[JoinStep]]] = {}
+    for i in indices:
+        best[frozenset([i])] = (_access_cost(relations[i], cost_model),
+                                relations[i].est_rows, [i], [])
+    for size in range(2, len(relations) + 1):
+        for subset in combinations(indices, size):
+            key = frozenset(subset)
+            champion = None
+            for last in subset:
+                prev_key = key - {last}
+                if prev_key not in best:
+                    continue
+                prev_cost, prev_rows, prev_order, prev_steps = best[prev_key]
+                acc_bindings = frozenset(
+                    relations[i].binding for i in prev_order)
+                step = _step_for(acc_bindings, prev_rows, relations[last],
+                                 predicates, cost_model, index_probe)
+                total = prev_cost + step.est_cost
+                if champion is None or total < champion[0]:
+                    champion = (total, step.est_rows, prev_order + [last],
+                                prev_steps + [step])
+            best[key] = champion
+    _cost, _rows, order, steps = best[frozenset(indices)]
+    return order, steps
+
+
+def _order_greedy(relations: list[BaseRelation],
+                  predicates: list[JoinPredicate],
+                  cost_model: CostModel,
+                  index_probe: bool) -> tuple[list[int], list[JoinStep]]:
+    remaining = set(range(len(relations)))
+    start = min(remaining, key=lambda i: relations[i].est_rows)
+    order = [start]
+    remaining.discard(start)
+    steps: list[JoinStep] = []
+    rows = relations[start].est_rows
+    while remaining:
+        acc_bindings = frozenset(relations[i].binding for i in order)
+        champion = None
+        for i in remaining:
+            step = _step_for(acc_bindings, rows, relations[i],
+                             predicates, cost_model, index_probe)
+            rank = (step.est_cost + step.est_rows, step.est_rows)
+            if champion is None or rank < champion[0]:
+                champion = (rank, i, step)
+        _rank, chosen, step = champion
+        order.append(chosen)
+        remaining.discard(chosen)
+        steps.append(step)
+        rows = step.est_rows
+    return order, steps
+
+
+# ---------------------------------------------------------------------------
+# Tree rebuild
+# ---------------------------------------------------------------------------
+
+_STEP_KIND = {"hash": "hash-join", "index": "index-join",
+              "nested-loop": "nested-loop"}
+
+
+def build_join_tree(relations: list[BaseRelation], order: list[int],
+                    steps: list[JoinStep],
+                    annotations: dict[int, OperatorNode]
+                    ) -> tuple[ast.TableExpr, OperatorNode]:
+    """Assemble the chosen left-deep ast.Join chain and its trace."""
+    acc_expr = relations[order[0]].expr
+    acc_node = relations[order[0]].node
+    for step in steps:
+        condition = ast.conjoin([p.expr for p in step.predicates])
+        join = ast.Join("INNER", acc_expr, step.relation.expr, condition)
+        node = OperatorNode(
+            kind=(_STEP_KIND[step.strategy] if condition is not None
+                  else "cross-join"),
+            label=f"to {step.relation.binding}",
+            est_rows=step.est_rows,
+            children=[acc_node, step.relation.node])
+        annotations[id(join)] = node
+        acc_expr, acc_node = join, node
+    return acc_expr, acc_node

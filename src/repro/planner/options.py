@@ -1,0 +1,42 @@
+"""Planner configuration.
+
+Every :class:`~repro.relational.engine.Database` owns a
+:class:`PlannerOptions` (on by default).  Individual passes can be
+switched off independently, which the equivalence tests use to compare
+planned and unplanned executions of the same query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class PlannerOptions:
+    """Feature flags and tuning knobs of the cost-based planner."""
+
+    #: Master switch.  Off = compile the query exactly as written.
+    enabled: bool = True
+    #: Fold literal-only sub-expressions (``1 + 1`` -> ``2``) and
+    #: simplify AND/OR/NOT around literal booleans.
+    fold_constants: bool = True
+    #: Push single-relation WHERE/ON conjuncts below joins.
+    predicate_pushdown: bool = True
+    #: Drop derived-table select items the outer query never reads.
+    prune_projections: bool = True
+    #: Re-order inner-join trees by estimated cost.
+    reorder_joins: bool = True
+    #: Let equi-joins probe a matching index on the inner table.
+    index_probe_joins: bool = True
+    #: Exhaustive (left-deep DP) ordering up to this many relations;
+    #: larger FROM lists fall back to the greedy heuristic.
+    dp_relation_limit: int = 6
+    #: Equi-width histogram buckets collected per numeric column.
+    histogram_buckets: int = 32
+    #: Re-raise planner bugs instead of silently executing the query as
+    #: written.  Tests set this; production paths leave it off so a
+    #: planning failure can never break a query.
+    strict: bool = False
+
+    def replace(self, **changes) -> "PlannerOptions":
+        return replace(self, **changes)

@@ -1,0 +1,450 @@
+"""The planning driver: one call turns a parsed SELECT into a
+:class:`PlannedStatement` — a rewritten (private) AST plus the operator
+tree EXPLAIN renders and the executor instruments.
+
+``plan_select`` never raises in production use: any planning failure
+falls back to executing the query exactly as written (``strict`` mode,
+used by the tests, re-raises instead so planner bugs cannot hide).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from ..relational import ast
+from .cost import CostModel
+from .estimate import predicate_selectivity
+from .explain import OperatorNode
+from .joins import (BaseRelation, JoinPredicate, build_join_tree,
+                    classify_equi, estimate_query_rows, flatten_inner_joins,
+                    join_selectivity, make_resolver, order_joins,
+                    _column_stats, _leaf_stats, _relation_raw_rows)
+from .options import PlannerOptions
+from .rewrite import (binding_of, expand_star_items, fold_expr, from_leaves,
+                      needed_columns, null_safe_bindings, output_columns,
+                      prune_derived_projection, prune_wrapper_projection,
+                      referenced_bindings, wrap_with_filter)
+from .stats import StatisticsCatalog
+
+
+@dataclass
+class PlannedStatement:
+    """What the planner decided for one SELECT."""
+
+    original: ast.SelectQuery
+    query: ast.SelectQuery            # the (rewritten) AST to compile
+    root: OperatorNode
+    annotations: dict[int, OperatorNode] = field(default_factory=dict)
+    options: PlannerOptions = field(default_factory=PlannerOptions)
+    notes: list[str] = field(default_factory=list)
+    reordered: bool = False
+    #: When set (EXPLAIN ANALYZE), the executor counts the rows that
+    #: actually flow through each annotated operator.
+    instrument: bool = False
+
+    def annotation_for(self, node) -> OperatorNode | None:
+        return self.annotations.get(id(node))
+
+    def operators(self) -> list[OperatorNode]:
+        return list(self.root.walk())
+
+    def format(self) -> str:
+        lines = [self.root.format()]
+        lines.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+def is_trivial_select(query: ast.SelectQuery) -> bool:
+    """True when planning cannot improve the statement: a single core
+    over at most one base table, with no derived tables and no
+    subqueries anywhere.  The executor's own single-table index fast
+    path already covers this shape, so the hot path skips the planner
+    (no deep copy, no trace) entirely."""
+    if query.compounds:
+        return False
+    core = query.core
+    if core.from_clause is not None \
+            and not isinstance(core.from_clause, ast.TableRef):
+        return False
+    for node in ast.iter_query_nodes(query):
+        if isinstance(node, (ast.Join, ast.SubqueryRef, ast.InSubquery,
+                             ast.Exists, ast.ScalarSubquery)):
+            return False
+    return True
+
+
+def plan_select(query: ast.SelectQuery, catalog,
+                stats: StatisticsCatalog,
+                options: PlannerOptions) -> PlannedStatement:
+    """Plan one SELECT; on failure, degrade to the query as written."""
+    working = copy.deepcopy(query)
+    planned = PlannedStatement(original=query, query=working,
+                               root=OperatorNode("result", "select"),
+                               options=options)
+    try:
+        planned.root = _plan_query(working, catalog, stats, options, planned)
+    except Exception as exc:
+        if options.strict:
+            raise
+        return PlannedStatement(
+            original=query, query=query,
+            root=OperatorNode("result", "select"), options=options,
+            notes=[f"planning failed, executing as written: {exc!r}"])
+    return planned
+
+
+# ---------------------------------------------------------------------------
+# Query / core planning
+# ---------------------------------------------------------------------------
+
+
+def _plan_query(query: ast.SelectQuery, catalog, stats, options,
+                planned: PlannedStatement) -> OperatorNode:
+    cores = [query.core] + [core for _op, core in query.compounds]
+    children = [_plan_core(core, query, catalog, stats, options, planned)
+                for core in cores]
+    if query.is_compound:
+        label = " / ".join(op for op, _core in query.compounds)
+        inner = OperatorNode("set-op", label, children=children)
+    else:
+        inner = children[0]
+    root = OperatorNode("result", "select",
+                        est_rows=inner.est_rows, children=[inner])
+    return root
+
+
+def _plan_core(core: ast.SelectCore, query: ast.SelectQuery, catalog,
+               stats, options: PlannerOptions,
+               planned: PlannedStatement) -> OperatorNode:
+    if options.fold_constants:
+        _fold_core(core)
+    _plan_expression_subqueries(core, catalog, stats, options, planned)
+
+    if core.from_clause is None:
+        return OperatorNode("values", "no FROM", est_rows=1.0)
+
+    node = _plan_from(core, query, catalog, stats, options, planned)
+
+    if bool(core.group_by) or core.having is not None or core.distinct:
+        label = "group by" if core.group_by else (
+            "aggregate" if core.having is not None else "distinct")
+        node = OperatorNode("aggregate", label, children=[node])
+    return node
+
+
+def _fold_core(core: ast.SelectCore) -> None:
+    if core.where is not None:
+        core.where = fold_expr(core.where)
+        if isinstance(core.where, ast.Literal) and core.where.value is True:
+            core.where = None
+    if core.having is not None:
+        core.having = fold_expr(core.having)
+        if isinstance(core.having, ast.Literal) \
+                and core.having.value is True:
+            core.having = None
+    for item in core.items:
+        if not item.is_star:
+            item.expr = fold_expr(item.expr)
+
+
+def _plan_expression_subqueries(core: ast.SelectCore, catalog, stats,
+                                options, planned) -> None:
+    """Recursively plan subqueries embedded in expressions (the WHERE
+    rewrites of the SESQL pipeline inject exactly these)."""
+    roots: list[ast.Expr] = [item.expr for item in core.items
+                             if not item.is_star]
+    if core.where is not None:
+        roots.append(core.where)
+    if core.having is not None:
+        roots.append(core.having)
+    for root in roots:
+        for node in ast.walk_expr(root):
+            if isinstance(node, (ast.InSubquery, ast.Exists,
+                                 ast.ScalarSubquery)) \
+                    and node.query is not None:
+                _plan_query(node.query, catalog, stats, options, planned)
+
+
+def _has_ordinals(exprs) -> bool:
+    return any(isinstance(expr, ast.Literal)
+               and isinstance(expr.value, int)
+               and not isinstance(expr.value, bool)
+               for expr in exprs)
+
+
+def _plan_from(core: ast.SelectCore, query: ast.SelectQuery, catalog,
+               stats, options: PlannerOptions,
+               planned: PlannedStatement) -> OperatorNode:
+    leaves = from_leaves(core.from_clause)
+    bindings = [binding_of(leaf) for leaf in leaves]
+    if None in bindings or len(set(bindings)) != len(bindings):
+        # Something we do not model (or a duplicate alias the executor
+        # will reject): leave the FROM exactly as written.
+        return _trace_as_written(core, catalog, stats, planned)
+
+    # Plan derived tables from the inside out (their own pushdown and
+    # ordering), pruning unread columns first.
+    binding_columns: dict[str, list[str] | None] = {}
+    inner_roots: dict[str, OperatorNode] = {}
+    for leaf, binding in zip(leaves, bindings):
+        if isinstance(leaf, ast.SubqueryRef):
+            if options.prune_projections:
+                columns = output_columns(leaf, catalog)
+                if columns is not None:
+                    needed = needed_columns(query, binding, columns,
+                                            exclude=leaf.query)
+                    if needed is not None:
+                        prune_derived_projection(leaf, needed)
+            inner_roots[binding] = _plan_query(leaf.query, catalog, stats,
+                                               options, planned)
+        binding_columns[binding] = output_columns(leaf, catalog)
+
+    flat = flatten_inner_joins(core.from_clause)
+    reorderable = (flat is not None and len(leaves) >= 2
+                   and options.reorder_joins)
+    if reorderable and any(item.is_star for item in core.items):
+        ordinals = _has_ordinals(core.group_by) \
+            or _has_ordinals([item.expr for item in query.order_by])
+        if ordinals or not expand_star_items(core, catalog):
+            reorderable = False
+
+    if not reorderable:
+        _pushdown_in_place(core, query, catalog, stats, options, planned,
+                           binding_columns)
+        return _trace_as_written(core, catalog, stats, planned,
+                                 inner_roots)
+
+    return _reorder_from(core, query, catalog, stats, options, planned,
+                         flat[0], flat[1], binding_columns, inner_roots)
+
+
+# ---------------------------------------------------------------------------
+# The reordering path (all-INNER/CROSS FROM)
+# ---------------------------------------------------------------------------
+
+
+def _reorder_from(core: ast.SelectCore, query: ast.SelectQuery, catalog,
+                  stats, options: PlannerOptions,
+                  planned: PlannedStatement,
+                  leaves: list[ast.TableExpr],
+                  on_conjuncts: list[ast.Expr],
+                  binding_columns: dict,
+                  inner_roots: dict[str, OperatorNode]) -> OperatorNode:
+    binding_stats = {binding_of(leaf): _leaf_stats(leaf, stats)
+                     for leaf in leaves}
+    resolve = make_resolver(binding_stats, binding_columns)
+
+    # Classify every conjunct (ON and WHERE are equivalent here).
+    conjunct_pool = on_conjuncts + list(ast.conjuncts(core.where))
+    pushes: dict[str, list[ast.Expr]] = {}
+    join_predicates: list[JoinPredicate] = []
+    residual: list[ast.Expr] = []
+    for conjunct in conjunct_pool:
+        touched = referenced_bindings(conjunct, binding_columns)
+        if touched is None or len(touched) == 0:
+            residual.append(conjunct)
+        elif len(touched) == 1 and options.predicate_pushdown:
+            pushes.setdefault(next(iter(touched)), []).append(conjunct)
+        elif len(touched) == 1:
+            residual.append(conjunct)
+        else:
+            equi = classify_equi(conjunct, binding_columns)
+            if equi is not None:
+                selectivity = join_selectivity(
+                    _column_stats(binding_stats.get(equi[0]), equi[1]),
+                    _column_stats(binding_stats.get(equi[2]), equi[3]))
+            else:
+                selectivity = predicate_selectivity(conjunct, resolve)
+            join_predicates.append(JoinPredicate(
+                conjunct, touched, selectivity, equi))
+
+    # Column pruning sets must be computed before wrappers introduce
+    # their own SELECT * (which would read as "needs everything").
+    needed_by_binding: dict[str, set[str] | None] = {}
+    for leaf in leaves:
+        binding = binding_of(leaf)
+        columns = binding_columns.get(binding)
+        exclude = leaf.query if isinstance(leaf, ast.SubqueryRef) else None
+        needed_by_binding[binding] = (
+            needed_columns(query, binding, columns, exclude=exclude)
+            if columns is not None else None)
+
+    relations: list[BaseRelation] = []
+    for leaf in leaves:
+        relations.append(_build_relation(
+            leaf, catalog, stats, options, planned, resolve,
+            pushes.get(binding_of(leaf), []),
+            binding_columns, needed_by_binding, inner_roots))
+
+    order, steps = order_joins(
+        relations, join_predicates, binding_stats, CostModel(),
+        options.dp_relation_limit, options.index_probe_joins)
+    tree, join_root = build_join_tree(relations, order, steps,
+                                      planned.annotations)
+    core.from_clause = tree
+    core.where = ast.conjoin(residual)
+    if order != list(range(len(relations))):
+        planned.reordered = True
+        planned.notes.append(
+            "join order: " + " -> ".join(relations[i].binding
+                                         for i in order))
+
+    top = join_root
+    if core.where is not None:
+        est = (join_root.est_rows or 1.0) * max(
+            predicate_selectivity(core.where, resolve), 0.0005)
+        top = OperatorNode("filter", "residual WHERE", est_rows=est,
+                           children=[join_root])
+        planned.annotations[id(core)] = top
+    return top
+
+
+def _build_relation(leaf, catalog, stats, options: PlannerOptions,
+                    planned: PlannedStatement, resolve,
+                    pushed: list[ast.Expr], binding_columns,
+                    needed_by_binding,
+                    inner_roots: dict[str, OperatorNode]) -> BaseRelation:
+    from ..relational.table import Table
+
+    binding = binding_of(leaf)
+    raw_rows = _relation_raw_rows(leaf, catalog, stats)
+    table = None
+    if isinstance(leaf, ast.TableRef) and catalog.has_table(leaf.name):
+        candidate = catalog.table(leaf.name)
+        if isinstance(candidate, Table):
+            table = candidate
+
+    if isinstance(leaf, ast.SubqueryRef):
+        scan_node = OperatorNode("derived", binding, est_rows=raw_rows)
+        if binding in inner_roots:
+            scan_node.children.append(inner_roots[binding])
+    else:
+        scan_node = OperatorNode("scan", _scan_label(leaf),
+                                 est_rows=raw_rows)
+    planned.annotations[id(leaf)] = scan_node
+
+    if not pushed:
+        return BaseRelation(leaf, binding, binding_columns.get(binding),
+                            table, raw_rows, raw_rows, False,
+                            node=scan_node)
+
+    selectivity = 1.0
+    for conjunct in pushed:
+        selectivity *= predicate_selectivity(conjunct, resolve)
+    est_rows = max(raw_rows * selectivity, 0.05)
+    wrapper = wrap_with_filter(leaf, pushed)
+    if options.prune_projections:
+        needed = needed_by_binding.get(binding)
+        columns = binding_columns.get(binding)
+        if needed is not None and columns is not None:
+            keep = [name for name in columns if name in needed]
+            # Join/residual predicates live above the wrapper and read
+            # through it, so their columns are part of "needed" already.
+            if keep and len(keep) < len(columns) \
+                    and prune_wrapper_projection(wrapper, keep):
+                binding_columns[binding] = keep
+    filter_node = OperatorNode("filter", binding, est_rows=est_rows,
+                               detail="pushed-down predicate",
+                               children=[scan_node])
+    planned.annotations[id(wrapper)] = filter_node
+    return BaseRelation(wrapper, binding, binding_columns.get(binding),
+                        table, raw_rows, est_rows, True, node=filter_node)
+
+
+def _scan_label(leaf: ast.TableRef) -> str:
+    if leaf.alias and leaf.alias.lower() != leaf.name.lower():
+        return f"{leaf.name} as {leaf.alias}"
+    return leaf.name
+
+
+# ---------------------------------------------------------------------------
+# The as-written path (LEFT joins, single relations, opt-outs)
+# ---------------------------------------------------------------------------
+
+
+def _pushdown_in_place(core: ast.SelectCore, query: ast.SelectQuery,
+                       catalog, stats, options: PlannerOptions,
+                       planned: PlannedStatement,
+                       binding_columns: dict) -> None:
+    """Push WHERE conjuncts into null-safe leaves of a FROM tree whose
+    shape is kept (LEFT joins present, or reordering is off)."""
+    if not options.predicate_pushdown or core.where is None:
+        return
+    if not isinstance(core.from_clause, ast.Join):
+        return  # single relation: WHERE already sits on the scan
+    safe = null_safe_bindings(core.from_clause)
+    pushes: dict[str, list[ast.Expr]] = {}
+    residual: list[ast.Expr] = []
+    for conjunct in ast.conjuncts(core.where):
+        touched = referenced_bindings(conjunct, binding_columns)
+        if touched is not None and len(touched) == 1 \
+                and next(iter(touched)) in safe:
+            pushes.setdefault(next(iter(touched)), []).append(conjunct)
+        else:
+            residual.append(conjunct)
+    if not pushes:
+        return
+    core.where = ast.conjoin(residual)
+    core.from_clause = _wrap_leaves(core.from_clause, pushes)
+
+
+def _wrap_leaves(table_expr: ast.TableExpr,
+                 pushes: dict[str, list[ast.Expr]]) -> ast.TableExpr:
+    if isinstance(table_expr, ast.Join):
+        table_expr.left = _wrap_leaves(table_expr.left, pushes)
+        table_expr.right = _wrap_leaves(table_expr.right, pushes)
+        return table_expr
+    binding = binding_of(table_expr)
+    if binding in pushes:
+        return wrap_with_filter(table_expr, pushes[binding])
+    return table_expr
+
+
+def _trace_as_written(core: ast.SelectCore, catalog, stats,
+                      planned: PlannedStatement,
+                      inner_roots: dict[str, OperatorNode] | None = None
+                      ) -> OperatorNode:
+    """Build (and register) display/instrumentation nodes for a FROM
+    tree the planner left structurally alone."""
+    node = _trace_table_expr(core.from_clause, catalog, stats, planned,
+                             inner_roots or {})
+    if core.where is not None:
+        top = OperatorNode("filter", "WHERE", children=[node])
+        planned.annotations[id(core)] = top
+        return top
+    return node
+
+
+def _trace_table_expr(table_expr: ast.TableExpr, catalog, stats,
+                      planned: PlannedStatement,
+                      inner_roots: dict[str, OperatorNode]) -> OperatorNode:
+    if isinstance(table_expr, ast.Join):
+        left = _trace_table_expr(table_expr.left, catalog, stats, planned,
+                                 inner_roots)
+        right = _trace_table_expr(table_expr.right, catalog, stats,
+                                  planned, inner_roots)
+        label = ("left join" if table_expr.join_type == "LEFT"
+                 else "join" if table_expr.condition is not None
+                 else "cross join")
+        node = OperatorNode("join", label, children=[left, right])
+        planned.annotations[id(table_expr)] = node
+        return node
+    if isinstance(table_expr, ast.SubqueryRef):
+        inner = table_expr.query
+        # Pushdown wrappers carry their filter in the inner WHERE.
+        label = binding_of(table_expr) or "derived"
+        node = OperatorNode("derived", label,
+                            est_rows=estimate_query_rows(inner, catalog,
+                                                         stats))
+        if label in inner_roots:
+            node.children.append(inner_roots[label])
+        planned.annotations[id(table_expr)] = node
+        return node
+    est = _relation_raw_rows(table_expr, catalog, stats) \
+        if isinstance(table_expr, ast.TableRef) else None
+    node = OperatorNode("scan", _scan_label(table_expr)
+                        if isinstance(table_expr, ast.TableRef)
+                        else "?", est_rows=est)
+    planned.annotations[id(table_expr)] = node
+    return node

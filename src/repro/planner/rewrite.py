@@ -1,0 +1,405 @@
+"""Logical rewrites: constant folding, predicate classification and
+pushdown, star expansion and projection pruning.
+
+All rewrites operate on (already deep-copied) AST nodes from
+:mod:`repro.relational.ast` and are individually semantics-preserving:
+
+* **constant folding** evaluates literal-only sub-expressions with the
+  executor's own operator semantics and simplifies AND/OR/NOT around
+  boolean literals (3VL-safely: ``FALSE AND x`` is ``FALSE`` even when
+  ``x`` is unknown);
+* **predicate pushdown** relocates a WHERE/ON conjunct that touches a
+  single relation below the joins by wrapping that relation in a
+  derived table (``t`` becomes ``(SELECT * FROM t WHERE p) AS t``),
+  which also re-enables the executor's single-table index fast path
+  under a join;
+* **projection pruning** narrows a derived table's select list to the
+  columns the outer query actually reads.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from ..relational import ast
+from ..relational.compiler import CompileContext, compile_expr
+
+# ---------------------------------------------------------------------------
+# Generic expression transformation
+# ---------------------------------------------------------------------------
+
+
+def map_expr(expr: ast.Expr,
+             fn: Callable[[ast.Expr], ast.Expr]) -> ast.Expr:
+    """Rebuild *expr* bottom-up, applying *fn* to every node."""
+    rebuilt = _rebuild(expr, lambda child: map_expr(child, fn))
+    return fn(rebuilt)
+
+
+def _rebuild(expr: ast.Expr,
+             recurse: Callable[[ast.Expr], ast.Expr]) -> ast.Expr:
+    if isinstance(expr, ast.UnaryOp):
+        return ast.UnaryOp(expr.op, recurse(expr.operand))
+    if isinstance(expr, ast.BinaryOp):
+        return ast.BinaryOp(expr.op, recurse(expr.left),
+                            recurse(expr.right))
+    if isinstance(expr, ast.IsNull):
+        return ast.IsNull(recurse(expr.operand), expr.negated)
+    if isinstance(expr, ast.Like):
+        return ast.Like(recurse(expr.operand), recurse(expr.pattern),
+                        expr.negated)
+    if isinstance(expr, ast.InList):
+        return ast.InList(recurse(expr.operand),
+                          [recurse(item) for item in expr.items],
+                          expr.negated)
+    if isinstance(expr, ast.Between):
+        return ast.Between(recurse(expr.operand), recurse(expr.low),
+                           recurse(expr.high), expr.negated)
+    if isinstance(expr, ast.FunctionCall):
+        return ast.FunctionCall(expr.name,
+                                [recurse(arg) for arg in expr.args],
+                                expr.distinct, expr.star)
+    if isinstance(expr, ast.CaseExpr):
+        operand = recurse(expr.operand) if expr.operand is not None else None
+        whens = [(recurse(c), recurse(r)) for c, r in expr.whens]
+        else_result = (recurse(expr.else_result)
+                       if expr.else_result is not None else None)
+        return ast.CaseExpr(operand, whens, else_result)
+    if isinstance(expr, ast.Cast):
+        return ast.Cast(recurse(expr.operand), expr.type_name)
+    # Literals, column/slot refs and subquery expressions are leaves
+    # here (subquery internals are rewritten by the plan driver).
+    return expr
+
+
+# ---------------------------------------------------------------------------
+# Constant folding
+# ---------------------------------------------------------------------------
+
+_FOLDABLE = (ast.Literal, ast.UnaryOp, ast.BinaryOp, ast.IsNull, ast.Like,
+             ast.InList, ast.Between, ast.FunctionCall, ast.CaseExpr,
+             ast.Cast)
+
+_fold_ctx = CompileContext(subplan_factory=None)  # type: ignore[arg-type]
+
+
+def _is_literal_only(expr: ast.Expr) -> bool:
+    if not isinstance(expr, _FOLDABLE):
+        return False
+    from ..relational.aggregates import AGGREGATE_NAMES
+    for node in ast.walk_expr(expr):
+        if not isinstance(node, _FOLDABLE):
+            return False
+        if isinstance(node, ast.FunctionCall) \
+                and node.name.upper() in AGGREGATE_NAMES:
+            return False
+    return True
+
+
+def _bool_literal(expr: ast.Expr) -> Optional[bool]:
+    if isinstance(expr, ast.Literal) and isinstance(expr.value, bool):
+        return expr.value
+    return None
+
+
+def fold_expr(expr: ast.Expr) -> ast.Expr:
+    """Fold literal-only subtrees and simplify boolean connectives."""
+
+    def fold_node(node: ast.Expr) -> ast.Expr:
+        if isinstance(node, ast.Literal):
+            return node
+        if isinstance(node, ast.BinaryOp) and node.op in ("AND", "OR"):
+            left, right = _bool_literal(node.left), _bool_literal(node.right)
+            if node.op == "AND":
+                if left is False or right is False:
+                    return ast.Literal(False)
+                if left is True:
+                    return node.right
+                if right is True:
+                    return node.left
+            else:
+                if left is True or right is True:
+                    return ast.Literal(True)
+                if left is False:
+                    return node.right
+                if right is False:
+                    return node.left
+            return node
+        if isinstance(node, ast.UnaryOp) and node.op == "NOT":
+            operand = _bool_literal(node.operand)
+            if operand is not None:
+                return ast.Literal(not operand)
+            if isinstance(node.operand, ast.Literal) \
+                    and node.operand.value is None:
+                return ast.Literal(None)
+            return node
+        if _is_literal_only(node):
+            try:
+                value = compile_expr(node, [], _fold_ctx)(())
+            except Exception:
+                return node  # e.g. 1/0: keep runtime semantics intact
+            if value is None or isinstance(value, (bool, int, float, str)):
+                return ast.Literal(value)
+        return node
+
+    return map_expr(expr, fold_node)
+
+
+# ---------------------------------------------------------------------------
+# Relation shapes: bindings and output columns
+# ---------------------------------------------------------------------------
+
+
+def binding_of(table_expr: ast.TableExpr) -> str | None:
+    if isinstance(table_expr, ast.TableRef):
+        return table_expr.binding.lower()
+    if isinstance(table_expr, ast.SubqueryRef):
+        return table_expr.alias.lower()
+    return None
+
+
+def output_columns(table_expr: ast.TableExpr,
+                   catalog) -> list[str] | None:
+    """Lower-cased output column names of a FROM leaf, or ``None`` when
+    they cannot be determined without compiling."""
+    if isinstance(table_expr, ast.TableRef):
+        if not catalog.has_table(table_expr.name):
+            return None
+        return [column.name.lower()
+                for column in catalog.table(table_expr.name).schema.columns]
+    if isinstance(table_expr, ast.SubqueryRef):
+        return query_output_columns(table_expr.query, catalog)
+    return None
+
+
+def query_output_columns(query: ast.SelectQuery,
+                         catalog) -> list[str] | None:
+    core = query.core
+    names: list[str] = []
+    for item in core.items:
+        if item.is_star:
+            star: ast.Star = item.expr  # type: ignore[assignment]
+            expanded = _expand_star_names(star, core.from_clause, catalog)
+            if expanded is None:
+                return None
+            names.extend(expanded)
+        else:
+            names.append(item.output_name().lower())
+    return names
+
+
+def _expand_star_names(star: ast.Star,
+                       from_clause: ast.TableExpr | None,
+                       catalog) -> list[str] | None:
+    if from_clause is None:
+        return None
+    leaves = from_leaves(from_clause)
+    names: list[str] = []
+    for leaf in leaves:
+        leaf_binding = binding_of(leaf)
+        if star.qualifier is not None \
+                and leaf_binding != star.qualifier.lower():
+            continue
+        columns = output_columns(leaf, catalog)
+        if columns is None:
+            return None
+        names.extend(columns)
+    return names
+
+
+def from_leaves(table_expr: ast.TableExpr) -> list[ast.TableExpr]:
+    """The base relations of a FROM tree, left to right."""
+    if isinstance(table_expr, ast.Join):
+        return (from_leaves(table_expr.left)
+                + from_leaves(table_expr.right))
+    return [table_expr]
+
+
+# ---------------------------------------------------------------------------
+# Conjunct classification
+# ---------------------------------------------------------------------------
+
+
+def _contains_subquery(expr: ast.Expr) -> bool:
+    return any(isinstance(node, (ast.InSubquery, ast.Exists,
+                                 ast.ScalarSubquery))
+               for node in ast.walk_expr(expr))
+
+
+def referenced_bindings(expr: ast.Expr,
+                        binding_columns: dict[str, list[str] | None]
+                        ) -> frozenset[str] | None:
+    """Bindings a conjunct touches; ``None`` = not safely relocatable
+    (unknown/ambiguous column, outer reference or embedded subquery)."""
+    if _contains_subquery(expr):
+        return None
+    touched: set[str] = set()
+    for node in ast.walk_expr(expr):
+        if isinstance(node, ast.Star):
+            return None
+        if not isinstance(node, ast.ColumnRef):
+            continue
+        if node.qualifier is not None:
+            binding = node.qualifier.lower()
+            columns = binding_columns.get(binding)
+            if columns is None or node.name.lower() not in columns:
+                return None
+            touched.add(binding)
+        else:
+            owners = [binding for binding, columns in binding_columns.items()
+                      if columns is not None
+                      and node.name.lower() in columns]
+            if len(owners) != 1:
+                return None
+            touched.add(owners[0])
+    return frozenset(touched)
+
+
+# ---------------------------------------------------------------------------
+# Pushdown and pruning
+# ---------------------------------------------------------------------------
+
+
+def null_safe_bindings(table_expr: ast.TableExpr,
+                       under_nullable: bool = False) -> set[str]:
+    """Bindings a WHERE predicate may be pushed onto: everything not on
+    the nullable (right) side of a LEFT join."""
+    if isinstance(table_expr, ast.Join):
+        left = null_safe_bindings(table_expr.left, under_nullable)
+        right = null_safe_bindings(
+            table_expr.right,
+            under_nullable or table_expr.join_type == "LEFT")
+        return left | right
+    binding = binding_of(table_expr)
+    if binding is None or under_nullable:
+        return set()
+    return {binding}
+
+
+def wrap_with_filter(leaf: ast.TableExpr,
+                     conjuncts: list[ast.Expr]) -> ast.SubqueryRef:
+    """``t`` -> ``(SELECT * FROM t WHERE p) AS t`` with the original
+    binding preserved, so references above the join keep resolving."""
+    binding = binding_of(leaf)
+    assert binding is not None
+    inner = ast.SelectQuery(core=ast.SelectCore(
+        items=[ast.SelectItem(ast.Star(None), None)],
+        from_clause=leaf,
+        where=ast.conjoin(conjuncts)))
+    return ast.SubqueryRef(inner, alias=binding)
+
+
+def needed_columns(query: ast.SelectQuery,
+                   binding: str,
+                   columns: list[str],
+                   exclude: ast.SelectQuery | None = None
+                   ) -> set[str] | None:
+    """Columns of *binding* the query reads anywhere; ``None`` = all
+    (a star may expand to them, or a reference is ambiguous).
+
+    *exclude* names a subtree to ignore — the derived table being
+    pruned references all of its own columns internally, which must not
+    count as outer reads.
+    """
+    needed: set[str] = set()
+    column_set = set(columns)
+    excluded: set[int] = set()
+    if exclude is not None:
+        excluded = {id(node) for node in ast.iter_query_nodes(exclude)}
+    for node in ast.iter_query_nodes(query):
+        if id(node) in excluded:
+            continue
+        if isinstance(node, ast.Star):
+            if node.qualifier is None or node.qualifier.lower() == binding:
+                return None
+        if isinstance(node, ast.ColumnRef):
+            if node.qualifier is not None:
+                if node.qualifier.lower() == binding:
+                    needed.add(node.name.lower())
+            elif node.name.lower() in column_set:
+                # Unqualified: conservatively assume it may be ours.
+                needed.add(node.name.lower())
+    return needed
+
+
+def prune_wrapper_projection(wrapper: ast.SubqueryRef,
+                             keep: Iterable[str]) -> bool:
+    """Narrow a planner-generated ``SELECT *`` wrapper to *keep*."""
+    inner = wrapper.query.core
+    leaf = inner.from_clause
+    binding = binding_of(leaf) if leaf is not None else None
+    if binding is None or len(inner.items) != 1 \
+            or not inner.items[0].is_star:
+        return False
+    keep_list = list(keep)
+    if not keep_list:
+        return False
+    inner.items = [ast.SelectItem(ast.ColumnRef(name, binding), None)
+                   for name in keep_list]
+    return True
+
+
+def prune_derived_projection(derived: ast.SubqueryRef,
+                             needed: set[str]) -> bool:
+    """Drop select items of a user-written derived table that the outer
+    query never reads.  Only applies to shapes where dropping an item
+    cannot change row counts or positional resolution."""
+    query = derived.query
+    core = query.core
+    if query.is_compound or core.distinct or query.order_by:
+        return False
+    if core.group_by or core.having is not None:
+        return False  # ordinals / alias targets could shift
+    if any(item.is_star for item in core.items):
+        return False
+    from ..relational.aggregates import AGGREGATE_NAMES
+    for item in core.items:
+        for node in ast.walk_expr(item.expr):
+            if isinstance(node, ast.FunctionCall) \
+                    and node.name.upper() in AGGREGATE_NAMES:
+                return False  # dropping could toggle aggregation
+    kept = [item for item in core.items
+            if item.output_name().lower() in needed]
+    if not kept or len(kept) == len(core.items):
+        return False
+    if {item.output_name().lower() for item in kept} < needed:
+        return False  # something needed is not among the items
+    core.items = kept
+    return True
+
+
+def expand_star_items(core: ast.SelectCore, catalog) -> bool:
+    """Replace ``*`` / ``alias.*`` select items with explicit qualified
+    column references (so join re-ordering cannot permute the output).
+    Returns False (leaving the core untouched) when a leaf's columns
+    cannot be determined."""
+    if core.from_clause is None:
+        return False
+    expanded: list[ast.SelectItem] = []
+    for item in core.items:
+        if not item.is_star:
+            expanded.append(item)
+            continue
+        star: ast.Star = item.expr  # type: ignore[assignment]
+        matched = False
+        for leaf in from_leaves(core.from_clause):
+            leaf_binding = binding_of(leaf)
+            if leaf_binding is None:
+                return False
+            if star.qualifier is not None \
+                    and leaf_binding != star.qualifier.lower():
+                continue
+            columns = output_columns(leaf, catalog)
+            if columns is None:
+                return False
+            matched = True
+            # Preserve the original (possibly aliased) qualifier casing.
+            qualifier = (leaf.binding if isinstance(leaf, ast.TableRef)
+                         else leaf.alias)
+            expanded.extend(ast.SelectItem(ast.ColumnRef(name, qualifier),
+                                           None)
+                            for name in columns)
+        if not matched:
+            return False
+    core.items = expanded
+    return True

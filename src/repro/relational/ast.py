@@ -300,9 +300,16 @@ class DropIndexStmt(Node):
     if_exists: bool = False
 
 
+@dataclass
+class AnalyzeStmt(Node):
+    """``ANALYZE [table]`` — collect planner statistics."""
+
+    table: Optional[str] = None
+
+
 Statement = Union[SelectQuery, InsertStmt, UpdateStmt, DeleteStmt,
                   CreateTableStmt, DropTableStmt, CreateIndexStmt,
-                  DropIndexStmt]
+                  DropIndexStmt, AnalyzeStmt]
 
 
 # ---------------------------------------------------------------------------

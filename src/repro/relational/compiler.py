@@ -45,11 +45,34 @@ class CompileContext:
 
     ``subplan_factory`` is injected by the executor (it owns query
     planning); the compiler only knows the :class:`SubPlanLike` protocol.
+
+    ``planned`` optionally carries the cost-based plan
+    (:class:`repro.planner.plan.PlannedStatement`) for the statement
+    being compiled: the executor consults it for per-node physical
+    strategy decisions and — when the plan asks to be instrumented —
+    wires row counters onto the matching operators.
     """
 
-    def __init__(self, subplan_factory: Callable[..., SubPlanLike]) -> None:
+    def __init__(self, subplan_factory: Callable[..., SubPlanLike],
+                 planned=None) -> None:
         self.subplan_factory = subplan_factory
+        self.planned = planned
         self._watchers: list[set[int]] = []
+
+    def plan_node(self, ast_node):
+        """The planner's operator node for *ast_node* (or ``None``)."""
+        if self.planned is None:
+            return None
+        return self.planned.annotations.get(id(ast_node))
+
+    def counter_for(self, ast_node):
+        """Like :meth:`plan_node`, but only when the plan is being
+        instrumented (EXPLAIN ANALYZE) — keeps the hot path free of
+        per-row counting otherwise."""
+        if self.planned is None or not getattr(self.planned,
+                                               "instrument", False):
+            return None
+        return self.planned.annotations.get(id(ast_node))
 
     def push_watcher(self) -> set[int]:
         watcher: set[int] = set()

@@ -3,6 +3,13 @@
 This is the component that stands in for PostgreSQL in the CroSSE
 architecture: both the SmartGround databank and the temporary support
 database of the SESQL pipeline (Fig. 6) are instances of it.
+
+Every database owns a cost-based planner (:mod:`repro.planner`, on by
+default): SELECTs are rewritten — constant folding, predicate pushdown,
+projection pruning, join re-ordering with per-join physical strategy —
+before compilation, ``ANALYZE`` collects the statistics the estimates
+feed on, and ``explain()`` exposes the operator tree with estimated
+(and, under ``analyze=True``, actual) row counts.
 """
 
 from __future__ import annotations
@@ -24,9 +31,17 @@ from .types import DataType, parse_type_name
 class Database:
     """An in-memory relational database with a SQL front end."""
 
-    def __init__(self, name: str = "main") -> None:
+    def __init__(self, name: str = "main", planner=None) -> None:
+        from ..planner import PlannerOptions, StatisticsCatalog
         self.name = name
         self.catalog = Catalog()
+        #: Planner feature flags; replace to toggle passes or disable.
+        self.planner: "PlannerOptions" = planner or PlannerOptions()
+        #: ANALYZE-collected statistics, maintained incrementally on DML.
+        self.stats = StatisticsCatalog()
+        #: The plan of the most recent top-level SELECT (observability:
+        #: the SESQL engine and ``explain`` surface it).
+        self.last_plan = None
 
     # -- SQL entry points ---------------------------------------------------
 
@@ -62,20 +77,77 @@ class Database:
             return self._run_create_table(stmt)
         if isinstance(stmt, ast.DropTableStmt):
             self.catalog.drop_table(stmt.name, stmt.if_exists)
+            self.stats.forget(stmt.name)
             return None
         if isinstance(stmt, ast.CreateIndexStmt):
             return self._run_create_index(stmt)
         if isinstance(stmt, ast.DropIndexStmt):
             return self._run_drop_index(stmt)
+        if isinstance(stmt, ast.AnalyzeStmt):
+            self.analyze(stmt.table)
+            return None
         raise RelationalError(
             f"cannot execute {type(stmt).__name__}")
 
     # -- SELECT ----------------------------------------------------------------
 
     def _run_select(self, query: ast.SelectQuery) -> ResultSet:
-        plan = compile_query(query, self.catalog)
+        planned = None
+        self.last_plan = None  # never report a stale plan for this query
+        if self.planner.enabled:
+            from ..planner.plan import is_trivial_select, plan_select
+            # Trivial selects skip planning (and its deep copy) so
+            # point lookups stay as fast as with the planner off.
+            if not is_trivial_select(query):
+                planned = plan_select(query, self.catalog, self.stats,
+                                      self.planner)
+                self.last_plan = planned
+                query = planned.query
+        plan = compile_query(query, self.catalog, planned=planned)
         rows = plan.run(())
+        if planned is not None:
+            planned.root.actual_rows = len(rows)
         return ResultSet(plan.schema.names(), rows)
+
+    # -- planner surface --------------------------------------------------------
+
+    def analyze(self, table_name: str | None = None) -> list:
+        """Collect planner statistics for one table (or all of them).
+
+        Foreign tables are scanned too — an explicit ANALYZE is exactly
+        the moment a remote round-trip is acceptable.
+        """
+        buckets = self.planner.histogram_buckets
+        names = ([table_name] if table_name is not None
+                 else self.catalog.table_names())
+        return [self.stats.analyze(self.catalog.table(name), buckets)
+                for name in names]
+
+    def explain(self, target: "str | ast.SelectQuery",
+                analyze: bool = False):
+        """The cost-based plan for a SELECT, without side effects.
+
+        With ``analyze=True`` the query is executed with row counters
+        attached, so every operator reports estimated *and* actual rows
+        (EXPLAIN ANALYZE).  Returns a
+        :class:`repro.planner.PlannedStatement`.
+        """
+        from ..planner import plan_select
+        stmt = parse_sql(target) if isinstance(target, str) else target
+        if not isinstance(stmt, ast.SelectQuery):
+            raise ExecutionError("explain() requires a SELECT statement")
+        options = self.planner
+        if not options.enabled:
+            options = options.replace(
+                fold_constants=False, predicate_pushdown=False,
+                prune_projections=False, reorder_joins=False)
+        planned = plan_select(stmt, self.catalog, self.stats, options)
+        planned.instrument = analyze
+        if analyze:
+            plan = compile_query(planned.query, self.catalog,
+                                 planned=planned)
+            planned.root.actual_rows = len(plan.run(()))
+        return planned
 
     # -- DML ----------------------------------------------------------------------
 
@@ -90,6 +162,8 @@ class Database:
                 raise SchemaError(
                     f"table {table.name!r} has no column {name!r}")
         count = 0
+        track = self.stats.get(table.name) is not None
+        inserted: list[tuple] = []
         if stmt.rows is not None:
             ctx = self._constant_context()
             for row_exprs in stmt.rows:
@@ -101,17 +175,23 @@ class Database:
                 for name, expr in zip(columns, row_exprs):
                     fn = compile_expr(expr, [], ctx)
                     values[name] = fn(())
-                table.insert_row(values)
+                row_id = table.insert_row(values)
+                if track:
+                    inserted.append(table.row(row_id))
                 count += 1
-            return count
-        plan = compile_query(stmt.query, self.catalog)
-        if len(plan.schema) != len(columns):
-            raise ExecutionError(
-                f"INSERT ... SELECT expects {len(columns)} columns, "
-                f"got {len(plan.schema)}")
-        for row in plan.run(()):
-            table.insert_row(dict(zip(columns, row)))
-            count += 1
+        else:
+            plan = compile_query(stmt.query, self.catalog)
+            if len(plan.schema) != len(columns):
+                raise ExecutionError(
+                    f"INSERT ... SELECT expects {len(columns)} columns, "
+                    f"got {len(plan.schema)}")
+            for row in plan.run(()):
+                row_id = table.insert_row(dict(zip(columns, row)))
+                if track:
+                    inserted.append(table.row(row_id))
+                count += 1
+        if inserted:
+            self.stats.note_inserted(table.name, inserted, table.schema)
         return count
 
     def _run_update(self, stmt: ast.UpdateStmt) -> int:
@@ -137,6 +217,10 @@ class Database:
                 pending.append((row_id, changes))
         for row_id, changes in pending:
             table.update_row(row_id, changes)
+        if pending and self.stats.get(table.name) is not None:
+            self.stats.note_updated(
+                table.name, [table.row(row_id) for row_id, _c in pending],
+                table.schema)
         return len(pending)
 
     def _run_delete(self, stmt: ast.DeleteStmt) -> int:
@@ -152,6 +236,8 @@ class Database:
                   if where_fn is None or where_fn((row,))]
         for row_id in doomed:
             table.delete_row(row_id)
+        if doomed:
+            self.stats.note_deleted(table.name, len(doomed))
         return len(doomed)
 
     # -- DDL ---------------------------------------------------------------------------
@@ -206,10 +292,16 @@ class Database:
                     rows: Iterable[dict[str, Any]]) -> int:
         """Bulk-insert dictionaries (used by data generators)."""
         table = self.catalog.table(table_name)
+        track = self.stats.get(table.name) is not None
+        inserted: list[tuple] = []
         count = 0
         for row in rows:
-            table.insert_row(row)
+            row_id = table.insert_row(row)
+            if track:
+                inserted.append(table.row(row_id))
             count += 1
+        if inserted:
+            self.stats.note_inserted(table.name, inserted, table.schema)
         return count
 
     def table(self, name: str) -> Table:

@@ -24,7 +24,13 @@ from .errors import (ExecutionError, NotSupportedError, SchemaError,
                      UnknownColumnError)
 from .indexes import _normalize
 from .schema import ResultColumn, RowSchema
-from .types import sort_key
+from .table import Table, find_probe_index
+from .types import is_true, sort_key, values_equal
+
+#: Without a cost-based decision, equi-joins probe an index on the
+#: inner table only when it is at least this large — below that, an
+#: in-memory hash build is as fast and has no per-lookup overhead.
+INDEX_PROBE_THRESHOLD = 64
 
 Rows = tuple
 RowFn = Callable[[Rows], Any]
@@ -32,8 +38,7 @@ RowFn = Callable[[Rows], Any]
 
 def _norm_tuple(values: Iterable[Any]) -> tuple:
     """Hashable, type-normalised key for grouping / distinct / set ops."""
-    return tuple(("null",) if value is None else _normalize(value)
-                 for value in values)
+    return tuple(_normalize(value) for value in values)
 
 
 class QueryPlan:
@@ -89,14 +94,34 @@ class SubPlan:
         return [row[0] for row in self.rows(outer_rows)]
 
 
-def _make_context(catalog: Catalog) -> CompileContext:
-    ctx = CompileContext(subplan_factory=None)  # type: ignore[arg-type]
+def _make_context(catalog: Catalog, planned=None) -> CompileContext:
+    ctx = CompileContext(subplan_factory=None,  # type: ignore[arg-type]
+                         planned=planned)
 
     def factory(query: ast.SelectQuery, scopes: list[RowSchema]) -> SubPlan:
         return SubPlan(query, catalog, scopes, ctx)
 
     ctx.subplan_factory = factory
     return ctx
+
+
+def _counted(run: Callable[[Rows], Iterator[tuple]],
+             node) -> Callable[[Rows], Iterator[tuple]]:
+    """Wrap an operator's row stream with the plan node's row counter."""
+
+    def counted(outer_rows: Rows) -> Iterator[tuple]:
+        for row in run(outer_rows):
+            node.count(1)
+            yield row
+    return counted
+
+
+def _maybe_instrument(plan: FromPlan, ast_node,
+                      ctx: CompileContext) -> FromPlan:
+    node = ctx.counter_for(ast_node)
+    if node is None:
+        return plan
+    return FromPlan(plan.schema, _counted(plan.run, node))
 
 
 # ---------------------------------------------------------------------------
@@ -135,7 +160,7 @@ def compile_table_expr(table_expr: ast.TableExpr, catalog: Catalog,
 
         def scan(outer_rows: Rows) -> Iterator[tuple]:
             return iter(list(table.rows()))
-        return FromPlan(schema, scan)
+        return _maybe_instrument(FromPlan(schema, scan), table_expr, ctx)
 
     if isinstance(table_expr, ast.SubqueryRef):
         plan = compile_query(table_expr.query, catalog, outer_scopes, ctx)
@@ -146,10 +171,13 @@ def compile_table_expr(table_expr: ast.TableExpr, catalog: Catalog,
 
         def scan_subquery(outer_rows: Rows) -> Iterator[tuple]:
             return iter(plan.run(outer_rows))
-        return FromPlan(schema, scan_subquery)
+        return _maybe_instrument(FromPlan(schema, scan_subquery),
+                                 table_expr, ctx)
 
     if isinstance(table_expr, ast.Join):
-        return _compile_join(table_expr, catalog, outer_scopes, ctx)
+        return _maybe_instrument(
+            _compile_join(table_expr, catalog, outer_scopes, ctx),
+            table_expr, ctx)
 
     raise NotSupportedError(
         f"cannot compile {type(table_expr).__name__} in FROM")
@@ -161,6 +189,58 @@ def _try_compile(expr: ast.Expr, scopes: list[RowSchema],
         return compile_expr(expr, scopes, ctx)
     except UnknownColumnError:
         return None
+
+
+def _innermost_position(expr: ast.Expr | None,
+                        scopes: list[RowSchema]) -> int | None:
+    """The column position of *expr* when it is a plain reference into
+    the innermost scope (and not, say, a correlated outer column)."""
+    if not isinstance(expr, ast.ColumnRef):
+        return None
+    try:
+        depth, position = resolve_column(expr, scopes)
+    except UnknownColumnError:  # pragma: no cover - caller pre-compiled
+        return None
+    if depth != len(scopes) - 1:
+        return None
+    return position
+
+
+def _plan_index_probe(join: ast.Join, catalog: Catalog,
+                      ctx: CompileContext,
+                      right_positions: list[int | None]):
+    """Decide whether this equi-join should probe an index on the inner
+    table instead of building a hash table.
+
+    The planner's per-join strategy (when a plan is attached) wins; with
+    no plan, a probe is used when a matching index exists and the inner
+    table is large enough that the per-lookup overhead pays off.
+    Returns ``(index, covered_pair_indices, table)`` or ``None``.
+    """
+    if not isinstance(join.right, ast.TableRef):
+        return None
+    plan_node = ctx.plan_node(join)
+    forced = plan_node.kind if plan_node is not None else None
+    if forced in ("hash-join", "nested-loop", "cross-join"):
+        return None  # the cost model already rejected a probe
+    table = catalog.table(join.right.name)
+    if not isinstance(table, Table):
+        return None  # foreign tables expose no local indexes
+    candidates = [(pair_index, position)
+                  for pair_index, position in enumerate(right_positions)
+                  if position is not None]
+    if not candidates:
+        return None
+    column_names = [table.schema.columns[position].name
+                    for _pair, position in candidates]
+    found = find_probe_index(table, column_names)
+    if found is None:
+        return None
+    if forced != "index-join" and len(table) < INDEX_PROBE_THRESHOLD:
+        return None
+    index, covered_positions = found
+    covered = [candidates[i][0] for i in covered_positions]
+    return index, covered, table
 
 
 def _compile_join(join: ast.Join, catalog: Catalog,
@@ -187,21 +267,29 @@ def _compile_join(join: ast.Join, catalog: Catalog,
 
     # Split the ON condition into hashable equi-conjuncts and a residual.
     equi_pairs: list[tuple[RowFn, RowFn]] = []
+    # Per pair: the inner-table column position when the right side is a
+    # plain reference into the inner scan (an index-probe candidate).
+    equi_right_positions: list[int | None] = []
     residual: list[ast.Expr] = []
     for conjunct in ast.conjuncts(join.condition):
         pair = None
+        right_ast = None
         if isinstance(conjunct, ast.BinaryOp) and conjunct.op == "=":
             left_fn = _try_compile(conjunct.left, left_scopes, ctx)
             right_fn = _try_compile(conjunct.right, right_scopes, ctx)
             if left_fn is not None and right_fn is not None:
                 pair = (left_fn, right_fn)
+                right_ast = conjunct.right
             else:
                 left_fn = _try_compile(conjunct.right, left_scopes, ctx)
                 right_fn = _try_compile(conjunct.left, right_scopes, ctx)
                 if left_fn is not None and right_fn is not None:
                     pair = (left_fn, right_fn)
+                    right_ast = conjunct.left
         if pair is not None:
             equi_pairs.append(pair)
+            equi_right_positions.append(
+                _innermost_position(right_ast, right_scopes))
         else:
             residual.append(conjunct)
 
@@ -213,6 +301,42 @@ def _compile_join(join: ast.Join, catalog: Catalog,
     if equi_pairs:
         left_keys = [pair[0] for pair in equi_pairs]
         right_keys = [pair[1] for pair in equi_pairs]
+
+        probe = _plan_index_probe(join, catalog, ctx, equi_right_positions)
+        if probe is not None:
+            index, covered, probe_table = probe
+            # A HashIndex bucket key is exact (same normalization as
+            # values_equal), so covered positions need no recheck; a
+            # SortedIndex coerces keys to float, which collapses
+            # integers beyond 2**53 — every candidate must be verified.
+            if getattr(index, "kind", None) == "hash":
+                verify = [i for i in range(len(equi_pairs))
+                          if i not in covered]
+            else:
+                verify = list(range(len(equi_pairs)))
+
+            def index_probe_join(outer_rows: Rows) -> Iterator[tuple]:
+                for left_row in left.run(outer_rows):
+                    key_rows = outer_rows + (left_row,)
+                    values = [fn(key_rows) for fn in left_keys]
+                    matched = False
+                    if not any(value is None for value in values):
+                        key = tuple(values[i] for i in covered)
+                        for row_id in sorted(index.lookup(key)):
+                            right_row = probe_table.row(row_id)
+                            inner_rows = outer_rows + (right_row,)
+                            if any(not is_true(values_equal(
+                                    values[i], right_keys[i](inner_rows)))
+                                    for i in verify):
+                                continue
+                            combined_row = left_row + right_row
+                            if residual_fn is None or residual_fn(
+                                    outer_rows + (combined_row,)):
+                                matched = True
+                                yield combined_row
+                    if is_left_join and not matched:
+                        yield left_row + pad
+            return FromPlan(combined, index_probe_join)
 
         def hash_join(outer_rows: Rows) -> Iterator[tuple]:
             buckets: dict[tuple, list[tuple]] = {}
@@ -473,6 +597,10 @@ def compile_core(core: ast.SelectCore, catalog: Catalog,
                 if where_fn(outer_rows + (row,)):
                     yield row
 
+    core_counter = ctx.counter_for(core)
+    if core_counter is not None:
+        input_rows = _counted(input_rows, core_counter)
+
     has_aggregate = bool(core.group_by) or core.having is not None \
         or any(_contains_aggregate(item.expr) for item in core.items) \
         or any(_contains_aggregate(item.expr) for item in order_by)
@@ -677,10 +805,11 @@ def _compile_aggregate_core(core: ast.SelectCore,
 
 def compile_query(query: ast.SelectQuery, catalog: Catalog,
                   outer_scopes: list[RowSchema] | None = None,
-                  ctx: CompileContext | None = None) -> QueryPlan:
+                  ctx: CompileContext | None = None,
+                  planned=None) -> QueryPlan:
     outer_scopes = outer_scopes or []
     if ctx is None:
-        ctx = _make_context(catalog)
+        ctx = _make_context(catalog, planned)
 
     limit_fn = (compile_expr(query.limit, outer_scopes, ctx)
                 if query.limit is not None else None)

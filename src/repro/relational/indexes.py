@@ -20,11 +20,23 @@ from .errors import ConstraintViolation
 
 
 def _normalize(value: Any) -> Any:
-    """Normalise values so 1 and 1.0 land in the same hash bucket."""
+    """Normalise values so index keys agree with executor equality.
+
+    The tuple tag keeps the SQL type families apart (``1 = TRUE`` is
+    false, so booleans must not share a bucket with numbers).  Numbers
+    are kept *exact*: Python already hashes ``1`` and ``1.0`` to the
+    same bucket, while coercing through ``float`` — as an earlier
+    version did — collapses integers beyond 2**53 and makes an index
+    probe return rows the executor's ``=`` would reject.  ``None`` maps
+    to a dedicated marker so composite keys round-trip NULLs distinctly
+    from any storable value (indexes still never *index* NULL keys).
+    """
+    if value is None:
+        return ("null",)
     if isinstance(value, bool):
         return ("b", value)
     if isinstance(value, (int, float)):
-        return ("n", float(value))
+        return ("n", value)
     if isinstance(value, str):
         return ("s", value)
     return ("o", value)

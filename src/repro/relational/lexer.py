@@ -16,7 +16,7 @@ KEYWORDS = frozenset("""
     AND OR NOT IN IS NULL LIKE BETWEEN EXISTS CASE WHEN THEN ELSE END CAST
     JOIN INNER LEFT RIGHT FULL OUTER CROSS ON UNION INTERSECT EXCEPT
     INSERT INTO VALUES UPDATE SET DELETE CREATE TABLE DROP INDEX UNIQUE
-    PRIMARY KEY DEFAULT IF TRUE FALSE ASC DESC USING
+    PRIMARY KEY DEFAULT IF TRUE FALSE ASC DESC USING ANALYZE
 """.split())
 
 # Longest-match first.

@@ -117,7 +117,16 @@ class SqlParser:
             return self._create()
         if token.is_keyword("DROP"):
             return self._drop()
+        if token.is_keyword("ANALYZE"):
+            return self._analyze()
         raise self._error(f"expected a statement, found {token.describe()}")
+
+    def _analyze(self) -> ast.AnalyzeStmt:
+        self._expect_keyword("ANALYZE")
+        table = None
+        if self._peek().type == "IDENT":
+            table = self._expect_identifier("table name")
+        return ast.AnalyzeStmt(table)
 
     # -- SELECT ------------------------------------------------------------------
 

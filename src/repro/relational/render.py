@@ -24,7 +24,7 @@ _RESERVED = frozenset("""
     AND OR NOT IN IS NULL LIKE BETWEEN EXISTS CASE WHEN THEN ELSE END CAST
     JOIN INNER LEFT RIGHT FULL OUTER CROSS ON UNION INTERSECT EXCEPT
     INSERT INTO VALUES UPDATE SET DELETE CREATE TABLE DROP INDEX UNIQUE
-    PRIMARY KEY DEFAULT IF TRUE FALSE ASC DESC USING
+    PRIMARY KEY DEFAULT IF TRUE FALSE ASC DESC USING ANALYZE
 """.split())
 
 
@@ -230,4 +230,8 @@ def render_statement(stmt: ast.Statement) -> str:
     if isinstance(stmt, ast.DropIndexStmt):
         exists = "IF EXISTS " if stmt.if_exists else ""
         return f"DROP INDEX {exists}{quote_identifier(stmt.name)}"
+    if isinstance(stmt, ast.AnalyzeStmt):
+        if stmt.table is None:
+            return "ANALYZE"
+        return f"ANALYZE {quote_identifier(stmt.table)}"
     raise NotSupportedError(f"cannot render {type(stmt).__name__}")

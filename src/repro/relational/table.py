@@ -198,3 +198,24 @@ class Table:
             if [c.lower() for c in index.column_names] == wanted:
                 return index
         return None
+
+
+def find_probe_index(table, column_names: list[str]
+                     ) -> tuple[IndexType, list[int]] | None:
+    """The index (plus covered key positions) an equi-join probe can use
+    on the inner table *table*: the full key list when an index covers
+    it exactly, otherwise any single key column (the remaining keys are
+    then checked per candidate row).  Shared by the executor's join
+    compilation and the planner's cost model so both agree on whether a
+    probe is possible."""
+    finder = getattr(table, "find_index_on", None)
+    if finder is None:
+        return None
+    index = finder(list(column_names))
+    if index is not None:
+        return index, list(range(len(column_names)))
+    for position, name in enumerate(column_names):
+        index = finder([name])
+        if index is not None:
+            return index, [position]
+    return None

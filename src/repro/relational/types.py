@@ -231,7 +231,10 @@ def values_equal(left: Any, right: Any) -> bool | None:
     if left is None or right is None:
         return None
     if _is_numeric(left) and _is_numeric(right):
-        return float(left) == float(right)
+        # Plain == is exact across int/float (unlike coercing both to
+        # float, which collapses distinct integers beyond 2**53) and so
+        # agrees with compare_values and with index bucketing.
+        return left == right
     if isinstance(left, bool) or isinstance(right, bool):
         if isinstance(left, bool) and isinstance(right, bool):
             return left == right

@@ -340,3 +340,113 @@ def test_rest_handler_error_becomes_422(service):
         "value": "Unobtainium", "property": "dangerLevel",
         "object": "high"})
     assert response.status == 422
+
+
+# -- planner-era mediation: AST reuse, pushdown, cost ranking ---------------
+
+
+def test_session_falls_back_to_all_views_on_parse_failure(sources):
+    from repro.relational.errors import SqlSyntaxError
+
+    mediator = make_mediator(sources)
+    mediator.define_view("eu", [
+        ("italy", "SELECT name, city, size FROM landfill")])
+    session = mediator.connect()
+    with pytest.raises(SqlSyntaxError):
+        session.execute("THIS IS NOT SQL")
+    # The unparseable text fell back to materializing every view before
+    # the scratch database reported the real syntax error.
+    assert session.misses == 1
+    # ... and a later good query reuses that materialization.
+    _result, report = session.execute("SELECT COUNT(*) FROM eu")
+    assert report.sub_queries == []
+    assert session.hits == 1
+
+
+def test_filter_pushdown_ships_filtered_fragments(sources):
+    mediator = make_mediator(sources)
+    mediator.define_view("eu", [
+        ("italy", "SELECT name, city, size FROM landfill"),
+        ("france", "SELECT name, city, size FROM landfill")])
+    result, report = mediator.query(
+        "SELECT name FROM eu WHERE size > 8.0")
+    assert sorted(result.rows) == [("lf_fr_1",), ("lf_it_1",)]
+    assert "eu" in report.pushed_filters
+    assert all("WHERE" in sql for _src, sql in report.sub_queries)
+    # Sources filtered before shipping: 1 matching row each.
+    assert report.rows_per_source == {"italy": 1, "france": 1}
+
+
+def test_pushdown_matches_unpushed_results(sources):
+    mediator = make_mediator(sources)
+    mediator.define_view("eu", [
+        ("italy", "SELECT name, city, size FROM landfill"),
+        ("france", "SELECT name, city, size FROM landfill")])
+    sql = ("SELECT city, COUNT(*) AS n FROM eu WHERE size >= 7.5 "
+           "GROUP BY city ORDER BY n DESC, city")
+    pushed, _r1 = mediator.query(sql, pushdown=True)
+    plain, _r2 = mediator.query(sql, pushdown=False)
+    assert pushed.rows == plain.rows
+
+
+def test_pushdown_skips_prefer_first_views(sources):
+    mediator = make_mediator(sources)
+    mediator.define_view(
+        "eu", [("italy", "SELECT name, city, size FROM landfill"),
+               ("france", "SELECT name, city, size FROM landfill")],
+        reconciliation="prefer_first", key_columns=["name"])
+    result, report = mediator.query(
+        "SELECT name FROM eu WHERE city = 'Milano'")
+    # Pre-filtering could change which duplicate wins, so nothing is
+    # pushed and every full fragment ships.
+    assert report.pushed_filters == {}
+    assert result.rows == [("lf_it_2",)]
+
+
+def test_partial_materializations_are_not_cached(sources):
+    mediator = make_mediator(sources)
+    mediator.define_view("eu", [
+        ("italy", "SELECT name, city, size FROM landfill")])
+    session = mediator.connect()
+    _result, first = session.execute("SELECT name FROM eu WHERE size > 8")
+    assert "eu" in first.pushed_filters
+    # The filtered copy must not serve the next (wider) query.
+    result, second = session.execute("SELECT COUNT(*) FROM eu")
+    assert result.scalar() == 2
+    assert len(second.sub_queries) == 1  # re-shipped, this time in full
+    # The full copy *is* cached from here on.
+    _result, third = session.execute("SELECT COUNT(*) FROM eu")
+    assert third.sub_queries == []
+
+
+def test_views_materialize_cheapest_first(sources):
+    italy, _france = sources
+    mediator = make_mediator(sources)
+    italy.execute("CREATE TABLE big (n INTEGER)")
+    for i in range(500):
+        italy.table("big").insert_row({"n": i})
+    mediator.define_view("huge", [("italy", "SELECT n FROM big")])
+    mediator.define_view("tiny", [
+        ("italy", "SELECT name FROM landfill")])
+    _result, report = mediator.query(
+        "SELECT COUNT(*) FROM huge CROSS JOIN tiny")
+    assert report.view_costs["tiny"] < report.view_costs["huge"]
+    shipped = [sql for _src, sql in report.sub_queries]
+    assert shipped.index("SELECT name FROM landfill") \
+        < shipped.index("SELECT n FROM big")
+
+
+def test_pushdown_skips_views_also_referenced_in_subqueries(sources):
+    mediator = make_mediator(sources)
+    mediator.define_view("eu", [
+        ("italy", "SELECT name, city, size FROM landfill"),
+        ("france", "SELECT name, city, size FROM landfill")])
+    sql = ("SELECT name FROM eu WHERE size >= 7.5 "
+           "AND city IN (SELECT city FROM eu WHERE size < 8.0)")
+    pushed, report = mediator.query(sql, pushdown=True)
+    plain, _plain_report = mediator.query(sql, pushdown=False)
+    # Both references read one shared materialization: nothing may be
+    # pushed, and the results must match the unpushed run.
+    assert report.pushed_filters == {}
+    assert sorted(pushed.rows) == sorted(plain.rows)
+    assert pushed.rows  # the Milano duplicate satisfies both branches

@@ -1,0 +1,360 @@
+"""Cost-based planner: statistics, estimation, rewrites, join ordering,
+EXPLAIN (ANALYZE) and the index/NULL normalization regressions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.planner import (PlannerOptions, StatisticsCatalog, plan_select)
+from repro.planner.estimate import (equality_selectivity,
+                                    range_selectivity)
+from repro.planner.rewrite import fold_expr
+from repro.relational import Database
+from repro.relational.ast import Literal
+from repro.relational.indexes import _normalize
+from repro.relational.parser import parse_expr, parse_sql
+from repro.relational.render import render_expr, render_query
+from repro.relational.types import values_equal
+
+STRICT = PlannerOptions(strict=True)
+OFF = PlannerOptions(enabled=False)
+
+
+def make_db(planner: PlannerOptions = STRICT) -> Database:
+    db = Database(planner=planner)
+    db.execute_script("""
+        CREATE TABLE fact (id INTEGER PRIMARY KEY, mid_id INTEGER,
+                           amount REAL);
+        CREATE TABLE mid (id INTEGER PRIMARY KEY, dim_id INTEGER);
+        CREATE TABLE dim (id INTEGER PRIMARY KEY, kind TEXT);
+        CREATE INDEX idx_fact_mid ON fact (mid_id);
+    """)
+    for i in range(300):
+        db.table("fact").insert_row(
+            {"id": i, "mid_id": i % 30, "amount": float(i % 7)})
+    for i in range(30):
+        db.table("mid").insert_row({"id": i, "dim_id": i % 6})
+    for i in range(6):
+        db.table("dim").insert_row(
+            {"id": i, "kind": "rare" if i == 0 else "common"})
+    return db
+
+
+SKEWED = ("SELECT fact.id FROM fact "
+          "JOIN mid ON fact.mid_id = mid.id "
+          "JOIN dim ON mid.dim_id = dim.id "
+          "WHERE dim.kind = 'rare'")
+
+
+# -- normalization regressions (index vs executor semantics) ----------------
+
+
+def test_normalize_is_exact_beyond_float_precision():
+    big = 2 ** 53
+    assert _normalize(big) != _normalize(big + 1)
+    assert values_equal(big, big + 1) is False
+    assert values_equal(big, float(big)) is True
+    assert _normalize(big) == _normalize(float(big))
+
+
+def test_normalize_null_and_type_families():
+    assert _normalize(None) == ("null",)
+    assert _normalize(None) != _normalize(0)
+    assert _normalize(True) != _normalize(1)   # 1 = TRUE is false in SQL
+    assert _normalize(1) == _normalize(1.0)
+
+
+def test_index_lookup_agrees_with_equality_for_big_integers():
+    db = Database(planner=OFF)
+    db.execute("CREATE TABLE t (k INTEGER, v TEXT)")
+    db.execute("CREATE INDEX idx_k ON t (k)")
+    big = 2 ** 53
+    db.execute(f"INSERT INTO t VALUES ({big}, 'a'), ({big + 1}, 'b')")
+    # The single-table index fast path must not collapse the two keys.
+    assert db.query(f"SELECT v FROM t WHERE k = {big}").rows == [("a",)]
+    assert db.query(f"SELECT v FROM t WHERE k = {big + 1}").rows \
+        == [("b",)]
+
+
+def test_index_skips_null_keys_and_mixed_numerics():
+    db = Database(planner=OFF)
+    db.execute("CREATE TABLE t (k REAL, v TEXT)")
+    db.execute("CREATE INDEX idx_k ON t (k)")
+    db.execute("INSERT INTO t VALUES (1.0, 'one'), (NULL, 'null')")
+    index = db.table("t").indexes["idx_k"]
+    assert index.lookup((1,)) == index.lookup((1.0,)) != set()
+    assert index.lookup((None,)) == set()
+    assert db.query("SELECT v FROM t WHERE k = 1").rows == [("one",)]
+
+
+# -- statistics catalog ------------------------------------------------------
+
+
+def test_analyze_collects_counts_distinct_minmax_histogram():
+    db = make_db()
+    (stats,) = db.analyze("fact")
+    assert stats.row_count == 300
+    column = stats.column("mid_id")
+    assert column.distinct == 30
+    assert column.min_value == 0 and column.max_value == 29
+    assert column.histogram is not None
+    assert column.histogram.total == 300
+
+
+def test_stats_maintained_incrementally_on_dml():
+    db = make_db()
+    db.execute("ANALYZE dim")
+    stats = db.stats.get("dim")
+    assert stats.row_count == 6
+    db.execute("INSERT INTO dim VALUES (99, 'new-kind')")
+    assert stats.row_count == 7
+    assert stats.column("id").max_value == 99
+    db.execute("DELETE FROM dim WHERE id = 99")
+    assert stats.row_count == 6
+    db.execute("DROP TABLE dim")
+    assert db.stats.get("dim") is None
+
+
+def test_analyze_statement_covers_all_tables():
+    db = make_db()
+    db.execute("ANALYZE")
+    assert set(name.lower() for name in db.stats.table_names()) \
+        == {"fact", "mid", "dim"}
+
+
+# -- estimation --------------------------------------------------------------
+
+
+def test_equality_and_range_selectivity_use_stats():
+    db = make_db()
+    db.analyze()
+    column = db.stats.get("fact").column("mid_id")
+    eq = equality_selectivity(column, 3)
+    assert 0.01 <= eq <= 0.1          # ~1/30
+    assert equality_selectivity(column, 10_000) <= 0.001  # out of range
+    low = range_selectivity(column, "<", 3)
+    high = range_selectivity(column, "<", 27)
+    assert low < high <= 1.0
+
+
+# -- logical rewrites --------------------------------------------------------
+
+
+def test_constant_folding_simplifies_literal_math_and_booleans():
+    assert fold_expr(parse_expr("1 + 2 * 3")) == Literal(7)
+    assert fold_expr(parse_expr("1 = 1 AND 2 > 3")) == Literal(False)
+    assert fold_expr(parse_expr("FALSE AND a = 1")) == Literal(False)
+    assert fold_expr(parse_expr("TRUE AND a = 1")) == parse_expr("a = 1")
+    # Runtime errors must not be hoisted to plan time.
+    assert render_expr(fold_expr(parse_expr("1 / 0"))) == "(1 / 0)"
+
+
+def test_predicate_pushdown_moves_filter_below_join():
+    db = make_db()
+    db.analyze()
+    planned = db.explain(SKEWED)
+    rendered = render_query(planned.query)
+    assert "SELECT" in rendered
+    # The dim filter became a derived-table wrapper under the join.
+    assert "(SELECT" in rendered and "WHERE (dim.kind = 'rare')" in rendered
+    kinds = [node.kind for node in planned.root.walk()]
+    assert "filter" in kinds
+
+
+def test_join_reorder_starts_from_the_selective_relation():
+    db = make_db()
+    db.analyze()
+    planned = db.explain(SKEWED)
+    assert planned.reordered
+    note = next(note for note in planned.notes
+                if note.startswith("join order"))
+    # fact (10x larger) must not be the driving relation any more.
+    assert not note.startswith("join order: fact")
+
+
+def test_planned_and_unplanned_results_agree_on_the_skewed_join():
+    on = make_db(STRICT)
+    on.analyze()
+    off = make_db(OFF)
+    assert sorted(on.query(SKEWED).rows) == sorted(off.query(SKEWED).rows)
+
+
+def test_left_join_is_not_reordered_and_null_side_not_pushed():
+    # IS NULL over the nullable side is exactly the predicate an unsafe
+    # pushdown would corrupt (filtered rows would turn into padding).
+    sql = ("SELECT dim.id, mid.id FROM dim "
+           "LEFT JOIN mid ON dim.id = mid.dim_id AND mid.id > 20 "
+           "WHERE mid.id IS NULL")
+    results = []
+    for options in (STRICT, OFF):
+        db = make_db(options)
+        db.analyze()
+        results.append(sorted(db.query(sql).rows))
+    assert results[0] == results[1]
+
+
+def test_star_select_column_order_survives_reordering():
+    on = make_db(STRICT)
+    on.analyze()
+    off = make_db(OFF)
+    sql = ("SELECT * FROM fact JOIN mid ON fact.mid_id = mid.id "
+           "JOIN dim ON mid.dim_id = dim.id WHERE dim.kind = 'rare'")
+    a, b = on.query(sql), off.query(sql)
+    assert a.columns == b.columns
+    assert sorted(a.rows) == sorted(b.rows)
+
+
+def test_projection_pruning_narrows_derived_tables():
+    db = make_db()
+    planned = db.explain(
+        "SELECT s.id FROM (SELECT id, amount, mid_id FROM fact) AS s "
+        "JOIN mid ON s.mid_id = mid.id")
+    rendered = render_query(planned.query)
+    assert "amount" not in rendered
+
+
+# -- physical join strategies ------------------------------------------------
+
+
+def test_equi_join_probes_inner_index():
+    db = make_db()
+    db.analyze()
+    planned = db.explain(SKEWED, analyze=True)
+    kinds = {node.kind for node in planned.root.walk()}
+    assert "index-join" in kinds
+    # The probed side is never scanned: its scan counter stays unset.
+    fact_scan = next(node for node in planned.root.walk()
+                     if node.kind == "scan" and "fact" in node.label)
+    assert fact_scan.actual_rows is None
+
+
+def test_index_probe_join_matches_hash_join_results():
+    with_probe = make_db(STRICT)
+    with_probe.analyze()
+    no_probe = make_db(STRICT.replace(index_probe_joins=False))
+    no_probe.analyze()
+    sql = ("SELECT fact.id, mid.dim_id FROM mid "
+           "JOIN fact ON fact.mid_id = mid.id WHERE mid.dim_id = 2")
+    assert sorted(with_probe.query(sql).rows) \
+        == sorted(no_probe.query(sql).rows)
+
+
+def test_left_join_with_index_probe_pads_unmatched_rows():
+    db = Database(planner=STRICT)
+    db.execute_script("""
+        CREATE TABLE big (k INTEGER, v INTEGER);
+        CREATE INDEX idx_big_k ON big (k);
+        CREATE TABLE probe_left (k INTEGER);
+    """)
+    for i in range(200):
+        db.table("big").insert_row({"k": i % 100, "v": i})
+    for k in (1, 2, 999):
+        db.table("probe_left").insert_row({"k": k})
+    rows = db.query(
+        "SELECT probe_left.k, big.v FROM probe_left "
+        "LEFT JOIN big ON probe_left.k = big.k").rows
+    assert (999, None) in rows
+    assert len([row for row in rows if row[0] == 1]) == 2
+
+
+# -- EXPLAIN (ANALYZE) -------------------------------------------------------
+
+
+def test_explain_analyze_reports_estimated_and_actual_rows():
+    db = make_db()
+    db.analyze()
+    planned = db.explain(SKEWED, analyze=True)
+    operators = list(planned.root.walk())
+    with_both = [node for node in operators
+                 if node.est_rows is not None
+                 and node.actual_rows is not None]
+    assert len(with_both) >= 3
+    formatted = planned.format()
+    assert "est=" in formatted and "actual=" in formatted
+
+
+def test_explain_without_analyze_runs_nothing():
+    db = make_db()
+    db.analyze()
+    planned = db.explain(SKEWED)
+    assert all(node.actual_rows is None
+               for node in planned.root.walk())
+
+
+def test_plain_execution_skips_row_counters():
+    db = make_db()
+    db.query(SKEWED)
+    assert db.last_plan is not None
+    joins = [node for node in db.last_plan.root.walk()
+             if node.kind.endswith("-join")]
+    assert joins and all(node.actual_rows is None for node in joins)
+
+
+def test_explain_requires_a_select():
+    db = make_db()
+    with pytest.raises(Exception):
+        db.explain("DELETE FROM dim")
+
+
+def test_planner_failure_degrades_to_as_written(monkeypatch):
+    db = make_db(PlannerOptions())  # strict off: failures must not raise
+    import repro.planner.plan as plan_module
+
+    def boom(*args, **kwargs):
+        raise RuntimeError("injected planner bug")
+    monkeypatch.setattr(plan_module, "_plan_query", boom)
+    result = db.query(SKEWED)
+    assert len(result.rows) == 50
+    assert any("planning failed" in note for note in db.last_plan.notes)
+
+
+# -- session explain surfaces the databank plan ------------------------------
+
+
+def test_session_explain_includes_db_operators():
+    import repro
+
+    db = make_db()
+    db.analyze()
+    session = repro.connect(db)
+    plan = session.explain("SELECT fact.id FROM fact "
+                           "JOIN mid ON fact.mid_id = mid.id "
+                           "WHERE mid.dim_id = 1", analyze=True)
+    assert plan.db_plan is not None
+    assert any(node.actual_rows is not None for node in plan.operators())
+    assert "databank operators" in plan.format()
+
+
+def test_parse_sql_supports_analyze_statement():
+    stmt = parse_sql("ANALYZE fact")
+    from repro.relational.ast import AnalyzeStmt
+    assert stmt == AnalyzeStmt("fact")
+    assert parse_sql("ANALYZE") == AnalyzeStmt(None)
+
+
+def test_sorted_index_probe_reverifies_float_collapsed_keys():
+    # SortedIndex coerces keys to float, collapsing ints beyond 2**53;
+    # the probe join must re-verify candidates with exact equality.
+    db = Database(planner=STRICT)
+    db.execute_script("""
+        CREATE TABLE t (id INTEGER);
+        CREATE INDEX ix_t ON t (id) USING sorted;
+        CREATE TABLE u (id INTEGER);
+    """)
+    big = 2 ** 53
+    for i in range(70):          # above INDEX_PROBE_THRESHOLD
+        db.table("t").insert_row({"id": i})
+    db.table("t").insert_row({"id": big})
+    db.table("t").insert_row({"id": big + 1})
+    db.table("u").insert_row({"id": big + 1})
+    rows = db.query("SELECT t.id FROM u JOIN t ON u.id = t.id").rows
+    assert rows == [(big + 1,)]
+
+
+def test_last_plan_resets_when_planner_toggled_off():
+    db = make_db()
+    db.query(SKEWED)
+    assert db.last_plan is not None
+    db.planner = db.planner.replace(enabled=False)
+    db.query(SKEWED)
+    assert db.last_plan is None
