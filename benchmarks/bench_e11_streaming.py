@@ -1,0 +1,165 @@
+"""E11 — the streaming service layer: time-to-first-row and concurrent
+throughput.
+
+Two workloads over a ~100k-row databank:
+
+* **time-to-first-row**: ``Session.stream`` over a ``LIMIT 10`` query
+  must produce its first row without materializing the input — the
+  acceptance gate requires ≥5x lower latency than the materializing
+  ``Session.query`` over the same (unlimited) statement;
+* **concurrent throughput**: 8 threads running a read mix through a
+  :class:`~repro.api.SessionPool` must return byte-identical results to
+  the serial baseline (the reader-writer lock keeps a concurrent DML
+  writer statement-atomic), measured in queries/second against the
+  1-thread run.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+import repro
+from conftest import SMOKE, scaled
+from repro.api import SessionPool
+from repro.relational import Database
+
+ROWS = scaled(100_000, floor=4_000)
+THREADS = 8
+QUERIES_PER_THREAD = 8 if SMOKE else 24
+
+#: The acceptance query: LIMIT 10 over the full table.
+LIMITED = "SELECT id, site, value FROM readings LIMIT 10"
+#: The materializing strawman: same rows visited, no early exit.
+UNLIMITED = "SELECT id, site, value FROM readings"
+
+MIX = [
+    "SELECT site, COUNT(*) AS n FROM readings GROUP BY site ORDER BY site",
+    "SELECT id, value FROM readings WHERE value > 95 ORDER BY id LIMIT 50",
+    "SELECT id, site FROM readings LIMIT 25 OFFSET 1000",
+    "SELECT DISTINCT site FROM readings ORDER BY site",
+]
+
+
+def build_db() -> Database:
+    db = Database()
+    db.execute("CREATE TABLE readings (id INTEGER PRIMARY KEY, "
+               "site TEXT, value INTEGER)")
+    db.insert_rows("readings", ({"id": i, "site": f"s{i % 13}",
+                                 "value": i * 7 % 101}
+                                for i in range(ROWS)))
+    return db
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_db()
+
+
+def time_to_first_row(session, sql: str) -> float:
+    started = time.perf_counter()
+    cursor = session.stream(sql)
+    first = cursor.fetchone()
+    elapsed = time.perf_counter() - started
+    assert first is not None
+    cursor.close()
+    return elapsed
+
+
+def _best_of(fn, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_e11_stream_first_row(benchmark, db):
+    session = repro.connect(db)
+    result = benchmark(lambda: session.stream(LIMITED).fetchall())
+    assert len(result) == 10
+
+
+def test_e11_materialized_query(benchmark, db):
+    session = repro.connect(db)
+    result = benchmark(lambda: session.query(UNLIMITED))
+    assert len(result.rows) == ROWS
+
+
+def test_e11_time_to_first_row_gate(db):
+    """Acceptance: streaming a LIMIT 10 query beats materializing the
+    ≥100k-row result by ≥5x on time-to-first-row."""
+    session = repro.connect(db)
+    streamed = session.stream(LIMITED).fetchall()
+    assert streamed == session.query(LIMITED).rows  # same answer
+
+    ttfr = _best_of(lambda: time_to_first_row(session, LIMITED))
+    full = _best_of(lambda: session.query(UNLIMITED))
+    ratio = full / ttfr
+    print(f"\nE11: time-to-first-row={ttfr * 1000:.2f}ms "
+          f"full-materialize={full * 1000:.1f}ms ratio={ratio:.1f}x")
+    if SMOKE:
+        # CI smoke proves the harness runs; wall-clock ratios at toy
+        # scale on shared runners are noise.
+        return
+    assert ratio >= 5.0, (
+        f"streaming first-row speedup {ratio:.2f}x below the 5x bar")
+
+
+def _run_mix(session) -> list:
+    return [session.stream(sql).fetchall() for sql in MIX]
+
+
+def test_e11_concurrent_throughput(db):
+    """8 pooled reader threads (with a concurrent writer) must match
+    the serial baseline byte for byte."""
+    with repro.connect(db) as session:
+        serial_started = time.perf_counter()
+        for _ in range(QUERIES_PER_THREAD):
+            serial = _run_mix(session)
+        serial_s = time.perf_counter() - serial_started
+
+    pool = SessionPool(db, capacity=THREADS)
+    results: dict[int, list] = {}
+    errors: list[Exception] = []
+
+    def reader(worker: int):
+        try:
+            local = []
+            for _ in range(QUERIES_PER_THREAD):
+                with pool.checkout() as pooled:
+                    local.append(_run_mix(pooled))
+            results[worker] = local
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    def writer():
+        for i in range(50):
+            db.execute(
+                "UPDATE readings SET value = value WHERE id = "
+                f"{i % ROWS}")
+
+    threads = [threading.Thread(target=reader, args=(worker,))
+               for worker in range(THREADS)]
+    threads.append(threading.Thread(target=writer))
+    concurrent_started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    concurrent_s = time.perf_counter() - concurrent_started
+    pool.close()
+
+    assert not errors
+    for worker in range(THREADS):
+        for round_results in results[worker]:
+            assert round_results == serial, (
+                f"worker {worker} diverged from the serial baseline")
+
+    total_queries = THREADS * QUERIES_PER_THREAD * len(MIX)
+    print(f"\nE11: serial={QUERIES_PER_THREAD * len(MIX) / serial_s:.0f} "
+          f"q/s, {THREADS} threads={total_queries / concurrent_s:.0f} q/s "
+          f"(pool peak {pool.stats()['peak_in_use']})")

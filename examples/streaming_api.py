@@ -1,0 +1,108 @@
+"""The streaming service layer: cursors, a session pool, /api/v1.
+
+A databank with a few thousand enriched rows is served three ways:
+
+1. ``Session.stream`` — a lazy cursor whose ``LIMIT`` stops early and
+   whose SELECT enrichments are combined page by page;
+2. a :class:`~repro.api.SessionPool` checkout, the way a multi-threaded
+   service would hold sessions;
+3. the versioned REST facade — a large enriched query paginated with
+   ``limit`` + opaque ``next_token`` through ``POST /api/v1/query``,
+   plus a ``/api/v1/batch`` round and the structured error envelope.
+
+Run:  python examples/streaming_api.py
+"""
+
+import repro
+from repro.crosse.platform import CrossePlatform
+from repro.federation import CrosseRestService
+from repro.rdf.namespace import SMG
+from repro.relational import Database
+
+SITES = ["north", "south", "east", "west"]
+ELEMS = ["Mercury", "Asbestos", "Iron", "Copper", "Lead"]
+
+
+def build_platform() -> CrossePlatform:
+    databank = Database()
+    databank.execute("CREATE TABLE elem_contained (landfill_name TEXT, "
+                     "elem_name TEXT, amount REAL)")
+    databank.insert_rows("elem_contained", (
+        {"landfill_name": SITES[i % len(SITES)],
+         "elem_name": ELEMS[i % len(ELEMS)],
+         "amount": float(i % 97)}
+        for i in range(3000)))
+    platform = CrossePlatform(databank)
+    platform.register_user("giulia", "Giulia", "PoliTo")
+    for elem, level in (("Mercury", "high"), ("Asbestos", "extreme"),
+                        ("Lead", "medium")):
+        platform.annotate_free("giulia", SMG[elem], SMG["dangerLevel"],
+                               level)
+    return platform
+
+
+def main() -> None:
+    platform = build_platform()
+
+    # 1. A streaming cursor: first rows long before the full result.
+    session = platform.session_for("giulia")
+    cursor = session.stream("""
+        SELECT landfill_name, elem_name, amount FROM elem_contained
+        WHERE amount > 90
+        ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)""", page_size=64)
+    print("Streaming cursor columns:", cursor.columns)
+    print("First three enriched rows:")
+    for row in (cursor.fetchone(), cursor.fetchone(), cursor.fetchone()):
+        print("  ", row)
+    cursor.close()                      # release the read lock early
+
+    # 2. The pool: what each service thread does per request.
+    pool = repro.api.SessionPool(platform, capacity=4)
+    with pool.checkout("giulia") as pooled:
+        count = pooled.query(
+            "SELECT COUNT(*) AS n FROM elem_contained").scalar()
+    print(f"\nPooled count: {count} rows; pool stats: {pool.stats()}")
+    pool.close()
+
+    # 3. The versioned REST facade: paginate a large enriched query.
+    service = CrosseRestService(platform)
+    body = {"username": "giulia", "limit": 5, "query":
+            "SELECT DISTINCT landfill_name, elem_name FROM elem_contained "
+            "ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)"}
+    pages, token = 0, None
+    total_rows = 0
+    while True:
+        request = dict(body, **({"next_token": token} if token else {}))
+        response = service.request("POST", "/api/v1/query", request)
+        assert response.status == 200
+        pages += 1
+        total_rows += len(response.payload["rows"])
+        if pages <= 2:
+            print(f"\npage {pages} (limit 5):")
+            for row in response.payload["rows"]:
+                print("  ", row)
+        token = response.payload["next_token"]
+        if token is None:
+            break
+    print(f"\nPaginated {total_rows} enriched rows over {pages} pages "
+          "(opaque next_token round-trips).")
+
+    # A batch: independent requests through the pool in one call.
+    batch = service.request("POST", "/api/v1/batch", {"requests": [
+        {"method": "GET", "path": "/api/v1/users?limit=10"},
+        {"method": "GET",
+         "path": "/api/v1/recommendations/peers/giulia"},
+    ]})
+    print("Batch statuses:",
+          [entry["status"] for entry in batch.payload["responses"]])
+
+    # The structured error envelope (here: wrong method -> 405 + allow).
+    error = service.request("DELETE", "/api/v1/users")
+    print(f"DELETE /api/v1/users -> {error.status}, "
+          f"allow={error.payload['allow']}, "
+          f"code={error.payload['error']['code']}")
+    service.close()
+
+
+if __name__ == "__main__":
+    main()

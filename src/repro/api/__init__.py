@@ -8,9 +8,12 @@ generation-keyed SPARQL extraction memoization, batching and
 """
 
 from .cache import ExtractionCache, LRUCache, PlanCache
-from .errors import SessionError
+from .cursor import (Cursor, Page, decode_token, encode_token,
+                     paginate_cursor, paginate_sequence)
+from .errors import CursorTokenError, PoolTimeoutError, SessionError
 from .options import QueryOptions
 from .plan import PlanStage, QueryPlan
+from .pool import SessionLease, SessionPool
 from .prepared import PreparedQuery
 from .session import PlatformSession, Session, connect
 
@@ -18,5 +21,8 @@ __all__ = [
     "connect", "Session", "PlatformSession", "PreparedQuery",
     "QueryOptions", "QueryPlan", "PlanStage",
     "PlanCache", "ExtractionCache", "LRUCache",
-    "SessionError",
+    "Cursor", "Page", "encode_token", "decode_token",
+    "paginate_sequence", "paginate_cursor",
+    "SessionPool", "SessionLease",
+    "SessionError", "PoolTimeoutError", "CursorTokenError",
 ]

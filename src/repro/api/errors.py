@@ -7,3 +7,11 @@ from ..core.errors import SesqlError
 
 class SessionError(SesqlError):
     """Misuse of the session API (closed session, bad source, ...)."""
+
+
+class PoolTimeoutError(SessionError):
+    """No session became available within the checkout timeout."""
+
+
+class CursorTokenError(SessionError):
+    """A pagination token is malformed or belongs to another request."""

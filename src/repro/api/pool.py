@@ -1,0 +1,190 @@
+"""A capacity-bounded pool of query sessions.
+
+The REST facade (and any multi-threaded embedder) serves many users at
+once; building a session stack per request would rebuild engines and
+caches every time, and handing every thread the same session would
+serialize them on its mutable state.  :class:`SessionPool` sits in
+between: a fixed number of *slots*, each holding a warm session stack,
+checked out per request and returned afterwards.
+
+* Over a :class:`~repro.crosse.CrossePlatform`, each slot is an
+  independent :class:`~repro.api.PlatformSession` (registered with the
+  platform, so KB/registry invalidation reaches pooled engines too) and
+  ``checkout(username)`` yields that slot's per-user session.
+* Over a plain :class:`~repro.relational.Database` or
+  :class:`~repro.core.SESQLEngine`, each slot is a plain
+  :class:`~repro.api.Session` and ``checkout()`` takes no username.
+
+``checkout`` blocks while every slot is in use and raises
+:class:`~repro.api.PoolTimeoutError` after *timeout* seconds, bounding
+queueing time under overload instead of letting it grow without limit.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+from .errors import PoolTimeoutError, SessionError
+from .options import QueryOptions
+
+
+class SessionLease:
+    """A checked-out session; releasing returns the slot to the pool.
+
+    Usable as a context manager (``with pool.checkout(user) as session``)
+    or manually via ``.session`` + ``.release()``.  Release is
+    idempotent.
+    """
+
+    def __init__(self, pool: "SessionPool", slot: Any, session: Any) -> None:
+        self._pool = pool
+        self._slot = slot
+        self.session = session
+        self._released = False
+
+    def release(self) -> None:
+        if self._released:
+            return
+        self._released = True
+        self._pool._release(self._slot)
+
+    def __enter__(self):
+        return self.session
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __del__(self):  # pragma: no cover - GC backstop
+        try:
+            self.release()
+        except Exception:
+            pass
+
+
+class SessionPool:
+    """Check out per-user sessions under a fixed capacity."""
+
+    def __init__(self, source: Any, capacity: int = 8,
+                 options: QueryOptions | None = None) -> None:
+        if capacity < 1:
+            raise SessionError(
+                f"pool capacity must be positive, got {capacity}")
+        from ..crosse.platform import CrossePlatform
+        self._source = source
+        self._is_platform = isinstance(source, CrossePlatform)
+        self.capacity = capacity
+        self._options = options
+        self._cond = threading.Condition()
+        self._idle: list[Any] = []      # warm slots awaiting checkout
+        self._in_use = 0
+        self._closed = False
+        #: Counters surfaced by :meth:`stats`.
+        self.checkouts = 0
+        self.timeouts = 0
+        self.peak_in_use = 0
+
+    # -- slot construction ----------------------------------------------------
+
+    def _build_slot(self) -> Any:
+        if self._is_platform:
+            # A non-None options object forces an independent
+            # PlatformSession (the shared default one is single-slot);
+            # the platform registers it for KB/registry invalidation.
+            return self._source.connect(self._options or QueryOptions())
+        from .session import Session, connect
+        if isinstance(self._source, Session):
+            raise SessionError(
+                "pool over a single Session makes no sense; pass the "
+                "Database, SESQLEngine or CrossePlatform instead")
+        return connect(self._source, self._options)
+
+    # -- checkout / release ---------------------------------------------------
+
+    def checkout(self, username: str | None = None,
+                 timeout: float | None = 30.0) -> SessionLease:
+        """A session lease, blocking up to *timeout* s for a free slot."""
+        if username is not None and not self._is_platform:
+            raise SessionError(
+                "per-user checkout requires a CrossePlatform-backed pool")
+        if username is None and self._is_platform:
+            raise SessionError(
+                "platform-backed pools check out per-user sessions; "
+                "pass username")
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        with self._cond:
+            while True:
+                if self._closed:
+                    raise SessionError("session pool is closed")
+                if self._in_use < self.capacity:
+                    break
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    self.timeouts += 1
+                    raise PoolTimeoutError(
+                        f"no session available within {timeout}s "
+                        f"(capacity {self.capacity})")
+                self._cond.wait(remaining)
+            self._in_use += 1
+            self.checkouts += 1
+            self.peak_in_use = max(self.peak_in_use, self._in_use)
+            slot = self._idle.pop() if self._idle else None
+        if slot is None:
+            try:
+                slot = self._build_slot()
+            except BaseException:
+                self._release(None)
+                raise
+        try:
+            session = (slot.as_user(username) if self._is_platform
+                       else slot)
+        except BaseException:
+            # e.g. an unknown username: the slot itself is healthy, so
+            # hand it back instead of leaking capacity.
+            self._release(slot)
+            raise
+        return SessionLease(self, slot, session)
+
+    def _release(self, slot: Any) -> None:
+        with self._cond:
+            self._in_use -= 1
+            if slot is not None and not self._closed:
+                self._idle.append(slot)
+            elif slot is not None:
+                slot.close()
+            self._cond.notify()
+
+    # -- lifecycle / observability --------------------------------------------
+
+    def close(self) -> None:
+        """Close idle slots and refuse further checkouts.
+
+        Outstanding leases stay usable; their slots are closed when
+        released.
+        """
+        with self._cond:
+            self._closed = True
+            idle, self._idle = self._idle, []
+            self._cond.notify_all()
+        for slot in idle:
+            slot.close()
+
+    def __enter__(self) -> "SessionPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def stats(self) -> dict[str, int]:
+        with self._cond:
+            return {
+                "capacity": self.capacity,
+                "in_use": self._in_use,
+                "idle": len(self._idle),
+                "checkouts": self.checkouts,
+                "timeouts": self.timeouts,
+                "peak_in_use": self.peak_in_use,
+            }

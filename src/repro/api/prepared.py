@@ -55,6 +55,16 @@ class PreparedQuery:
         """Execute once per parameter row, reusing the parsed template."""
         return [self.execute(row) for row in param_rows]
 
+    def stream(self, params=None, *, include_original=None,
+               join_strategy=None, page_size: int = 256):
+        """Run lazily: a :class:`~repro.relational.Cursor` whose rows
+        are produced as fetched, with SELECT enrichments combined one
+        page at a time (see :meth:`repro.api.Session.stream`)."""
+        return self._session._stream_prepared(self, params, {
+            "include_original": include_original,
+            "join_strategy": join_strategy,
+        }, page_size=page_size)
+
     def explain(self, params=None, *, analyze: bool = False):
         """The :class:`~repro.api.QueryPlan`; by default nothing is
         executed.  ``analyze=True`` runs the databank stage so the

@@ -160,6 +160,23 @@ class Session:
         """Execute and return just the enriched result rows."""
         return self.execute(text, params).result
 
+    def stream(self, text: str, params=None, *,
+               include_original: bool | None = None,
+               join_strategy: str | None = None,
+               page_size: int = 256):
+        """Run one SESQL query lazily, returning a streaming
+        :class:`~repro.relational.Cursor`.
+
+        The SQL stage pulls from the databank on demand (``LIMIT k``
+        stops after *k* rows) and SELECT enrichments are combined one
+        page at a time.  The cursor holds the databank's read lock
+        until exhausted or closed — drain it (or use ``with``) before
+        mutating the databank from the same thread.
+        """
+        return self.prepare(text).stream(
+            params, include_original=include_original,
+            join_strategy=join_strategy, page_size=page_size)
+
     def execute_many(self, text: str, param_rows) -> list[SESQLResult]:
         """Execute the statement once per parameter row (single parse)."""
         return self.prepare(text).execute_many(param_rows)
@@ -195,6 +212,18 @@ class Session:
         if self._on_result is not None:
             self._on_result(outcome)
         return outcome
+
+    def _stream_prepared(self, prepared: PreparedQuery, params,
+                         overrides: dict, page_size: int = 256):
+        self._check_open()
+        include, strategy = self._overrides(overrides)
+        enriched = prepared.bind(params)
+        # Streamed executions bypass the on_result observer: the result
+        # never materializes in one piece to observe.
+        return self.engine.stream_parsed(
+            enriched, knowledge_base=self._current_kb(),
+            include_original=include, join_strategy=strategy,
+            reuse_ast=True, page_size=page_size)
 
     def _explain_prepared(self, prepared: PreparedQuery, params,
                           analyze: bool = False) -> QueryPlan:

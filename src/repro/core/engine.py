@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from ..rdf.store import TripleStore
 from ..relational.engine import Database
 from ..relational.render import render_query
-from ..relational.result import ResultSet
+from ..relational.result import Cursor, ResultSet
 from .ast import (BoolSchemaExtension, BoolSchemaReplacement, EnrichedQuery,
                   Enrichment, ReplaceConstant, ReplaceVariable,
                   SchemaExtension, SchemaReplacement)
@@ -260,3 +260,100 @@ class SESQLEngine:
     def query(self, text: str, **kwargs) -> ResultSet:
         """Execute and return just the enriched result rows."""
         return self.execute(text, **kwargs).result
+
+    # -- streaming -----------------------------------------------------------------
+
+    def stream(self, text: str,
+               knowledge_base: TripleStore | None = None,
+               include_original: bool | None = None,
+               join_strategy: str | None = None,
+               page_size: int = 256) -> Cursor:
+        """Run a SESQL query lazily, returning a :class:`Cursor`.
+
+        The SQL stage streams from the databank (``LIMIT k`` stops
+        after *k* rows) and SELECT enrichments are combined one page at
+        a time, so the first enriched row is available long before the
+        full result would have materialized.
+        """
+        enriched = self.sqp.parse(text)
+        return self.stream_parsed(
+            enriched, knowledge_base=knowledge_base,
+            include_original=include_original, join_strategy=join_strategy,
+            reuse_ast=True, page_size=page_size)
+
+    def stream_parsed(self, enriched: EnrichedQuery,
+                      knowledge_base: TripleStore | None = None,
+                      include_original: bool | None = None,
+                      join_strategy: str | None = None,
+                      reuse_ast: bool = False,
+                      page_size: int = 256) -> Cursor:
+        """Streaming counterpart of :meth:`execute_parsed`.
+
+        Stages 2-3 (SPARQL extraction, WHERE rewrite) still run eagerly
+        — they are planning work and must precede the databank query —
+        but the databank result is pulled through a cursor and each
+        SELECT enrichment is folded in per *page_size* rows.  The
+        enrichment temp tables live until the returned cursor is
+        exhausted or closed; observers (``on_result`` context feeding)
+        are not invoked for streamed executions.
+        """
+        if page_size < 1:
+            raise EnrichmentError(
+                f"page_size must be positive, got {page_size}")
+        kb = knowledge_base if knowledge_base is not None \
+            else self.knowledge_base
+        include = (self.include_original if include_original is None
+                   else include_original)
+        strategy = join_strategy or self.join_strategy
+        if not reuse_ast:
+            enriched = clone_enriched(enriched)
+
+        where_plan = self.extraction_plan(enriched, kb, "where")
+        rewriter = self.apply_where_rewrites(enriched, where_plan, include)
+        cleaned = [False]
+
+        def cleanup() -> None:
+            if not cleaned[0]:
+                cleaned[0] = True
+                rewriter.cleanup()
+
+        try:
+            base_cursor = self.databank.stream_ast(enriched.query)
+            select_plan = self.extraction_plan(enriched, kb, "select")
+            # Extraction-side combine structures are built ONCE per
+            # cursor and applied page after page (hash-probe semantics
+            # identical to the tempdb final-SQL LEFT JOIN, whatever the
+            # configured strategy).
+            join_manager = JoinManager(self.mapping, strategy)
+            combiners = [join_manager.prepare(enrichment, extraction)
+                         for enrichment, extraction in select_plan]
+            base_columns = list(base_cursor.columns)
+            # Combining an empty page derives the enriched column list
+            # (and validates the enrichment attributes) up front.
+            probe = ResultSet(base_columns, [])
+            for combiner in combiners:
+                probe = combiner.combine(probe)
+            out_columns = probe.columns
+        except BaseException:
+            cleanup()
+            raise
+
+        def pages():
+            try:
+                while True:
+                    page = base_cursor.fetchmany(page_size)
+                    if not page:
+                        break
+                    current = ResultSet(base_columns, page)
+                    for combiner in combiners:
+                        current = combiner.combine(current)
+                    yield from current.rows
+            finally:
+                base_cursor.close()
+                cleanup()
+
+        def on_close() -> None:
+            base_cursor.close()
+            cleanup()
+
+        return Cursor(out_columns, pages(), on_close=on_close)

@@ -132,7 +132,9 @@ class WhereRewriter:
 
     def cleanup(self) -> None:
         for name in self.temp_tables:
-            self.databank.catalog.drop_table(name, if_exists=True)
+            # Lock-free drop: the table is private to this call (other
+            # sessions' queries never reference its unique name).
+            self.databank.drop_temp_table(name)
         self.temp_tables.clear()
 
     # -- strategies ---------------------------------------------------------

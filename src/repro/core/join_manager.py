@@ -77,6 +77,84 @@ def unique_name(existing: list[str], wanted: str) -> str:
     return f"{wanted}_{suffix}"
 
 
+def output_columns(base_columns: list[str], attr_index: int,
+                   new_column: str, replace: bool) -> list[str]:
+    """The enriched column list: *new_column* replaces or extends."""
+    columns = list(base_columns)
+    name = unique_name(columns, new_column)
+    if replace:
+        columns[attr_index] = name
+    else:
+        columns.append(name)
+    return columns
+
+
+class PreparedPairCombine:
+    """SCHEMAEXTENSION / SCHEMAREPLACEMENT combine state, built once.
+
+    The extraction-side hash buckets are computed at construction and
+    ``combine(page)`` applies them to any number of base pages — the
+    streaming pipeline folds an enrichment into every page of a cursor
+    without rebuilding the mapping table per page.  Row semantics (and
+    match order) are identical to the tempdb final-SQL LEFT JOIN.
+    """
+
+    def __init__(self, attr: str, new_column: str, replace: bool,
+                 pairs: list[tuple]) -> None:
+        self.attr = attr
+        self.new_column = new_column
+        self.replace = replace
+        self.buckets: dict[object, list[object]] = {}
+        for subject, obj in pairs:
+            if subject is None:
+                continue
+            self.buckets.setdefault(_normalize(subject), []).append(obj)
+
+    def combine(self, base: ResultSet) -> ResultSet:
+        attr_index = find_attr_index(base.columns, self.attr)
+        rows: list[tuple] = []
+        for row in base.rows:
+            key = row[attr_index]
+            matches = (self.buckets.get(_normalize(key), [None])
+                       if key is not None else [None])
+            for obj in matches:
+                if self.replace:
+                    rows.append(row[:attr_index] + (obj,)
+                                + row[attr_index + 1:])
+                else:
+                    rows.append(row + (obj,))
+        return ResultSet(output_columns(base.columns, attr_index,
+                                        self.new_column, self.replace),
+                         rows)
+
+
+class PreparedFlagCombine:
+    """BOOLSCHEMAEXTENSION / -REPLACEMENT combine state, built once."""
+
+    def __init__(self, attr: str, new_column: str, replace: bool,
+                 subjects: set) -> None:
+        self.attr = attr
+        self.new_column = new_column
+        self.replace = replace
+        self.keys = {_normalize(subject) for subject in subjects
+                     if subject is not None}
+
+    def combine(self, base: ResultSet) -> ResultSet:
+        attr_index = find_attr_index(base.columns, self.attr)
+        rows: list[tuple] = []
+        for row in base.rows:
+            value = row[attr_index]
+            flag = value is not None and _normalize(value) in self.keys
+            if self.replace:
+                rows.append(row[:attr_index] + (flag,)
+                            + row[attr_index + 1:])
+            else:
+                rows.append(row + (flag,))
+        return ResultSet(output_columns(base.columns, attr_index,
+                                        self.new_column, self.replace),
+                         rows)
+
+
 class JoinManager:
     """Combines base results with extractions per enrichment clause."""
 
@@ -87,74 +165,68 @@ class JoinManager:
         self.mapping = mapping
         self.strategy = strategy
 
-    # -- public API ----------------------------------------------------------
+    # -- extraction conversion (the single source of truth) ------------------
 
-    def combine(self, base: ResultSet, enrichment: Enrichment,
-                extraction: Extraction) -> CombineOutcome:
-        if isinstance(enrichment, (SchemaExtension, SchemaReplacement)):
-            pairs = [(self.mapping.to_sql_value(s),
-                      self.mapping.to_sql_value(o))
-                     for s, o in extraction.pairs]
-            replace = isinstance(enrichment, SchemaReplacement)
-            new_column = clean_name(enrichment.prop)
-            return self._combine_pairs(base, enrichment.attr, pairs,
-                                       new_column, replace)
+    def _pair_values(self, extraction: Extraction) -> list[tuple]:
+        return [(self.mapping.to_sql_value(s), self.mapping.to_sql_value(o))
+                for s, o in extraction.pairs]
+
+    def _subject_values(self, extraction: Extraction) -> set:
+        return {self.mapping.to_sql_value(term)
+                for term in extraction.subjects}
+
+    @staticmethod
+    def _new_column_for(enrichment: Enrichment) -> str:
         if isinstance(enrichment, (BoolSchemaExtension,
                                    BoolSchemaReplacement)):
-            subjects = {self.mapping.to_sql_value(term)
-                        for term in extraction.subjects}
-            replace = isinstance(enrichment, BoolSchemaReplacement)
-            new_column = (f"{clean_name(enrichment.prop)}_"
-                          f"{clean_name(enrichment.concept)}")
-            return self._combine_flags(base, enrichment.attr, subjects,
-                                       new_column, replace)
+            return (f"{clean_name(enrichment.prop)}_"
+                    f"{clean_name(enrichment.concept)}")
+        return clean_name(enrichment.prop)
+
+    # -- public API ----------------------------------------------------------
+
+    def prepare(self, enrichment: Enrichment, extraction: Extraction):
+        """The extraction-side combine state, computed once.
+
+        Returns a prepared combiner whose ``combine(page)`` folds the
+        enrichment into any number of base pages — the streaming
+        pipeline prepares each enrichment once per cursor instead of
+        rebuilding the mapping structures page after page.
+        """
+        if isinstance(enrichment, (SchemaExtension, SchemaReplacement)):
+            return PreparedPairCombine(
+                enrichment.attr, self._new_column_for(enrichment),
+                isinstance(enrichment, SchemaReplacement),
+                self._pair_values(extraction))
+        if isinstance(enrichment, (BoolSchemaExtension,
+                                   BoolSchemaReplacement)):
+            return PreparedFlagCombine(
+                enrichment.attr, self._new_column_for(enrichment),
+                isinstance(enrichment, BoolSchemaReplacement),
+                self._subject_values(extraction))
         raise EnrichmentError(
             f"{enrichment.kind} is not a SELECT-clause enrichment")
 
-    # -- pair enrichments (extension / replacement) ------------------------------
-
-    def _combine_pairs(self, base: ResultSet, attr: str,
-                       pairs: list[tuple], new_column: str,
-                       replace: bool) -> CombineOutcome:
-        attr_index = find_attr_index(base.columns, attr)
+    def combine(self, base: ResultSet, enrichment: Enrichment,
+                extraction: Extraction) -> CombineOutcome:
         if self.strategy == "direct":
-            return self._direct_pairs(base, attr_index, pairs,
-                                      new_column, replace)
-        return self._tempdb_pairs(base, attr_index, pairs,
-                                  new_column, replace)
+            prepared = self.prepare(enrichment, extraction)
+            return CombineOutcome(prepared.combine(base), None)
+        new_column = self._new_column_for(enrichment)
+        if isinstance(enrichment, (SchemaExtension, SchemaReplacement)):
+            return self._tempdb_pairs(
+                base, find_attr_index(base.columns, enrichment.attr),
+                self._pair_values(extraction), new_column,
+                isinstance(enrichment, SchemaReplacement))
+        if isinstance(enrichment, (BoolSchemaExtension,
+                                   BoolSchemaReplacement)):
+            return self._tempdb_flags(
+                base, enrichment.attr, self._subject_values(extraction),
+                new_column, isinstance(enrichment, BoolSchemaReplacement))
+        raise EnrichmentError(
+            f"{enrichment.kind} is not a SELECT-clause enrichment")
 
-    def _output_columns(self, base: ResultSet, attr_index: int,
-                        new_column: str, replace: bool) -> list[str]:
-        columns = list(base.columns)
-        name = unique_name(columns, new_column)
-        if replace:
-            columns[attr_index] = name
-        else:
-            columns.append(name)
-        return columns
-
-    def _direct_pairs(self, base: ResultSet, attr_index: int,
-                      pairs: list[tuple], new_column: str,
-                      replace: bool) -> CombineOutcome:
-        buckets: dict[object, list[object]] = {}
-        for subject, obj in pairs:
-            if subject is None:
-                continue
-            buckets.setdefault(_normalize(subject), []).append(obj)
-        rows: list[tuple] = []
-        for row in base.rows:
-            key = row[attr_index]
-            matches = (buckets.get(_normalize(key), [None])
-                       if key is not None else [None])
-            for obj in matches:
-                if replace:
-                    new_row = (row[:attr_index] + (obj,)
-                               + row[attr_index + 1:])
-                else:
-                    new_row = row + (obj,)
-                rows.append(new_row)
-        columns = self._output_columns(base, attr_index, new_column, replace)
-        return CombineOutcome(ResultSet(columns, rows), None)
+    # -- tempdb strategy (paper-faithful final SQL) ------------------------------
 
     def _tempdb_pairs(self, base: ResultSet, attr_index: int,
                       pairs: list[tuple], new_column: str,
@@ -163,8 +235,8 @@ class JoinManager:
         try:
             t_base = tempdb.store_result(base.columns, base.rows)
             t_map = tempdb.store_pairs(pairs)
-            columns = self._output_columns(base, attr_index, new_column,
-                                           replace)
+            columns = output_columns(base.columns, attr_index,
+                                     new_column, replace)
             items: list[sql_ast.SelectItem] = []
             output_index = 0
             for index, internal in enumerate(t_base.internal_columns):
@@ -199,34 +271,18 @@ class JoinManager:
 
     # -- boolean enrichments -----------------------------------------------------------
 
-    def _combine_flags(self, base: ResultSet, attr: str,
-                       subjects: set, new_column: str,
-                       replace: bool) -> CombineOutcome:
+    def _tempdb_flags(self, base: ResultSet, attr: str,
+                      subjects: set, new_column: str,
+                      replace: bool) -> CombineOutcome:
         attr_index = find_attr_index(base.columns, attr)
-        if self.strategy == "direct":
-            keys = {_normalize(subject) for subject in subjects
-                    if subject is not None}
-            rows = []
-            for row in base.rows:
-                value = row[attr_index]
-                flag = value is not None and _normalize(value) in keys
-                if replace:
-                    rows.append(row[:attr_index] + (flag,)
-                                + row[attr_index + 1:])
-                else:
-                    rows.append(row + (flag,))
-            columns = self._output_columns(base, attr_index, new_column,
-                                           replace)
-            return CombineOutcome(ResultSet(columns, rows), None)
-
         tempdb = TemporarySupportDatabase()
         try:
             t_base = tempdb.store_result(base.columns, base.rows)
             t_flag = tempdb.store_values(sorted(
                 (s for s in subjects if s is not None),
                 key=lambda v: str(v)), hint="flags")
-            columns = self._output_columns(base, attr_index, new_column,
-                                           replace)
+            columns = output_columns(base.columns, attr_index,
+                                     new_column, replace)
             flag_expr = sql_ast.IsNull(
                 sql_ast.ColumnRef("c0", "m"), negated=True)
             items = []

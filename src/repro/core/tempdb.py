@@ -59,14 +59,19 @@ class TempTable:
 
 def materialize(db: Database, name_hint: str, display_columns: Sequence[str],
                 rows: Sequence[tuple]) -> TempTable:
-    """Create a temp table in *db* holding *rows*; returns its handle."""
+    """Create a temp table in *db* holding *rows*; returns its handle.
+
+    Injected via ``create_temp_table`` — a lock-free namespace
+    operation — so enriched reads never contend on (or deadlock
+    against) the databank's writer lock.
+    """
     name = f"__sesql_{name_hint}_{next(_counter)}"
     internal = [f"c{i}" for i in range(len(display_columns))]
     columns = []
     for index, internal_name in enumerate(internal):
         values = (row[index] for row in rows)
         columns.append(Column(internal_name, infer_column_type(values)))
-    table = db.create_table(name, columns)
+    table = db.create_temp_table(name, columns)
     for row in rows:
         table.insert_tuple(_coerce_row(row))
     return TempTable(name, list(display_columns), internal)

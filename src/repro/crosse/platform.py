@@ -9,6 +9,7 @@ accepted statements), and automatically feeds her activity profile.
 
 from __future__ import annotations
 
+import threading
 import weakref
 
 from ..api.options import QueryOptions
@@ -46,8 +47,13 @@ class CrossePlatform:
         #: Every live session handed out (shared + custom-options ones),
         #: so KB/registry invalidation reaches all cached user engines.
         #: Weak references: an abandoned custom-options session is
-        #: garbage-collected instead of accumulating forever.
+        #: garbage-collected instead of accumulating forever.  Guarded
+        #: by ``_sessions_lock``: a pool thread building a slot
+        #: (``connect`` appends) races the invalidation rebuild
+        #: otherwise, and a lost weakref means a session that never
+        #: sees KB invalidations again.
         self._sessions: list[weakref.ref[PlatformSession]] = []
+        self._sessions_lock = threading.Lock()
 
     # -- users ---------------------------------------------------------------
 
@@ -98,27 +104,29 @@ class CrossePlatform:
         (acceptance, annotation) and stored-query registration
         invalidate the affected entries in every session handed out.
         """
-        if options is None:
-            if self._session is None or self._session.closed:
-                self._session = PlatformSession(self)
-                self._sessions.append(weakref.ref(self._session))
-            return self._session
-        session = PlatformSession(self, options)
-        self._sessions.append(weakref.ref(session))
-        return session
+        with self._sessions_lock:
+            if options is None:
+                if self._session is None or self._session.closed:
+                    self._session = PlatformSession(self)
+                    self._sessions.append(weakref.ref(self._session))
+                return self._session
+            session = PlatformSession(self, options)
+            self._sessions.append(weakref.ref(session))
+            return session
 
     def session_for(self, username: str) -> Session:
         """Shorthand for ``connect().as_user(username)``."""
         return self.connect().as_user(username)
 
     def _invalidate_sessions(self, username: str | None = None) -> None:
-        alive: list[weakref.ref[PlatformSession]] = []
-        for ref in self._sessions:
-            session = ref()
-            if session is not None and not session.closed:
-                session.invalidate(username)
-                alive.append(ref)
-        self._sessions = alive
+        with self._sessions_lock:
+            alive: list[weakref.ref[PlatformSession]] = []
+            for ref in self._sessions:
+                session = ref()
+                if session is not None and not session.closed:
+                    session.invalidate(username)
+                    alive.append(ref)
+            self._sessions = alive
 
     def run_sesql(self, username: str, sesql: str,
                   include_original: bool = False,

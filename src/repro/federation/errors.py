@@ -16,4 +16,16 @@ class MediationError(FederationError):
 
 
 class RestError(FederationError):
-    """Routing/handler failures in the REST integration layer."""
+    """Routing/handler failures in the REST integration layer.
+
+    Carries the HTTP-shaped metadata the router maps into a structured
+    error envelope (``{"error": {"code", "message", "detail"}}``)
+    instead of letting the exception escape the transport boundary.
+    """
+
+    def __init__(self, message: str, status: int = 400,
+                 code: str = "bad_request", detail=None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.detail = detail

@@ -319,6 +319,57 @@ class MediatorSession:
         """
         report = MediationReport()
         started = time.perf_counter()
+        statement, partial = self._ship_views(sql, views, pushdown, report)
+        try:
+            if statement is not None:
+                outcome = self._scratch.execute_ast(statement)
+                if not isinstance(outcome, ResultSet):
+                    raise ExecutionError("statement did not produce rows")
+                result = outcome
+            else:
+                result = self._scratch.query(sql)
+        finally:
+            self._drop_partials(partial)
+        report.elapsed_s = time.perf_counter() - started
+        return result, report
+
+    def stream(self, sql: str, views: list[str] | None = None):
+        """Run *sql* on the global schema, streaming the final result.
+
+        Fragment shipping feeds the stream incrementally: each
+        referenced view is materialized (cheapest first) exactly as in
+        :meth:`execute`, but the scratch-database execution is a lazy
+        cursor — the first row is available as soon as the last view
+        lands, and ``LIMIT k`` global queries stop after *k* rows
+        instead of materializing the reconciled result.
+
+        Unlike :meth:`execute`, streams ship views *unfiltered*: a
+        pushed-down filter would leave a partial materialization alive
+        under the view's name for the cursor's whole lifetime, where
+        any interleaved query on the session would collide with (or
+        read) it.  Full materializations are cached instead, so
+        follow-up queries get local hits.  Returns
+        ``(cursor, report)``.
+        """
+        report = MediationReport()
+        started = time.perf_counter()
+        statement, partial = self._ship_views(sql, views, False, report)
+        assert not partial  # pushdown disabled: nothing partial
+        if statement is not None:
+            cursor = self._scratch.stream_ast(statement)
+        else:
+            cursor = self._scratch.stream(sql)
+        report.elapsed_s = time.perf_counter() - started
+        return cursor, report
+
+    def _ship_views(self, sql: str, views: list[str] | None,
+                    pushdown: bool, report: MediationReport):
+        """Prune, cost-rank and materialize the views *sql* needs.
+
+        Returns ``(statement, partial)`` — the parsed statement (or
+        ``None`` when unparseable) and the names of filtered, partial
+        materializations the caller must drop when done.
+        """
         statement = Mediator._try_parse(sql)
         if views is not None:
             wanted = views
@@ -366,19 +417,14 @@ class MediatorSession:
                 else:
                     self._view_rows[view.name] = len(rows)
                 report.view_rows[view.name] = len(rows)
-            if statement is not None:
-                outcome = self._scratch.execute_ast(statement)
-                if not isinstance(outcome, ResultSet):
-                    raise ExecutionError("statement did not produce rows")
-                result = outcome
-            else:
-                result = self._scratch.query(sql)
-        finally:
-            for view_name in partial:
-                self._scratch.catalog.drop_table(view_name,
-                                                 if_exists=True)
-        report.elapsed_s = time.perf_counter() - started
-        return result, report
+        except BaseException:
+            self._drop_partials(partial)
+            raise
+        return statement, partial
+
+    def _drop_partials(self, partial: list[str]) -> None:
+        for view_name in partial:
+            self._scratch.drop_table(view_name, if_exists=True)
 
     def query(self, sql: str) -> ResultSet:
         """Execute and return just the rows."""
@@ -389,8 +435,7 @@ class MediatorSession:
         doomed = list(self._view_rows) if views is None else views
         for view_name in doomed:
             if self._view_rows.pop(view_name, None) is not None:
-                self._scratch.catalog.drop_table(view_name,
-                                                 if_exists=True)
+                self._scratch.drop_table(view_name, if_exists=True)
 
     def explain(self, sql: str, pushdown: bool = True) -> "QueryPlan":
         """The mediation plan — pruned views, cost-ranked per-source

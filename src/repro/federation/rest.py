@@ -2,24 +2,53 @@
 between the two platforms is managed by means of RESTful APIs").
 
 :class:`RestRouter` is a tiny request router (method + ``/path/{param}``
-patterns, JSON bodies in/out); :class:`CrosseRestService` mounts the
-platform's operations on it so the Main Platform <-> Semantic Platform
-interaction runs through the same API surface the deployed system uses,
-without sockets.
+patterns, query strings, JSON bodies in/out); :class:`CrosseRestService`
+mounts the platform's operations on it so the Main Platform <->
+Semantic Platform interaction runs through the same API surface the
+deployed system uses, without sockets.
+
+Two route generations are mounted:
+
+* the historical ``/api/*`` routes (same paths and success payloads;
+  error responses now use the structured envelope below, router-wide);
+* the versioned ``/api/v1`` surface: cursor-token pagination on every
+  list/query endpoint (``limit`` + opaque ``next_token``), query
+  execution streamed through a capacity-bounded
+  :class:`~repro.api.SessionPool`, a ``POST /api/v1/batch`` endpoint
+  that runs independent requests concurrently through the pool, and a
+  structured error envelope ``{"error": {"code", "message", "detail"}}``
+  on every failure (including ``405`` with an ``allow`` list when the
+  path exists but the method does not).
 """
 
 from __future__ import annotations
 
 import json
 import re
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable
+from urllib.parse import parse_qs
 
+from ..api.cursor import (CursorTokenError, paginate_cursor,
+                          paginate_sequence, request_signature,
+                          token_offset)
+from ..api.errors import PoolTimeoutError
+from ..api.pool import SessionPool
 from ..crosse.platform import CrossePlatform
 from ..rdf.namespace import SMG
 from .errors import RestError
 
-Handler = Callable[[dict, dict], Any]  # (path_params, body) -> payload
+Handler = Callable[[dict, dict], Any]  # (params, body) -> payload
+
+#: Pagination guard rails for the v1 list/query endpoints.
+DEFAULT_PAGE_LIMIT = 100
+MAX_PAGE_LIMIT = 1000
+
+
+def error_payload(code: str, message: str, detail: Any = None) -> dict:
+    """The structured error envelope of the v1 surface."""
+    return {"error": {"code": code, "message": message, "detail": detail}}
 
 
 @dataclass
@@ -32,43 +61,91 @@ class Response:
 
 
 class RestRouter:
-    """Method + path-template dispatch."""
+    """Method + path-template dispatch (with query-string support)."""
 
     def __init__(self) -> None:
-        self._routes: list[tuple[str, re.Pattern, Handler]] = []
+        self._routes: list[tuple[str, str, re.Pattern, Handler]] = []
 
     def register(self, method: str, template: str,
                  handler: Handler) -> None:
         pattern = re.compile(
             "^" + re.sub(r"\{(\w+)\}", r"(?P<\1>[^/]+)", template) + "$")
-        self._routes.append((method.upper(), pattern, handler))
+        self._routes.append((method.upper(), template, pattern, handler))
+
+    def routes(self) -> list[tuple[str, str]]:
+        """The route table: (method, template) pairs as registered."""
+        return [(method, template)
+                for method, template, _pattern, _handler in self._routes]
 
     def handle(self, method: str, path: str,
                body: dict | None = None) -> Response:
-        for route_method, pattern, handler in self._routes:
-            if route_method != method.upper():
-                continue
+        path, _, query_string = path.partition("?")
+        query = {key: values[-1]
+                 for key, values in parse_qs(query_string).items()}
+        allowed: set[str] = set()
+        for route_method, _template, pattern, handler in self._routes:
             match = pattern.match(path)
             if match is None:
                 continue
+            if route_method != method.upper():
+                # The path exists; remember which methods it supports.
+                allowed.add(route_method)
+                continue
+            params = {**query, **match.groupdict()}
             try:
-                payload = handler(match.groupdict(), body or {})
-            except RestError:
-                raise
+                payload = handler(params, body or {})
+            except RestError as exc:
+                return Response(exc.status, error_payload(
+                    exc.code, str(exc), exc.detail))
+            except CursorTokenError as exc:
+                return Response(400, error_payload(
+                    "invalid_cursor", str(exc)))
+            except PoolTimeoutError as exc:
+                return Response(503, error_payload(
+                    "pool_exhausted", str(exc)))
             except KeyError as exc:
-                return Response(400, {"error": f"missing field {exc}"})
+                return Response(400, error_payload(
+                    "missing_field", f"missing field {exc}"))
             except Exception as exc:
-                return Response(422, {"error": str(exc)})
+                return Response(422, error_payload(
+                    "unprocessable", str(exc)))
             return Response(200, payload)
-        return Response(404, {"error": f"no route for "
-                                       f"{method.upper()} {path}"})
+        if allowed:
+            allow = sorted(allowed)
+            payload = error_payload(
+                "method_not_allowed",
+                f"{method.upper()} not allowed for {path}",
+                {"allow": allow})
+            payload["allow"] = allow
+            return Response(405, payload)
+        return Response(404, error_payload(
+            "not_found", f"no route for {method.upper()} {path}"))
+
+
+def _page_args(params: dict, body: dict) -> tuple[int, str | None]:
+    """Validated ``limit`` / ``next_token`` from query string or body."""
+    raw_limit = params.get("limit", body.get("limit", DEFAULT_PAGE_LIMIT))
+    try:
+        limit = int(raw_limit)
+    except (TypeError, ValueError):
+        raise RestError(f"limit must be an integer, got {raw_limit!r}",
+                        code="invalid_limit") from None
+    if limit < 1 or limit > MAX_PAGE_LIMIT:
+        raise RestError(
+            f"limit must be between 1 and {MAX_PAGE_LIMIT}, got {limit}",
+            code="invalid_limit")
+    token = params.get("next_token") or body.get("next_token") or None
+    return limit, token
 
 
 class CrosseRestService:
     """The platform's REST facade used by the integration layer."""
 
-    def __init__(self, platform: CrossePlatform) -> None:
+    def __init__(self, platform: CrossePlatform,
+                 pool_capacity: int = 8) -> None:
         self.platform = platform
+        #: Query execution checks per-user sessions out of this pool.
+        self.pool = SessionPool(platform, capacity=pool_capacity)
         self.router = RestRouter()
         self._mount()
 
@@ -78,10 +155,14 @@ class CrosseRestService:
                 body: dict | None = None) -> Response:
         return self.router.handle(method, path, body)
 
+    def close(self) -> None:
+        self.pool.close()
+
     # -- routes -----------------------------------------------------------------
 
     def _mount(self) -> None:
         register = self.router.register
+        # Historical (unversioned) surface — paths/payloads unchanged.
         register("POST", "/api/users", self._create_user)
         register("GET", "/api/users", self._list_users)
         register("POST", "/api/annotations", self._create_annotation)
@@ -94,6 +175,24 @@ class CrosseRestService:
                  self._peer_recommendations)
         register("GET", "/api/recommendations/resources/{username}",
                  self._resource_recommendations)
+        # Versioned v1 surface: paginated lists, pooled streaming
+        # queries, batch.
+        register("POST", "/api/v1/users", self._create_user)
+        register("GET", "/api/v1/users", self._list_users_v1)
+        register("POST", "/api/v1/annotations", self._create_annotation)
+        register("GET", "/api/v1/annotations/{username}",
+                 self._list_annotations_v1)
+        register("POST", "/api/v1/statements/{statement_id}/accept",
+                 self._accept_statement)
+        register("POST", "/api/v1/query", self._query_v1)
+        register("GET", "/api/v1/recommendations/peers/{username}",
+                 self._peer_recommendations_v1)
+        register("GET", "/api/v1/recommendations/resources/{username}",
+                 self._resource_recommendations_v1)
+        register("POST", "/api/v1/batch", self._batch_v1)
+        register("GET", "/api/v1/routes", self._list_routes)
+
+    # -- shared handlers ---------------------------------------------------------
 
     def _create_user(self, _params: dict, body: dict) -> dict:
         user = self.platform.register_user(
@@ -121,16 +220,19 @@ class CrosseRestService:
         return {"statement_id": record.statement_id,
                 "author": record.author}
 
-    def _list_annotations(self, params: dict, _body: dict) -> dict:
-        records = self.platform.explore_annotations(params["username"])
-        return {"annotations": [
+    def _annotation_dicts(self, username: str) -> list[dict]:
+        records = self.platform.explore_annotations(username)
+        return [
             {"statement_id": record.statement_id,
              "author": record.author,
              "subject": str(record.triple.subject),
              "property": str(record.triple.predicate),
              "object": str(record.triple.object),
              "accepted_by": sorted(record.accepted_by)}
-            for record in records]}
+            for record in records]
+
+    def _list_annotations(self, params: dict, _body: dict) -> dict:
+        return {"annotations": self._annotation_dicts(params["username"])}
 
     def _accept_statement(self, params: dict, body: dict) -> dict:
         record = self.platform.accept_statement(
@@ -156,3 +258,121 @@ class CrosseRestService:
         resources = self.platform.recommend_resources(params["username"])
         return {"resources": [{"resource": name, "score": score}
                               for name, score in resources]}
+
+    # -- v1: paginated listings ---------------------------------------------------
+
+    def _paginated(self, items: list, key: str, params: dict,
+                   body: dict, *signature_parts: Any) -> dict:
+        limit, token = _page_args(params, body)
+        signature = request_signature(key, *signature_parts)
+        page = paginate_sequence(items, limit, token, signature)
+        return {key: page.items, "next_token": page.next_token,
+                "limit": limit}
+
+    def _list_users_v1(self, params: dict, body: dict) -> dict:
+        return self._paginated(self.platform.users.usernames(),
+                               "users", params, body)
+
+    def _list_annotations_v1(self, params: dict, body: dict) -> dict:
+        username = params["username"]
+        return self._paginated(self._annotation_dicts(username),
+                               "annotations", params, body, username)
+
+    def _peer_recommendations_v1(self, params: dict, body: dict) -> dict:
+        # count=None: the full ranking — pagination, not the
+        # recommender, bounds what one response carries.
+        username = params["username"]
+        peers = [{"username": name, "similarity": score}
+                 for name, score in self.platform.recommend_peers(
+                     username, count=None)]
+        return self._paginated(peers, "peers", params, body, username)
+
+    def _resource_recommendations_v1(self, params: dict,
+                                     body: dict) -> dict:
+        username = params["username"]
+        resources = [{"resource": name, "score": score}
+                     for name, score in self.platform.recommend_resources(
+                         username, count=None)]
+        return self._paginated(resources, "resources", params, body,
+                               username)
+
+    def _list_routes(self, _params: dict, _body: dict) -> dict:
+        return {"routes": [{"method": method, "path": template}
+                           for method, template in self.router.routes()]}
+
+    # -- v1: pooled streaming query ------------------------------------------------
+
+    def _query_v1(self, params: dict, body: dict) -> dict:
+        username = body["username"]
+        text = body["query"]
+        query_params = body.get("params")
+        limit, token = _page_args(params, body)
+        signature = request_signature("query", username, text,
+                                      query_params)
+        # Reject a bad token before checking out a session and running
+        # the pipeline: a forged continuation must cost nothing.
+        token_offset(token, signature)
+        with self.pool.checkout(username) as session:
+            cursor = session.stream(text, query_params)
+            columns = list(cursor.columns)
+            page = paginate_cursor(cursor, limit, token, signature)
+        return {
+            "columns": columns,
+            "rows": [list(row) for row in page.items],
+            "next_token": page.next_token,
+            "limit": limit,
+        }
+
+    # -- v1: batch ------------------------------------------------------------------
+
+    def _batch_v1(self, _params: dict, body: dict) -> dict:
+        requests = body["requests"]
+        if not isinstance(requests, list):
+            raise RestError("requests must be a list",
+                            code="invalid_batch")
+        for entry in requests:
+            if not isinstance(entry, dict) or "path" not in entry:
+                raise RestError(
+                    "each batch entry needs at least a path",
+                    code="invalid_batch", detail=entry)
+            if entry["path"].partition("?")[0] == "/api/v1/batch":
+                raise RestError("batch requests cannot nest",
+                                code="invalid_batch")
+        if not requests:
+            return {"responses": []}
+
+        def dispatch(entry: dict) -> Response:
+            return self.request(entry.get("method", "GET"),
+                                entry["path"], entry.get("body"))
+
+        def is_read_only(entry: dict) -> bool:
+            method = entry.get("method", "GET").upper()
+            path = entry["path"].partition("?")[0]
+            return method == "GET" or path in ("/api/v1/query",
+                                               "/api/sesql")
+
+        # Wave execution: consecutive read/query sub-requests run
+        # concurrently (contending on the session pool and the
+        # databank's reader-writer lock like independent top-level
+        # requests); a platform-mutating one (users, annotations,
+        # acceptance) is an in-order barrier — platform registries are
+        # not synchronized for concurrent writers, and a query after a
+        # mutation in the same batch must observe it.
+        responses: list[Response] = []
+        index = 0
+        while index < len(requests):
+            if not is_read_only(requests[index]):
+                responses.append(dispatch(requests[index]))
+                index += 1
+                continue
+            wave = [requests[index]]
+            while index + len(wave) < len(requests) \
+                    and is_read_only(requests[index + len(wave)]):
+                wave.append(requests[index + len(wave)])
+            workers = min(len(wave), self.pool.capacity)
+            with ThreadPoolExecutor(max_workers=workers) as executor:
+                responses.extend(executor.map(dispatch, wave))
+            index += len(wave)
+        return {"responses": [
+            {"status": response.status, "body": response.payload}
+            for response in responses]}

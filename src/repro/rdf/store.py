@@ -11,6 +11,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Iterable, Iterator, NamedTuple
 
+from ..rwlock import RWLock
 from .errors import RdfError
 from .terms import IRI, Term, is_term, term_from_python
 
@@ -48,13 +49,21 @@ def _as_triple(subject: Any, predicate: Any, obj: Any) -> Triple:
 
 
 class TripleStore:
-    """A set of triples with hash indexes on each access pattern."""
+    """A set of triples with hash indexes on each access pattern.
+
+    Thread safety: a reader-writer lock lets any number of threads
+    match patterns concurrently while mutators (``add`` / ``remove`` /
+    ``clear`` — the annotation-accept path of the platform) get
+    exclusive access and bump the generation stamp.  A ``triples()``
+    generator holds the read side until exhausted or dropped.
+    """
 
     def __init__(self, indexing: str = "full") -> None:
         if indexing not in _INDEXING_MODES:
             raise RdfError(f"unknown indexing mode {indexing!r}")
         self.indexing = indexing
         self.generation = next(_GENERATIONS)
+        self.rwlock = RWLock()
         self._spo: dict[Term, dict[IRI, set[Term]]] = {}
         self._pos: dict[IRI, dict[Term, set[Term]]] = {}
         self._osp: dict[Term, dict[Term, set[IRI]]] = {}
@@ -73,23 +82,25 @@ class TripleStore:
         else:
             triple = _as_triple(subject, predicate, obj)
         s, p, o = triple
-        objects = self._spo.setdefault(s, {}).setdefault(p, set())
-        if o in objects:
-            return False
-        objects.add(o)
-        if self.indexing == "full":
-            self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
-            self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
-        self._size += 1
-        self.generation = next(_GENERATIONS)
-        return True
+        with self.rwlock.write_locked():
+            objects = self._spo.setdefault(s, {}).setdefault(p, set())
+            if o in objects:
+                return False
+            objects.add(o)
+            if self.indexing == "full":
+                self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
+                self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
+            self._size += 1
+            self.generation = next(_GENERATIONS)
+            return True
 
     def add_all(self, triples: Iterable[Triple]) -> int:
-        count = 0
-        for triple in triples:
-            if self.add(triple):
-                count += 1
-        return count
+        with self.rwlock.write_locked():
+            count = 0
+            for triple in triples:
+                if self.add(triple):
+                    count += 1
+            return count
 
     def remove(self, subject: Any, predicate: Any = None,
                obj: Any = None) -> bool:
@@ -99,6 +110,10 @@ class TripleStore:
         else:
             triple = _as_triple(subject, predicate, obj)
         s, p, o = triple
+        with self.rwlock.write_locked():
+            return self._remove_locked(s, p, o)
+
+    def _remove_locked(self, s: Term, p: IRI, o: Term) -> bool:
         try:
             objects = self._spo[s][p]
             objects.remove(o)
@@ -129,17 +144,19 @@ class TripleStore:
                        predicate: TriplePatternArg = None,
                        obj: TriplePatternArg = None) -> int:
         """Remove every triple matching a pattern; returns the count."""
-        doomed = list(self.triples(subject, predicate, obj))
-        for triple in doomed:
-            self.remove(triple)
-        return len(doomed)
+        with self.rwlock.write_locked():
+            doomed = list(self.triples(subject, predicate, obj))
+            for triple in doomed:
+                self.remove(triple)
+            return len(doomed)
 
     def clear(self) -> None:
-        self._spo.clear()
-        self._pos.clear()
-        self._osp.clear()
-        self._size = 0
-        self.generation = next(_GENERATIONS)
+        with self.rwlock.write_locked():
+            self._spo.clear()
+            self._pos.clear()
+            self._osp.clear()
+            self._size = 0
+            self.generation = next(_GENERATIONS)
 
     # -- lookup ------------------------------------------------------------------
 
@@ -156,7 +173,17 @@ class TripleStore:
     def triples(self, subject: TriplePatternArg = None,
                 predicate: TriplePatternArg = None,
                 obj: TriplePatternArg = None) -> Iterator[Triple]:
-        """All triples matching the pattern (None = wildcard)."""
+        """All triples matching the pattern (None = wildcard).
+
+        The returned generator holds the store's read lock while
+        active, so writers wait until it is exhausted or dropped.
+        """
+        with self.rwlock.read_locked():
+            yield from self._match(subject, predicate, obj)
+
+    def _match(self, subject: TriplePatternArg,
+               predicate: TriplePatternArg,
+               obj: TriplePatternArg) -> Iterator[Triple]:
         s_bound = subject is not None
         p_bound = predicate is not None
         o_bound = obj is not None

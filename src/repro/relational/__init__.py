@@ -16,12 +16,13 @@ from .errors import (AmbiguousColumnError, CatalogError, ConstraintViolation,
                      UnknownColumnError)
 from .parser import parse_expr, parse_script, parse_sql
 from .render import render_expr, render_query, render_statement
-from .result import ResultSet
+from .result import Cursor, ResultSet
 from .schema import Column, TableSchema
 from .types import DataType
 
 __all__ = [
-    "Database", "column", "ResultSet", "Column", "TableSchema", "DataType",
+    "Database", "column", "ResultSet", "Cursor", "Column", "TableSchema",
+    "DataType",
     "parse_sql", "parse_script", "parse_expr",
     "render_expr", "render_query", "render_statement",
     "RelationalError", "SqlSyntaxError", "CatalogError", "SchemaError",

@@ -49,10 +49,14 @@ class Catalog:
             raise CatalogError(f"table {name!r} does not exist") from None
 
     def table_names(self) -> list[str]:
-        return [table.name for table in self._tables.values()]
+        # list() first: a single atomic snapshot, safe against the
+        # lock-free temp-table injection of the SESQL WHERE rewrite
+        # (a plain comprehension over .values() could observe a resize
+        # mid-iteration).
+        return [table.name for table in list(self._tables.values())]
 
     def find_index(self, index_name: str) -> tuple[Table, str] | None:
-        for table in self._tables.values():
+        for table in list(self._tables.values()):
             if index_name in table.indexes:
                 return table, index_name
         return None

@@ -14,22 +14,33 @@ feed on, and ``explain()`` exposes the operator tree with estimated
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+import threading
+from typing import Any, Iterable, Iterator
 
+from ..rwlock import RWLock
 from . import ast
 from .catalog import Catalog
 from .compiler import CompileContext, compile_expr
 from .errors import ExecutionError, RelationalError, SchemaError
 from .executor import _make_context, compile_query
 from .parser import parse_script, parse_sql
-from .result import ResultSet
+from .result import Cursor, ResultSet
 from .schema import Column, TableSchema
 from .table import Table
 from .types import DataType, parse_type_name
 
 
 class Database:
-    """An in-memory relational database with a SQL front end."""
+    """An in-memory relational database with a SQL front end.
+
+    Thread safety: a reader-writer lock serializes mutations (DML, DDL,
+    ``ANALYZE``) against statement execution, so any number of threads
+    may SELECT — materialized or streaming — concurrently while writers
+    get exclusive access.  A streaming cursor holds the read side until
+    it is exhausted or closed; a thread must therefore close its open
+    cursors before mutating the same database (the lock refuses the
+    upgrade instead of deadlocking).
+    """
 
     def __init__(self, name: str = "main", planner=None) -> None:
         from ..planner import PlannerOptions, StatisticsCatalog
@@ -39,9 +50,23 @@ class Database:
         self.planner: "PlannerOptions" = planner or PlannerOptions()
         #: ANALYZE-collected statistics, maintained incrementally on DML.
         self.stats = StatisticsCatalog()
-        #: The plan of the most recent top-level SELECT (observability:
-        #: the SESQL engine and ``explain`` surface it).
-        self.last_plan = None
+        #: Thread-local storage backing :attr:`last_plan`.
+        self._plans = threading.local()
+        #: Readers (SELECT / cursors) share; writers (DML/DDL/ANALYZE)
+        #: are exclusive.
+        self.rwlock = RWLock()
+
+    @property
+    def last_plan(self):
+        """The plan of the most recent top-level SELECT *on this
+        thread* (observability: the SESQL engine and ``explain``
+        surface it).  Thread-local so concurrent readers don't report
+        each other's plans."""
+        return getattr(self._plans, "last_plan", None)
+
+    @last_plan.setter
+    def last_plan(self, value) -> None:
+        self._plans.last_plan = value
 
     # -- SQL entry points ---------------------------------------------------
 
@@ -66,7 +91,12 @@ class Database:
 
     def execute_ast(self, stmt: ast.Statement) -> ResultSet | int | None:
         if isinstance(stmt, ast.SelectQuery):
-            return self._run_select(stmt)
+            with self.rwlock.read_locked():
+                return self._run_select(stmt)
+        with self.rwlock.write_locked():
+            return self._run_mutation(stmt)
+
+    def _run_mutation(self, stmt: ast.Statement) -> int | None:
         if isinstance(stmt, ast.InsertStmt):
             return self._run_insert(stmt)
         if isinstance(stmt, ast.UpdateStmt):
@@ -91,7 +121,7 @@ class Database:
 
     # -- SELECT ----------------------------------------------------------------
 
-    def _run_select(self, query: ast.SelectQuery) -> ResultSet:
+    def _plan_and_compile(self, query: ast.SelectQuery):
         planned = None
         self.last_plan = None  # never report a stale plan for this query
         if self.planner.enabled:
@@ -103,11 +133,61 @@ class Database:
                                       self.planner)
                 self.last_plan = planned
                 query = planned.query
-        plan = compile_query(query, self.catalog, planned=planned)
+        return compile_query(query, self.catalog, planned=planned), planned
+
+    def _run_select(self, query: ast.SelectQuery) -> ResultSet:
+        plan, planned = self._plan_and_compile(query)
         rows = plan.run(())
         if planned is not None:
             planned.root.actual_rows = len(rows)
         return ResultSet(plan.schema.names(), rows)
+
+    # -- streaming SELECT --------------------------------------------------------
+
+    def stream(self, sql: str) -> Cursor:
+        """Execute a SELECT lazily, returning a :class:`Cursor`.
+
+        Rows are produced as the cursor is consumed, so ``LIMIT k``
+        stops after *k* rows instead of materializing the full input.
+        The cursor holds this database's read lock until it is
+        exhausted or closed — close it (or use ``with``) before running
+        DML from the same thread.
+        """
+        stmt = parse_sql(sql)
+        if not isinstance(stmt, ast.SelectQuery):
+            raise ExecutionError("stream() requires a SELECT statement")
+        return self.stream_ast(stmt)
+
+    def stream_ast(self, query: ast.SelectQuery) -> Cursor:
+        """Streaming execution of an already-parsed SELECT."""
+        # The read hold is taken HERE, not on first fetch: the cursor's
+        # documented guarantee is writer exclusion from creation to
+        # close, with no gap in which a DELETE could slip between
+        # open and first row.  The hold transfers to the generator and
+        # is released (idempotently) on exhaustion, close() or GC.
+        hold = self.rwlock.read_hold()
+        try:
+            # Plan/compile eagerly so schema errors surface here, not
+            # on the first fetch.
+            plan, planned = self._plan_and_compile(query)
+        except BaseException:
+            hold.release()
+            raise
+
+        def rows() -> Iterator[tuple]:
+            produced = 0
+            try:
+                for row in plan.stream(()):
+                    produced += 1
+                    yield row
+            finally:
+                hold.release()
+                # Record on early termination (LIMIT, close()) too:
+                # the count of rows actually produced.
+                if planned is not None:
+                    planned.root.actual_rows = produced
+
+        return Cursor(plan.schema.names(), rows(), on_close=hold.release)
 
     # -- planner surface --------------------------------------------------------
 
@@ -117,11 +197,27 @@ class Database:
         Foreign tables are scanned too — an explicit ANALYZE is exactly
         the moment a remote round-trip is acceptable.
         """
+        from .errors import CatalogError
         buckets = self.planner.histogram_buckets
-        names = ([table_name] if table_name is not None
-                 else self.catalog.table_names())
-        return [self.stats.analyze(self.catalog.table(name), buckets)
-                for name in names]
+        with self.rwlock.write_locked():
+            if table_name is not None:
+                names = [table_name]
+            else:
+                # Skip SESQL temp tables: they are per-call scratch
+                # injected/dropped without the write lock, so they may
+                # vanish mid-loop and their stats would leak.
+                names = [name for name in self.catalog.table_names()
+                         if not name.startswith("__sesql_")]
+            collected = []
+            for name in names:
+                try:
+                    table = self.catalog.table(name)
+                except CatalogError:
+                    if table_name is not None:
+                        raise
+                    continue  # concurrently dropped temp/scratch table
+                collected.append(self.stats.analyze(table, buckets))
+            return collected
 
     def explain(self, target: "str | ast.SelectQuery",
                 analyze: bool = False):
@@ -141,12 +237,13 @@ class Database:
             options = options.replace(
                 fold_constants=False, predicate_pushdown=False,
                 prune_projections=False, reorder_joins=False)
-        planned = plan_select(stmt, self.catalog, self.stats, options)
-        planned.instrument = analyze
-        if analyze:
-            plan = compile_query(planned.query, self.catalog,
-                                 planned=planned)
-            planned.root.actual_rows = len(plan.run(()))
+        with self.rwlock.read_locked():
+            planned = plan_select(stmt, self.catalog, self.stats, options)
+            planned.instrument = analyze
+            if analyze:
+                plan = compile_query(planned.query, self.catalog,
+                                     planned=planned)
+                planned.root.actual_rows = len(plan.run(()))
         return planned
 
     # -- DML ----------------------------------------------------------------------
@@ -285,24 +382,50 @@ class Database:
     def create_table(self, name: str, columns: list[Column],
                      if_not_exists: bool = False) -> Table | None:
         """Programmatic CREATE TABLE."""
-        return self.catalog.create_table(
-            TableSchema(name, columns), if_not_exists)
+        with self.rwlock.write_locked():
+            return self.catalog.create_table(
+                TableSchema(name, columns), if_not_exists)
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        """Programmatic DROP TABLE (write-locked, stats forgotten)."""
+        with self.rwlock.write_locked():
+            self.catalog.drop_table(name, if_exists)
+            self.stats.forget(name)
+
+    def create_temp_table(self, name: str,
+                          columns: list[Column]) -> Table:
+        """Inject a caller-private temp table *without* the write lock.
+
+        Used by the SESQL WHERE rewrite (and tempdb combine): the name
+        is unique per call and no other session ever references it, so
+        this is a namespace operation, not a data mutation — taking the
+        write lock here would serialize enriched *reads* behind every
+        open cursor (and deadlock a session that already holds the read
+        side).  Single dict insert: atomic under the GIL.
+        """
+        return self.catalog.create_table(TableSchema(name, columns), False)
+
+    def drop_temp_table(self, name: str) -> None:
+        """Drop a :meth:`create_temp_table` table (no write lock)."""
+        self.catalog.drop_table(name, if_exists=True)
+        self.stats.forget(name)  # in case an explicit ANALYZE hit it
 
     def insert_rows(self, table_name: str,
                     rows: Iterable[dict[str, Any]]) -> int:
         """Bulk-insert dictionaries (used by data generators)."""
-        table = self.catalog.table(table_name)
-        track = self.stats.get(table.name) is not None
-        inserted: list[tuple] = []
-        count = 0
-        for row in rows:
-            row_id = table.insert_row(row)
-            if track:
-                inserted.append(table.row(row_id))
-            count += 1
-        if inserted:
-            self.stats.note_inserted(table.name, inserted, table.schema)
-        return count
+        with self.rwlock.write_locked():
+            table = self.catalog.table(table_name)
+            track = self.stats.get(table.name) is not None
+            inserted: list[tuple] = []
+            count = 0
+            for row in rows:
+                row_id = table.insert_row(row)
+                if track:
+                    inserted.append(table.row(row_id))
+                count += 1
+            if inserted:
+                self.stats.note_inserted(table.name, inserted, table.schema)
+            return count
 
     def table(self, name: str) -> Table:
         return self.catalog.table(name)

@@ -13,6 +13,7 @@ paper's semantics while still scaling to the benchmark sizes.
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Callable, Iterable, Iterator
 
 from . import ast
@@ -42,15 +43,24 @@ def _norm_tuple(values: Iterable[Any]) -> tuple:
 
 
 class QueryPlan:
-    """A compiled query: output schema plus a run function."""
+    """A compiled query: output schema plus a lazy row stream.
+
+    ``stream()`` produces rows on demand — operators above it (LIMIT in
+    particular) pull only what they need, so ``LIMIT k`` terminates
+    after *k* rows.  ``run()`` is the materializing wrapper every
+    pre-streaming call site still uses.
+    """
 
     def __init__(self, schema: RowSchema,
-                 run: Callable[[Rows], list[tuple]]) -> None:
+                 stream: Callable[[Rows], Iterator[tuple]]) -> None:
         self.schema = schema
-        self._run = run
+        self._stream = stream
+
+    def stream(self, outer_rows: Rows = ()) -> Iterator[tuple]:
+        return self._stream(outer_rows)
 
     def run(self, outer_rows: Rows = ()) -> list[tuple]:
-        return self._run(outer_rows)
+        return list(self._stream(outer_rows))
 
 
 class SubPlan:
@@ -159,7 +169,11 @@ def compile_table_expr(table_expr: ast.TableExpr, catalog: Catalog,
         schema = RowSchema.for_table(table.schema, table_expr.binding)
 
         def scan(outer_rows: Rows) -> Iterator[tuple]:
-            return iter(list(table.rows()))
+            # Lazy: no snapshot copy.  Safe because SELECTs run under
+            # the database's read lock (writers excluded) and DML
+            # inner SELECTs (INSERT ... SELECT) materialize via run()
+            # before mutating.
+            return iter(table.rows())
         return _maybe_instrument(FromPlan(schema, scan), table_expr, ctx)
 
     if isinstance(table_expr, ast.SubqueryRef):
@@ -170,7 +184,7 @@ def compile_table_expr(table_expr: ast.TableExpr, catalog: Catalog,
         ])
 
         def scan_subquery(outer_rows: Rows) -> Iterator[tuple]:
-            return iter(plan.run(outer_rows))
+            return plan.stream(outer_rows)
         return _maybe_instrument(FromPlan(schema, scan_subquery),
                                  table_expr, ctx)
 
@@ -670,9 +684,18 @@ def _compile_plain_core(core: ast.SelectCore,
                 order_fns.append((compile_expr(expr, scopes, ctx),
                                   item.descending))
 
-    def run(outer_rows: Rows) -> list[tuple]:
+    def stream(outer_rows: Rows) -> Iterator[tuple]:
         if core.distinct:
             seen: set[tuple] = set()
+            if not order_fns:
+                # Fully streaming dedup: yield each new output as found.
+                for row in input_rows(outer_rows):
+                    output = project(outer_rows, row)
+                    key = _norm_tuple(output)
+                    if key not in seen:
+                        seen.add(key)
+                        yield output
+                return
             results: list[tuple] = []
             for row in input_rows(outer_rows):
                 output = project(outer_rows, row)
@@ -680,21 +703,25 @@ def _compile_plain_core(core: ast.SelectCore,
                 if key not in seen:
                     seen.add(key)
                     results.append(output)
-            if order_fns:
-                results.sort(key=lambda output: tuple(
-                    sort_key(fn((output,)), descending)
-                    for fn, descending in order_fns))
-            return results
+            results.sort(key=lambda output: tuple(
+                sort_key(fn((output,)), descending)
+                for fn, descending in order_fns))
+            yield from results
+            return
         if order_fns:
+            # ORDER BY is a pipeline breaker: sort needs every row.
             pairs = [(row, project(outer_rows, row))
                      for row in input_rows(outer_rows)]
             pairs.sort(key=lambda pair: tuple(
                 sort_key(fn(outer_rows + (pair[0],)), descending)
                 for fn, descending in order_fns))
-            return [output for _row, output in pairs]
-        return [project(outer_rows, row) for row in input_rows(outer_rows)]
+            for _row, output in pairs:
+                yield output
+            return
+        for row in input_rows(outer_rows):
+            yield project(outer_rows, row)
 
-    return QueryPlan(out_schema, run)
+    return QueryPlan(out_schema, stream)
 
 
 def _compile_aggregate_core(core: ast.SelectCore,
@@ -741,7 +768,9 @@ def _compile_aggregate_core(core: ast.SelectCore,
     out_schema = RowSchema([
         ResultColumn(item.output_name(), None) for item in core.items])
 
-    def run(outer_rows: Rows) -> list[tuple]:
+    def stream(outer_rows: Rows) -> Iterator[tuple]:
+        # Aggregation is a pipeline breaker: every input row must be
+        # seen before any group result exists.
         groups: dict[tuple, tuple[tuple, list[Any], list[set]]] = {}
         for row in input_rows(outer_rows):
             rows = outer_rows + (row,)
@@ -794,9 +823,9 @@ def _compile_aggregate_core(core: ast.SelectCore,
                     seen.add(key)
                     deduped.append(output)
             results = deduped
-        return results
+        yield from results
 
-    return QueryPlan(out_schema, run)
+    return QueryPlan(out_schema, stream)
 
 
 # ---------------------------------------------------------------------------
@@ -820,10 +849,10 @@ def compile_query(query: ast.SelectQuery, catalog: Catalog,
         core_plan = compile_core(query.core, catalog, outer_scopes, ctx,
                                  order_by=query.order_by)
 
-        def run_simple(outer_rows: Rows) -> list[tuple]:
-            rows = core_plan.run(outer_rows)
-            return _apply_limit(rows, outer_rows, limit_fn, offset_fn)
-        return QueryPlan(core_plan.schema, run_simple)
+        def stream_simple(outer_rows: Rows) -> Iterator[tuple]:
+            return _stream_limit(core_plan.stream(outer_rows), outer_rows,
+                                 limit_fn, offset_fn)
+        return QueryPlan(core_plan.schema, stream_simple)
 
     plans = [compile_core(query.core, catalog, outer_scopes, ctx)]
     for _op, core in query.compounds:
@@ -846,7 +875,13 @@ def compile_query(query: ast.SelectQuery, catalog: Catalog,
             order_fns.append((compile_expr(expr, [schema], ctx),
                               item.descending))
 
-    def run_compound(outer_rows: Rows) -> list[tuple]:
+    def merged_rows(outer_rows: Rows) -> Iterator[tuple]:
+        if not order_fns and all(op == "UNION ALL" for op in operations):
+            # Pure concatenation streams: operand k+1 is never started
+            # until operand k is exhausted (or LIMIT stops the pull).
+            for plan in plans:
+                yield from plan.stream(outer_rows)
+            return
         current = plans[0].run(outer_rows)
         for operation, plan in zip(operations, plans[1:]):
             other = plan.run(outer_rows)
@@ -887,23 +922,60 @@ def compile_query(query: ast.SelectQuery, catalog: Catalog,
             current = sorted(current, key=lambda row: tuple(
                 sort_key(fn((row,)), descending)
                 for fn, descending in order_fns))
-        return _apply_limit(current, outer_rows, limit_fn, offset_fn)
+        yield from current
 
-    return QueryPlan(schema, run_compound)
+    def stream_compound(outer_rows: Rows) -> Iterator[tuple]:
+        return _stream_limit(merged_rows(outer_rows), outer_rows,
+                             limit_fn, offset_fn)
+
+    return QueryPlan(schema, stream_compound)
+
+
+def _bound_value(fn: RowFn, outer_rows: Rows, clause: str) -> int | None:
+    """Evaluate a LIMIT/OFFSET expression and validate it.
+
+    NULL means "no bound"; anything that is not a non-negative integer
+    is a user error and raises :class:`ExecutionError` (previously a
+    negative value sliced silently and a non-integer raised a raw
+    ``TypeError``).
+    """
+    value = fn(outer_rows)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ExecutionError(
+            f"{clause} must be a non-negative integer, got {value!r}")
+    if value < 0:
+        raise ExecutionError(
+            f"{clause} must be a non-negative integer, got {value}")
+    return value
+
+
+def _stream_limit(rows: Iterator[tuple], outer_rows: Rows,
+                  limit_fn: RowFn | None,
+                  offset_fn: RowFn | None) -> Iterator[tuple]:
+    """Lazy OFFSET/LIMIT: pulls ``offset + limit`` rows then stops,
+    closing the source stream (early termination)."""
+    start = 0
+    if offset_fn is not None:
+        offset_value = _bound_value(offset_fn, outer_rows, "OFFSET")
+        if offset_value is not None:
+            start = offset_value
+    stop = None
+    if limit_fn is not None:
+        limit_value = _bound_value(limit_fn, outer_rows, "LIMIT")
+        if limit_value is not None:
+            stop = start + limit_value
+    try:
+        yield from itertools.islice(rows, start, stop)
+    finally:
+        closer = getattr(rows, "close", None)
+        if closer is not None:
+            closer()
 
 
 def _apply_limit(rows: list[tuple], outer_rows: Rows,
                  limit_fn: RowFn | None,
                  offset_fn: RowFn | None) -> list[tuple]:
-    start = 0
-    if offset_fn is not None:
-        offset_value = offset_fn(outer_rows)
-        if offset_value is not None:
-            start = max(int(offset_value), 0)
-    if limit_fn is not None:
-        limit_value = limit_fn(outer_rows)
-        if limit_value is None:
-            return rows[start:]
-        count = max(int(limit_value), 0)
-        return rows[start:start + count]
-    return rows[start:]
+    """Materialized OFFSET/LIMIT (same validation as the streaming path)."""
+    return list(_stream_limit(iter(rows), outer_rows, limit_fn, offset_fn))

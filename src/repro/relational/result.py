@@ -1,11 +1,110 @@
-"""Query results: a small, inspectable container for rows and columns."""
+"""Query results: materialized sets and streaming cursors.
+
+:class:`ResultSet` is the fully-materialized container the engine has
+always returned; :class:`Cursor` is its lazy counterpart — a DB-API
+flavoured handle (``fetchone`` / ``fetchmany`` / ``fetchall``,
+iterable, ``columns``) over a row stream that is only produced as it is
+consumed, so ``LIMIT k`` queries stop after *k* rows instead of
+materializing their full input.  A cursor can always be drained into a
+``ResultSet`` (``to_result_set`` / ``ResultSet.from_cursor``) for
+backwards compatibility.
+"""
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+import itertools
+from typing import Any, Callable, Iterable, Iterator
 
 from .errors import ExecutionError
 from .types import format_value
+
+
+class Cursor:
+    """A streaming query result.
+
+    Wraps a lazy row iterator plus its column names.  Closing the
+    cursor (explicitly, via ``with``, or on exhaustion) closes the
+    underlying generator — releasing any read lock and temporary
+    resources the producer tied to it — and fires ``on_close`` hooks,
+    which must be idempotent.
+    """
+
+    def __init__(self, columns: list[str], rows: Iterable[tuple],
+                 on_close: Callable[[], None] | None = None) -> None:
+        self.columns = list(columns)
+        self._rows = iter(rows)
+        self._on_close = on_close
+        self._closed = False
+
+    # -- iteration -----------------------------------------------------------
+
+    def __iter__(self) -> "Cursor":
+        return self
+
+    def __next__(self) -> tuple:
+        if self._closed:
+            raise StopIteration
+        try:
+            return next(self._rows)
+        except StopIteration:
+            self.close()
+            raise
+
+    # -- DB-API-style fetches -------------------------------------------------
+
+    def fetchone(self) -> tuple | None:
+        """The next row, or ``None`` when the stream is exhausted."""
+        return next(self, None)
+
+    def fetchmany(self, size: int = 256) -> list[tuple]:
+        """Up to *size* rows (an empty list means exhausted)."""
+        if size < 0:
+            raise ExecutionError(
+                f"fetchmany size must be non-negative, got {size}")
+        return list(itertools.islice(self, size))
+
+    def fetchall(self) -> list[tuple]:
+        """Every remaining row (closes the cursor)."""
+        return list(self)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Stop the stream and release producer-side resources."""
+        if self._closed:
+            return
+        self._closed = True
+        closer = getattr(self._rows, "close", None)
+        if closer is not None:
+            closer()
+        if self._on_close is not None:
+            self._on_close()
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC backstop
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- interop --------------------------------------------------------------
+
+    def to_result_set(self) -> "ResultSet":
+        """Drain the remaining rows into a materialized ResultSet."""
+        return ResultSet(self.columns, self.fetchall())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return f"Cursor(columns={self.columns!r}, {state})"
 
 
 class ResultSet:
@@ -14,6 +113,11 @@ class ResultSet:
     def __init__(self, columns: list[str], rows: list[tuple]) -> None:
         self.columns = list(columns)
         self.rows = list(rows)
+
+    @classmethod
+    def from_cursor(cls, cursor: Cursor) -> "ResultSet":
+        """Materialize a streaming cursor (drains and closes it)."""
+        return cls(cursor.columns, cursor.fetchall())
 
     def __len__(self) -> int:
         return len(self.rows)

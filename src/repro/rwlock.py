@@ -1,0 +1,198 @@
+"""A reentrant readers-writer lock for the service layer.
+
+The streaming execution surface lets many sessions read one
+:class:`~repro.relational.Database` (or :class:`~repro.rdf.TripleStore`)
+concurrently while DML / ANALYZE / annotation-acceptance writers get
+exclusive access.  The lock is:
+
+* **shared for readers** — any number of threads may hold it for
+  reading at once;
+* **exclusive for writers** — one thread, no concurrent readers;
+* **writer-preferring** — new readers queue behind a waiting writer so
+  a steady read workload cannot starve mutations;
+* **reentrant** — a thread may re-acquire a lock it already holds in
+  the same mode, and the write holder may also take the read side
+  (statement execution nested inside DML, e.g. ``INSERT ... SELECT``);
+* **hold-based on the read side** — every read acquisition returns a
+  :class:`ReadHold` carrying its own accounting unit, so a long-lived
+  holder (a streaming cursor's generator) can be released from a
+  *different* thread than the one that acquired it — cursors are
+  handed between worker threads and may be finalized by the GC on an
+  arbitrary thread.  Each hold captures its owner thread's depth
+  record, so cross-thread release keeps the owner's nesting state
+  exact (no stale-depth barging past writers, no phantom upgrade
+  refusals).
+
+Upgrading (read held → write requested by the same thread) deadlocks by
+construction in any RW lock, so it raises ``RuntimeError`` instead —
+the practical consequence is that a thread must exhaust or close its
+open cursors before mutating the same database.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class _ThreadDepth:
+    """Per-thread read-nesting record, shared with that thread's holds.
+
+    Mutated only under the lock's condition, so a hold released from a
+    foreign thread updates the owner's record consistently.
+    """
+
+    __slots__ = ("depth",)
+
+    def __init__(self) -> None:
+        self.depth = 0
+
+
+class ReadHold:
+    """One read acquisition; ``release()`` is idempotent and may be
+    called from any thread."""
+
+    __slots__ = ("_lock", "_state", "_piggyback", "_released")
+
+    def __init__(self, lock: "RWLock", state: _ThreadDepth,
+                 piggyback: bool) -> None:
+        self._lock = lock
+        self._state = state
+        self._piggyback = piggyback
+        self._released = False
+
+    def release(self) -> None:
+        if self._released:
+            return
+        self._released = True
+        self._lock._release_unit(self._state, self._piggyback)
+
+
+class RWLock:
+    """Reentrant, writer-preferring readers-writer lock."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._active_readers = 0        # outstanding read units
+        self._waiting_writers = 0
+        self._writer: int | None = None  # ident of the write holder
+        self._write_depth = 0
+        self._local = threading.local()
+
+    # -- introspection (tests / diagnostics) --------------------------------
+
+    @property
+    def write_held(self) -> bool:
+        return self._writer is not None
+
+    @property
+    def active_readers(self) -> int:
+        return self._active_readers
+
+    def _state(self) -> _ThreadDepth:
+        state = getattr(self._local, "state", None)
+        if state is None:
+            state = self._local.state = _ThreadDepth()
+        return state
+
+    def _read_depth(self) -> int:
+        return self._state().depth
+
+    # -- read side ----------------------------------------------------------
+
+    def read_hold(self) -> ReadHold:
+        """Acquire one read unit, returning its hold.
+
+        A thread inside its own write section piggybacks (no shared
+        unit: the write lock is already exclusive).  A thread that
+        still holds a read — checked under the condition, so a
+        cross-thread release cannot leave it stale — takes its unit
+        without waiting: writers are already excluded by the read it
+        holds, and queueing behind its own writer-preference entry
+        would self-deadlock.
+        """
+        me = threading.get_ident()
+        state = self._state()
+        if self._writer == me:
+            with self._cond:
+                state.depth += 1
+            return ReadHold(self, state, piggyback=True)
+        with self._cond:
+            while state.depth == 0 and (self._writer is not None
+                                        or self._waiting_writers):
+                self._cond.wait()
+            self._active_readers += 1
+            state.depth += 1
+        return ReadHold(self, state, piggyback=False)
+
+    def _release_unit(self, state: _ThreadDepth, piggyback: bool) -> None:
+        with self._cond:
+            state.depth -= 1
+            if not piggyback:
+                self._active_readers -= 1
+                if self._active_readers == 0:
+                    self._cond.notify_all()
+
+    def acquire_read(self) -> None:
+        """Same-thread read acquire (released by :meth:`release_read`)."""
+        holds = getattr(self._local, "holds", None)
+        if holds is None:
+            holds = self._local.holds = []
+        holds.append(self.read_hold())
+
+    def release_read(self) -> None:
+        holds = getattr(self._local, "holds", None)
+        if not holds:
+            raise RuntimeError("release_read without acquire_read")
+        holds.pop().release()
+
+    @contextmanager
+    def read_locked(self):
+        hold = self.read_hold()
+        try:
+            yield self
+        finally:
+            hold.release()
+
+    # -- write side ----------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        me = threading.get_ident()
+        if self._writer == me:
+            self._write_depth += 1
+            return
+        state = self._state()
+        with self._cond:
+            if state.depth:
+                # Only this thread adds to its own depth, and it is
+                # here, not reading — so the depth cannot rise while
+                # we wait below; checking once is enough.
+                raise RuntimeError(
+                    "cannot upgrade a read lock to a write lock; close "
+                    "open cursors before mutating")
+            self._waiting_writers += 1
+            try:
+                while self._writer is not None or self._active_readers:
+                    self._cond.wait()
+                self._writer = me
+                self._write_depth = 1
+            finally:
+                self._waiting_writers -= 1
+
+    def release_write(self) -> None:
+        if self._writer != threading.get_ident():
+            raise RuntimeError("release_write by a non-holder")
+        self._write_depth -= 1
+        if self._write_depth:
+            return
+        with self._cond:
+            self._writer = None
+            self._cond.notify_all()
+
+    @contextmanager
+    def write_locked(self):
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()

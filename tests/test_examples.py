@@ -57,6 +57,15 @@ def test_session_api(capsys):
     assert "warm run shipped 0" in out       # mediator reuse
 
 
+def test_streaming_api(capsys):
+    out = run_example("streaming_api", capsys)
+    assert "Streaming cursor columns" in out
+    assert "dangerLevel" in out
+    assert "page 2 (limit 5):" in out                # token round-trip
+    assert "Batch statuses: [200, 200]" in out
+    assert "405" in out                              # structured errors
+
+
 def test_federated_databanks(capsys):
     out = run_example("federated_databanks", capsys)
     assert "Mediated EU-wide rollup" in out
@@ -67,7 +76,7 @@ def test_federated_databanks(capsys):
 
 @pytest.mark.parametrize("name", [
     "quickstart", "pollution_personas", "crowdsourced_knowledge",
-    "federated_databanks", "session_api"])
+    "federated_databanks", "session_api", "streaming_api"])
 def test_examples_exist_and_document_themselves(name):
     source = (EXAMPLES_DIR / f"{name}.py").read_text(encoding="utf-8")
     assert source.startswith('"""')          # every example has a docstring

@@ -1,0 +1,246 @@
+"""The versioned REST surface: routing, errors, pagination, batch.
+
+Covers the route table, the structured error envelope on every failure
+path (400/404/405/422), pagination-token round trips on list and query
+endpoints, and the concurrent batch endpoint running through the
+session pool.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crosse.platform import CrossePlatform
+from repro.federation import CrosseRestService, RestError
+from repro.federation.rest import RestRouter
+from repro.smartground.datagen import SmartGroundConfig, generate_databank
+
+
+@pytest.fixture
+def service():
+    platform = CrossePlatform(
+        generate_databank(SmartGroundConfig(n_landfills=12, seed=7)))
+    service = CrosseRestService(platform, pool_capacity=4)
+    yield service
+    service.close()
+
+
+def _register_users(service, names):
+    for name in names:
+        response = service.request("POST", "/api/v1/users",
+                                   {"username": name})
+        assert response.status == 200
+
+
+# -- route table ---------------------------------------------------------------
+
+
+def test_route_table_lists_both_generations(service):
+    response = service.request("GET", "/api/v1/routes")
+    assert response.status == 200
+    routes = {(entry["method"], entry["path"])
+              for entry in response.payload["routes"]}
+    assert ("POST", "/api/sesql") in routes               # legacy kept
+    assert ("POST", "/api/v1/query") in routes
+    assert ("POST", "/api/v1/batch") in routes
+    assert ("GET", "/api/v1/annotations/{username}") in routes
+
+
+# -- error paths ---------------------------------------------------------------
+
+
+def test_404_uses_structured_envelope(service):
+    response = service.request("GET", "/api/v1/nothing")
+    assert response.status == 404
+    error = response.payload["error"]
+    assert error["code"] == "not_found"
+    assert "/api/v1/nothing" in error["message"]
+
+
+def test_405_lists_allowed_methods(service):
+    response = service.request("DELETE", "/api/v1/users")
+    assert response.status == 405
+    assert response.payload["allow"] == ["GET", "POST"]
+    assert response.payload["error"]["code"] == "method_not_allowed"
+    assert response.payload["error"]["detail"]["allow"] == ["GET", "POST"]
+
+
+def test_405_on_legacy_routes_too(service):
+    response = service.request("PUT", "/api/sesql")
+    assert response.status == 405
+    assert response.payload["allow"] == ["POST"]
+
+
+def test_400_missing_field(service):
+    response = service.request("POST", "/api/v1/users", {})
+    assert response.status == 400
+    assert response.payload["error"]["code"] == "missing_field"
+    assert "username" in response.payload["error"]["message"]
+
+
+def test_400_bad_limit(service):
+    _register_users(service, ["anna"])
+    for bad in ("0", "-3", "nope", str(10_000)):
+        response = service.request("GET", f"/api/v1/users?limit={bad}")
+        assert response.status == 400
+        assert response.payload["error"]["code"] == "invalid_limit"
+
+
+def test_422_handler_error(service):
+    _register_users(service, ["anna"])
+    response = service.request("POST", "/api/v1/query", {
+        "username": "anna", "query": "SELECT FROM WHERE"})
+    assert response.status == 422
+    assert response.payload["error"]["code"] == "unprocessable"
+
+
+def test_rest_error_maps_status_and_detail():
+    router = RestRouter()
+
+    def boom(_params, _body):
+        raise RestError("gone", status=410, code="gone",
+                        detail={"hint": "x"})
+
+    router.register("GET", "/boom", boom)
+    response = router.handle("GET", "/boom")
+    assert response.status == 410
+    assert response.payload["error"] == {
+        "code": "gone", "message": "gone", "detail": {"hint": "x"}}
+
+
+# -- pagination ----------------------------------------------------------------
+
+
+def test_user_listing_paginates_round_trip(service):
+    names = [f"user{i:02d}" for i in range(7)]
+    _register_users(service, names)
+    seen, token = [], None
+    for _ in range(10):
+        path = "/api/v1/users?limit=3"
+        if token:
+            path += f"&next_token={token}"
+        response = service.request("GET", path)
+        assert response.status == 200
+        seen.extend(response.payload["users"])
+        token = response.payload["next_token"]
+        if token is None:
+            break
+    assert seen == sorted(names)
+
+
+def test_query_pagination_round_trip_matches_single_shot(service):
+    _register_users(service, ["anna"])
+    query = "SELECT name FROM landfill ORDER BY name"
+    single = service.request("POST", "/api/v1/query", {
+        "username": "anna", "query": query, "limit": 100})
+    assert single.status == 200
+    assert single.payload["next_token"] is None
+
+    paged, token = [], None
+    for _ in range(20):
+        body = {"username": "anna", "query": query, "limit": 5}
+        if token:
+            body["next_token"] = token
+        response = service.request("POST", "/api/v1/query", body)
+        assert response.status == 200
+        assert response.payload["columns"] == single.payload["columns"]
+        paged.extend(response.payload["rows"])
+        token = response.payload["next_token"]
+        if token is None:
+            break
+    assert paged == single.payload["rows"]
+
+
+def test_query_token_bound_to_request(service):
+    _register_users(service, ["anna", "bob"])
+    first = service.request("POST", "/api/v1/query", {
+        "username": "anna", "query": "SELECT name FROM landfill",
+        "limit": 2})
+    token = first.payload["next_token"]
+    assert token is not None
+    # Same token, different user: rejected instead of paginating the
+    # wrong result.
+    response = service.request("POST", "/api/v1/query", {
+        "username": "bob", "query": "SELECT name FROM landfill",
+        "limit": 2, "next_token": token})
+    assert response.status == 400
+    assert response.payload["error"]["code"] == "invalid_cursor"
+
+
+def test_annotation_listing_paginates(service):
+    # Exploration lists statements authored by *other* users, so anna
+    # annotates and bob paginates.
+    _register_users(service, ["anna", "bob"])
+    for index in range(5):
+        response = service.request("POST", "/api/v1/annotations", {
+            "username": "anna", "subject": f"Elem{index}",
+            "property": "dangerLevel", "object": "high"})
+        assert response.status == 200
+    response = service.request("GET", "/api/v1/annotations/bob?limit=2")
+    assert response.status == 200
+    assert len(response.payload["annotations"]) == 2
+    assert response.payload["next_token"] is not None
+
+
+# -- batch ----------------------------------------------------------------------
+
+
+def test_batch_runs_independent_requests(service):
+    _register_users(service, ["anna", "bob"])
+    response = service.request("POST", "/api/v1/batch", {"requests": [
+        {"method": "GET", "path": "/api/v1/users?limit=10"},
+        {"method": "POST", "path": "/api/v1/query",
+         "body": {"username": "anna",
+                  "query": "SELECT COUNT(*) AS n FROM landfill"}},
+        {"method": "POST", "path": "/api/v1/query",
+         "body": {"username": "bob",
+                  "query": "SELECT COUNT(*) AS n FROM landfill"}},
+        {"method": "GET", "path": "/api/v1/missing"},
+    ]})
+    assert response.status == 200
+    statuses = [entry["status"]
+                for entry in response.payload["responses"]]
+    assert statuses == [200, 200, 200, 404]
+    bodies = response.payload["responses"]
+    assert bodies[0]["body"]["users"] == ["anna", "bob"]
+    assert bodies[1]["body"]["rows"] == bodies[2]["body"]["rows"]
+    assert service.pool.stats()["checkouts"] >= 2
+
+
+def test_batch_mutations_are_in_order_barriers(service):
+    """A query after a mutation in the same batch observes it: reads
+    run concurrently only within waves between mutating requests."""
+    response = service.request("POST", "/api/v1/batch", {"requests": [
+        {"method": "POST", "path": "/api/v1/users",
+         "body": {"username": "anna"}},
+        {"method": "GET", "path": "/api/v1/users?limit=10"},
+        {"method": "POST", "path": "/api/v1/users",
+         "body": {"username": "bob"}},
+        {"method": "GET", "path": "/api/v1/users?limit=10"},
+    ]})
+    assert [entry["status"]
+            for entry in response.payload["responses"]] == [200] * 4
+    bodies = response.payload["responses"]
+    assert bodies[1]["body"]["users"] == ["anna"]
+    assert bodies[3]["body"]["users"] == ["anna", "bob"]
+
+
+def test_batch_rejects_nesting_and_bad_entries(service):
+    response = service.request("POST", "/api/v1/batch", {"requests": [
+        {"method": "POST", "path": "/api/v1/batch", "body": {}}]})
+    assert response.status == 400
+    assert response.payload["error"]["code"] == "invalid_batch"
+
+    response = service.request("POST", "/api/v1/batch",
+                               {"requests": ["nope"]})
+    assert response.status == 400
+
+    response = service.request("POST", "/api/v1/batch", {"requests": []})
+    assert response.status == 200
+    assert response.payload["responses"] == []
+
+
+def test_batch_requires_requests_field(service):
+    response = service.request("POST", "/api/v1/batch", {})
+    assert response.status == 400
+    assert response.payload["error"]["code"] == "missing_field"
