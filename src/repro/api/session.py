@@ -248,11 +248,16 @@ class Session:
                 "parameter(s) into the AST"))
 
         sparql_queries: list[str] = []
+        # Statement-level dedupe memo: every logical extraction still
+        # gets its own plan stage and ``sparql_queries`` entry, but
+        # duplicates execute once and report as cached.
+        memo: dict = {}
 
         def extract_stage(enrichment):
             seen = cache.hits if cache is not None else 0
-            extraction = engine.extraction_for(enrichment, kb)
-            hit = cache is not None and cache.hits > seen
+            deduped = engine.extraction_key(enrichment) in memo
+            extraction = engine.extraction_for(enrichment, kb, memo)
+            hit = deduped or (cache is not None and cache.hits > seen)
             sparql_queries.append(extraction.sparql)
             stages.append(PlanStage(
                 "extract", f"SQM extraction for {enrichment.kind}",

@@ -54,6 +54,12 @@ class SESQLResult:
     timings: dict[str, float] = field(default_factory=dict)
     cache_hits: int = 0           # memoized SPARQL extractions reused
     cache_misses: int = 0
+    #: SPARQL queries actually executed on the KB for this statement.
+    #: ``sparql_queries`` lists one entry per *logical* extraction;
+    #: identical extractions across tagged conditions (and across the
+    #: WHERE/SELECT stages) are deduped and run once, so this count can
+    #: be lower than ``len(sparql_queries)``.
+    sparql_executions: int = 0
     #: The databank's cost-based plan for the (rewritten) SQL stage — a
     #: :class:`repro.planner.PlannedStatement`, or ``None`` when the
     #: databank planner is disabled.  The WHERE-enrichment rewrite runs
@@ -105,28 +111,61 @@ class SESQLEngine:
 
     # -- stage 2: SPARQL extraction ----------------------------------------------
 
-    def extraction_for(self, enrichment: Enrichment,
-                       kb: TripleStore) -> Extraction:
-        """Run (or recall from cache) the SQM extraction for one clause."""
+    @staticmethod
+    def extraction_key(enrichment: Enrichment) -> tuple:
+        """The logical identity of an enrichment's SPARQL extraction.
+
+        Two enrichments with the same key extract identical knowledge
+        from the same KB — whatever tagged condition or stage (WHERE vs
+        SELECT) they appear in — so one execution serves both.
+        """
         if isinstance(enrichment, ReplaceConstant):
-            return self.sqm.values_for(kb, enrichment.prop,
-                                       enrichment.constant)
+            return ("values", enrichment.prop, enrichment.constant)
         if isinstance(enrichment, (ReplaceVariable, SchemaExtension,
                                    SchemaReplacement)):
-            return self.sqm.pairs_for(kb, enrichment.prop)
+            return ("pairs", enrichment.prop)
         if isinstance(enrichment, (BoolSchemaExtension,
                                    BoolSchemaReplacement)):
-            return self.sqm.subjects_for(kb, enrichment.prop,
-                                         enrichment.concept)
+            return ("subjects", enrichment.prop, enrichment.concept)
         raise EnrichmentError(  # pragma: no cover - exhaustive
             f"unhandled enrichment {enrichment.kind}")
 
+    def extraction_for(self, enrichment: Enrichment,
+                       kb: TripleStore,
+                       memo: dict | None = None) -> Extraction:
+        """Run (or recall from cache/memo) the SQM extraction for one
+        clause.  *memo* dedupes identical extractions within a single
+        statement; the SQM's generation-keyed cache dedupes across
+        statements and re-executions."""
+        key = self.extraction_key(enrichment)
+        if memo is not None:
+            found = memo.get(key)
+            if found is not None:
+                return found
+        if key[0] == "values":
+            extraction = self.sqm.values_for(kb, enrichment.prop,
+                                             enrichment.constant)
+        elif key[0] == "pairs":
+            extraction = self.sqm.pairs_for(kb, enrichment.prop)
+        else:
+            extraction = self.sqm.subjects_for(kb, enrichment.prop,
+                                               enrichment.concept)
+        if memo is not None:
+            memo[key] = extraction
+        return extraction
+
     def extraction_plan(self, enriched: EnrichedQuery, kb: TripleStore,
-                        which: str) -> list[tuple[Enrichment, Extraction]]:
-        """Extractions for the ``"where"`` or ``"select"`` enrichments."""
+                        which: str, memo: dict | None = None
+                        ) -> list[tuple[Enrichment, Extraction]]:
+        """Extractions for the ``"where"`` or ``"select"`` enrichments.
+
+        Pass one *memo* dict across both stages of a statement so a
+        WHERE and a SELECT enrichment over the same property (or stored
+        query) evaluate their SPARQL once.
+        """
         enrichments = (enriched.where_enrichments() if which == "where"
                        else enriched.select_enrichments())
-        return [(enrichment, self.extraction_for(enrichment, kb))
+        return [(enrichment, self.extraction_for(enrichment, kb, memo))
                 for enrichment in enrichments]
 
     # -- stage 3: WHERE rewrite + databank query ----------------------------------
@@ -215,9 +254,13 @@ class SESQLEngine:
         cache = self.sqm.cache
         hits_before = cache.hits if cache is not None else 0
         misses_before = cache.misses if cache is not None else 0
+        executions_before = self.sqm.sparql_executions
+        # One memo across the WHERE and SELECT stages: identical logical
+        # extractions within this statement execute once.
+        memo: dict = {}
 
         stage = time.perf_counter()
-        where_plan = self.extraction_plan(enriched, kb, "where")
+        where_plan = self.extraction_plan(enriched, kb, "where", memo)
         sparql_queries.extend(x.sparql for _e, x in where_plan)
         rewriter = self.apply_where_rewrites(enriched, where_plan, include)
         timings["where_rewrite"] = time.perf_counter() - stage
@@ -235,7 +278,7 @@ class SESQLEngine:
             rewriter.cleanup()
 
         stage = time.perf_counter()
-        select_plan = self.extraction_plan(enriched, kb, "select")
+        select_plan = self.extraction_plan(enriched, kb, "select", memo)
         sparql_queries.extend(x.sparql for _e, x in select_plan)
         current = self.combine_enrichments(base, select_plan, strategy,
                                            final_sqls)
@@ -254,6 +297,8 @@ class SESQLEngine:
                         if cache is not None else 0),
             cache_misses=(cache.misses - misses_before
                           if cache is not None else 0),
+            sparql_executions=(self.sqm.sparql_executions
+                               - executions_before),
             db_plan=db_plan,
         )
 
@@ -308,7 +353,8 @@ class SESQLEngine:
         if not reuse_ast:
             enriched = clone_enriched(enriched)
 
-        where_plan = self.extraction_plan(enriched, kb, "where")
+        memo: dict = {}
+        where_plan = self.extraction_plan(enriched, kb, "where", memo)
         rewriter = self.apply_where_rewrites(enriched, where_plan, include)
         cleaned = [False]
 
@@ -319,7 +365,7 @@ class SESQLEngine:
 
         try:
             base_cursor = self.databank.stream_ast(enriched.query)
-            select_plan = self.extraction_plan(enriched, kb, "select")
+            select_plan = self.extraction_plan(enriched, kb, "select", memo)
             # Extraction-side combine structures are built ONCE per
             # cursor and applied page after page (hash-probe semantics
             # identical to the tempdb final-SQL LEFT JOIN, whatever the

@@ -10,7 +10,10 @@ An optional extraction *cache* (any mapping-like object with ``get``/
 ``put``, e.g. :class:`repro.api.ExtractionCache`) memoizes extraction
 results keyed on the knowledge base's mutation ``generation``, so a
 prepared query re-executed against an unchanged KB skips re-running its
-SPARQL entirely.
+SPARQL entirely.  Within one statement the engine additionally dedupes
+identical logical extractions across tagged conditions and stages (see
+:meth:`repro.core.SESQLEngine.extraction_for`); ``sparql_executions``
+counts the queries that actually reached the KB.
 """
 
 from __future__ import annotations
@@ -47,6 +50,11 @@ class SemanticQueryModule:
         self.stored_queries = stored_queries or StoredQueryRegistry()
         #: Optional get/put memo for extraction results (see module doc).
         self.cache = cache
+        #: Instrumentation: SPARQL queries actually *executed* on a KB
+        #: (cache hits and per-statement dedupe do not increment it) —
+        #: the counter behind the "deduped extractions execute once"
+        #: engine guarantee.
+        self.sparql_executions = 0
 
     # -- memoization hook -----------------------------------------------------
 
@@ -88,10 +96,12 @@ class SemanticQueryModule:
 
     def _run(self, kb: TripleStore, text: str) -> SparqlResults:
         query = parse_sparql(text)
+        self.sparql_executions += 1
         return Evaluator(kb).select(query)
 
     def _run_stored(self, kb: TripleStore, name: str) -> SparqlResults:
         stored = self.stored_queries.get(name)
+        self.sparql_executions += 1
         results = Evaluator(kb).select(stored.query)
         return results
 

@@ -7,6 +7,14 @@ user's *effective* knowledge base — the context her SESQL queries run in
 (Section III-A) — is the union of her own statements and those she has
 accepted from peers.
 
+The effective KB is the paper's personal evaluation context: every
+SE-SQL extraction a user issues runs against it, so builds are batch
+loads through one platform-wide term dictionary (interned statement
+terms are reused across users) and cache invalidation is stamp-based —
+insert/retract/accept/reject advance exactly the affected users'
+stamps, and an untouched user keeps her store (and its extraction-cache
+``generation``) across other users' activity.
+
 ``to_rdf_graph`` exports the whole book-keeping as reified RDF exactly
 in the Fig. 4 vocabulary (``smg:Statement``, ``rdf:subject/predicate/
 object``, ``userStatement``, ``userBelief``, ``stmReference`` with
@@ -20,7 +28,7 @@ import itertools
 from dataclasses import dataclass, field
 
 from ..rdf.namespace import RDF, SMG
-from ..rdf.store import Triple, TripleStore
+from ..rdf.store import TermDictionary, Triple, TripleStore
 from ..rdf.terms import IRI, Literal, Term, term_from_python
 from .errors import StatementError
 
@@ -59,7 +67,25 @@ class KnowledgeBaseStore:
     def __init__(self) -> None:
         self._statements: dict[int, StatementRecord] = {}
         self._by_author: dict[str, list[int]] = {}
-        self._effective_cache: dict[str, TripleStore] = {}
+        #: One dictionary for the whole platform: statement terms are
+        #: interned on insert, and every per-user effective KB is built
+        #: through it — rebuilding a user's context never re-hashes a
+        #: term another context already interned, and extraction joins
+        #: across users' KBs run on comparable ids.
+        self.dictionary = TermDictionary()
+        #: username → (stamp-at-build, effective store).  Stamps come
+        #: from ``_clock``; every mutation touching a user advances her
+        #: stamp, so a cached store is valid iff its stamp is current —
+        #: the KB-level analogue of the triple store's ``generation``.
+        self._effective_cache: dict[str, tuple[int, TripleStore]] = {}
+        self._user_stamp: dict[str, int] = {}
+        self._clock = itertools.count(1)
+
+    def _touch(self, *usernames: str) -> None:
+        """Advance the mutation stamp of every affected user."""
+        stamp = next(self._clock)
+        for username in usernames:
+            self._user_stamp[username] = stamp
 
     # -- insertion ------------------------------------------------------------
 
@@ -68,14 +94,21 @@ class KnowledgeBaseStore:
                reference: Reference | None = None) -> StatementRecord:
         triple = Triple(term_from_python(subject), predicate,
                         term_from_python(obj))
+        # Intern eagerly: effective-KB builds then copy known ids.
+        intern = self.dictionary.intern
+        intern(triple.subject)
+        intern(triple.predicate)
+        intern(triple.object)
         record = StatementRecord(next(_statement_ids), triple, author,
                                  public, reference=reference)
         self._statements[record.statement_id] = record
         self._by_author.setdefault(author, []).append(record.statement_id)
-        self._effective_cache.pop(author, None)
+        self._touch(author)
         return record
 
     def retract(self, author: str, statement_id: int) -> None:
+        """Remove one's own statement — also from the effective context
+        of every user who had accepted it."""
         record = self.get(statement_id)
         if record.author != author:
             raise StatementError(
@@ -83,7 +116,7 @@ class KnowledgeBaseStore:
                 f"not {author!r}")
         del self._statements[statement_id]
         self._by_author[author].remove(statement_id)
-        self._effective_cache.clear()
+        self._touch(author, *record.accepted_by)
 
     # -- acceptance (the crowdsourced scenario) ------------------------------------
 
@@ -96,13 +129,13 @@ class KnowledgeBaseStore:
             raise StatementError(
                 f"statement {statement_id} is not public")
         record.accepted_by.add(username)
-        self._effective_cache.pop(username, None)
+        self._touch(username)
         return record
 
     def reject(self, username: str, statement_id: int) -> None:
         record = self.get(statement_id)
         record.accepted_by.discard(username)
-        self._effective_cache.pop(username, None)
+        self._touch(username)
 
     # -- lookup --------------------------------------------------------------------
 
@@ -137,24 +170,31 @@ class KnowledgeBaseStore:
         """Own statements + accepted statements, as a plain triple store.
 
         This is the personal knowledge base "that will constitute the
-        context in which a user's query will be evaluated".
+        context in which a user's query will be evaluated".  Cached per
+        user with stamp-based invalidation: any insert/retract/accept/
+        reject touching the user makes the next call rebuild (a fresh
+        store generation, so downstream extraction caches miss exactly
+        when the context actually changed).  The store is built through
+        the platform's shared :class:`~repro.rdf.TermDictionary` as one
+        batch load — interned terms are reused, one generation stamp.
         """
+        stamp = self._user_stamp.get(username, 0)
         cached = self._effective_cache.get(username)
-        if cached is not None:
-            return cached
-        store = TripleStore()
-        for record in self.statements_of(username):
-            store.add(record.triple)
-        for record in self.accepted_by(username):
-            store.add(record.triple)
-        self._effective_cache[username] = store
+        if cached is not None and cached[0] == stamp:
+            return cached[1]
+        store = TripleStore(dictionary=self.dictionary)
+        store.add_all(record.triple
+                      for record in itertools.chain(
+                          self.statements_of(username),
+                          self.accepted_by(username)))
+        self._effective_cache[username] = (stamp, store)
         return store
 
     # -- Fig. 4 reified export ------------------------------------------------------------
 
     def to_rdf_graph(self) -> TripleStore:
         """Export statements + provenance in the Fig. 4 RDF schema."""
-        graph = TripleStore()
+        graph = TripleStore(dictionary=self.dictionary)
         for record in self._statements.values():
             node = SMG[f"statement_{record.statement_id}"]
             graph.add(node, RDF.type, SMG.Statement)

@@ -183,6 +183,26 @@ class CrossePlatform:
         self._invalidate_sessions(username)
         return record
 
+    def retract_statement(self, username: str, statement_id: int) -> None:
+        """Withdraw one's own statement platform-wide.
+
+        The statement leaves the author's context *and* the effective
+        KB of every user who had accepted it, so all their cached
+        engines are invalidated too.
+        """
+        self.users.get(username)
+        record = self.statements.get(statement_id)
+        affected = {record.author, *record.accepted_by}
+        self.statements.retract(username, statement_id)
+        for affected_user in affected:
+            self._invalidate_sessions(affected_user)
+
+    def reject_statement(self, username: str, statement_id: int) -> None:
+        """Drop a previously accepted peer statement from one's context."""
+        self.users.get(username)
+        self.statements.reject(username, statement_id)
+        self._invalidate_sessions(username)
+
     def effective_kb(self, username: str):
         return self.statements.effective_kb(username)
 

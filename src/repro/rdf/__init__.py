@@ -9,13 +9,14 @@ from .errors import NamespaceError, RdfError, RdfParseError, RdfTermError
 from .namespace import (OWL, RDF, RDF_TYPE, RDFS, SMG, XSD, Namespace,
                         NamespaceManager)
 from .ntriples import parse_ntriples, serialize_ntriples
-from .store import Triple, TripleStore
+from .store import StoreStatistics, TermDictionary, Triple, TripleStore
 from .terms import (BNode, IRI, Literal, Term, is_term, term_from_python,
                     term_sort_key)
 from .turtle import parse_turtle, serialize_turtle
 
 __all__ = [
     "IRI", "Literal", "BNode", "Term", "Triple", "TripleStore",
+    "TermDictionary", "StoreStatistics",
     "Namespace", "NamespaceManager", "RDF", "RDFS", "XSD", "OWL", "SMG",
     "RDF_TYPE", "is_term", "term_from_python", "term_sort_key",
     "parse_turtle", "serialize_turtle", "parse_ntriples",

@@ -1,14 +1,30 @@
-"""The triple store: SPO/POS/OSP-indexed in-memory RDF graph.
+"""The triple store: dictionary-encoded, SPO/POS/OSP-indexed RDF graph.
 
-This is the Jena stand-in of the reproduction.  Pattern matching picks
-the most selective index for the bound positions; the POS and OSP
-indexes can be disabled (``TripleStore(indexing="spo")``) which the E4
-benchmark uses as an ablation.
+This is the Jena stand-in of the reproduction, organised the way
+production RDF engines are: every term is *interned* once through a
+:class:`TermDictionary` (term ↔ small integer id) and the three access
+indexes hold nested dicts of **ids**, so pattern matching, join keys and
+set membership all run on integer hashing instead of re-hashing full
+``Term`` dataclasses.  The paper's personal-KB evaluation model runs
+every SE-SQL enrichment against one of these stores, so this layer
+bounds end-to-end enrichment latency.
+
+Pattern matching picks the most selective index for the bound
+positions; the POS and OSP indexes can be disabled
+(``TripleStore(indexing="spo")``) which the E4 benchmark uses as an
+ablation.  :class:`StoreStatistics` exposes O(1) per-pattern
+cardinalities (maintained alongside the indexes) that the SPARQL BGP
+planner (:mod:`repro.sparql.planner`) uses for join ordering.
+
+Several stores may share one dictionary (``TripleStore(dictionary=d)``)
+— the CroSSE platform builds every per-user *effective* KB through the
+platform-wide dictionary so accepted statements are never re-interned.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
 from typing import Any, Iterable, Iterator, NamedTuple
 
 from ..rwlock import RWLock
@@ -48,28 +64,224 @@ def _as_triple(subject: Any, predicate: Any, obj: Any) -> Triple:
     return Triple(subject_term, predicate_term, object_term)
 
 
+class TermDictionary:
+    """A bidirectional term ↔ int-id intern table.
+
+    Ids are dense (0..n-1) and never recycled; ``term(id)`` is a list
+    index.  Lookups are lock-free (CPython dict reads are atomic);
+    inserts take a short mutex.  One dictionary may back any number of
+    stores — ids are comparable *across* stores sharing it, which is
+    what lets the SPARQL evaluator hash-join id-encoded solutions.
+    """
+
+    __slots__ = ("_lock", "_ids", "_terms")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._ids: dict[Term, int] = {}
+        self._terms: list[Term] = []
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def intern(self, term: Term) -> int:
+        """The id of *term*, inserting it if unseen."""
+        found = self._ids.get(term)
+        if found is not None:
+            return found
+        with self._lock:
+            found = self._ids.get(term)
+            if found is None:
+                found = len(self._terms)
+                self._terms.append(term)
+                self._ids[term] = found
+            return found
+
+    def lookup(self, term: Term) -> int | None:
+        """The id of *term*, or None when it was never interned."""
+        return self._ids.get(term)
+
+    def term(self, term_id: int) -> Term:
+        """The term behind an id (O(1) list index)."""
+        return self._terms[term_id]
+
+    @property
+    def terms(self) -> list[Term]:
+        """The id → term table itself (read-only by convention); the
+        evaluator grabs it once per query for bulk late materialization."""
+        return self._terms
+
+
+class StoreStatistics:
+    """O(1) per-pattern cardinalities read off a store's index sizes.
+
+    The SPARQL BGP planner orders joins by these counts the same way
+    :mod:`repro.planner` orders relational joins by table statistics —
+    except triple-store "statistics" need no ANALYZE: the exact count of
+    every single-constant pattern is the size of an index level, and
+    per-position counters (``triples per subject/predicate/object id``)
+    are maintained on every add/remove.
+    """
+
+    __slots__ = ("_store",)
+
+    def __init__(self, store: "TripleStore") -> None:
+        self._store = store
+
+    # -- id-level (the planner's working currency) ---------------------------
+
+    def triple_count(self) -> int:
+        return self._store._size
+
+    def distinct_subjects(self) -> int:
+        return len(self._store._s_counts)
+
+    def distinct_predicates(self) -> int:
+        return len(self._store._p_counts)
+
+    def distinct_objects(self) -> int:
+        return len(self._store._o_counts)
+
+    def subject_count(self, s_id: int) -> int:
+        """Triples with this subject id."""
+        return self._store._s_counts.get(s_id, 0)
+
+    def predicate_count(self, p_id: int) -> int:
+        """Triples with this predicate id."""
+        return self._store._p_counts.get(p_id, 0)
+
+    def object_count(self, o_id: int) -> int:
+        """Triples with this object id."""
+        return self._store._o_counts.get(o_id, 0)
+
+    def count_ids(self, s: int | None = None, p: int | None = None,
+                  o: int | None = None) -> int:
+        """Exact matches of an id pattern, from index sizes alone.
+
+        O(1) for every pattern shape on a fully indexed store; the
+        "spo" ablation falls back to scanning for the shapes its
+        missing indexes would have answered.
+        """
+        store = self._store
+        if s is not None:
+            by_predicate = store._spo.get(s)
+            if by_predicate is None:
+                return 0
+            if p is not None:
+                objects = by_predicate.get(p)
+                if objects is None:
+                    return 0
+                if o is not None:
+                    return 1 if o in objects else 0
+                return len(objects)
+            if o is None:
+                return store._s_counts.get(s, 0)
+            # (s, -, o): one OSP level when available, else scan s's slice.
+            if store.indexing == "full":
+                return len(store._osp.get(o, {}).get(s, ()))
+            return sum(1 for objects in by_predicate.values()
+                       if o in objects)
+        if p is not None:
+            if o is None:
+                return store._p_counts.get(p, 0)
+            if store.indexing == "full":
+                return len(store._pos.get(p, {}).get(o, ()))
+            return sum(1 for _ in store._match_ids(None, p, o))
+        if o is not None:
+            return store._o_counts.get(o, 0)
+        return store._size
+
+    # -- term-level convenience ----------------------------------------------
+
+    def count(self, subject: TriplePatternArg = None,
+              predicate: TriplePatternArg = None,
+              obj: TriplePatternArg = None) -> int:
+        """Exact matches of a term pattern (None = wildcard)."""
+        ids = self._store._encode_pattern(subject, predicate, obj)
+        if ids is None:
+            return 0
+        return self.count_ids(*ids)
+
+
 class TripleStore:
-    """A set of triples with hash indexes on each access pattern.
+    """A set of triples with id-keyed hash indexes on each access pattern.
 
     Thread safety: a reader-writer lock lets any number of threads
     match patterns concurrently while mutators (``add`` / ``remove`` /
     ``clear`` — the annotation-accept path of the platform) get
-    exclusive access and bump the generation stamp.  A ``triples()``
-    generator holds the read side until exhausted or dropped.
+    exclusive access and bump the generation stamp.  Batch mutators
+    (``add_all`` / ``update`` / ``remove_pattern``) take the write lock
+    **once** and bump the generation **once** per logical batch, so
+    generation-keyed caches stay stable across a bulk load.  A
+    ``triples()`` generator holds the read side until exhausted or
+    dropped.
     """
 
-    def __init__(self, indexing: str = "full") -> None:
+    def __init__(self, indexing: str = "full",
+                 dictionary: TermDictionary | None = None) -> None:
         if indexing not in _INDEXING_MODES:
             raise RdfError(f"unknown indexing mode {indexing!r}")
         self.indexing = indexing
+        self.dictionary = dictionary if dictionary is not None \
+            else TermDictionary()
         self.generation = next(_GENERATIONS)
         self.rwlock = RWLock()
-        self._spo: dict[Term, dict[IRI, set[Term]]] = {}
-        self._pos: dict[IRI, dict[Term, set[Term]]] = {}
-        self._osp: dict[Term, dict[Term, set[IRI]]] = {}
+        self._spo: dict[int, dict[int, set[int]]] = {}
+        self._pos: dict[int, dict[int, set[int]]] = {}
+        self._osp: dict[int, dict[int, set[int]]] = {}
+        #: Per-position triple counters backing the O(1) statistics.
+        self._s_counts: dict[int, int] = {}
+        self._p_counts: dict[int, int] = {}
+        self._o_counts: dict[int, int] = {}
         self._size = 0
+        self.stats = StoreStatistics(self)
+
+    # -- encoding helpers ----------------------------------------------------
+
+    def _encode_pattern(self, subject: TriplePatternArg,
+                        predicate: TriplePatternArg,
+                        obj: TriplePatternArg
+                        ) -> tuple[int | None, int | None, int | None] | None:
+        """Encode a term pattern to ids; None when a bound term is
+        absent from the dictionary (no triple can match)."""
+        lookup = self.dictionary.lookup
+        s = p = o = None
+        if subject is not None:
+            if not is_term(subject):
+                subject = term_from_python(subject)
+            s = lookup(subject)
+            if s is None:
+                return None
+        if predicate is not None:
+            p = lookup(predicate)
+            if p is None:
+                return None
+        if obj is not None:
+            if not is_term(obj):
+                obj = term_from_python(obj)
+            o = lookup(obj)
+            if o is None:
+                return None
+        return (s, p, o)
 
     # -- mutation -----------------------------------------------------------
+
+    def _add_ids_locked(self, s: int, p: int, o: int) -> bool:
+        objects = self._spo.setdefault(s, {}).setdefault(p, set())
+        if o in objects:
+            return False
+        objects.add(o)
+        if self.indexing == "full":
+            self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
+            self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
+        counts = self._s_counts
+        counts[s] = counts.get(s, 0) + 1
+        counts = self._p_counts
+        counts[p] = counts.get(p, 0) + 1
+        counts = self._o_counts
+        counts[o] = counts.get(o, 0) + 1
+        self._size += 1
+        return True
 
     def add(self, subject: Any, predicate: Any = None,
             obj: Any = None) -> bool:
@@ -81,26 +293,139 @@ class TripleStore:
             triple = subject
         else:
             triple = _as_triple(subject, predicate, obj)
-        s, p, o = triple
+        intern = self.dictionary.intern
+        s, p, o = (intern(triple.subject), intern(triple.predicate),
+                   intern(triple.object))
         with self.rwlock.write_locked():
-            objects = self._spo.setdefault(s, {}).setdefault(p, set())
-            if o in objects:
+            if not self._add_ids_locked(s, p, o):
                 return False
-            objects.add(o)
-            if self.indexing == "full":
-                self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
-                self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
-            self._size += 1
             self.generation = next(_GENERATIONS)
             return True
 
     def add_all(self, triples: Iterable[Triple]) -> int:
-        with self.rwlock.write_locked():
-            count = 0
-            for triple in triples:
-                if self.add(triple):
+        """Bulk insert: one write-lock acquisition, one generation bump.
+
+        The loop is deliberately inlined — interning and the three
+        index inserts run on local aliases with the dictionary's intern
+        mutex held once for the whole batch, so a bulk load costs a
+        fraction of N ``add()`` calls (the E12 benchmark gates this).
+        Returns the number of triples actually added (duplicates both
+        within the batch and against the store are skipped).
+        """
+        dictionary = self.dictionary
+        ids = dictionary._ids
+        terms = dictionary._terms
+        ids_get = ids.get
+        terms_append = terms.append
+        spo, pos, osp = self._spo, self._pos, self._osp
+        spo_get, pos_get, osp_get = spo.get, pos.get, osp.get
+        s_counts, p_counts, o_counts = (self._s_counts, self._p_counts,
+                                        self._o_counts)
+        s_get, p_get, o_get = s_counts.get, p_counts.get, o_counts.get
+        full = self.indexing == "full"
+        # On a load into an empty store the per-position counters are
+        # rebuilt from the finished indexes in one C-level post-pass
+        # instead of three dict updates per triple.
+        defer_counts = self._size == 0
+        count = 0
+
+        def commit() -> None:
+            # Runs in the finally below so size, the counters and the
+            # generation always cover exactly the triples that made it
+            # into the indexes — even when the iterable raises
+            # mid-batch (e.g. an invalid predicate).  Per-triple
+            # mutation itself is atomic: every raising operation in
+            # the loop precedes that triple's first index insert.
+            if not count:
+                return
+            if defer_counts:
+                for s, by_predicate in spo.items():
+                    s_counts[s] = sum(map(len, by_predicate.values()))
+                if full:
+                    for p, by_object in pos.items():
+                        p_counts[p] = sum(map(len, by_object.values()))
+                    for o, by_subject in osp.items():
+                        o_counts[o] = sum(map(len, by_subject.values()))
+                else:
+                    for by_predicate in spo.values():
+                        for p, objects in by_predicate.items():
+                            p_counts[p] = p_get(p, 0) + len(objects)
+                            for o in objects:
+                                o_counts[o] = o_get(o, 0) + 1
+            self._size += count
+            self.generation = next(_GENERATIONS)
+
+        with self.rwlock.write_locked(), dictionary._lock:
+            try:
+                # Terms are validated/coerced only on their *first*
+                # intern (an already-interned term was checked then),
+                # so the loop carries no per-triple isinstance dispatch.
+                for s_term, p_term, o_term in triples:
+                    s = ids_get(s_term)
+                    if s is None:
+                        if not is_term(s_term):
+                            s_term = term_from_python(s_term)
+                            s = ids_get(s_term)
+                        if s is None:
+                            # Publish order matters for lock-free
+                            # readers: the term goes in the table
+                            # before its id does.
+                            s = len(terms)
+                            terms_append(s_term)
+                            ids[s_term] = s
+                    p = ids_get(p_term)
+                    if p is None:
+                        if not isinstance(p_term, IRI):
+                            raise RdfError(
+                                "triple predicate must be an IRI, "
+                                f"got {p_term!r}")
+                        p = len(terms)
+                        terms_append(p_term)
+                        ids[p_term] = p
+                    o = ids_get(o_term)
+                    if o is None:
+                        if not is_term(o_term):
+                            o_term = term_from_python(o_term)
+                            o = ids_get(o_term)
+                        if o is None:
+                            o = len(terms)
+                            terms_append(o_term)
+                            ids[o_term] = o
+                    by_predicate = spo_get(s)
+                    if by_predicate is None:
+                        by_predicate = spo[s] = {}
+                    objects = by_predicate.get(p)
+                    if objects is None:
+                        by_predicate[p] = {o}
+                    elif o in objects:
+                        continue
+                    else:
+                        objects.add(o)
+                    if full:
+                        by_object = pos_get(p)
+                        if by_object is None:
+                            by_object = pos[p] = {}
+                        subjects = by_object.get(o)
+                        if subjects is None:
+                            by_object[o] = {s}
+                        else:
+                            subjects.add(s)
+                        by_subject = osp_get(o)
+                        if by_subject is None:
+                            by_subject = osp[o] = {}
+                        predicates = by_subject.get(s)
+                        if predicates is None:
+                            by_subject[s] = {p}
+                        else:
+                            predicates.add(p)
+                    if not defer_counts:
+                        s_counts[s] = s_get(s, 0) + 1
+                        p_counts[p] = p_get(p, 0) + 1
+                        o_counts[o] = o_get(o, 0) + 1
                     count += 1
-            return count
+            finally:
+                commit()
+        return count
 
     def remove(self, subject: Any, predicate: Any = None,
                obj: Any = None) -> bool:
@@ -109,11 +434,17 @@ class TripleStore:
             triple = subject
         else:
             triple = _as_triple(subject, predicate, obj)
-        s, p, o = triple
+        ids = self._encode_pattern(*triple)
+        if ids is None:
+            return False
+        s, p, o = ids
         with self.rwlock.write_locked():
-            return self._remove_locked(s, p, o)
+            if not self._remove_ids_locked(s, p, o):
+                return False
+            self.generation = next(_GENERATIONS)
+            return True
 
-    def _remove_locked(self, s: Term, p: IRI, o: Term) -> bool:
+    def _remove_ids_locked(self, s: int, p: int, o: int) -> bool:
         try:
             objects = self._spo[s][p]
             objects.remove(o)
@@ -136,18 +467,33 @@ class TripleStore:
                 del self._osp[o][s]
                 if not self._osp[o]:
                     del self._osp[o]
+        for counts, key in ((self._s_counts, s), (self._p_counts, p),
+                            (self._o_counts, o)):
+            remaining = counts[key] - 1
+            if remaining:
+                counts[key] = remaining
+            else:
+                del counts[key]
         self._size -= 1
-        self.generation = next(_GENERATIONS)
         return True
 
     def remove_pattern(self, subject: TriplePatternArg = None,
                        predicate: TriplePatternArg = None,
                        obj: TriplePatternArg = None) -> int:
-        """Remove every triple matching a pattern; returns the count."""
+        """Remove every triple matching a pattern; returns the count.
+
+        One write-lock acquisition and one generation bump for the
+        whole batch.
+        """
+        ids = self._encode_pattern(subject, predicate, obj)
+        if ids is None:
+            return 0
         with self.rwlock.write_locked():
-            doomed = list(self.triples(subject, predicate, obj))
-            for triple in doomed:
-                self.remove(triple)
+            doomed = list(self._match_ids(*ids))
+            for s, p, o in doomed:
+                self._remove_ids_locked(s, p, o)
+            if doomed:
+                self.generation = next(_GENERATIONS)
             return len(doomed)
 
     def clear(self) -> None:
@@ -155,6 +501,9 @@ class TripleStore:
             self._spo.clear()
             self._pos.clear()
             self._osp.clear()
+            self._s_counts.clear()
+            self._p_counts.clear()
+            self._o_counts.clear()
             self._size = 0
             self.generation = next(_GENERATIONS)
 
@@ -164,7 +513,10 @@ class TripleStore:
         return self._size
 
     def __contains__(self, triple: Triple) -> bool:
-        s, p, o = triple
+        ids = self._encode_pattern(*triple)
+        if ids is None:
+            return False
+        s, p, o = ids
         return o in self._spo.get(s, {}).get(p, ())
 
     def __iter__(self) -> Iterator[Triple]:
@@ -177,78 +529,86 @@ class TripleStore:
 
         The returned generator holds the store's read lock while
         active, so writers wait until it is exhausted or dropped.
+        Terms are materialized from the dictionary on the way out.
+        """
+        ids = self._encode_pattern(subject, predicate, obj)
+        if ids is None:
+            return
+        terms = self.dictionary.terms
+        with self.rwlock.read_locked():
+            for s, p, o in self._match_ids(*ids):
+                yield Triple(terms[s], terms[p], terms[o])
+
+    def id_triples(self, s: int | None = None, p: int | None = None,
+                   o: int | None = None) -> Iterator[tuple[int, int, int]]:
+        """Id-level pattern matching (the SPARQL evaluator's hot path).
+
+        Yields ``(s, p, o)`` id tuples; the caller decodes through
+        :attr:`dictionary` only at result-materialization time.  Holds
+        the read lock while active, like :meth:`triples`.
         """
         with self.rwlock.read_locked():
-            yield from self._match(subject, predicate, obj)
+            yield from self._match_ids(s, p, o)
 
-    def _match(self, subject: TriplePatternArg,
-               predicate: TriplePatternArg,
-               obj: TriplePatternArg) -> Iterator[Triple]:
-        s_bound = subject is not None
-        p_bound = predicate is not None
-        o_bound = obj is not None
-        if s_bound and not is_term(subject):
-            subject = term_from_python(subject)
-        if o_bound and not is_term(obj):
-            obj = term_from_python(obj)
-
-        if s_bound:
-            by_predicate = self._spo.get(subject)
+    def _match_ids(self, s: int | None, p: int | None,
+                   o: int | None) -> Iterator[tuple[int, int, int]]:
+        if s is not None:
+            by_predicate = self._spo.get(s)
             if by_predicate is None:
                 return
-            if p_bound:
-                objects = by_predicate.get(predicate)
+            if p is not None:
+                objects = by_predicate.get(p)
                 if objects is None:
                     return
-                if o_bound:
-                    if obj in objects:
-                        yield Triple(subject, predicate, obj)
+                if o is not None:
+                    if o in objects:
+                        yield (s, p, o)
                     return
-                for o in objects:
-                    yield Triple(subject, predicate, o)
+                for obj_id in objects:
+                    yield (s, p, obj_id)
                 return
-            for p, objects in by_predicate.items():
-                if o_bound:
-                    if obj in objects:
-                        yield Triple(subject, p, obj)
+            for p_id, objects in by_predicate.items():
+                if o is not None:
+                    if o in objects:
+                        yield (s, p_id, o)
                 else:
-                    for o in objects:
-                        yield Triple(subject, p, o)
+                    for obj_id in objects:
+                        yield (s, p_id, obj_id)
             return
 
-        if self.indexing == "full" and o_bound:
-            by_subject = self._osp.get(obj)
+        if self.indexing == "full" and o is not None:
+            by_subject = self._osp.get(o)
             if by_subject is None:
                 return
-            for s, predicates in by_subject.items():
-                if p_bound:
-                    if predicate in predicates:
-                        yield Triple(s, predicate, obj)
+            for s_id, predicates in by_subject.items():
+                if p is not None:
+                    if p in predicates:
+                        yield (s_id, p, o)
                 else:
-                    for p in predicates:
-                        yield Triple(s, p, obj)
+                    for p_id in predicates:
+                        yield (s_id, p_id, o)
             return
 
-        if self.indexing == "full" and p_bound:
-            by_object = self._pos.get(predicate)
+        if self.indexing == "full" and p is not None:
+            by_object = self._pos.get(p)
             if by_object is None:
                 return
-            for o, subjects in by_object.items():
-                if o_bound and o != obj:
+            for o_id, subjects in by_object.items():
+                if o is not None and o_id != o:
                     continue
-                for s in subjects:
-                    yield Triple(s, predicate, o)
+                for s_id in subjects:
+                    yield (s_id, p, o_id)
             return
 
         # Fallback: full scan (also the "spo"-only ablation path).
-        for s, by_predicate in self._spo.items():
-            for p, objects in by_predicate.items():
-                if p_bound and p != predicate:
+        for s_id, by_predicate in self._spo.items():
+            for p_id, objects in by_predicate.items():
+                if p is not None and p_id != p:
                     continue
-                for o in objects:
-                    if o_bound and o != obj:
+                for o_id in objects:
+                    if o is not None and o_id != o:
                         continue
-                    yield Triple(s, p, o)
+                    yield (s_id, p_id, o_id)
 
     # -- convenience views --------------------------------------------------------
 
@@ -286,20 +646,70 @@ class TripleStore:
     def count(self, subject: TriplePatternArg = None,
               predicate: TriplePatternArg = None,
               obj: TriplePatternArg = None) -> int:
-        return sum(1 for _ in self.triples(subject, predicate, obj))
+        """Exact pattern cardinality — O(1) via :attr:`stats` wherever
+        the indexes cover the pattern shape."""
+        with self.rwlock.read_locked():
+            return self.stats.count(subject, predicate, obj)
 
     # -- set-style composition -------------------------------------------------------
 
+    def _adopt_locked(self, other: "TripleStore") -> None:
+        """Deep-copy *other*'s id-keyed structures into this (empty)
+        store; the caller holds other's read side.  Nested dict/set
+        copies run at C speed — no triple is re-interned or re-hashed."""
+        self._spo = {s: {p: set(objects)
+                         for p, objects in by_predicate.items()}
+                     for s, by_predicate in other._spo.items()}
+        if self.indexing == "full":
+            self._pos = {p: {o: set(subjects)
+                             for o, subjects in by_object.items()}
+                         for p, by_object in other._pos.items()}
+            self._osp = {o: {s: set(predicates)
+                             for s, predicates in by_subject.items()}
+                         for o, by_subject in other._osp.items()}
+        self._s_counts = dict(other._s_counts)
+        self._p_counts = dict(other._p_counts)
+        self._o_counts = dict(other._o_counts)
+        self._size = other._size
+
     def copy(self) -> "TripleStore":
-        clone = TripleStore(self.indexing)
-        clone.add_all(self.triples())
+        """A new independent store sharing this store's dictionary."""
+        clone = TripleStore(self.indexing, dictionary=self.dictionary)
+        with self.rwlock.read_locked():
+            clone._adopt_locked(self)
         return clone
 
     def union(self, other: "TripleStore") -> "TripleStore":
         """A new store holding both graphs (used for effective user KBs)."""
         merged = self.copy()
-        merged.add_all(other.triples())
+        merged.update(other)
         return merged
 
     def update(self, other: "TripleStore") -> int:
+        """Bulk-merge *other* into this store (one lock, one generation).
+
+        When both stores share one dictionary the merge copies raw id
+        tuples without re-interning a single term.
+        """
+        if other.dictionary is self.dictionary:
+            count = 0
+            # Write side first: ``store.update(store)`` then piggybacks
+            # the read acquisition instead of attempting an upgrade.
+            with self.rwlock.write_locked():
+                with other.rwlock.read_locked():
+                    if self._size == 0 and other._size \
+                            and self.indexing == other.indexing:
+                        # Loading a graph into an empty store adopts
+                        # the source's index structures wholesale.
+                        self._adopt_locked(other)
+                        count = self._size
+                    else:
+                        add_locked = self._add_ids_locked
+                        for s, p, o in list(
+                                other._match_ids(None, None, None)):
+                            if add_locked(s, p, o):
+                                count += 1
+                    if count:
+                        self.generation = next(_GENERATIONS)
+            return count
         return self.add_all(other.triples())

@@ -22,9 +22,15 @@ XSD_DOUBLE = _XSD + "double"
 XSD_BOOLEAN = _XSD + "boolean"
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class IRI:
-    """An absolute or prefixed-expanded IRI."""
+    """An absolute or prefixed-expanded IRI.
+
+    Equality/hash delegate to the value string: CPython caches a str's
+    hash on the object, so the term-keyed hot paths (dictionary
+    interning, index probes) skip the generated dataclass hash — a
+    Python-level call that re-hashes a fresh field tuple every time.
+    """
 
     value: str
 
@@ -33,6 +39,12 @@ class IRI:
             raise RdfTermError("IRI must be non-empty")
         if any(char in self.value for char in " <>\"{}|\\^`\n"):
             raise RdfTermError(f"invalid character in IRI {self.value!r}")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IRI) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(self.value)
 
     def n3(self) -> str:
         return f"<{self.value}>"
@@ -49,13 +61,27 @@ class IRI:
         return self.value
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class Literal:
-    """A literal value with optional language tag and datatype."""
+    """A literal value with optional language tag and datatype.
+
+    Hashing delegates to the (usually str/int) value — colliding
+    same-value literals with different datatypes is fine, equal ones
+    agree by construction — so set-based indexes hash at C speed.
+    """
 
     value: Any
     lang: str | None = None
     datatype: str | None = field(default=None)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Literal)
+                and self.value == other.value
+                and self.lang == other.lang
+                and self.datatype == other.datatype)
+
+    def __hash__(self) -> int:
+        return hash(self.value)
 
     def __post_init__(self) -> None:
         if isinstance(self.value, bool):
@@ -103,11 +129,17 @@ class Literal:
 _bnode_counter = itertools.count()
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class BNode:
     """A blank node with a stable local identifier."""
 
     id: str = field(default_factory=lambda: f"b{next(_bnode_counter)}")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BNode) and self.id == other.id
+
+    def __hash__(self) -> int:
+        return hash(self.id)
 
     def n3(self) -> str:
         return f"_:{self.id}"

@@ -9,11 +9,14 @@ Module (SQM) generates against per-user knowledge bases.
 from .ast import Variable
 from .errors import (FilterError, SparqlError, SparqlEvalError,
                      SparqlSyntaxError)
-from .evaluator import Evaluator, SparqlEngine, SparqlResults
+from .evaluator import (Evaluator, NaiveEvaluator, SparqlEngine,
+                        SparqlResults)
 from .parser import parse_sparql
+from .planner import PatternStep, estimate_pattern, order_bgp
 
 __all__ = [
-    "SparqlEngine", "SparqlResults", "Evaluator", "Variable",
-    "parse_sparql", "SparqlError", "SparqlSyntaxError", "SparqlEvalError",
+    "SparqlEngine", "SparqlResults", "Evaluator", "NaiveEvaluator",
+    "Variable", "parse_sparql", "PatternStep", "estimate_pattern",
+    "order_bgp", "SparqlError", "SparqlSyntaxError", "SparqlEvalError",
     "FilterError",
 ]

@@ -8,11 +8,23 @@ from typing import Optional, Union
 from ..rdf.terms import IRI, Term
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class Variable:
-    """A SPARQL variable (``?x`` / ``$x``)."""
+    """A SPARQL variable (``?x`` / ``$x``).
+
+    Equality and hashing delegate to the name string — CPython caches a
+    str's hash on the object, so solution dicts keyed by variables (the
+    evaluator's result shape) hash at C speed instead of re-hashing a
+    dataclass field tuple per access.
+    """
 
     name: str
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Variable) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(self.name)
 
     def n3(self) -> str:
         return f"?{self.name}"

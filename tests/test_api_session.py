@@ -399,3 +399,20 @@ def test_triple_store_generation_is_unique_per_state():
     unchanged = first.generation
     first.add(SMG.Mercury, SMG.dangerLevel, "high")  # duplicate: no-op
     assert first.generation == unchanged
+
+
+def test_explain_reports_deduped_extractions_once(session):
+    """explain() lists every logical extraction, but duplicates within
+    the statement execute (at most) one SPARQL query."""
+    before = session.engine.sqm.sparql_executions
+    plan = session.explain("""
+        SELECT elem_name FROM elem_contained
+        WHERE ${ elem_name = 'Mercury' : cond1 }
+           OR ${ elem_name = 'Mercury' : cond2 }
+        ENRICH REPLACECONSTANT(cond1, Mercury, dangerLevel)
+               REPLACECONSTANT(cond2, Mercury, dangerLevel)""")
+    assert len(plan.sparql_queries) == 2
+    assert session.engine.sqm.sparql_executions - before == 1
+    extract_stages = [stage for stage in plan.stages
+                      if stage.name == "extract"]
+    assert [stage.cached for stage in extract_stages] == [False, True]

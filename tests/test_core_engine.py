@@ -165,3 +165,49 @@ def test_constant_absent_from_condition_rejected(engine):
             SELECT elem_name FROM elem_contained
             WHERE ${amount > 5:c1}
             ENRICH REPLACECONSTANT(c1, Missing, dangerLevel)""")
+
+
+# -- per-statement extraction dedupe -----------------------------------------
+
+
+def test_identical_extractions_across_conditions_execute_once(engine):
+    """Two tagged conditions with the same REPLACECONSTANT extraction:
+    the plan reports both logical extractions, the KB runs one query."""
+    before = engine.sqm.sparql_executions
+    result = engine.execute("""
+        SELECT elem_name, amount FROM elem_contained
+        WHERE ${ elem_name = 'Mercury' : cond1 }
+           OR ${ elem_name = 'Mercury' : cond2 }
+        ENRICH REPLACECONSTANT(cond1, Mercury, dangerLevel)
+               REPLACECONSTANT(cond2, Mercury, dangerLevel)""")
+    assert len(result.sparql_queries) == 2
+    assert len(set(result.sparql_queries)) == 1
+    assert result.sparql_executions == 1
+    assert engine.sqm.sparql_executions - before == 1
+
+
+def test_where_and_select_extraction_shared(engine):
+    """A WHERE rewrite and a SELECT enrichment over the same property
+    reuse one extraction within the statement."""
+    before = engine.sqm.sparql_executions
+    result = engine.execute("""
+        SELECT elem_name FROM elem_contained
+        WHERE ${ elem_name <> 'x' : cond1 }
+        ENRICH REPLACEVARIABLE(cond1, elem_name, dangerLevel)
+               SCHEMAEXTENSION(elem_name, dangerLevel)""")
+    assert len(result.sparql_queries) == 2
+    assert result.sparql_executions == 1
+    assert engine.sqm.sparql_executions - before == 1
+    # The rewrite and the enrichment both took effect.
+    assert "dangerLevel" in result.columns[-1]
+
+
+def test_distinct_extractions_still_execute_separately(engine):
+    before = engine.sqm.sparql_executions
+    result = engine.execute("""
+        SELECT elem_name FROM elem_contained
+        ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)
+               BOOLSCHEMAEXTENSION(elem_name, dangerLevel, high)""")
+    assert len(result.sparql_queries) == 2
+    assert result.sparql_executions == 2
+    assert engine.sqm.sparql_executions - before == 2

@@ -217,3 +217,67 @@ def test_document_search_is_context_ranked(platform):
                           "Administrative mercury mention once")
     ranked = platform.search_documents("giulia", "mercury")
     assert ranked[0][0].doc_id == "d1"
+
+
+# -- retract / reject invalidation (generation-aware effective KBs) ----------
+
+
+def test_effective_kb_cached_until_mutated(platform):
+    record = platform.annotate_free(
+        "giulia", SMG.Mercury, SMG.dangerLevel, "high")
+    first = platform.effective_kb("giulia")
+    assert platform.effective_kb("giulia") is first  # stamp unchanged
+    platform.annotate_free("giulia", SMG.Lead, SMG.dangerLevel, "high")
+    rebuilt = platform.effective_kb("giulia")
+    assert rebuilt is not first and len(rebuilt) == 2
+    # Every user KB is built through the platform-wide dictionary.
+    assert rebuilt.dictionary is platform.statements.dictionary
+    platform.statements.reject("giulia", record.statement_id)  # no-op
+    assert len(platform.effective_kb("giulia")) == 2
+
+
+def test_retracted_statement_stops_influencing_queries(platform):
+    record = platform.annotate_free(
+        "giulia", SMG.Mercury, SMG.dangerLevel, "high")
+    sesql = """SELECT DISTINCT elem_name FROM elem_contained
+               ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)"""
+    before = platform.run_sesql("giulia", sesql)
+    assert "high" in {row[1] for row in before.rows}
+    platform.retract_statement("giulia", record.statement_id)
+    after = platform.run_sesql("giulia", sesql)
+    assert {row[1] for row in after.rows} == {None}
+    assert len(platform.effective_kb("giulia")) == 0
+
+
+def test_retract_reaches_acceptors_contexts(platform):
+    record = platform.annotate_free(
+        "giulia", SMG.Mercury, SMG.isA, SMG.HazardousWaste)
+    platform.accept_statement("marco", record.statement_id)
+    assert len(platform.effective_kb("marco")) == 1
+    platform.retract_statement("giulia", record.statement_id)
+    assert len(platform.effective_kb("marco")) == 0
+
+
+def test_rejected_statement_stops_influencing_queries(platform):
+    record = platform.annotate_free(
+        "giulia", SMG.Mercury, SMG.dangerLevel, "high")
+    platform.accept_statement("marco", record.statement_id)
+    sesql = """SELECT DISTINCT elem_name FROM elem_contained
+               ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)"""
+    accepted = platform.run_sesql("marco", sesql)
+    assert "high" in {row[1] for row in accepted.rows}
+    platform.reject_statement("marco", record.statement_id)
+    rejected = platform.run_sesql("marco", sesql)
+    assert {row[1] for row in rejected.rows} == {None}
+    # The author's own context is untouched by a peer's rejection.
+    assert "high" in {row[1]
+                      for row in platform.run_sesql("giulia", sesql).rows}
+
+
+def test_platform_retract_requires_author(platform):
+    record = platform.annotate_free(
+        "giulia", SMG.Mercury, SMG.dangerLevel, "high")
+    with pytest.raises(StatementError):
+        platform.retract_statement("marco", record.statement_id)
+    with pytest.raises(UnknownUserError):
+        platform.retract_statement("nobody", record.statement_id)

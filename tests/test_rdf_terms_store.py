@@ -147,3 +147,118 @@ def test_remove_cleans_empty_index_levels():
     assert list(store.triples()) == []
     # Internal dicts must not leak empty shells.
     assert store._spo == {} and store._pos == {} and store._osp == {}
+
+
+# -- dictionary encoding, statistics, batch mutation -------------------------
+
+
+def test_term_dictionary_interns_once():
+    from repro.rdf import TermDictionary
+    d = TermDictionary()
+    first = d.intern(SMG.Mercury)
+    assert d.intern(SMG.Mercury) == first
+    assert d.intern(IRI(str(SMG.Mercury))) == first  # equal by value
+    assert d.lookup(SMG.Mercury) == first
+    assert d.lookup(SMG.NeverSeen) is None
+    assert d.term(first) == SMG.Mercury
+    assert len(d) == 1
+
+
+def test_shared_dictionary_across_stores(store):
+    other = TripleStore(dictionary=store.dictionary)
+    other.add(SMG.Mercury, SMG.dangerLevel, Literal("high"))
+    assert other.dictionary is store.dictionary
+    assert (other.dictionary.lookup(SMG.Mercury)
+            == store.dictionary.lookup(SMG.Mercury))
+
+
+def test_statistics_match_scan_counts(store):
+    store.add(SMG.Mercury, SMG.dangerLevel, Literal("very-high"))
+    patterns = [
+        (None, None, None),
+        (SMG.Mercury, None, None),
+        (None, SMG.dangerLevel, None),
+        (None, None, Literal("high")),
+        (SMG.Mercury, SMG.dangerLevel, None),
+        (None, SMG.dangerLevel, Literal("low")),
+        (SMG.Mercury, None, Literal("high")),
+        (SMG.Mercury, SMG.dangerLevel, Literal("high")),
+        (SMG.Absent, None, None),
+    ]
+    for pattern in patterns:
+        assert store.stats.count(*pattern) \
+            == sum(1 for _ in store.triples(*pattern)), pattern
+    assert store.stats.triple_count() == len(store)
+    assert store.stats.distinct_predicates() == 3
+
+
+def test_statistics_survive_removal(store):
+    store.remove(SMG.Mercury, SMG.isA, SMG.HazardousWaste)
+    assert store.stats.count(None, SMG.isA, None) == 0
+    assert store.stats.count(SMG.Mercury, None, None) == 1
+    assert store.stats.distinct_predicates() == 2
+
+
+def test_statistics_on_spo_only_store(store):
+    reduced = TripleStore(indexing="spo")
+    reduced.add_all(store.triples())
+    for pattern in [(None, SMG.dangerLevel, None),
+                    (None, None, SMG.Italy),
+                    (None, SMG.inCountry, SMG.Italy),
+                    (SMG.Mercury, None, SMG.HazardousWaste)]:
+        assert reduced.stats.count(*pattern) == store.stats.count(*pattern)
+
+
+def test_add_all_bumps_generation_once(store):
+    before = store.generation
+    added = store.add_all([
+        Triple(SMG.Lead, SMG.dangerLevel, Literal("high")),
+        Triple(SMG.Zinc, SMG.dangerLevel, Literal("mid")),
+        Triple(SMG.Lead, SMG.dangerLevel, Literal("high")),  # batch dupe
+    ])
+    assert added == 2
+    first_bump = store.generation
+    assert first_bump != before
+    # A no-op batch (all duplicates) must not invalidate caches.
+    assert store.add_all([
+        Triple(SMG.Lead, SMG.dangerLevel, Literal("high"))]) == 0
+    assert store.generation == first_bump
+
+
+def test_update_shares_interned_ids(store):
+    other = TripleStore(dictionary=store.dictionary)
+    other.add(SMG.Lead, SMG.dangerLevel, Literal("mid"))
+    before = store.generation
+    assert store.update(other) == 1
+    assert store.generation != before
+    assert store.count(SMG.Lead, None, None) == 1
+    # Self-update is a no-op and keeps the generation stable.
+    stable = store.generation
+    assert store.update(store) == 0
+    assert store.generation == stable
+
+
+def test_id_triples_roundtrip(store):
+    d = store.dictionary
+    decoded = {Triple(d.term(s), d.term(p), d.term(o))
+               for s, p, o in store.id_triples()}
+    assert decoded == set(store.triples())
+    p_id = d.lookup(SMG.dangerLevel)
+    assert sum(1 for _ in store.id_triples(None, p_id, None)) == 2
+
+
+def test_add_all_mid_batch_error_keeps_store_consistent():
+    store = TripleStore()
+    good = Triple(SMG.a, SMG.p, SMG.b)
+    before = store.generation
+    with pytest.raises(RdfError):
+        store.add_all([good, (SMG.c, Literal("not-an-iri"), SMG.d)])
+    # The triple inserted before the error is committed: size, stats
+    # and generation all reflect it.
+    assert len(store) == 1
+    assert store.stats.triple_count() == 1
+    assert store.generation != before
+    assert list(store.triples()) == [good]
+    assert store.remove(good) is True
+    assert len(store) == 0
+    assert store._spo == {} and store._pos == {} and store._osp == {}

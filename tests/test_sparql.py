@@ -209,3 +209,36 @@ def test_parse_reusable_ast(engine):
 def test_variable_identity():
     assert Variable("x") == Variable("x")
     assert Variable("x") != Variable("y")
+
+
+def test_stream_yields_solutions_lazily(engine):
+    solutions = engine.stream(PREFIX + """
+        SELECT ?s ?n WHERE { ?s smg:atomicNumber ?n }""")
+    import types
+    assert isinstance(solutions, types.GeneratorType)
+    first = next(solutions)
+    assert set(v.name for v in first) == {"s", "n"}
+    assert len(list(solutions)) == 2  # remaining rows
+
+
+def test_stream_applies_limit_offset_and_modifiers(engine):
+    rows = list(engine.stream(PREFIX + """
+        SELECT ?n WHERE { ?s smg:atomicNumber ?n } LIMIT 2"""))
+    assert len(rows) == 2
+    ordered = list(engine.stream(PREFIX + """
+        SELECT ?n WHERE { ?s smg:atomicNumber ?n } ORDER BY ?n"""))
+    assert [next(iter(sol.values())).value for sol in ordered] \
+        == [26, 29, 80]
+
+
+def test_naive_engine_selectable():
+    import pytest as _pytest
+    from repro.sparql import SparqlEvalError
+    store = parse_turtle(DATA)
+    naive = SparqlEngine(store, evaluator="naive")
+    fast = SparqlEngine(store)
+    query = PREFIX + "SELECT ?s WHERE { ?s smg:isA smg:HazardousWaste }"
+    assert sorted(map(repr, naive.query(query).tuples())) \
+        == sorted(map(repr, fast.query(query).tuples()))
+    with _pytest.raises(SparqlEvalError):
+        SparqlEngine(store, evaluator="bogus")
