@@ -19,9 +19,15 @@ from dataclasses import dataclass, field
 
 @dataclass
 class PlanStage:
-    """One step of the pipeline as it would run."""
+    """One step of the pipeline as it would run.
 
-    name: str                 # parse | bind | extract | rewrite | sql | combine
+    SESQL sessions emit ``parse | bind | extract | rewrite | sql |
+    combine`` stages; mediator sessions emit ``prune | materialize |
+    sql``, where one ``materialize`` stage may carry a whole *batch* of
+    fragments the federation executor ships in parallel.
+    """
+
+    name: str
     description: str
     queries: list[str] = field(default_factory=list)
     cached: bool = False      # served from a cache rather than computed

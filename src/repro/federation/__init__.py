@@ -3,6 +3,9 @@ analogue), a GAV mediator, and the REST integration layer of Fig. 1."""
 
 from .errors import (FederationError, ForeignTableError, MediationError,
                      RestError)
+from .executor import (FAIL, FAILURE_POLICIES, RETRY, SKIP,
+                       FederationExecutor, FederationOptions, FragmentCache,
+                       FragmentJob, FragmentResult)
 from .foreign import (CallableSource, CsvSource, ForeignSource,
                       ForeignTable, QuerySource, RemoteTableSource,
                       attach_foreign_table)
@@ -15,6 +18,9 @@ __all__ = [
     "CsvSource", "CallableSource", "attach_foreign_table",
     "Mediator", "MediatorSession", "GlobalView", "ViewFragment",
     "MediationReport",
+    "FederationExecutor", "FederationOptions", "FragmentCache",
+    "FragmentJob", "FragmentResult",
+    "FAIL", "SKIP", "RETRY", "FAILURE_POLICIES",
     "RestRouter", "CrosseRestService", "Response",
     "FederationError", "ForeignTableError", "MediationError", "RestError",
 ]

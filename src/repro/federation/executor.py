@@ -1,0 +1,277 @@
+"""Parallel fragment shipping for the mediator.
+
+A mediated query touching *k* remote sources decomposes into per-source
+sub-queries ("fragments").  The sources are independent, so shipping
+them one after another pays *k* network round-trips where one would do:
+this module gives the mediator a bounded worker pool that dispatches
+**all fragments of all needed views at once**, with
+
+* a **per-view reconciliation barrier** — a view's partial results are
+  only reconciled (``union`` / ``prefer_first`` precedence) once every
+  one of its fragments has landed, in the fragment-definition order, so
+  parallel and serial shipping are byte-identical;
+* **per-source failure policies** — ``fail`` (default: first error
+  aborts the batch), ``skip`` (a failing source contributes no rows and
+  is recorded in the :class:`~repro.federation.MediationReport`) and
+  ``retry`` (re-dispatch with capped exponential backoff, escalating to
+  a failure when the attempts are exhausted);
+* a **fragment-result cache** keyed ``(source, fragment SQL, source
+  data generation)`` — the generation is the source database's cheap
+  mutation stamp, so repeated ships of unchanged sources are free and
+  any DML/DDL on the source invalidates its entries by construction.
+  Fragments touching foreign tables are never cached: their remote
+  content can change without moving the local stamp.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from dataclasses import dataclass, field
+
+from ..api.cache import LRUCache
+from ..relational.engine import Database
+from ..relational.result import ResultSet
+from .errors import MediationError
+
+#: Per-source failure policies.
+FAIL, SKIP, RETRY = "fail", "skip", "retry"
+FAILURE_POLICIES = (FAIL, SKIP, RETRY)
+
+
+@dataclass(frozen=True)
+class FederationOptions:
+    """Knobs for parallel fragment shipping.
+
+    ``max_workers=1`` degenerates to the serial shipping of earlier
+    revisions (fragments run inline, in dispatch order) — the E13
+    benchmark uses exactly that as its baseline.
+    """
+
+    #: Upper bound on concurrently in-flight fragments.
+    max_workers: int = 8
+    #: Default per-source policy; ``source_policies`` overrides per name.
+    failure_policy: str = FAIL
+    source_policies: dict[str, str] = field(default_factory=dict)
+    #: Extra attempts under ``retry`` before escalating to a failure.
+    max_retries: int = 2
+    #: First retry delay; doubles per attempt up to ``backoff_cap_s``.
+    backoff_s: float = 0.05
+    backoff_cap_s: float = 1.0
+    #: Entries in the fragment-result cache (0 disables it).
+    fragment_cache_size: int = 128
+
+    def __post_init__(self) -> None:
+        if self.max_workers < 1:
+            raise MediationError("max_workers must be at least 1")
+        if self.max_retries < 0:
+            raise MediationError("max_retries must not be negative")
+        if self.fragment_cache_size < 0:
+            raise MediationError("fragment_cache_size must not be negative")
+        for policy in (self.failure_policy,
+                       *self.source_policies.values()):
+            if policy not in FAILURE_POLICIES:
+                raise MediationError(
+                    f"unknown failure policy {policy!r} "
+                    f"(expected one of {', '.join(FAILURE_POLICIES)})")
+
+    def policy_for(self, source: str) -> str:
+        return self.source_policies.get(source, self.failure_policy)
+
+    def replace(self, **changes) -> "FederationOptions":
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass
+class FragmentJob:
+    """One source sub-query to ship: view, position, source, SQL."""
+
+    view: str
+    index: int               # fragment position within the view
+    source: str
+    database: Database
+    sql: str
+    #: Safe for the generation-keyed cache (no foreign tables etc.).
+    cacheable: bool = False
+
+
+@dataclass
+class FragmentResult:
+    """What shipping one fragment produced."""
+
+    job: FragmentJob
+    result: ResultSet | None = None   # None => skipped under SKIP
+    error: str | None = None          # the failure that caused a skip
+    attempts: int = 1                 # source executions (0 = cache hit)
+    elapsed_s: float = 0.0
+    cached: bool = False
+
+    @property
+    def skipped(self) -> bool:
+        return self.result is None
+
+
+class _FragmentFailed(Exception):
+    """Internal: carries the failing job through the future boundary."""
+
+    def __init__(self, job: FragmentJob, cause: Exception,
+                 attempts: int) -> None:
+        super().__init__(str(cause))
+        self.job = job
+        self.cause = cause
+        self.attempts = attempts
+
+
+class FragmentCache(LRUCache):
+    """Thread-safe LRU of fragment results.
+
+    Keys are ``(source name, fragment SQL, source generation)``: a
+    mutated source carries a new generation, so its stale entries are
+    simply never looked up again and age out of the LRU.  The LRU
+    itself is the session layer's :class:`~repro.api.cache.LRUCache`;
+    this subclass only adds the lock worker threads need to probe and
+    fill it concurrently.
+    """
+
+    def __init__(self, maxsize: int = 128) -> None:
+        super().__init__(maxsize)
+        self._lock = threading.Lock()
+
+    def get(self, key: tuple) -> ResultSet | None:
+        with self._lock:
+            return super().get(key)
+
+    def put(self, key: tuple, result: ResultSet) -> None:
+        with self._lock:
+            super().put(key, result)
+
+    def clear(self) -> None:
+        with self._lock:
+            super().clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return super().__len__()
+
+
+class FederationExecutor:
+    """Ships fragment batches through a bounded worker pool."""
+
+    def __init__(self, options: FederationOptions | None = None,
+                 cache: FragmentCache | None = None) -> None:
+        self.options = options or FederationOptions()
+        self.cache = cache if cache is not None \
+            else FragmentCache(self.options.fragment_cache_size)
+
+    def ship(self, jobs: list[FragmentJob]
+             ) -> dict[str, list[FragmentResult]]:
+        """Dispatch *jobs* concurrently; per-view results in fragment
+        order.
+
+        Every job runs under its source's failure policy.  Under
+        ``fail`` (and exhausted ``retry``) the first failure cancels
+        the not-yet-started remainder, waits out the in-flight ones and
+        raises :class:`MediationError` naming the view, the source and
+        the attempt count — the caller stores nothing, so no view is
+        ever observable partially shipped.
+        """
+        if not jobs:
+            return {}
+        # Cache hits are resolved inline (a dict lookup each): a warm
+        # batch spawns no threads, only the misses enter the pool.
+        outcomes: list[FragmentResult] = []
+        pending: list[FragmentJob] = []
+        for job in jobs:
+            hit = self._probe_cache(job)
+            if hit is not None:
+                outcomes.append(hit)
+            else:
+                pending.append(job)
+        workers = min(self.options.max_workers, len(pending))
+        if workers <= 1:
+            # Serial path: inline, dispatch order, no threads — the
+            # exact shipping behavior of earlier revisions.
+            for job in pending:
+                outcomes.append(self._guarded(job))
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(self._run_job, job)
+                           for job in pending]
+                try:
+                    for future in as_completed(futures):
+                        outcomes.append(future.result())
+                except _FragmentFailed as failed:
+                    for future in futures:
+                        future.cancel()
+                    raise self._failure_error(failed) from failed.cause
+        grouped: dict[str, list[FragmentResult]] = {}
+        for outcome in outcomes:
+            grouped.setdefault(outcome.job.view, []).append(outcome)
+        for results in grouped.values():
+            results.sort(key=lambda outcome: outcome.job.index)
+        return grouped
+
+    def _guarded(self, job: FragmentJob) -> FragmentResult:
+        try:
+            return self._run_job(job)
+        except _FragmentFailed as failed:
+            raise self._failure_error(failed) from failed.cause
+
+    @staticmethod
+    def _failure_error(failed: _FragmentFailed) -> MediationError:
+        job = failed.job
+        return MediationError(
+            f"view {job.view!r}: fragment from source {job.source!r} "
+            f"failed after {failed.attempts} attempt(s): {failed.cause}")
+
+    def _probe_cache(self, job: FragmentJob) -> FragmentResult | None:
+        if not (job.cacheable and self.options.fragment_cache_size > 0):
+            return None
+        started = time.perf_counter()
+        cached = self.cache.get(
+            (job.source, job.sql, job.database.generation))
+        if cached is None:
+            return None
+        return FragmentResult(
+            job, cached, attempts=0,
+            elapsed_s=time.perf_counter() - started, cached=True)
+
+    def _run_job(self, job: FragmentJob) -> FragmentResult:
+        """Execute one fragment under its source's policy.
+
+        The cache was already probed inline by :meth:`ship`; a
+        successful cacheable result is published under the generation
+        read here, *before* executing — a concurrent write moves the
+        stamp forward, so later lookups (always on the current stamp)
+        can never hit a pre-write entry.
+        """
+        started = time.perf_counter()
+        use_cache = job.cacheable and self.options.fragment_cache_size > 0
+        if use_cache:
+            key = (job.source, job.sql, job.database.generation)
+        policy = self.options.policy_for(job.source)
+        delay = self.options.backoff_s
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                result = job.database.query(job.sql)
+            except Exception as exc:
+                if policy == RETRY \
+                        and attempts <= self.options.max_retries:
+                    time.sleep(delay)
+                    delay = min(delay * 2, self.options.backoff_cap_s)
+                    continue
+                if policy == SKIP:
+                    return FragmentResult(
+                        job, None, error=str(exc) or type(exc).__name__,
+                        attempts=attempts,
+                        elapsed_s=time.perf_counter() - started)
+                raise _FragmentFailed(job, exc, attempts) from exc
+            if use_cache:
+                self.cache.put(key, result)
+            return FragmentResult(
+                job, result, attempts=attempts,
+                elapsed_s=time.perf_counter() - started)

@@ -20,9 +20,10 @@ import io
 import time
 from typing import Any, Callable, Iterable, Iterator
 
+from ..core.tempdb import infer_column_type
 from ..relational.engine import Database
 from ..relational.schema import Column, TableSchema
-from ..relational.types import DataType, coerce_value, infer_type
+from ..relational.types import DataType, coerce_value
 from .errors import ForeignTableError
 
 
@@ -58,14 +59,21 @@ class QuerySource(ForeignSource):
         self.database = database
         self.sql = sql
         self.name = name
+        self._schema: TableSchema | None = None
 
     def schema(self) -> TableSchema:
-        result = self.database.query(self.sql)
-        columns = []
-        for index, column_name in enumerate(result.columns):
-            values = [row[index] for row in result.rows]
-            columns.append(Column(column_name, _infer(values)))
-        return TableSchema(self.name, columns)
+        # Deriving the schema needs a full remote execution (column
+        # types come from the data), so it is computed once and cached:
+        # attaching the view must not cost an extra remote round-trip
+        # on every schema consultation.
+        if self._schema is None:
+            result = self.database.query(self.sql)
+            columns = []
+            for index, column_name in enumerate(result.columns):
+                values = [row[index] for row in result.rows]
+                columns.append(Column(column_name, _infer(values)))
+            self._schema = TableSchema(self.name, columns)
+        return self._schema
 
     def rows(self) -> Iterable[tuple]:
         return self.database.query(self.sql).rows
@@ -139,13 +147,15 @@ def _parse_csv_value(text: str) -> Any:
 
 
 def _infer(values: list) -> DataType:
-    for value in values:
-        if value is None:
-            continue
-        inferred = infer_type(value)
-        if inferred is not None:
-            return inferred
-    return DataType.TEXT
+    """The narrowest DataType holding *every* non-null value.
+
+    Widened across the whole column — a mixed ``1`` / ``2.5`` column is
+    REAL, not the INTEGER its first value suggests (which would make
+    every scan raise on the ``2.5``); any non-numeric value forces
+    TEXT.  Delegates to the SESQL temp-table inference so there is one
+    widening ladder to maintain.
+    """
+    return infer_column_type(values)
 
 
 class ForeignTable:
@@ -180,11 +190,13 @@ class ForeignTable:
             for value, column in zip(row, self.schema.columns))
 
     def rows(self) -> Iterator[tuple]:
+        # Snapshot scans read the local copy: like __len__, they are
+        # not remote hits and charge no latency or scan_count.
+        if self._snapshot is not None:
+            return iter(list(self._snapshot))
         self.scan_count += 1
         if self.latency_s > 0:
             time.sleep(self.latency_s)
-        if self._snapshot is not None:
-            return iter(list(self._snapshot))
         return iter([self._coerce(row) for row in self.source.rows()])
 
     def refresh(self) -> None:
@@ -194,8 +206,16 @@ class ForeignTable:
                               for row in self.source.rows()]
 
     def __len__(self) -> int:
+        # In snapshot mode the count is served from the local copy —
+        # no remote hop, no accounting.  In live mode a cardinality
+        # probe is a real remote query, so it pays the same latency
+        # and scan_count bookkeeping as rows(): probes must not
+        # re-execute remote sources invisibly.
         if self._snapshot is not None:
             return len(self._snapshot)
+        self.scan_count += 1
+        if self.latency_s > 0:
+            time.sleep(self.latency_s)
         return sum(1 for _row in self.source.rows())
 
     def find_index_on(self, column_names) -> None:
@@ -223,5 +243,7 @@ def attach_foreign_table(db: Database, name: str, source: ForeignSource,
                          latency_s: float = 0.0) -> ForeignTable:
     """Register a foreign table in *db*'s catalog under *name*."""
     table = ForeignTable(name, source, mode, latency_s)
-    db.catalog.register_table(table)  # duck-typed Table
+    with db.rwlock.write_locked():
+        db.catalog.register_table(table)  # duck-typed Table
+        db.bump_generation()  # DDL: queries can now observe new data
     return table

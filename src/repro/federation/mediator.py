@@ -7,13 +7,20 @@ read-only query point of such a system:
 * sources register as named databases (wrappers);
 * each *global view* is defined in terms of the sources (GAV): a list
   of (source, SELECT) pairs whose union populates the view;
-* a mediated query decomposes into per-source sub-queries, ships them,
-  reconciles the partial results (``union_all`` / ``union`` dedupe /
-  ``prefer_first`` per-key precedence), materialises the views into a
-  scratch database and runs the user query there.
+* a mediated query decomposes into per-source sub-queries, ships them
+  **concurrently** through the :mod:`~repro.federation.executor` worker
+  pool (the sources are independent, so a query touching *k* of them
+  pays one round-trip, not *k*), reconciles the partial results
+  (``union_all`` / ``union`` dedupe / ``prefer_first`` per-key
+  precedence) behind a per-view barrier in the deterministic
+  fragment-definition order, materialises the views into a scratch
+  database and runs the user query there.
 
-``MediationReport`` exposes the decomposition so tests and benchmarks
-can check who was asked for what.
+:class:`~repro.federation.FederationOptions` configures the pool width,
+per-source failure policies (``fail`` / ``skip`` / ``retry``) and the
+generation-keyed fragment-result cache.  ``MediationReport`` exposes the
+decomposition — including per-source timings, retries and skips — so
+tests and benchmarks can check who was asked for what and what it cost.
 """
 
 from __future__ import annotations
@@ -32,7 +39,10 @@ from ..relational.indexes import _normalize
 from ..relational.parser import parse_sql
 from ..relational.render import quote_identifier, render_expr
 from ..relational.result import ResultSet
+from ..relational.table import Table
 from .errors import MediationError
+from .executor import (FederationExecutor, FederationOptions, FragmentCache,
+                       FragmentJob, FragmentResult)
 
 RECONCILIATIONS = ("union_all", "union", "prefer_first")
 
@@ -70,14 +80,39 @@ class MediationReport:
     view_costs: dict[str, float] = field(default_factory=dict)
     #: Filters pushed into the per-source sub-queries, per view.
     pushed_filters: dict[str, str] = field(default_factory=dict)
+    #: Cumulative wall-clock spent shipping each source's fragments
+    #: (cache hits contribute their — negligible — lookup time).
+    source_timings: dict[str, float] = field(default_factory=dict)
+    #: Extra attempts per source under the ``retry`` policy.
+    retry_counts: dict[str, int] = field(default_factory=dict)
+    #: Sources with at least one fragment dropped under the ``skip``
+    #: policy (each source listed once, in drop order).
+    skipped_sources: list[str] = field(default_factory=list)
+    #: Last error text per failing source (skip policy).
+    source_errors: dict[str, str] = field(default_factory=dict)
+    #: Fragments served from the generation-keyed result cache.
+    fragment_cache_hits: int = 0
+    #: Warn-level notes (e.g. fragment column renames).
+    warnings: list[str] = field(default_factory=list)
 
 
 class Mediator:
     """The global query processor over registered sources."""
 
-    def __init__(self) -> None:
+    def __init__(self, options: FederationOptions | None = None) -> None:
         self._sources: dict[str, Database] = {}
         self._views: dict[str, GlobalView] = {}
+        #: Parallel-shipping configuration, shared by all sessions.
+        self.options = options or FederationOptions()
+        #: Fragment-result cache, shared across sessions (entries are
+        #: keyed on the source's generation stamp, so sharing is safe).
+        self.fragment_cache = FragmentCache(self.options.fragment_cache_size)
+        self.executor = FederationExecutor(self.options,
+                                           self.fragment_cache)
+        #: Memo of each base fragment SQL's referenced tables (None =
+        #: unparseable), so cacheability checks don't re-parse per
+        #: query; bounded by the fragments ever defined.
+        self._fragment_refs: dict[tuple[str, str], list[str] | None] = {}
 
     # -- registration ----------------------------------------------------------
 
@@ -202,40 +237,131 @@ class Mediator:
 
     # -- sessions -------------------------------------------------------------------
 
-    def connect(self) -> "MediatorSession":
-        """A session over the global schema with materialization reuse."""
-        return MediatorSession(self)
+    def connect(self, options: FederationOptions | None = None
+                ) -> "MediatorSession":
+        """A session over the global schema with materialization reuse.
+
+        *options* overrides the mediator-wide shipping configuration
+        for this session only (the fragment cache stays shared — its
+        entries are generation-keyed, so they are valid for everyone).
+        """
+        return MediatorSession(self, options)
 
     # -- internals ----------------------------------------------------------------------
 
-    def _materialize_view(self, view: GlobalView,
-                          report: MediationReport,
-                          filter_sql: str | None = None
-                          ) -> tuple[list[tuple], list[str]]:
-        partials: list[tuple[str, ResultSet]] = []
-        columns: list[str] | None = None
-        for fragment in view.fragments:
+    def _fragment_jobs(self, view: GlobalView,
+                       filter_sql: str | None = None) -> list[FragmentJob]:
+        """The executor jobs materializing *view*, in fragment order."""
+        jobs = []
+        for index, fragment in enumerate(view.fragments):
             database = self.source(fragment.source)
             fragment_sql = fragment.sql
+            # Cacheability is decided from the *base* fragment SQL: a
+            # pushed-down filter only wraps it in an outer WHERE, so it
+            # references the same tables and inherits the verdict.
+            cacheable = self._fragment_cacheable(
+                fragment.source, database, fragment.sql)
             if filter_sql is not None:
                 fragment_sql = (
                     f"SELECT * FROM ({fragment.sql}) AS "
                     f"{quote_identifier(view.name)} WHERE {filter_sql}")
-            report.sub_queries.append((fragment.source, fragment_sql))
-            partial = database.query(fragment_sql)
-            report.rows_per_source[fragment.source] = \
-                report.rows_per_source.get(fragment.source, 0) \
-                + len(partial)
+            jobs.append(FragmentJob(
+                view.name, index, fragment.source, database, fragment_sql,
+                cacheable=cacheable))
+        return jobs
+
+    def _fragment_cacheable(self, source_name: str, database: Database,
+                            sql: str) -> bool:
+        """Whether the generation stamp fully covers the fragment.
+
+        Every referenced table must be a regular heap table of the
+        source: a foreign table's remote content can change without
+        moving the local stamp, so such fragments always re-execute.
+        The parse is memoized per (source, SQL) — only the (cheap)
+        catalog type checks rerun per query, since DDL can swap a heap
+        table for a foreign one between ships.
+        """
+        key = (source_name, sql)
+        try:
+            referenced = self._fragment_refs[key]
+        except KeyError:
+            statement = Mediator._try_parse(sql)
+            referenced = (None if statement is None
+                          else sorted(sql_ast.referenced_tables(statement)))
+            self._fragment_refs[key] = referenced
+        if referenced is None:
+            return False
+        for name in referenced:
+            if not database.catalog.has_table(name):
+                return False
+            if not isinstance(database.catalog.table(name), Table):
+                return False
+        return True
+
+    def _assemble_view(self, view: GlobalView,
+                       results: list[FragmentResult],
+                       report: MediationReport
+                       ) -> tuple[list[tuple], list[str]]:
+        """Validate fragment columns and reconcile the partial results.
+
+        Column *arity* must agree across fragments (the error names
+        both column lists); column *names* are validated positionally —
+        the first successful fragment wins, a rename elsewhere only
+        earns a warn-level report entry.
+        """
+        partials: list[tuple[str, ResultSet]] = []
+        columns: list[str] | None = None
+        for outcome in results:
+            if outcome.result is None:
+                continue  # skipped source: contributes no rows
+            partial = outcome.result
             if columns is None:
                 columns = list(partial.columns)
             elif len(partial.columns) != len(columns):
                 raise MediationError(
                     f"view {view.name!r}: fragment from "
-                    f"{fragment.source!r} returns {len(partial.columns)} "
-                    f"columns, expected {len(columns)}")
-            partials.append((fragment.source, partial))
+                    f"{outcome.job.source!r} returns "
+                    f"{len(partial.columns)} column(s) "
+                    f"{list(partial.columns)!r}, expected {len(columns)} "
+                    f"{columns!r}")
+            elif [name.lower() for name in partial.columns] \
+                    != [name.lower() for name in columns]:
+                report.warnings.append(
+                    f"view {view.name!r}: fragment from "
+                    f"{outcome.job.source!r} names columns "
+                    f"{list(partial.columns)!r}; keeping {columns!r} "
+                    f"(first fragment wins)")
+            partials.append((outcome.job.source, partial))
+        if columns is None:
+            raise MediationError(
+                f"view {view.name!r}: every fragment was skipped, no "
+                f"schema to materialize")
         rows = self._reconcile(view, partials)
-        return rows, columns or []
+        return rows, columns
+
+    @staticmethod
+    def _fold_results(report: MediationReport,
+                      results: list[FragmentResult]) -> None:
+        """Record shipping outcomes (timings, retries, skips, cache)."""
+        for outcome in results:
+            source = outcome.job.source
+            report.source_timings[source] = \
+                report.source_timings.get(source, 0.0) + outcome.elapsed_s
+            if outcome.attempts > 1:
+                report.retry_counts[source] = \
+                    report.retry_counts.get(source, 0) \
+                    + outcome.attempts - 1
+            if outcome.cached:
+                report.fragment_cache_hits += 1
+            if outcome.result is None:
+                if source not in report.skipped_sources:
+                    report.skipped_sources.append(source)
+                if outcome.error is not None:
+                    report.source_errors[source] = outcome.error
+            else:
+                report.rows_per_source[source] = \
+                    report.rows_per_source.get(source, 0) \
+                    + len(outcome.result)
 
     @staticmethod
     def _reconcile(view: GlobalView,
@@ -300,8 +426,22 @@ class MediatorSession:
     source-side changes (or redefined views).
     """
 
-    def __init__(self, mediator: Mediator) -> None:
+    def __init__(self, mediator: Mediator,
+                 options: FederationOptions | None = None) -> None:
         self.mediator = mediator
+        #: Session-level shipping override; the fragment cache stays the
+        #: mediator-wide, generation-keyed one — unless that shared
+        #: cache cannot hold entries (mediator configured with caching
+        #: off) while this session asks for caching, in which case the
+        #: session gets a private cache rather than a silently dead one.
+        self.options = options or mediator.options
+        if options is None:
+            self._executor = mediator.executor
+        else:
+            cache = mediator.fragment_cache
+            if options.fragment_cache_size > 0 and cache.maxsize <= 0:
+                cache = FragmentCache(options.fragment_cache_size)
+            self._executor = FederationExecutor(options, cache)
         self._scratch = Database("mediator-session")
         self._view_rows: dict[str, int] = {}
         self.hits = 0      # views served from the local materialization
@@ -348,17 +488,37 @@ class MediatorSession:
         under the view's name for the cursor's whole lifetime, where
         any interleaved query on the session would collide with (or
         read) it.  Full materializations are cached instead, so
-        follow-up queries get local hits.  Returns
+        follow-up queries get local hits.  A ``skip``-reduced view is
+        still partial, though: it stays alive for this cursor only and
+        is dropped when the cursor closes.  Returns
         ``(cursor, report)``.
         """
+        from ..relational.result import Cursor
+
         report = MediationReport()
         started = time.perf_counter()
         statement, partial = self._ship_views(sql, views, False, report)
-        assert not partial  # pushdown disabled: nothing partial
-        if statement is not None:
-            cursor = self._scratch.stream_ast(statement)
-        else:
-            cursor = self._scratch.stream(sql)
+        try:
+            if statement is not None:
+                cursor = self._scratch.stream_ast(statement)
+            else:
+                cursor = self._scratch.stream(sql)
+        except BaseException:
+            # Eager plan/parse errors would otherwise strand the
+            # skip-reduced copies under their view names forever.
+            self._drop_partials(partial)
+            raise
+        if partial:
+            # Pushdown is off, so these are skip-reduced views: tie
+            # their cleanup to the cursor (close the inner stream
+            # first — it holds the scratch read lock the drop needs).
+            inner = cursor
+
+            def cleanup() -> None:
+                inner.close()
+                self._drop_partials(partial)
+
+            cursor = Cursor(inner.columns, inner, on_close=cleanup)
         report.elapsed_s = time.perf_counter() - started
         return cursor, report
 
@@ -366,13 +526,21 @@ class MediatorSession:
                     pushdown: bool, report: MediationReport):
         """Prune, cost-rank and materialize the views *sql* needs.
 
+        All fragments of all missed views are dispatched to the sources
+        in **one concurrent batch** (the executor's worker pool); the
+        per-view reconciliation barrier then assembles each view from
+        its fragments in definition order, and the views are stored in
+        the cost ranking — so the report reads exactly as the serial
+        shipping of earlier revisions, only faster.
+
         Returns ``(statement, partial)`` — the parsed statement (or
         ``None`` when unparseable) and the names of filtered, partial
         materializations the caller must drop when done.
         """
         statement = Mediator._try_parse(sql)
         if views is not None:
-            wanted = views
+            # Dedupe (order-preserving): a repeated name is one view.
+            wanted = list(dict.fromkeys(views))
         elif statement is not None:
             wanted = self.mediator.referenced_views_in(statement)
         else:
@@ -382,8 +550,8 @@ class MediatorSession:
             if view_name not in self.mediator._views:
                 raise MediationError(f"unknown view {view_name!r}")
 
-        # Cost-ranked source selection: ship cheapest views first
-        # (already-local materializations cost nothing).
+        # Cost-ranked source selection: cheapest views first in the
+        # report and the scratch store (already-local ones are free).
         for view_name in wanted:
             view = self.mediator._views[view_name]
             report.view_costs[view_name] = (
@@ -395,25 +563,49 @@ class MediatorSession:
 
         pushable = (_pushable_filters(statement, wanted, self.mediator)
                     if pushdown and statement is not None else {})
+        missed: list[str] = []
+        jobs: list[FragmentJob] = []
+        for view_name in ranked:
+            view = self.mediator._views[view_name]
+            if view_name in self._view_rows:
+                self.hits += 1
+                report.view_rows[view.name] = self._view_rows[view.name]
+                continue
+            missed.append(view_name)
+            view_jobs = self.mediator._fragment_jobs(
+                view, pushable.get(view_name))
+            jobs.extend(view_jobs)
+            for job in view_jobs:
+                report.sub_queries.append((job.source, job.sql))
+        if not jobs:
+            return statement, []
+
+        # One batch, all views: a failing fragment (under the ``fail``
+        # policy) aborts here, before anything is stored — no view of
+        # this batch is ever observable partially shipped.
+        shipped = self._executor.ship(jobs)
         partial: list[str] = []
         try:
-            for view_name in ranked:
+            for view_name in missed:
                 view = self.mediator._views[view_name]
-                if view_name in self._view_rows:
-                    self.hits += 1
-                    report.view_rows[view.name] = \
-                        self._view_rows[view.name]
-                    continue
-                filter_sql = pushable.get(view_name)
-                rows, columns = self.mediator._materialize_view(
-                    view, report, filter_sql)
+                results = shipped.get(view_name, [])
+                Mediator._fold_results(report, results)
+                rows, columns = self.mediator._assemble_view(
+                    view, results, report)
                 Mediator._store(self._scratch, view.name, columns, rows)
                 self.misses += 1
-                if filter_sql is not None:
+                filter_sql = pushable.get(view_name)
+                skip_reduced = any(outcome.result is None
+                                   for outcome in results)
+                if filter_sql is not None or skip_reduced:
                     # A filtered materialization is partial: usable for
                     # this query only, never cached for later ones.
+                    # Ditto a skip-reduced one — caching it would keep
+                    # serving the dropped source's absence (with clean
+                    # reports) long after the source recovered.
                     partial.append(view.name)
-                    report.pushed_filters[view.name] = filter_sql
+                    if filter_sql is not None:
+                        report.pushed_filters[view.name] = filter_sql
                 else:
                     self._view_rows[view.name] = len(rows)
                 report.view_rows[view.name] = len(rows)
@@ -440,7 +632,14 @@ class MediatorSession:
     def explain(self, sql: str, pushdown: bool = True) -> "QueryPlan":
         """The mediation plan — pruned views, cost-ranked per-source
         sub-queries, pushed filters and materialization cache state —
-        without shipping anything."""
+        without shipping anything.
+
+        Views still to be shipped appear as **batched** ``materialize``
+        stages: all their fragments are dispatched in one concurrent
+        batch through the worker pool, so the stage carries the whole
+        batch (every fragment of every missed view) and the pool width.
+        Already-materialized views stay as individual cached stages.
+        """
         from ..api.plan import PlanStage, QueryPlan
 
         statement = Mediator._try_parse(sql)
@@ -459,21 +658,31 @@ class MediatorSession:
         pushable = (_pushable_filters(statement, wanted, self.mediator)
                     if pushdown and statement is not None else {})
         hits = misses = 0
+        batch: list[str] = []
         for view_name in ranked:
             view = self.mediator._views[view_name]
-            cached = view_name in self._view_rows
-            hits += cached
-            misses += not cached
-            description = (f"view {view_name!r}: {view.reconciliation} "
-                           f"over {len(view.fragments)} fragment(s), "
-                           f"cost~{costs[view_name]:.0f}")
+            if view_name in self._view_rows:
+                hits += 1
+                stages.append(PlanStage(
+                    "materialize",
+                    f"view {view_name!r}: local materialization reused",
+                    cached=True))
+                continue
+            misses += 1
+            label = (f"{view_name!r} ({view.reconciliation}, "
+                     f"cost~{costs[view_name]:.0f}")
             if view_name in pushable:
-                description += f", pushdown [{pushable[view_name]}]"
+                label += f", pushdown [{pushable[view_name]}]"
+            label += ")"
+            batch.extend(f"{label} <- {fragment.source}: {fragment.sql}"
+                         for fragment in view.fragments)
+        if batch:
+            workers = min(self.options.max_workers, len(batch))
             stages.append(PlanStage(
-                "materialize", description,
-                [f"{fragment.source}: {fragment.sql}"
-                 for fragment in view.fragments],
-                cached=cached))
+                "materialize",
+                f"batch of {misses} view(s), {len(batch)} fragment(s) "
+                f"shipped in parallel ({workers} worker(s))",
+                batch))
         stages.append(PlanStage(
             "sql", "scratch database executes the global query", [sql]))
         plan = QueryPlan(

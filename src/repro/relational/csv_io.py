@@ -78,10 +78,10 @@ def load_csv(db: Database, table_name: str, text: str,
             values = [row[index] for row in rows]
             columns.append(Column(name, _infer_column(values)))
         db.create_table(table_name, columns)
-    table = db.table(table_name)
-    for row in rows:
-        table.insert_row(dict(zip(header, row)))
-    return len(rows)
+    # Through the bulk helper: write-locked, stats maintained, and the
+    # mutation generation bumped so fragment caches see the append.
+    return db.insert_rows(
+        table_name, (dict(zip(header, row)) for row in rows))
 
 
 def load_csv_file(db: Database, table_name: str, path: str,

@@ -55,6 +55,25 @@ class Database:
         #: Readers (SELECT / cursors) share; writers (DML/DDL/ANALYZE)
         #: are exclusive.
         self.rwlock = RWLock()
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Cheap mutation stamp: bumped once per DML/DDL statement (and
+        per bulk helper) under the write lock, so any observable data
+        change moves it forward.  ANALYZE and the lock-free SESQL
+        temp-table injection leave it unchanged — neither alters what a
+        query against the durable schema can see.  The federation layer
+        keys its fragment-result cache on ``(source, SQL, generation)``.
+        """
+        return self._generation
+
+    def bump_generation(self) -> None:
+        """Advance the mutation stamp for an out-of-band data change
+        (e.g. attaching a foreign table): invalidates every
+        generation-keyed cache entry for this database."""
+        with self.rwlock.write_locked():
+            self._generation += 1
 
     @property
     def last_plan(self):
@@ -94,7 +113,16 @@ class Database:
             with self.rwlock.read_locked():
                 return self._run_select(stmt)
         with self.rwlock.write_locked():
-            return self._run_mutation(stmt)
+            if isinstance(stmt, ast.AnalyzeStmt):
+                return self._run_mutation(stmt)
+            try:
+                return self._run_mutation(stmt)
+            finally:
+                # Bumped even when the statement fails: a multi-row
+                # INSERT that dies mid-way has already mutated data, so
+                # over-invalidating generation-keyed caches is safe
+                # where a missed invalidation would serve stale rows.
+                self._generation += 1
 
     def _run_mutation(self, stmt: ast.Statement) -> int | None:
         if isinstance(stmt, ast.InsertStmt):
@@ -383,14 +411,17 @@ class Database:
                      if_not_exists: bool = False) -> Table | None:
         """Programmatic CREATE TABLE."""
         with self.rwlock.write_locked():
-            return self.catalog.create_table(
+            table = self.catalog.create_table(
                 TableSchema(name, columns), if_not_exists)
+            self._generation += 1
+            return table
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
         """Programmatic DROP TABLE (write-locked, stats forgotten)."""
         with self.rwlock.write_locked():
             self.catalog.drop_table(name, if_exists)
             self.stats.forget(name)
+            self._generation += 1
 
     def create_temp_table(self, name: str,
                           columns: list[Column]) -> Table:
@@ -425,6 +456,7 @@ class Database:
                 count += 1
             if inserted:
                 self.stats.note_inserted(table.name, inserted, table.schema)
+            self._generation += 1
             return count
 
     def table(self, name: str) -> Table:

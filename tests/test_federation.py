@@ -93,6 +93,33 @@ def test_csv_source_rejects_ragged_rows():
         CsvSource("a,b\n1\n")
 
 
+def test_csv_source_mixed_numeric_column_widens_to_real():
+    # Regression: inference used only the first non-null value, so a
+    # mixed 1 / 2.5 column was INTEGER and every scan raised
+    # TypeMismatchError on the 2.5.
+    db = Database()
+    source = CsvSource("elem,amount\nHg,1\nPb,2.5\n")
+    attach_foreign_table(db, "t", source)
+    rows = db.query("SELECT elem, amount FROM t ORDER BY amount").rows
+    assert rows == [("Hg", 1.0), ("Pb", 2.5)]
+
+
+def test_csv_source_mixed_number_and_text_widens_to_text():
+    db = Database()
+    source = CsvSource("amount\n1\nn/a\n", name="m")
+    attach_foreign_table(db, "m", source, mode="snapshot")
+    assert sorted(db.query("SELECT amount FROM m").rows) == [
+        ("1",), ("n/a",)]
+
+
+def test_csv_source_null_then_mixed_values_still_widen():
+    source = CsvSource("amount\n\n3\n0.5\n")
+    rows = sorted(row for row in source.rows() if row[0] is not None)
+    from repro.relational.types import DataType
+    assert source.schema().columns[0].data_type is DataType.REAL
+    assert rows == [(0.5,), (3,)]
+
+
 def test_scan_count_tracks_remote_hits(sources):
     italy, france = sources
     table = attach_foreign_table(
@@ -100,6 +127,61 @@ def test_scan_count_tracks_remote_hits(sources):
     italy.query("SELECT * FROM landfill_fr")
     italy.query("SELECT * FROM landfill_fr")
     assert table.scan_count == 2
+
+
+def test_len_charges_remote_accounting_in_live_mode(sources):
+    # Regression: a cardinality probe ran the full remote query but
+    # charged no latency and never bumped scan_count.
+    italy, france = sources
+    table = attach_foreign_table(
+        italy, "landfill_fr", RemoteTableSource(france, "landfill"))
+    assert table.scan_count == 0
+    assert len(table) == 2
+    assert table.scan_count == 1
+
+
+def test_len_serves_cached_count_in_snapshot_mode(sources):
+    italy, france = sources
+    table = attach_foreign_table(
+        italy, "landfill_fr", RemoteTableSource(france, "landfill"),
+        mode="snapshot")
+    assert len(table) == 2
+    assert table.scan_count == 0   # local copy: no remote hop
+
+
+def test_snapshot_scans_charge_no_remote_accounting(sources):
+    italy, france = sources
+    table = attach_foreign_table(
+        italy, "landfill_fr", RemoteTableSource(france, "landfill"),
+        mode="snapshot")
+    italy.query("SELECT * FROM landfill_fr")
+    assert table.scan_count == 0   # scans read the local copy too
+
+
+def test_query_source_schema_computed_once(sources):
+    # Regression: attaching a remote view cost one extra full remote
+    # execution per schema consultation.
+    italy, france = sources
+
+    class CountingDatabase:
+        def __init__(self, inner):
+            self.inner = inner
+            self.queries = 0
+
+        def query(self, sql):
+            self.queries += 1
+            return self.inner.query(sql)
+
+    counting = CountingDatabase(france)
+    source = QuerySource(counting, "SELECT name FROM landfill", "fr_v")
+    attach_foreign_table(italy, "fr_v", source)
+    after_attach = counting.queries
+    source.schema()
+    source.schema()
+    assert counting.queries == after_attach == 1
+    # rows() stays live: every scan re-executes the remote query.
+    italy.query("SELECT * FROM fr_v")
+    assert counting.queries == 2
 
 
 # -- mediator -------------------------------------------------------------------
