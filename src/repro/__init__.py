@@ -40,6 +40,8 @@ Layers:
 
 from .api import (PlanCache, PlatformSession, PreparedQuery, QueryOptions,
                   QueryPlan, Session, SessionError, connect)
+from .durability import (DurabilityError, DurabilityManager,
+                         DurabilityOptions, RecoveryReport)
 from .planner import (OperatorNode, PlannedStatement, PlannerOptions,
                       StatisticsCatalog)
 
@@ -47,7 +49,8 @@ __all__ = [
     "connect", "Session", "PlatformSession", "PreparedQuery",
     "QueryOptions", "QueryPlan", "PlanCache", "SessionError",
     "PlannerOptions", "PlannedStatement", "OperatorNode",
-    "StatisticsCatalog",
+    "StatisticsCatalog", "DurabilityOptions", "DurabilityManager",
+    "DurabilityError", "RecoveryReport",
 ]
 
 __version__ = "0.2.0"

@@ -5,11 +5,13 @@ Two caches sit on the repeated-query hot path:
 * :class:`PlanCache` — SESQL text → parsed :class:`EnrichedQuery`
   template (+ placeholder count).  Parsing is KB-independent, so the
   key is the raw text alone.
-* :class:`ExtractionCache` — (kind, KB generation, arguments) → SPARQL
-  :class:`~repro.core.sqm.Extraction`.  The KB generation stamp is
-  globally unique per store state (see :mod:`repro.rdf.store`), so a
-  stale entry can never be observed; it simply stops being requested
-  and ages out of the LRU order.
+* :class:`ExtractionCache` — (kind, KB store id + generation,
+  arguments) → SPARQL :class:`~repro.core.sqm.Extraction`.  Generations
+  are per-store counters (see :mod:`repro.rdf.store`), so the key pairs
+  each with the store's process-unique ``store_id``: a (store,
+  generation) pair is never reused for different data, a stale entry
+  can never be observed; it simply stops being requested and ages out
+  of the LRU order.
 
 Both expose ``hits`` / ``misses`` counters which ``explain()`` and the
 E9 benchmark read.

@@ -78,6 +78,10 @@ class Session:
         #: O(1) and held sessions pick up registry changes lazily).
         self._engine_factory = engine_factory
         self._engine_stale = False
+        #: The session-owned :class:`repro.durability.DurabilityManager`
+        #: when ``connect(..., durability=...)`` switched durability on
+        #: (None otherwise); closed together with the session.
+        self.durability = None
         self._closed = False
 
     # -- plumbing -----------------------------------------------------------
@@ -115,6 +119,8 @@ class Session:
         self.plan_cache.clear()
         if self._owns_extraction_cache:
             self.engine.sqm.cache.clear()
+        if self.durability is not None:
+            self.durability.close()
         self._closed = True
 
     def __enter__(self) -> "Session":
@@ -399,9 +405,27 @@ class PlatformSession:
         self._closed = True
 
 
+def _reject_durability(durability, kind: str, hint: str) -> None:
+    if durability is not None:
+        raise SessionError(
+            f"durability does not apply when connecting a {kind}; {hint}")
+
+
+def _enable_durability(durability, databank, knowledge_base):
+    """Attach a manager to the databank (+ KB store) and recover."""
+    from ..durability import DurabilityManager
+    manager = (durability if isinstance(durability, DurabilityManager)
+               else DurabilityManager(durability))
+    manager.attach_database(databank)
+    if knowledge_base is not None and hasattr(knowledge_base, "add_all"):
+        manager.attach_store(knowledge_base, name="kb")
+    manager.recover()
+    return manager
+
+
 def connect(source, options: QueryOptions | None = None,
             knowledge_base=None, mapping=None, stored_queries=None,
-            **option_overrides):
+            durability=None, **option_overrides):
     """The one entry point: a session over whatever *source* is.
 
     * :class:`~repro.relational.Database` — a plain databank; pass
@@ -412,6 +436,19 @@ def connect(source, options: QueryOptions | None = None,
       shared :class:`PlatformSession`; use ``.as_user(name)``.
     * :class:`~repro.federation.Mediator` — returns a
       :class:`~repro.federation.MediatorSession` over the global schema.
+
+    *durability* (a :class:`repro.durability.DurabilityOptions`, or a
+    directory path) switches on write-ahead logging + snapshots for a
+    plain-Database connection: the databank (and the given
+    ``knowledge_base`` triple store, when one is passed) is attached,
+    prior state in the directory is recovered, and an already-populated
+    stack over a fresh directory gets an immediate baseline snapshot.
+    When prior state exists the attached components must be empty —
+    construct a fresh ``Database()`` (and empty store) and let recovery
+    repopulate them.  The manager closes with the session and is
+    reachable as ``session.durability``.  For a CroSSE platform, pass
+    durability to the :class:`~repro.crosse.CrossePlatform` constructor
+    instead.
 
     Keyword overrides (``join_strategy="direct"``, ...) build a
     :class:`QueryOptions` on the fly.
@@ -431,6 +468,8 @@ def connect(source, options: QueryOptions | None = None,
     from ..relational.engine import Database
     if isinstance(source, SESQLEngine):
         reject_wiring("engine")
+        _reject_durability(durability, "SESQLEngine",
+                           "connect its Database instead")
         return Session(source, options)
     if isinstance(source, Database):
         resolved = options or QueryOptions()
@@ -441,16 +480,25 @@ def connect(source, options: QueryOptions | None = None,
             join_strategy=resolved.join_strategy or "tempdb",
             extraction_cache=ExtractionCache(
                 resolved.extraction_cache_size))
-        return Session(engine, resolved)
+        session = Session(engine, resolved)
+        if durability is not None:
+            session.durability = _enable_durability(
+                durability, source, knowledge_base)
+        return session
 
     from ..crosse.platform import CrossePlatform
     if isinstance(source, CrossePlatform):
         reject_wiring("platform")
+        _reject_durability(
+            durability, "CrossePlatform",
+            "pass it to the CrossePlatform constructor instead")
         return source.connect(options)
 
     from ..federation.mediator import Mediator
     if isinstance(source, Mediator):
         reject_wiring("mediator")
+        _reject_durability(durability, "Mediator",
+                           "make each fragment database durable instead")
         if options is not None:
             raise SessionError(
                 "QueryOptions do not apply to mediator sessions (no "

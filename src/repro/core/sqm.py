@@ -64,7 +64,11 @@ class SemanticQueryModule:
         if self.cache is None or generation is None:
             return compute()
         stored = self.stored_queries.get(args[0])
-        key = (kind, generation, args,
+        # Generations are per-store counters, so the key pairs them
+        # with the store's process-unique identity: two stores both at
+        # generation 3 (e.g. successive effective-KB rebuilds) must not
+        # collide.
+        key = (kind, getattr(kb, "store_id", id(kb)), generation, args,
                stored.text if stored is not None else None)
         extraction = self.cache.get(key)
         if extraction is None:

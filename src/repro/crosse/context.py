@@ -69,6 +69,9 @@ class ContextTracker:
         self._profiles: dict[str, ContextProfile] = {}
         # resource -> {username -> access count}; feeds data recommendation.
         self._resource_access: dict[str, dict[str, int]] = defaultdict(dict)
+        #: Durability hook (duck-typed), set by an attached
+        #: :class:`repro.durability.DurabilityManager`.
+        self.durability_journal = None
 
     def profile(self, username: str) -> ContextProfile:
         if username not in self._profiles:
@@ -83,11 +86,18 @@ class ContextTracker:
         profile = self.profile(username)
         for concept in concepts:
             profile.record(concept, event)
+        if concepts and self.durability_journal is not None:
+            self.durability_journal.log(
+                "context", {"username": username,
+                            "concepts": list(concepts), "event": event})
 
     def record_resource(self, username: str, resource: str) -> None:
         """Track that *username* explored/used *resource*."""
         accesses = self._resource_access[resource]
         accesses[username] = accesses.get(username, 0) + 1
+        if self.durability_journal is not None:
+            self.durability_journal.log(
+                "resource", {"username": username, "resource": resource})
 
     def resources_of(self, username: str) -> list[str]:
         return sorted(resource

@@ -26,13 +26,12 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from ..rdf.namespace import RDF, SMG
 from ..rdf.store import TermDictionary, Triple, TripleStore
 from ..rdf.terms import IRI, Literal, Term, term_from_python
 from .errors import StatementError
-
-_statement_ids = itertools.count()
 
 
 @dataclass
@@ -80,6 +79,13 @@ class KnowledgeBaseStore:
         self._effective_cache: dict[str, tuple[int, TripleStore]] = {}
         self._user_stamp: dict[str, int] = {}
         self._clock = itertools.count(1)
+        #: Per-instance statement-id counter (not a module global): a
+        #: recovered store must hand out exactly the ids the pre-crash
+        #: process did, independent of any other store in the process.
+        self._next_statement_id = 0
+        #: Durability hook (duck-typed), set by an attached
+        #: :class:`repro.durability.DurabilityManager`.
+        self.durability_journal = None
 
     def _touch(self, *usernames: str) -> None:
         """Advance the mutation stamp of every affected user."""
@@ -99,11 +105,21 @@ class KnowledgeBaseStore:
         intern(triple.subject)
         intern(triple.predicate)
         intern(triple.object)
-        record = StatementRecord(next(_statement_ids), triple, author,
+        statement_id = self._next_statement_id
+        self._next_statement_id += 1
+        record = StatementRecord(statement_id, triple, author,
                                  public, reference=reference)
         self._statements[record.statement_id] = record
         self._by_author.setdefault(author, []).append(record.statement_id)
         self._touch(author)
+        if self.durability_journal is not None:
+            ref = record.reference
+            self.durability_journal.log(
+                "stmt_insert",
+                {"id": statement_id, "author": author,
+                 "triple": list(triple), "public": public,
+                 "reference": ([ref.title, ref.author, ref.link]
+                               if ref is not None else None)})
         return record
 
     def retract(self, author: str, statement_id: int) -> None:
@@ -117,6 +133,9 @@ class KnowledgeBaseStore:
         del self._statements[statement_id]
         self._by_author[author].remove(statement_id)
         self._touch(author, *record.accepted_by)
+        if self.durability_journal is not None:
+            self.durability_journal.log(
+                "stmt_retract", {"id": statement_id, "author": author})
 
     # -- acceptance (the crowdsourced scenario) ------------------------------------
 
@@ -130,12 +149,43 @@ class KnowledgeBaseStore:
                 f"statement {statement_id} is not public")
         record.accepted_by.add(username)
         self._touch(username)
+        if self.durability_journal is not None:
+            self.durability_journal.log(
+                "stmt_accept", {"id": statement_id, "username": username})
         return record
 
     def reject(self, username: str, statement_id: int) -> None:
         record = self.get(statement_id)
         record.accepted_by.discard(username)
         self._touch(username)
+        if self.durability_journal is not None:
+            self.durability_journal.log(
+                "stmt_reject", {"id": statement_id, "username": username})
+
+    # -- crash recovery -------------------------------------------------------
+
+    def restore_statement(self, statement_id: int, triple: Triple,
+                          author: str, public: bool,
+                          accepted_by: Iterable[str] = (),
+                          reference: Reference | None = None) -> None:
+        """Re-insert a statement with its exact pre-crash identity.
+
+        Used by snapshot load and WAL replay; idempotent on id so a
+        snapshot/WAL overlap never duplicates provenance.
+        """
+        if statement_id in self._statements:
+            return
+        intern = self.dictionary.intern
+        intern(triple.subject)
+        intern(triple.predicate)
+        intern(triple.object)
+        record = StatementRecord(statement_id, triple, author, public,
+                                 set(accepted_by), reference)
+        self._statements[statement_id] = record
+        self._by_author.setdefault(author, []).append(statement_id)
+        self._next_statement_id = max(self._next_statement_id,
+                                      statement_id + 1)
+        self._touch(author, *record.accepted_by)
 
     # -- lookup --------------------------------------------------------------------
 

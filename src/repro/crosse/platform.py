@@ -31,9 +31,16 @@ class CrossePlatform:
     """The social knowledge platform around a databank."""
 
     def __init__(self, databank: Database,
-                 mapping: ResourceMapping | None = None) -> None:
+                 mapping: ResourceMapping | None = None,
+                 durability=None) -> None:
         self.databank = databank
         self.mapping = mapping or ResourceMapping()
+        #: Durability hook (duck-typed) for platform-level records
+        #: (stored queries, documents); set by an attached manager.
+        self.durability_journal = None
+        #: The attached :class:`repro.durability.DurabilityManager`
+        #: (None = durability off, the default).
+        self.durability = None
         self.users = UserRegistry()
         self.statements = KnowledgeBaseStore()
         self.tagging = SemanticTaggingModule(
@@ -54,6 +61,31 @@ class CrossePlatform:
         #: sees KB invalidations again.
         self._sessions: list[weakref.ref[PlatformSession]] = []
         self._sessions_lock = threading.Lock()
+        if durability is not None:
+            self.enable_durability(durability)
+
+    # -- durability ----------------------------------------------------------
+
+    def enable_durability(self, options):
+        """Attach a WAL + snapshot manager and recover prior state.
+
+        *options* is a :class:`repro.durability.DurabilityOptions` (or
+        an already-constructed manager).  The databank and every piece
+        of platform state (users, statements, context, stored queries,
+        documents) become durable; recovery runs immediately, so a
+        platform constructed over an existing durability directory
+        comes back with its pre-crash state.
+        """
+        from ..durability import DurabilityManager
+        if self.durability is not None:
+            raise RuntimeError("durability is already enabled")
+        manager = (options if isinstance(options, DurabilityManager)
+                   else DurabilityManager(options))
+        manager.attach_database(self.databank)
+        manager.attach_platform(self)
+        manager.recover()
+        self.durability = manager
+        return manager
 
     # -- users ---------------------------------------------------------------
 
@@ -80,6 +112,11 @@ class CrossePlatform:
             registry = self._user_queries.setdefault(
                 username, StoredQueryRegistry())
             registry.register(name, sparql, description)
+        if self.durability_journal is not None:
+            self.durability_journal.log(
+                "stored_query", {"name": name, "sparql": sparql,
+                                 "username": username,
+                                 "description": description})
         # Cached engines carry a merged registry snapshot; rebuild lazily.
         self._invalidate_sessions(username)
 
@@ -229,6 +266,10 @@ class CrossePlatform:
                      tags: list[str] | None = None) -> Document:
         document = Document(doc_id, title, text, list(tags or []))
         self.documents[doc_id] = document
+        if self.durability_journal is not None:
+            self.durability_journal.log(
+                "document", {"doc_id": doc_id, "title": title,
+                             "text": text, "tags": document.tags})
         return document
 
     def search_documents(self, username: str,

@@ -33,6 +33,9 @@ class UserRegistry:
 
     def __init__(self) -> None:
         self._users: dict[str, User] = {}
+        #: Durability hook (duck-typed), set by an attached
+        #: :class:`repro.durability.DurabilityManager`.
+        self.durability_journal = None
 
     def register(self, username: str, display_name: str = "",
                  affiliation: str = "",
@@ -42,6 +45,12 @@ class UserRegistry:
         user = User(username, display_name, affiliation,
                     list(declared_interests or []))
         self._users[username] = user
+        if self.durability_journal is not None:
+            self.durability_journal.log(
+                "user", {"username": username,
+                         "display_name": user.display_name,
+                         "affiliation": affiliation,
+                         "interests": user.declared_interests})
         return user
 
     def get(self, username: str) -> User:

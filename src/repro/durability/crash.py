@@ -1,0 +1,113 @@
+"""The crash-point test harness: fault injection at every write boundary.
+
+A :class:`FaultyOpener` is plugged into ``DurabilityOptions.file_opener``
+so every durable file the manager opens is wrapped.  Run once with no
+budget to *record* the byte offset of every OS write boundary; then for
+each boundary re-run the same workload with ``crash_after_bytes`` set —
+the opener writes exactly that many bytes (possibly tearing a frame
+mid-write), raises :class:`CrashPoint`, and refuses all further I/O,
+exactly like a process that lost power.  Recovery of the surviving
+files must then match a never-crashed reference that applied the same
+durable prefix.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .errors import DurabilityError
+
+
+class CrashPoint(Exception):
+    """The simulated power failure."""
+
+
+class FaultyOpener:
+    """An ``open()`` replacement with a cumulative byte budget.
+
+    ``crash_after_bytes=None`` records write boundaries without ever
+    failing; otherwise the first write that would exceed the budget
+    writes only its in-budget prefix, flushes it, and raises
+    :class:`CrashPoint`.  Once crashed, every write/flush/fsync on any
+    file from this opener raises — nothing "after the power cut" can
+    reach the disk.
+    """
+
+    def __init__(self, crash_after_bytes: int | None = None) -> None:
+        self.crash_after_bytes = crash_after_bytes
+        self.bytes_written = 0
+        self.crashed = False
+        #: Cumulative offsets at the end of every completed write call,
+        #: recorded across *all* files this opener produced — the crash
+        #: matrix is built from these.
+        self.write_boundaries: list[int] = []
+
+    def __call__(self, path: str, mode: str = "rb",
+                 **kwargs: Any) -> "FaultyFile":
+        if self.crashed:
+            raise CrashPoint(f"open({path!r}) after simulated crash")
+        return FaultyFile(open(path, mode, **kwargs), self)
+
+
+class FaultyFile:
+    """File wrapper enforcing the opener's shared byte budget."""
+
+    def __init__(self, handle: Any, opener: FaultyOpener) -> None:
+        self._handle = handle
+        self._opener = opener
+
+    def write(self, data: bytes) -> int:
+        opener = self._opener
+        if opener.crashed:
+            raise CrashPoint("write after simulated crash")
+        budget = opener.crash_after_bytes
+        if budget is not None:
+            remaining = budget - opener.bytes_written
+            if len(data) > remaining:
+                if remaining > 0:
+                    self._handle.write(data[:remaining])
+                    self._handle.flush()
+                opener.bytes_written = budget
+                opener.crashed = True
+                raise CrashPoint(
+                    f"simulated crash at byte {budget} "
+                    f"(mid-write of {len(data)} bytes)")
+        written = self._handle.write(data)
+        opener.bytes_written += len(data)
+        opener.write_boundaries.append(opener.bytes_written)
+        return written
+
+    def flush(self) -> None:
+        if self._opener.crashed:
+            raise CrashPoint("flush after simulated crash")
+        self._handle.flush()
+
+    def fileno(self) -> int:
+        # os.fsync() goes through here: a crashed opener must not let
+        # the manager "sync" bytes that never made it out.
+        if self._opener.crashed:
+            raise CrashPoint("fsync after simulated crash")
+        return self._handle.fileno()
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._handle, name)
+
+
+def crash_budgets(boundaries: list[int]) -> list[int]:
+    """The fault matrix for a recorded clean run.
+
+    For every write boundary: crash exactly *at* it (the next write
+    vanishes entirely) and one byte *before* it (the write is torn
+    mid-frame).  Deduplicated and ordered.
+    """
+    if not boundaries:
+        raise DurabilityError("clean run recorded no write boundaries")
+    budgets: set[int] = {0}
+    for boundary in boundaries:
+        budgets.add(boundary)
+        if boundary > 0:
+            budgets.add(boundary - 1)
+    return sorted(budgets)

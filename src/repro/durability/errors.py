@@ -1,0 +1,15 @@
+"""Errors raised by the durability subsystem."""
+
+from __future__ import annotations
+
+
+class DurabilityError(Exception):
+    """Base class for WAL / snapshot / recovery failures."""
+
+
+class WalCorruptionError(DurabilityError):
+    """A WAL frame failed its length or checksum validation."""
+
+
+class SnapshotError(DurabilityError):
+    """A snapshot file is unreadable, truncated or checksum-invalid."""

@@ -1,0 +1,71 @@
+"""Configuration for the durability subsystem.
+
+Durability is **off by default** everywhere — a
+:class:`DurabilityOptions` handed to ``repro.connect(...)`` or the
+:class:`~repro.crosse.platform.CrossePlatform` constructor switches it
+on for that stack.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from .errors import DurabilityError
+
+_FSYNC_POLICIES = ("always", "batch", "never")
+
+
+@dataclass(frozen=True)
+class DurabilityOptions:
+    """Knobs for the WAL + snapshot manager.
+
+    ``fsync`` picks the durability/latency trade-off:
+
+    - ``"always"`` — every record is written *and* fsynced before the
+      mutating call returns (no data loss on power failure, slowest).
+    - ``"batch"`` (default) — records buffer until
+      ``group_commit_records`` / ``group_commit_bytes`` is reached,
+      then one write + fsync covers the whole group.
+    - ``"never"`` — the OS decides when bytes hit the platter (crash of
+      the *process* loses nothing once buffers flush; power loss may).
+
+    ``snapshot_every`` (records) enables the background compaction
+    thread: after that many WAL records a compacted snapshot is taken
+    and the WAL rotates.  ``keep_epochs`` bounds retention: the N most
+    recent snapshots stay on disk (plus every WAL segment any of them
+    could need for its tail), so a corrupt latest snapshot falls back
+    to the previous one with a longer replay.
+
+    ``file_opener`` replaces :func:`open` for every durable file the
+    manager writes — the crash-point test harness injects fault-raising
+    files through it.
+    """
+
+    directory: str
+    fsync: str = "batch"
+    group_commit_records: int = 64
+    group_commit_bytes: int = 256 * 1024
+    snapshot_every: int = 0
+    keep_epochs: int = 2
+    file_opener: Callable[..., Any] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.directory:
+            raise DurabilityError("durability directory must be non-empty")
+        if self.fsync not in _FSYNC_POLICIES:
+            raise DurabilityError(
+                f"fsync must be one of {_FSYNC_POLICIES}, "
+                f"got {self.fsync!r}")
+        if self.group_commit_records < 1:
+            raise DurabilityError("group_commit_records must be >= 1")
+        if self.group_commit_bytes < 1:
+            raise DurabilityError("group_commit_bytes must be >= 1")
+        if self.snapshot_every < 0:
+            raise DurabilityError("snapshot_every must be >= 0")
+        if self.keep_epochs < 1:
+            raise DurabilityError("keep_epochs must be >= 1")
+
+    def replace(self, **changes: Any) -> "DurabilityOptions":
+        return dataclasses.replace(self, **changes)

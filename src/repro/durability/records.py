@@ -1,0 +1,50 @@
+"""The JSON codec shared by WAL frames and snapshot bodies.
+
+Payloads are plain JSON values, except RDF terms, which are encoded as
+single-key marker objects (``{"@iri": ...}``, ``{"@lit": [value, lang,
+datatype]}``, ``{"@bnode": ...}``) so a replayed triple is
+*term-exact*: a ``Literal("1")`` never comes back as an ``IRI`` or an
+``int``, and a ``BNode`` keeps its identity across the crash.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..rdf.terms import BNode, IRI, Literal
+
+_IRI_KEY = "@iri"
+_LIT_KEY = "@lit"
+_BNODE_KEY = "@bnode"
+
+
+def json_default(value: Any) -> Any:
+    if isinstance(value, IRI):
+        return {_IRI_KEY: value.value}
+    if isinstance(value, Literal):
+        return {_LIT_KEY: [value.value, value.lang, value.datatype]}
+    if isinstance(value, BNode):
+        return {_BNODE_KEY: value.id}
+    raise TypeError(f"cannot serialize {value!r} to a durable record")
+
+
+def json_object_hook(obj: dict) -> Any:
+    if len(obj) == 1:
+        if _IRI_KEY in obj:
+            return IRI(obj[_IRI_KEY])
+        if _LIT_KEY in obj:
+            value, lang, datatype = obj[_LIT_KEY]
+            return Literal(value, lang, datatype)
+        if _BNODE_KEY in obj:
+            return BNode(obj[_BNODE_KEY])
+    return obj
+
+
+def encode_json(payload: Any) -> bytes:
+    return json.dumps(payload, separators=(",", ":"),
+                      default=json_default).encode("utf-8")
+
+
+def decode_json(data: bytes) -> Any:
+    return json.loads(data.decode("utf-8"), object_hook=json_object_hook)

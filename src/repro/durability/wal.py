@@ -1,0 +1,127 @@
+"""The append-only write-ahead log.
+
+Every record is one *frame*: an 8-byte header (big-endian payload
+length + CRC32 of the payload) followed by the JSON payload.  The frame
+shape is ``{"c": component, "q": per-component sequence, "g":
+post-mutation generation, "t": record type, "d": data}``; segment
+header frames use the reserved component name ``"__wal__"``.
+
+The reader is torn-tail tolerant by design: a crash mid-write leaves a
+frame whose length header overruns the file or whose checksum fails,
+and :func:`iter_frames` simply stops there, reporting the last valid
+byte offset so recovery can truncate the tail.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import Any, Callable, Iterator
+
+from .errors import WalCorruptionError
+from .records import decode_json, encode_json
+
+FRAME_HEADER = struct.Struct(">II")
+
+#: Sanity cap on a single frame: a corrupted length header must not
+#: make the reader attempt a multi-gigabyte allocation.
+MAX_FRAME_BYTES = 1 << 28
+
+#: Reserved component name for segment header frames.
+WAL_HEADER_COMPONENT = "__wal__"
+
+
+def encode_frame(payload: Any) -> bytes:
+    body = encode_json(payload)
+    if len(body) > MAX_FRAME_BYTES:
+        raise WalCorruptionError(
+            f"record of {len(body)} bytes exceeds the frame cap")
+    return FRAME_HEADER.pack(len(body), zlib.crc32(body)) + body
+
+
+def iter_frames(data: bytes) -> Iterator[tuple[Any, int]]:
+    """Yield ``(payload, end_offset)`` for every valid frame prefix.
+
+    Stops (without raising) at the first torn or corrupt frame; the
+    last yielded ``end_offset`` is the valid length of the log.
+    """
+    offset = 0
+    total = len(data)
+    while offset + FRAME_HEADER.size <= total:
+        length, checksum = FRAME_HEADER.unpack_from(data, offset)
+        if length > MAX_FRAME_BYTES:
+            return
+        end = offset + FRAME_HEADER.size + length
+        if end > total:
+            return
+        body = data[offset + FRAME_HEADER.size:end]
+        if zlib.crc32(body) != checksum:
+            return
+        yield decode_json(body), end
+        offset = end
+
+
+def read_frames(path: str) -> tuple[list[Any], int, int]:
+    """All valid frames of a segment plus (valid_end, file_size)."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    frames: list[Any] = []
+    end = 0
+    for payload, end in iter_frames(data):
+        frames.append(payload)
+    return frames, end, len(data)
+
+
+class WalWriter:
+    """Group-committing appender for one WAL segment.
+
+    ``fsync="always"`` writes and fsyncs every frame before the append
+    returns; ``"batch"`` buffers frames until a group-commit threshold,
+    then writes the whole group as **one** OS write followed by one
+    fsync; ``"never"`` writes at the same thresholds but leaves
+    syncing to the OS.  The caller serializes appends (the manager's
+    append lock).
+    """
+
+    def __init__(self, path: str, *, fsync: str = "batch",
+                 group_commit_records: int = 64,
+                 group_commit_bytes: int = 256 * 1024,
+                 opener: Callable[..., Any] | None = None) -> None:
+        self.path = path
+        self._fsync = fsync
+        self._group_records = max(1, group_commit_records)
+        self._group_bytes = max(1, group_commit_bytes)
+        self._fh = (opener or open)(path, "ab")
+        self._buffer: list[bytes] = []
+        self._buffered_bytes = 0
+        self._closed = False
+
+    def append(self, payload: Any) -> None:
+        frame = encode_frame(payload)
+        self._buffer.append(frame)
+        self._buffered_bytes += len(frame)
+        if self._fsync == "always":
+            self.flush(sync=True)
+        elif (len(self._buffer) >= self._group_records
+                or self._buffered_bytes >= self._group_bytes):
+            self.flush(sync=self._fsync == "batch")
+
+    def flush(self, sync: bool = False) -> None:
+        """Write out buffered frames; *sync* forces an fsync too."""
+        if self._buffer:
+            self._fh.write(b"".join(self._buffer))
+            self._buffer = []
+            self._buffered_bytes = 0
+            self._fh.flush()
+        if sync:
+            os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        try:
+            self.flush(sync=self._fsync == "always")
+        finally:
+            self._closed = True
+            self._fh.close()

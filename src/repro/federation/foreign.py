@@ -84,6 +84,9 @@ class CsvSource(ForeignSource):
 
     def __init__(self, text: str, name: str = "csv") -> None:
         self.name = name
+        #: Original CSV text, kept so a durability descriptor can
+        #: rebuild this source verbatim at recovery.
+        self.text = text
         reader = csv.reader(io.StringIO(text))
         try:
             header = next(reader)
@@ -238,6 +241,23 @@ class ForeignTable:
     drop_index = _read_only
 
 
+def describe_source(source: ForeignSource) -> dict:
+    """A JSON-able descriptor of a foreign source for the WAL.
+
+    Only CSV sources embed their data (the text is self-contained);
+    remote/query/callable sources record their identity and are
+    re-resolved by the caller at recovery — a replay must never re-run
+    a remote fetch as if it were local history.
+    """
+    if isinstance(source, CsvSource):
+        return {"kind": "csv", "name": source.name, "text": source.text}
+    if isinstance(source, QuerySource):
+        return {"kind": "query", "name": source.name, "sql": source.sql}
+    if isinstance(source, RemoteTableSource):
+        return {"kind": "remote", "table": source.table_name}
+    return {"kind": "callable"}
+
+
 def attach_foreign_table(db: Database, name: str, source: ForeignSource,
                          mode: str = "live",
                          latency_s: float = 0.0) -> ForeignTable:
@@ -245,5 +265,18 @@ def attach_foreign_table(db: Database, name: str, source: ForeignSource,
     table = ForeignTable(name, source, mode, latency_s)
     with db.rwlock.write_locked():
         db.catalog.register_table(table)  # duck-typed Table
-        db.bump_generation()  # DDL: queries can now observe new data
+        # DDL: queries can now observe new data.  Bumped inline (not
+        # bump_generation()) so the WAL carries one "attach_foreign"
+        # record, not a bump + descriptor pair.
+        db._generation += 1
+        journal = getattr(db, "durability_journal", None)
+        if journal is not None:
+            # Recorded as a descriptor, not a data mutation: recovery
+            # re-attaches (CSV text inline, remote sources through the
+            # caller-supplied resolver) instead of replaying fetches.
+            journal.log("attach_foreign",
+                        {"name": name, "mode": mode,
+                         "latency_s": latency_s,
+                         "source": describe_source(source)},
+                        generation=db.generation)
     return table

@@ -31,10 +31,14 @@ from ..rwlock import RWLock
 from .errors import RdfError
 from .terms import IRI, Term, is_term, term_from_python
 
-#: Global mutation clock shared by every store: each store state gets a
-#: stamp no other (store, state) pair can ever carry, so ``generation``
-#: alone is a safe cache key for KB-derived artefacts (SQM extractions).
-_GENERATIONS = itertools.count(1)
+#: Process-local store identities.  Generations are **per store** (a
+#: plain counter bumped under the write lock), so a recovered store can
+#: restore its counter monotonically from a WAL header without racing
+#: every other store in the process — the durability layer's
+#: requirement.  Cache keys that used to rely on globally-unique
+#: generations (SQM extractions) now pair the generation with this
+#: ``store_id``, which no two live stores ever share.
+_STORE_IDS = itertools.count(1)
 
 
 class Triple(NamedTuple):
@@ -224,7 +228,17 @@ class TripleStore:
         self.indexing = indexing
         self.dictionary = dictionary if dictionary is not None \
             else TermDictionary()
-        self.generation = next(_GENERATIONS)
+        #: Process-unique identity; pairs with :attr:`generation` in
+        #: generation-keyed caches (two stores may both be at, say,
+        #: generation 3).
+        self.store_id = next(_STORE_IDS)
+        #: Per-store mutation stamp: starts at 0, bumped once per
+        #: logical mutation batch under the write lock.
+        self.generation = 0
+        #: Durability hook (duck-typed): when a
+        #: :class:`repro.durability.DurabilityManager` attaches this
+        #: store, every committed mutation is logged here.
+        self.durability_journal = None
         self.rwlock = RWLock()
         self._spo: dict[int, dict[int, set[int]]] = {}
         self._pos: dict[int, dict[int, set[int]]] = {}
@@ -299,7 +313,11 @@ class TripleStore:
         with self.rwlock.write_locked():
             if not self._add_ids_locked(s, p, o):
                 return False
-            self.generation = next(_GENERATIONS)
+            self.generation += 1
+            if self.durability_journal is not None:
+                self.durability_journal.log(
+                    "add", {"triple": list(triple)},
+                    generation=self.generation)
             return True
 
     def add_all(self, triples: Iterable[Triple]) -> int:
@@ -328,6 +346,11 @@ class TripleStore:
         # instead of three dict updates per triple.
         defer_counts = self._size == 0
         count = 0
+        journal = self.durability_journal
+        #: Journaled batches record exactly the triples that made it
+        #: into the indexes (not the raw input): an iterable that raises
+        #: mid-batch must replay only its applied prefix.
+        added: list | None = [] if journal is not None else None
 
         def commit() -> None:
             # Runs in the finally below so size, the counters and the
@@ -353,7 +376,10 @@ class TripleStore:
                             for o in objects:
                                 o_counts[o] = o_get(o, 0) + 1
             self._size += count
-            self.generation = next(_GENERATIONS)
+            self.generation += 1
+            if added:
+                journal.log("add_all", {"triples": added},
+                            generation=self.generation)
 
         with self.rwlock.write_locked(), dictionary._lock:
             try:
@@ -423,6 +449,8 @@ class TripleStore:
                         p_counts[p] = p_get(p, 0) + 1
                         o_counts[o] = o_get(o, 0) + 1
                     count += 1
+                    if added is not None:
+                        added.append((s_term, p_term, o_term))
             finally:
                 commit()
         return count
@@ -441,7 +469,11 @@ class TripleStore:
         with self.rwlock.write_locked():
             if not self._remove_ids_locked(s, p, o):
                 return False
-            self.generation = next(_GENERATIONS)
+            self.generation += 1
+            if self.durability_journal is not None:
+                self.durability_journal.log(
+                    "remove", {"triple": list(triple)},
+                    generation=self.generation)
             return True
 
     def _remove_ids_locked(self, s: int, p: int, o: int) -> bool:
@@ -493,8 +525,55 @@ class TripleStore:
             for s, p, o in doomed:
                 self._remove_ids_locked(s, p, o)
             if doomed:
-                self.generation = next(_GENERATIONS)
+                self.generation += 1
+                if self.durability_journal is not None:
+                    # Record the concrete triples, not the pattern: an
+                    # exact replay must not depend on re-evaluating the
+                    # match against a possibly different dictionary.
+                    terms = self.dictionary.terms
+                    self.durability_journal.log(
+                        "remove_all",
+                        {"triples": [(terms[s], terms[p], terms[o])
+                                     for s, p, o in doomed]},
+                        generation=self.generation)
             return len(doomed)
+
+    def remove_all(self, triples: Iterable[Triple]) -> int:
+        """Remove a batch of concrete triples; returns the count removed.
+
+        One write-lock acquisition and one generation bump — the batch
+        analogue of :meth:`remove`, and the replay target for the
+        durability layer's ``remove_all`` records (which hold the
+        concrete triples a :meth:`remove_pattern` actually deleted).
+        """
+        encoded = []
+        for triple in triples:
+            if not isinstance(triple, Triple):
+                triple = _as_triple(*triple)
+            ids = self._encode_pattern(*triple)
+            if ids is not None:
+                encoded.append(ids)
+        if not encoded:
+            return 0
+        removed = 0
+        with self.rwlock.write_locked():
+            journal = self.durability_journal
+            logged: list | None = [] if journal is not None else None
+            for s, p, o in encoded:
+                if self._remove_ids_locked(s, p, o):
+                    removed += 1
+                    if logged is not None:
+                        logged.append((s, p, o))
+            if removed:
+                self.generation += 1
+                if logged:
+                    terms = self.dictionary.terms
+                    journal.log(
+                        "remove_all",
+                        {"triples": [(terms[s], terms[p], terms[o])
+                                     for s, p, o in logged]},
+                        generation=self.generation)
+        return removed
 
     def clear(self) -> None:
         with self.rwlock.write_locked():
@@ -505,7 +584,21 @@ class TripleStore:
             self._p_counts.clear()
             self._o_counts.clear()
             self._size = 0
-            self.generation = next(_GENERATIONS)
+            self.generation += 1
+            if self.durability_journal is not None:
+                self.durability_journal.log(
+                    "clear", {}, generation=self.generation)
+
+    def restore_generation(self, generation: int) -> None:
+        """Advance the mutation stamp to at least *generation*.
+
+        Recovery calls this after replaying the WAL so the restored
+        store's counter is monotonic with the pre-crash process —
+        generation-keyed caches can never observe a (store, generation)
+        pair that describes older data than a pair they already served.
+        """
+        with self.rwlock.write_locked():
+            self.generation = max(self.generation, generation)
 
     # -- lookup ------------------------------------------------------------------
 
@@ -693,6 +786,8 @@ class TripleStore:
         """
         if other.dictionary is self.dictionary:
             count = 0
+            journal = self.durability_journal
+            added: list | None = [] if journal is not None else None
             # Write side first: ``store.update(store)`` then piggybacks
             # the read acquisition instead of attempting an upgrade.
             with self.rwlock.write_locked():
@@ -703,13 +798,25 @@ class TripleStore:
                         # the source's index structures wholesale.
                         self._adopt_locked(other)
                         count = self._size
+                        if added is not None:
+                            added.extend(
+                                self._match_ids(None, None, None))
                     else:
                         add_locked = self._add_ids_locked
                         for s, p, o in list(
                                 other._match_ids(None, None, None)):
                             if add_locked(s, p, o):
                                 count += 1
+                                if added is not None:
+                                    added.append((s, p, o))
                     if count:
-                        self.generation = next(_GENERATIONS)
+                        self.generation += 1
+                        if added:
+                            terms = self.dictionary.terms
+                            journal.log(
+                                "add_all",
+                                {"triples": [(terms[s], terms[p], terms[o])
+                                             for s, p, o in added]},
+                                generation=self.generation)
             return count
         return self.add_all(other.triples())

@@ -19,9 +19,8 @@ from .schema import Column
 from .types import DataType, infer_type
 
 
-def _parse_cell(text: str) -> Any:
-    if text == "":
-        return None
+def _infer_value(text: str) -> Any:
+    """Type inference for one non-NULL cell (int > float > bool > text)."""
     try:
         return int(text)
     except ValueError:
@@ -33,6 +32,59 @@ def _parse_cell(text: str) -> Any:
     if text.lower() in ("true", "false"):
         return text.lower() == "true"
     return text
+
+
+def _parse_cell(text: str) -> Any:
+    if text == "":
+        return None
+    return _infer_value(text)
+
+
+def _check_null_marker(null_marker: str | None) -> None:
+    if null_marker is not None and (not null_marker
+                                    or not null_marker.startswith("\\")):
+        raise RelationalError(
+            f"null_marker must start with a backslash, got "
+            f"{null_marker!r}")
+
+
+def _decode_cell(cell: str, null_marker: str | None) -> str | None:
+    """Undo NULL marking/escaping; returns the raw text or None.
+
+    Without a marker the legacy convention applies (empty cell = NULL,
+    so an empty *string* is indistinguishable from NULL — the reason
+    snapshots always pass one).  With a marker, NULL is exactly the
+    marker, a leading backslash is an escape, and the empty string
+    round-trips as itself.
+    """
+    if null_marker is None:
+        return None if cell == "" else cell
+    if cell == null_marker:
+        return None
+    if cell.startswith("\\"):
+        return cell[1:]
+    return cell
+
+
+def _typed_value(text: str, data_type: DataType | None) -> Any:
+    """Parse a non-NULL cell against a known column type.
+
+    TEXT keeps the raw characters — ``"1.00"`` in a TEXT column must
+    not silently become ``1.0`` — and numeric parses fall back to
+    inference (schema coercion then reports any real mismatch).
+    """
+    if data_type is DataType.TEXT:
+        return text
+    try:
+        if data_type is DataType.INTEGER:
+            return int(text)
+        if data_type is DataType.REAL:
+            return float(text)
+    except ValueError:
+        return _infer_value(text)
+    if data_type is DataType.BOOLEAN and text.lower() in ("true", "false"):
+        return text.lower() == "true"
+    return _infer_value(text)
 
 
 def _infer_column(values: list[Any]) -> DataType:
@@ -52,18 +104,33 @@ def _infer_column(values: list[Any]) -> DataType:
 
 
 def load_csv(db: Database, table_name: str, text: str,
-             create: bool = True) -> int:
+             create: bool = True, *,
+             null_marker: str | None = None) -> int:
     """Load CSV text (header row required) into *table_name*.
 
     With ``create=True`` the table is created with inferred column
-    types; otherwise rows append to the existing table (whose schema
-    coerces them). Returns the number of rows inserted.
+    types; otherwise rows append to the existing table — parsed against
+    its **declared** column types, so a TEXT cell that merely looks
+    numeric (``"1.00"``) is not silently widened to ``1.0``.
+
+    *null_marker* (e.g. ``"\\\\N"``) distinguishes NULL from the empty
+    string: NULL dumps as the marker, a string cell starting with a
+    backslash is escaped with one more, and the empty string
+    round-trips as itself.  Without it the legacy convention applies
+    (empty cell = NULL).  Returns the number of rows inserted.
     """
+    _check_null_marker(null_marker)
     reader = csv.reader(io.StringIO(text))
     try:
         header = next(reader)
     except StopIteration:
         raise RelationalError("CSV input has no header row") from None
+    types: list[DataType | None] | None = None
+    if not create and db.catalog.has_table(table_name):
+        schema = db.table(table_name).schema
+        types = [schema.column(name).data_type
+                 if schema.has_column(name) else None
+                 for name in header]
     rows: list[list[Any]] = []
     for raw in reader:
         if not raw:
@@ -71,7 +138,16 @@ def load_csv(db: Database, table_name: str, text: str,
         if len(raw) != len(header):
             raise RelationalError(
                 f"CSV row has {len(raw)} fields, expected {len(header)}")
-        rows.append([_parse_cell(cell) for cell in raw])
+        row: list[Any] = []
+        for index, cell in enumerate(raw):
+            decoded = _decode_cell(cell, null_marker)
+            if decoded is None:
+                row.append(None)
+            elif types is not None:
+                row.append(_typed_value(decoded, types[index]))
+            else:
+                row.append(_infer_value(decoded))
+        rows.append(row)
     if create:
         columns = []
         for index, name in enumerate(header):
@@ -85,22 +161,55 @@ def load_csv(db: Database, table_name: str, text: str,
 
 
 def load_csv_file(db: Database, table_name: str, path: str,
-                  create: bool = True) -> int:
+                  create: bool = True, *,
+                  null_marker: str | None = None) -> int:
     with open(path, "r", encoding="utf-8") as handle:
-        return load_csv(db, table_name, handle.read(), create)
+        return load_csv(db, table_name, handle.read(), create,
+                        null_marker=null_marker)
 
 
-def _format_cell(value: Any) -> str:
+def _format_cell(value: Any, null_marker: str | None = None) -> str:
     if value is None:
-        return ""
+        return null_marker if null_marker is not None else ""
     if isinstance(value, bool):
         return "true" if value else "false"
+    if null_marker is not None and isinstance(value, str) \
+            and value.startswith("\\"):
+        return "\\" + value
     return str(value)
 
 
+class _SafeWriter:
+    """``csv.writer`` with ``\\n`` row endings that still quotes bare
+    carriage returns.
+
+    QUOTE_MINIMAL only quotes cells containing the delimiter, the quote
+    char or a *lineterminator* character — so with ``\\n`` endings a
+    cell holding a lone ``\\r`` is written unquoted, and the reader
+    then rejects the row ("new-line character seen in unquoted field").
+    Rows with a ``\\r`` anywhere fall back to QUOTE_ALL.
+    """
+
+    def __init__(self, buffer: io.StringIO) -> None:
+        self._minimal = csv.writer(buffer, lineterminator="\n")
+        self._quote_all = csv.writer(buffer, lineterminator="\n",
+                                     quoting=csv.QUOTE_ALL)
+
+    def writerow(self, cells: list) -> None:
+        writer = self._quote_all if any(
+            isinstance(cell, str) and "\r" in cell
+            for cell in cells) else self._minimal
+        writer.writerow(cells)
+
+
 def dump_csv(source: Database | ResultSet,
-             table_or_sql: str | None = None) -> str:
-    """Serialize a table, a query, or a ResultSet to CSV text."""
+             table_or_sql: str | None = None, *,
+             null_marker: str | None = None) -> str:
+    """Serialize a table, a query, or a ResultSet to CSV text.
+
+    With *null_marker* the output distinguishes NULL from the empty
+    string (see :func:`load_csv`); snapshots rely on this."""
+    _check_null_marker(null_marker)
     if isinstance(source, ResultSet):
         result = source
     else:
@@ -111,14 +220,30 @@ def dump_csv(source: Database | ResultSet,
         else:
             result = source.query(f"SELECT * FROM {table_or_sql}")
     buffer = io.StringIO()
-    writer = csv.writer(buffer, lineterminator="\n")
+    writer = _SafeWriter(buffer)
     writer.writerow(result.columns)
     for row in result.rows:
-        writer.writerow([_format_cell(value) for value in row])
+        writer.writerow([_format_cell(value, null_marker)
+                         for value in row])
+    return buffer.getvalue()
+
+
+def rows_to_csv(columns: list[str], rows, *,
+                null_marker: str | None = None) -> str:
+    """Serialize raw row tuples (no query surface) — the snapshot codec."""
+    _check_null_marker(null_marker)
+    buffer = io.StringIO()
+    writer = _SafeWriter(buffer)
+    writer.writerow(columns)
+    for row in rows:
+        writer.writerow([_format_cell(value, null_marker)
+                         for value in row])
     return buffer.getvalue()
 
 
 def dump_csv_file(source: Database | ResultSet, path: str,
-                  table_or_sql: str | None = None) -> None:
+                  table_or_sql: str | None = None, *,
+                  null_marker: str | None = None) -> None:
     with open(path, "w", encoding="utf-8") as handle:
-        handle.write(dump_csv(source, table_or_sql))
+        handle.write(dump_csv(source, table_or_sql,
+                              null_marker=null_marker))

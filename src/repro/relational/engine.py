@@ -24,6 +24,7 @@ from .compiler import CompileContext, compile_expr
 from .errors import ExecutionError, RelationalError, SchemaError
 from .executor import _make_context, compile_query
 from .parser import parse_script, parse_sql
+from .render import render_statement
 from .result import Cursor, ResultSet
 from .schema import Column, TableSchema
 from .table import Table
@@ -56,6 +57,12 @@ class Database:
         #: are exclusive.
         self.rwlock = RWLock()
         self._generation = 0
+        #: Durability hook (duck-typed): when a
+        #: :class:`repro.durability.DurabilityManager` attaches this
+        #: database, every durable mutation is logged here.  ANALYZE
+        #: and the lock-free SESQL temp-table injection never reach a
+        #: logging site, so they are excluded by construction.
+        self.durability_journal = None
 
     @property
     def generation(self) -> int:
@@ -74,6 +81,15 @@ class Database:
         generation-keyed cache entry for this database."""
         with self.rwlock.write_locked():
             self._generation += 1
+            if self.durability_journal is not None:
+                self.durability_journal.log(
+                    "bump", {}, generation=self._generation)
+
+    def restore_generation(self, generation: int) -> None:
+        """Advance the mutation stamp to at least *generation* (crash
+        recovery: caches must stay monotonic across a restart)."""
+        with self.rwlock.write_locked():
+            self._generation = max(self._generation, generation)
 
     @property
     def last_plan(self):
@@ -123,6 +139,20 @@ class Database:
                 # over-invalidating generation-keyed caches is safe
                 # where a missed invalidation would serve stale rows.
                 self._generation += 1
+                # Logged even when the statement fails, for the same
+                # reason: the partial mutation is part of durable
+                # state, and replay re-raises deterministically.
+                journal = self.durability_journal
+                if journal is not None:
+                    try:
+                        sql = render_statement(stmt)
+                    except RelationalError:
+                        # Unexecutable statement kind: _run_mutation
+                        # raised before touching any data.
+                        sql = None
+                    if sql is not None:
+                        journal.log("sql", {"sql": sql},
+                                    generation=self._generation)
 
     def _run_mutation(self, stmt: ast.Statement) -> int | None:
         if isinstance(stmt, ast.InsertStmt):
@@ -414,6 +444,14 @@ class Database:
             table = self.catalog.create_table(
                 TableSchema(name, columns), if_not_exists)
             self._generation += 1
+            if self.durability_journal is not None:
+                # Logged even when IF NOT EXISTS found the table (the
+                # generation moved); replay hits the same no-op.
+                self.durability_journal.log(
+                    "create_table",
+                    {"name": name, "if_not_exists": if_not_exists,
+                     "columns": [col.to_spec() for col in columns]},
+                    generation=self._generation)
             return table
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
@@ -422,6 +460,10 @@ class Database:
             self.catalog.drop_table(name, if_exists)
             self.stats.forget(name)
             self._generation += 1
+            if self.durability_journal is not None:
+                self.durability_journal.log(
+                    "drop_table", {"name": name, "if_exists": if_exists},
+                    generation=self._generation)
 
     def create_temp_table(self, name: str,
                           columns: list[Column]) -> Table:
@@ -447,16 +489,34 @@ class Database:
         with self.rwlock.write_locked():
             table = self.catalog.table(table_name)
             track = self.stats.get(table.name) is not None
+            journal = self.durability_journal
             inserted: list[tuple] = []
+            # Journal the *coerced* stored tuples, not the caller's
+            # dicts: the input may be a generator (consumed here) and
+            # replay must reproduce storage state, not re-run coercion
+            # on arbitrary caller objects.
+            logged: list[tuple] | None = [] if journal is not None else None
             count = 0
-            for row in rows:
-                row_id = table.insert_row(row)
-                if track:
-                    inserted.append(table.row(row_id))
-                count += 1
-            if inserted:
-                self.stats.note_inserted(table.name, inserted, table.schema)
-            self._generation += 1
+            try:
+                for row in rows:
+                    row_id = table.insert_row(row)
+                    if track:
+                        inserted.append(table.row(row_id))
+                    if logged is not None:
+                        logged.append(table.row(row_id))
+                    count += 1
+            finally:
+                if inserted:
+                    self.stats.note_inserted(table.name, inserted,
+                                             table.schema)
+                self._generation += 1
+                if logged:
+                    journal.log(
+                        "rows",
+                        {"table": table.name,
+                         "columns": table.schema.column_names(),
+                         "rows": logged},
+                        generation=self._generation)
             return count
 
     def table(self, name: str) -> Table:

@@ -32,6 +32,20 @@ class Column:
         if self.primary_key:
             self.nullable = False
 
+    def to_spec(self) -> dict:
+        """JSON-able description; defaults are plain literals so the
+        spec round-trips through WAL records and snapshots exactly."""
+        return {"name": self.name, "type": self.data_type.value,
+                "nullable": self.nullable,
+                "primary_key": self.primary_key, "unique": self.unique,
+                "default": self.default, "has_default": self.has_default}
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "Column":
+        return cls(spec["name"], DataType(spec["type"]),
+                   spec["nullable"], spec["primary_key"], spec["unique"],
+                   spec["default"], spec["has_default"])
+
 
 class TableSchema:
     """An ordered collection of columns with fast name lookup."""

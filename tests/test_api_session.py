@@ -390,9 +390,15 @@ def test_close_leaves_shared_engine_cache_warm(db, kb):
 # -- KB generation stamps ---------------------------------------------------
 
 
-def test_triple_store_generation_is_unique_per_state():
+def test_triple_store_state_key_is_unique_per_state():
+    """Generations are per-store counters; paired with the
+    process-unique ``store_id`` they form the cache key, so two stores
+    at the same generation never collide (and a recovered store can
+    restore its counter monotonically — see repro.durability)."""
     first, second = TripleStore(), TripleStore()
-    assert first.generation != second.generation
+    assert first.store_id != second.store_id
+    assert (first.store_id, first.generation) \
+        != (second.store_id, second.generation)
     before = first.generation
     first.add(SMG.Mercury, SMG.dangerLevel, "high")
     assert first.generation != before
