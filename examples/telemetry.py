@@ -1,0 +1,108 @@
+"""End-to-end observability: metrics, span trees, the slow-query log.
+
+One telemetry bundle follows a query through every layer it touches:
+
+1. a mediated SESQL query over **two federated sources** produces a
+   single span tree — parse, SPARQL extraction, per-source fragment
+   shipping, local execution, combine — printed via ``Span.format()``;
+2. the metrics registry accumulates counters and latency histograms
+   for the same run, rendered both as a dict and in the Prometheus
+   text exposition format a scraper would collect;
+3. a zero-threshold slow-query log captures every statement with its
+   wall time and trace, and the ``/api/v1`` observability routes serve
+   metrics and traces over the REST facade.
+
+Run:  python examples/telemetry.py
+"""
+
+import repro
+from repro.crosse.platform import CrossePlatform
+from repro.federation import CrosseRestService, FederationOptions, Mediator
+from repro.rdf.namespace import SMG
+from repro.rdf.store import Triple, TripleStore
+from repro.rdf.terms import Literal
+from repro.relational import Database
+from repro.telemetry import TelemetryOptions
+
+ENRICHED = ("SELECT elem_name, amount FROM elem_contained "
+            "WHERE amount > 2.0 "
+            "ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)")
+
+
+def plant_db(name: str, rows) -> Database:
+    db = Database(name)
+    db.execute("CREATE TABLE elem_contained (elem_name TEXT, amount REAL)")
+    db.insert_rows("elem_contained", (
+        {"elem_name": elem, "amount": amount} for elem, amount in rows))
+    return db
+
+
+def danger_kb() -> TripleStore:
+    kb = TripleStore()
+    for name, level in (("Lead", "high"), ("Arsenic", "high"),
+                        ("Zinc", "low"), ("Copper", "low")):
+        kb.add(Triple(SMG[name], SMG["dangerLevel"], Literal(level)))
+    return kb
+
+
+def main() -> None:
+    # 1. One trace across the whole federation pipeline.
+    mediator = Mediator(options=FederationOptions(max_workers=2))
+    mediator.register_source("turin", plant_db(
+        "turin", [("Lead", 12.0), ("Zinc", 3.0)]))
+    mediator.register_source("milan", plant_db(
+        "milan", [("Arsenic", 9.0), ("Copper", 1.0)]))
+    mediator.define_view("elem_contained", [
+        ("turin", "SELECT * FROM elem_contained"),
+        ("milan", "SELECT * FROM elem_contained")])
+
+    session = repro.connect(
+        mediator.as_databank(), knowledge_base=danger_kb(),
+        telemetry=TelemetryOptions(slow_query_threshold_s=0.0))
+    outcome = session.execute(ENRICHED)
+    print(f"Mediated query returned {len(outcome.result)} enriched rows.")
+    print("\nOne span tree, both federated sources inside it:")
+    print(session.last_trace().format())
+
+    # 2. The metrics the same run accumulated.
+    telemetry = session.telemetry
+    fragments = telemetry.metrics.to_dict()[
+        "repro_federation_fragment_seconds"]["series"]
+    print("\nFragments shipped per source:")
+    for series in fragments:
+        print(f"   {series['labels']['source']}: {series['count']} "
+              f"fragment(s)")
+    prometheus = telemetry.metrics.render_prometheus()
+    print("\nPrometheus exposition (first lines a scraper would see):")
+    for line in prometheus.splitlines()[:6]:
+        print("   " + line)
+
+    # 3. The slow-query log (threshold 0.0 records everything).
+    entry = telemetry.slow_queries.entries()[0]
+    print(f"\nSlow-query log captured {entry.query_id}: "
+          f"{entry.wall_s * 1000:.2f} ms, {entry.rows} rows.")
+
+    # 4. The same surface over REST, on a platform.
+    databank = plant_db("bank", [("Lead", 12.0), ("Zinc", 3.0)])
+    platform = CrossePlatform(
+        databank, telemetry=TelemetryOptions(slow_query_threshold_s=0.0))
+    platform.register_user("giulia", "Giulia", "PoliTo")
+    service = CrosseRestService(platform)
+    response = service.request("POST", "/api/v1/query", {
+        "username": "giulia",
+        "query": "SELECT elem_name FROM elem_contained"})
+    query_id = response.payload["query_id"]
+    trace = service.request("GET", f"/api/v1/traces/{query_id}")
+    print(f"\nGET /api/v1/traces/{query_id} -> {trace.status}; root span "
+          f"'{trace.payload['trace']['name']}' with "
+          f"{len(trace.payload['trace']['children'])} children.")
+    metrics = service.request("GET", "/api/v1/metrics?format=prometheus")
+    queries_total = [line for line in metrics.payload.splitlines()
+                     if line.startswith("repro_queries_total")]
+    print("GET /api/v1/metrics?format=prometheus ->",
+          *queries_total[:1])
+    service.close()
+
+
+if __name__ == "__main__":
+    main()

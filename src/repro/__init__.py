@@ -44,6 +44,8 @@ from .durability import (DurabilityError, DurabilityManager,
                          DurabilityOptions, RecoveryReport)
 from .planner import (OperatorNode, PlannedStatement, PlannerOptions,
                       StatisticsCatalog)
+from .telemetry import (MetricsRegistry, Span, Telemetry, TelemetryOptions,
+                        Tracer)
 
 __all__ = [
     "connect", "Session", "PlatformSession", "PreparedQuery",
@@ -51,6 +53,7 @@ __all__ = [
     "PlannerOptions", "PlannedStatement", "OperatorNode",
     "StatisticsCatalog", "DurabilityOptions", "DurabilityManager",
     "DurabilityError", "RecoveryReport",
+    "Telemetry", "TelemetryOptions", "MetricsRegistry", "Tracer", "Span",
 ]
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"

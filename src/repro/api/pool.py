@@ -67,7 +67,8 @@ class SessionPool:
     """Check out per-user sessions under a fixed capacity."""
 
     def __init__(self, source: Any, capacity: int = 8,
-                 options: QueryOptions | None = None) -> None:
+                 options: QueryOptions | None = None,
+                 telemetry=None) -> None:
         if capacity < 1:
             raise SessionError(
                 f"pool capacity must be positive, got {capacity}")
@@ -84,6 +85,28 @@ class SessionPool:
         self.checkouts = 0
         self.timeouts = 0
         self.peak_in_use = 0
+        #: Telemetry hook (duck-typed): checkout wait time, occupancy
+        #: and timeout counts fold into the shared registry.
+        self.telemetry = None
+        if telemetry is None and self._is_platform:
+            telemetry = getattr(source, "telemetry", None)
+        self.attach_telemetry(telemetry)
+
+    def attach_telemetry(self, telemetry) -> None:
+        self.telemetry = telemetry
+        if telemetry is None:
+            return
+        metrics = telemetry.metrics
+        self._tm_wait = metrics.histogram(
+            "repro_pool_checkout_wait_seconds",
+            "Time callers waited for a free session-pool slot")
+        self._tm_in_use = metrics.gauge(
+            "repro_pool_in_use", "Session-pool slots currently leased")
+        self._tm_checkouts = metrics.counter(
+            "repro_pool_checkouts_total", "Session-pool checkouts")
+        self._tm_timeouts = metrics.counter(
+            "repro_pool_timeouts_total",
+            "Checkouts abandoned after the timeout")
 
     # -- slot construction ----------------------------------------------------
 
@@ -114,6 +137,8 @@ class SessionPool:
                 "pass username")
         deadline = (None if timeout is None
                     else time.monotonic() + timeout)
+        tel = self.telemetry
+        started = time.perf_counter() if tel is not None else 0.0
         with self._cond:
             while True:
                 if self._closed:
@@ -124,6 +149,8 @@ class SessionPool:
                              else deadline - time.monotonic())
                 if remaining is not None and remaining <= 0:
                     self.timeouts += 1
+                    if tel is not None:
+                        self._tm_timeouts.inc()
                     raise PoolTimeoutError(
                         f"no session available within {timeout}s "
                         f"(capacity {self.capacity})")
@@ -131,6 +158,10 @@ class SessionPool:
             self._in_use += 1
             self.checkouts += 1
             self.peak_in_use = max(self.peak_in_use, self._in_use)
+            if tel is not None:
+                self._tm_wait.observe(time.perf_counter() - started)
+                self._tm_checkouts.inc()
+                self._tm_in_use.set(self._in_use)
             slot = self._idle.pop() if self._idle else None
         if slot is None:
             try:
@@ -151,6 +182,8 @@ class SessionPool:
     def _release(self, slot: Any) -> None:
         with self._cond:
             self._in_use -= 1
+            if self.telemetry is not None:
+                self._tm_in_use.set(self._in_use)
             if slot is not None and not self._closed:
                 self._idle.append(slot)
             elif slot is not None:

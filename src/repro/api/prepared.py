@@ -16,13 +16,18 @@ class PreparedQuery:
     """
 
     def __init__(self, session, text: str, template: EnrichedQuery,
-                 parameter_count: int, from_cache: bool = False) -> None:
+                 parameter_count: int, from_cache: bool = False,
+                 parse_time_s: float = 0.0) -> None:
         self._session = session
         self.text = text
         self._template = template
         self.parameter_count = parameter_count
         #: Whether ``prepare`` found the template in the plan cache.
         self.from_cache = from_cache
+        #: Wall time the SQP spent parsing (0.0 on plan-cache hits);
+        #: traced executions report it as a synthetic ``sesql.parse``
+        #: span so the tree covers the whole pipeline.
+        self.parse_time_s = parse_time_s
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"PreparedQuery({self.text!r}, "

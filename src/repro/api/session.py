@@ -21,6 +21,7 @@ query.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from ..core.ast import EnrichedQuery
@@ -82,6 +83,12 @@ class Session:
         #: when ``connect(..., durability=...)`` switched durability on
         #: (None otherwise); closed together with the session.
         self.durability = None
+        #: The :class:`repro.telemetry.Telemetry` bundle when observability
+        #: is on (None otherwise — the default, and then every hot-path
+        #: check is a single ``is None`` test).
+        self.telemetry = None
+        self._telemetry_user: str | None = None
+        self._last_trace = None
         self._closed = False
 
     # -- plumbing -----------------------------------------------------------
@@ -99,6 +106,30 @@ class Session:
         if self._engine_stale and self._engine_factory is not None:
             self.engine = self._engine_factory()
             self._engine_stale = False
+            if self.telemetry is not None:
+                self.engine.attach_telemetry(self.telemetry)
+
+    def attach_telemetry(self, telemetry, user: str | None = None) -> None:
+        """Switch observability on (or off, with None) for this session.
+
+        *telemetry* is anything :func:`repro.telemetry.create_telemetry`
+        accepts — a :class:`~repro.telemetry.Telemetry` bundle (shareable
+        across sessions), :class:`~repro.telemetry.TelemetryOptions`, or
+        ``True`` for defaults.  *user* labels this session's per-query
+        metrics (platform sessions pass the username).
+        """
+        from ..telemetry import create_telemetry
+        tel = create_telemetry(telemetry)
+        self.telemetry = tel
+        self._telemetry_user = user
+        self.engine.attach_telemetry(tel)
+
+    def last_trace(self):
+        """Root :class:`~repro.telemetry.Span` of this session's most
+        recent traced query (None when telemetry is off or before the
+        first query).  Streamed queries appear as soon as the stream
+        starts; the root stays ``open`` until the cursor is drained."""
+        return self._last_trace
 
     def invalidate_engine(self) -> None:
         """Mark the engine stale; the next query rebuilds it lazily."""
@@ -146,13 +177,17 @@ class Session:
         self._check_open()
         cached = self.plan_cache.get(text)
         from_cache = cached is not None
+        parse_time = 0.0
         if cached is None:
+            started = time.perf_counter()
             expanded, count = expand_placeholders(text)
             template = self.engine.parse(expanded)
+            parse_time = time.perf_counter() - started
             cached = _CachedPlan(template, count)
             self.plan_cache.put(text, cached)
         return PreparedQuery(self, text, cached.template,
-                             cached.parameter_count, from_cache=from_cache)
+                             cached.parameter_count, from_cache=from_cache,
+                             parse_time_s=parse_time)
 
     def execute(self, text: str, params=None,
                 include_original: bool | None = None,
@@ -211,12 +246,44 @@ class Session:
         self._check_open()
         include, strategy = self._overrides(overrides)
         enriched = prepared.bind(params)
-        outcome = self.engine.execute_parsed(
-            enriched, knowledge_base=self._current_kb(),
-            include_original=include, join_strategy=strategy,
-            reuse_ast=True)  # bind() already produced a private copy
-        if self._on_result is not None:
-            self._on_result(outcome)
+        tel = self.telemetry
+        if tel is None:
+            outcome = self.engine.execute_parsed(
+                enriched, knowledge_base=self._current_kb(),
+                include_original=include, join_strategy=strategy,
+                reuse_ast=True)  # bind() already produced a private copy
+            if self._on_result is not None:
+                self._on_result(outcome)
+            return outcome
+        root = tel.tracer.start_root(
+            "sesql.query", statement=prepared.text)
+        try:
+            with tel.tracer.activate(root):
+                tel.tracer.record_synthetic(
+                    "sesql.parse", prepared.parse_time_s,
+                    cached=prepared.from_cache)
+                outcome = self.engine.execute_parsed(
+                    enriched, knowledge_base=self._current_kb(),
+                    include_original=include, join_strategy=strategy,
+                    reuse_ast=True)
+                # Observer runs inside the root span: a context-feed's
+                # journaled writes (and any snapshot they trigger) are
+                # attributed to the query that caused them.
+                if self._on_result is not None:
+                    self._on_result(outcome)
+        except BaseException as exc:
+            root.finish(error=exc)
+            self._last_trace = root
+            tel.record_query(root, backend="sesql",
+                             statement=prepared.text,
+                             user=self._telemetry_user)
+            raise
+        root.finish()
+        root.attrs["rows"] = len(outcome.result)
+        self._last_trace = root
+        tel.record_query(root, backend="sesql", statement=prepared.text,
+                         user=self._telemetry_user,
+                         rows=len(outcome.result))
         return outcome
 
     def _stream_prepared(self, prepared: PreparedQuery, params,
@@ -224,12 +291,67 @@ class Session:
         self._check_open()
         include, strategy = self._overrides(overrides)
         enriched = prepared.bind(params)
+        tel = self.telemetry
         # Streamed executions bypass the on_result observer: the result
         # never materializes in one piece to observe.
-        return self.engine.stream_parsed(
-            enriched, knowledge_base=self._current_kb(),
-            include_original=include, join_strategy=strategy,
-            reuse_ast=True, page_size=page_size)
+        if tel is None:
+            return self.engine.stream_parsed(
+                enriched, knowledge_base=self._current_kb(),
+                include_original=include, join_strategy=strategy,
+                reuse_ast=True, page_size=page_size)
+        root = tel.tracer.start_root(
+            "sesql.stream", statement=prepared.text)
+        try:
+            with tel.tracer.activate(root):
+                tel.tracer.record_synthetic(
+                    "sesql.parse", prepared.parse_time_s,
+                    cached=prepared.from_cache)
+                inner = self.engine.stream_parsed(
+                    enriched, knowledge_base=self._current_kb(),
+                    include_original=include, join_strategy=strategy,
+                    reuse_ast=True, page_size=page_size)
+        except BaseException as exc:
+            root.finish(error=exc)
+            self._last_trace = root
+            tel.record_query(root, backend="sesql-stream",
+                             statement=prepared.text,
+                             user=self._telemetry_user)
+            raise
+        self._last_trace = root
+        return self._traced_cursor(tel, root, prepared.text, inner)
+
+    def _traced_cursor(self, tel, root, statement: str, inner):
+        """Wrap a streaming cursor so lazy execution stays in the trace.
+
+        The root span is re-activated around every row pull (a plain
+        ``with activate(...)`` spanning the generator's whole life would
+        leak the context var into the consumer between pulls), and is
+        finished — feeding the slow-query log with the true end-to-end
+        drain time — when the stream is exhausted or closed.
+        """
+        from ..relational.result import Cursor
+        tracer = tel.tracer
+
+        def rows():
+            source = iter(inner)
+            try:
+                while True:
+                    with tracer.activate(root):
+                        try:
+                            row = next(source)
+                        except StopIteration:
+                            return
+                    yield row
+            finally:
+                if root.open:
+                    root.finish()
+                    root.attrs["rows"] = inner.rows_yielded
+                    tel.record_query(root, backend="sesql-stream",
+                                     statement=statement,
+                                     user=self._telemetry_user,
+                                     rows=inner.rows_yielded)
+
+        return Cursor(inner.columns, rows(), on_close=inner.close)
 
     def _explain_prepared(self, prepared: PreparedQuery, params,
                           analyze: bool = False) -> QueryPlan:
@@ -355,6 +477,11 @@ class PlatformSession:
             session = self._build(username)
             self._users[username] = session
         session._ensure_engine()
+        # Platform telemetry may be switched on (or swapped) after this
+        # session was built; keep the cached session in sync.
+        telemetry = getattr(self.platform, "telemetry", None)
+        if session.telemetry is not telemetry:
+            session.attach_telemetry(telemetry, user=username)
         return session
 
     def _build_engine(self, username: str) -> SESQLEngine:
@@ -372,12 +499,16 @@ class PlatformSession:
 
     def _build(self, username: str) -> Session:
         platform = self.platform
-        return Session(
+        session = Session(
             self._build_engine(username), self.options,
             kb_provider=lambda: platform.statements.effective_kb(username),
             on_result=lambda outcome: platform._feed_context(username,
                                                              outcome),
             engine_factory=lambda: self._build_engine(username))
+        telemetry = getattr(platform, "telemetry", None)
+        if telemetry is not None:
+            session.attach_telemetry(telemetry, user=username)
+        return session
 
     def invalidate(self, username: str | None = None) -> None:
         """Mark cached per-user engines stale (all of them when no name).
@@ -423,9 +554,15 @@ def _enable_durability(durability, databank, knowledge_base):
     return manager
 
 
+def _reject_telemetry(telemetry, kind: str, hint: str) -> None:
+    if telemetry is not None:
+        raise SessionError(
+            f"telemetry= does not apply when connecting a {kind}; {hint}")
+
+
 def connect(source, options: QueryOptions | None = None,
             knowledge_base=None, mapping=None, stored_queries=None,
-            durability=None, **option_overrides):
+            durability=None, telemetry=None, **option_overrides):
     """The one entry point: a session over whatever *source* is.
 
     * :class:`~repro.relational.Database` — a plain databank; pass
@@ -450,6 +587,14 @@ def connect(source, options: QueryOptions | None = None,
     durability to the :class:`~repro.crosse.CrossePlatform` constructor
     instead.
 
+    *telemetry* (a :class:`repro.telemetry.TelemetryOptions`, ``True``
+    for defaults, or a shared :class:`repro.telemetry.Telemetry` bundle)
+    switches on metrics + query tracing + the slow-query log for
+    Database / SESQLEngine / Mediator connections; it is wired through
+    every layer the session touches and reachable as
+    ``session.telemetry``.  For a CroSSE platform, pass telemetry to
+    the :class:`~repro.crosse.CrossePlatform` constructor instead.
+
     Keyword overrides (``join_strategy="direct"``, ...) build a
     :class:`QueryOptions` on the fly.
     """
@@ -470,7 +615,10 @@ def connect(source, options: QueryOptions | None = None,
         reject_wiring("engine")
         _reject_durability(durability, "SESQLEngine",
                            "connect its Database instead")
-        return Session(source, options)
+        session = Session(source, options)
+        if telemetry is not None:
+            session.attach_telemetry(telemetry)
+        return session
     if isinstance(source, Database):
         resolved = options or QueryOptions()
         engine = SESQLEngine(
@@ -481,9 +629,13 @@ def connect(source, options: QueryOptions | None = None,
             extraction_cache=ExtractionCache(
                 resolved.extraction_cache_size))
         session = Session(engine, resolved)
+        if telemetry is not None:
+            session.attach_telemetry(telemetry)
         if durability is not None:
             session.durability = _enable_durability(
                 durability, source, knowledge_base)
+            if session.telemetry is not None:
+                session.durability.attach_telemetry(session.telemetry)
         return session
 
     from ..crosse.platform import CrossePlatform
@@ -491,6 +643,9 @@ def connect(source, options: QueryOptions | None = None,
         reject_wiring("platform")
         _reject_durability(
             durability, "CrossePlatform",
+            "pass it to the CrossePlatform constructor instead")
+        _reject_telemetry(
+            telemetry, "CrossePlatform",
             "pass it to the CrossePlatform constructor instead")
         return source.connect(options)
 
@@ -503,7 +658,13 @@ def connect(source, options: QueryOptions | None = None,
             raise SessionError(
                 "QueryOptions do not apply to mediator sessions (no "
                 "SESQL pipeline); call mediator.connect() directly")
-        return source.connect()
+        mediator_session = source.connect()
+        if telemetry is not None:
+            from ..telemetry import create_telemetry
+            tel = create_telemetry(telemetry)
+            if tel is not None:
+                mediator_session.attach_telemetry(tel)
+        return mediator_session
 
     raise SessionError(
         f"cannot open a session over {type(source).__name__}; expected a "

@@ -23,6 +23,7 @@ planning stages without touching the databank result.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from ..rdf.store import TripleStore
@@ -39,6 +40,12 @@ from .mapping import ResourceMapping
 from .sqm import Extraction, SemanticQueryModule
 from .sqp import SemanticQueryParser, clone_enriched
 from .stored_queries import StoredQueryRegistry
+
+#: Shared no-op context for disabled-telemetry span sites.
+_NOOP = nullcontext()
+
+#: The pipeline stages folded into ``repro_sesql_stage_seconds``.
+_STAGES = ("parse", "where_rewrite", "sql", "combine", "total")
 
 
 @dataclass
@@ -98,6 +105,29 @@ class SESQLEngine:
         self.sqp = SemanticQueryParser()
         self.sqm = SemanticQueryModule(self.mapping, self.stored_queries,
                                        cache=extraction_cache)
+        #: Telemetry hook (duck-typed): attached by the session layer /
+        #: platform, cascaded to the SQM and the databank.
+        self.telemetry = None
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Wire a telemetry bundle through the whole pipeline."""
+        self.telemetry = telemetry
+        self.sqm.attach_telemetry(telemetry)
+        attach = getattr(self.databank, "attach_telemetry", None)
+        if attach is not None:
+            attach(telemetry)
+        if telemetry is None:
+            return
+        metrics = telemetry.metrics
+        stage_family = metrics.histogram(
+            "repro_sesql_stage_seconds",
+            "Wall time of the SESQL pipeline stages",
+            labels=("stage",))
+        self._tm_stage = {stage: stage_family.labels(stage)
+                          for stage in _STAGES}
+        self._tm_dedupe = metrics.counter(
+            "repro_extraction_dedupe_total",
+            "Duplicate extractions served from the per-statement memo")
 
     @property
     def extraction_cache(self):
@@ -141,6 +171,8 @@ class SESQLEngine:
         if memo is not None:
             found = memo.get(key)
             if found is not None:
+                if self.telemetry is not None:
+                    self._tm_dedupe.inc()
                 return found
         if key[0] == "values":
             extraction = self.sqm.values_for(kb, enrichment.prop,
@@ -254,22 +286,27 @@ class SESQLEngine:
         cache = self.sqm.cache
         hits_before = cache.hits if cache is not None else 0
         misses_before = cache.misses if cache is not None else 0
-        executions_before = self.sqm.sparql_executions
+        executions_before = self.sqm.sparql_execution_count()
+        tel = self.telemetry
         # One memo across the WHERE and SELECT stages: identical logical
         # extractions within this statement execute once.
         memo: dict = {}
 
         stage = time.perf_counter()
-        where_plan = self.extraction_plan(enriched, kb, "where", memo)
-        sparql_queries.extend(x.sparql for _e, x in where_plan)
-        rewriter = self.apply_where_rewrites(enriched, where_plan, include)
+        with (tel.span("sesql.extract", stage="where")
+              if tel is not None else _NOOP):
+            where_plan = self.extraction_plan(enriched, kb, "where", memo)
+            sparql_queries.extend(x.sparql for _e, x in where_plan)
+            rewriter = self.apply_where_rewrites(enriched, where_plan,
+                                                 include)
         timings["where_rewrite"] = time.perf_counter() - stage
 
         db_plan = None
         try:
             executed_sql = render_query(enriched.query)
             stage = time.perf_counter()
-            base = self.databank.execute_ast(enriched.query)
+            with (tel.span("sesql.sql") if tel is not None else _NOOP):
+                base = self.databank.execute_ast(enriched.query)
             timings["sql"] = time.perf_counter() - stage
             db_plan = getattr(self.databank, "last_plan", None)
             if not isinstance(base, ResultSet):  # pragma: no cover
@@ -278,12 +315,18 @@ class SESQLEngine:
             rewriter.cleanup()
 
         stage = time.perf_counter()
-        select_plan = self.extraction_plan(enriched, kb, "select", memo)
-        sparql_queries.extend(x.sparql for _e, x in select_plan)
-        current = self.combine_enrichments(base, select_plan, strategy,
-                                           final_sqls)
+        with (tel.span("sesql.combine", strategy=strategy)
+              if tel is not None else _NOOP):
+            select_plan = self.extraction_plan(enriched, kb, "select", memo)
+            sparql_queries.extend(x.sparql for _e, x in select_plan)
+            current = self.combine_enrichments(base, select_plan, strategy,
+                                               final_sqls)
         timings["combine"] = time.perf_counter() - stage
         timings["total"] = parse_time + time.perf_counter() - started
+        if tel is not None:
+            for name, hist in self._tm_stage.items():
+                if name in timings:
+                    hist.observe(timings[name])
 
         return SESQLResult(
             result=current,
@@ -297,7 +340,7 @@ class SESQLEngine:
                         if cache is not None else 0),
             cache_misses=(cache.misses - misses_before
                           if cache is not None else 0),
-            sparql_executions=(self.sqm.sparql_executions
+            sparql_executions=(self.sqm.sparql_execution_count()
                                - executions_before),
             db_plan=db_plan,
         )
@@ -353,9 +396,13 @@ class SESQLEngine:
         if not reuse_ast:
             enriched = clone_enriched(enriched)
 
+        tel = self.telemetry
         memo: dict = {}
-        where_plan = self.extraction_plan(enriched, kb, "where", memo)
-        rewriter = self.apply_where_rewrites(enriched, where_plan, include)
+        with (tel.span("sesql.extract", stage="where")
+              if tel is not None else _NOOP):
+            where_plan = self.extraction_plan(enriched, kb, "where", memo)
+            rewriter = self.apply_where_rewrites(enriched, where_plan,
+                                                 include)
         cleaned = [False]
 
         def cleanup() -> None:
@@ -365,7 +412,10 @@ class SESQLEngine:
 
         try:
             base_cursor = self.databank.stream_ast(enriched.query)
-            select_plan = self.extraction_plan(enriched, kb, "select", memo)
+            with (tel.span("sesql.extract", stage="select")
+                  if tel is not None else _NOOP):
+                select_plan = self.extraction_plan(enriched, kb, "select",
+                                                   memo)
             # Extraction-side combine structures are built ONCE per
             # cursor and applied page after page (hash-probe semantics
             # identical to the tempdb final-SQL LEFT JOIN, whatever the

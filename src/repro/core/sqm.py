@@ -19,6 +19,8 @@ counts the queries that actually reached the KB.
 from __future__ import annotations
 
 import re
+import time
+import warnings
 from dataclasses import dataclass, field
 
 from ..rdf.store import TripleStore
@@ -50,11 +52,50 @@ class SemanticQueryModule:
         self.stored_queries = stored_queries or StoredQueryRegistry()
         #: Optional get/put memo for extraction results (see module doc).
         self.cache = cache
-        #: Instrumentation: SPARQL queries actually *executed* on a KB
-        #: (cache hits and per-statement dedupe do not increment it) —
-        #: the counter behind the "deduped extractions execute once"
-        #: engine guarantee.
-        self.sparql_executions = 0
+        #: SPARQL queries actually *executed* on a KB (cache hits and
+        #: per-statement dedupe do not increment it) — the counter
+        #: behind the "deduped extractions execute once" guarantee.
+        #: Read it via :meth:`sparql_execution_count`; the historical
+        #: ``sparql_executions`` attribute is deprecated.
+        self._sparql_executions = 0
+        #: Telemetry hook (duck-typed): when attached, SPARQL
+        #: executions and extraction-cache hits/misses are also folded
+        #: into the shared metrics registry.
+        self.telemetry = None
+
+    def attach_telemetry(self, telemetry) -> None:
+        self.telemetry = telemetry
+        if telemetry is None:
+            return
+        metrics = telemetry.metrics
+        self._tm_sparql_total = metrics.counter(
+            "repro_sparql_executions_total",
+            "SPARQL extraction queries that actually reached a KB")
+        self._tm_sparql_seconds = metrics.histogram(
+            "repro_sparql_seconds",
+            "Wall time of SPARQL extraction execution")
+        cache_family = metrics.counter(
+            "repro_extraction_cache_total",
+            "Extraction-cache lookups by outcome",
+            labels=("result",))
+        self._tm_cache_hit = cache_family.labels("hit")
+        self._tm_cache_miss = cache_family.labels("miss")
+
+    def sparql_execution_count(self) -> int:
+        """SPARQL queries this module has actually run against a KB."""
+        return self._sparql_executions
+
+    @property
+    def sparql_executions(self) -> int:
+        """Deprecated alias for :meth:`sparql_execution_count` — the
+        counter now also feeds ``repro_sparql_executions_total`` in the
+        metrics registry; this raw attribute goes away next release."""
+        warnings.warn(
+            "SemanticQueryModule.sparql_executions is deprecated; use "
+            "sparql_execution_count() or the "
+            "repro_sparql_executions_total metric",
+            DeprecationWarning, stacklevel=2)
+        return self._sparql_executions
 
     # -- memoization hook -----------------------------------------------------
 
@@ -71,9 +112,14 @@ class SemanticQueryModule:
         key = (kind, getattr(kb, "store_id", id(kb)), generation, args,
                stored.text if stored is not None else None)
         extraction = self.cache.get(key)
+        tel = self.telemetry
         if extraction is None:
+            if tel is not None:
+                self._tm_cache_miss.inc()
             extraction = compute()
             self.cache.put(key, extraction)
+        elif tel is not None:
+            self._tm_cache_hit.inc()
         return extraction
 
     # -- helpers ------------------------------------------------------------
@@ -98,16 +144,24 @@ class SemanticQueryModule:
                 pieces.append(self.mapping.property_to_iri(token).n3())
         return "".join(pieces)
 
+    def _evaluate(self, kb: TripleStore, query, text: str) -> SparqlResults:
+        self._sparql_executions += 1
+        tel = self.telemetry
+        if tel is None:
+            return Evaluator(kb).select(query)
+        started = time.perf_counter()
+        with tel.span("sparql.execute", sparql=text):
+            results = Evaluator(kb).select(query)
+        self._tm_sparql_total.inc()
+        self._tm_sparql_seconds.observe(time.perf_counter() - started)
+        return results
+
     def _run(self, kb: TripleStore, text: str) -> SparqlResults:
-        query = parse_sparql(text)
-        self.sparql_executions += 1
-        return Evaluator(kb).select(query)
+        return self._evaluate(kb, parse_sparql(text), text)
 
     def _run_stored(self, kb: TripleStore, name: str) -> SparqlResults:
         stored = self.stored_queries.get(name)
-        self.sparql_executions += 1
-        results = Evaluator(kb).select(stored.query)
-        return results
+        return self._evaluate(kb, stored.query, stored.text)
 
     # -- extraction forms -----------------------------------------------------
 

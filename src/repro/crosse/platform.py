@@ -32,7 +32,7 @@ class CrossePlatform:
 
     def __init__(self, databank: Database,
                  mapping: ResourceMapping | None = None,
-                 durability=None) -> None:
+                 durability=None, telemetry=None) -> None:
         self.databank = databank
         self.mapping = mapping or ResourceMapping()
         #: Durability hook (duck-typed) for platform-level records
@@ -41,6 +41,10 @@ class CrossePlatform:
         #: The attached :class:`repro.durability.DurabilityManager`
         #: (None = durability off, the default).
         self.durability = None
+        #: The :class:`repro.telemetry.Telemetry` bundle (None = off,
+        #: the default).  Enabled *before* durability so recovery and
+        #: the WAL are metered from the first write.
+        self.telemetry = None
         self.users = UserRegistry()
         self.statements = KnowledgeBaseStore()
         self.tagging = SemanticTaggingModule(
@@ -61,8 +65,36 @@ class CrossePlatform:
         #: sees KB invalidations again.
         self._sessions: list[weakref.ref[PlatformSession]] = []
         self._sessions_lock = threading.Lock()
+        if telemetry is not None:
+            self.enable_telemetry(telemetry)
         if durability is not None:
             self.enable_durability(durability)
+
+    # -- telemetry -----------------------------------------------------------
+
+    def enable_telemetry(self, spec=True):
+        """Switch on metrics + tracing + the slow-query log.
+
+        *spec* is anything :func:`repro.telemetry.create_telemetry`
+        accepts (``True``, :class:`~repro.telemetry.TelemetryOptions`,
+        or a shared :class:`~repro.telemetry.Telemetry` bundle).  The
+        bundle is pushed through the databank and every cached per-user
+        engine (existing sessions are invalidated so they pick it up on
+        their next query), and an already-attached durability manager
+        starts metering its WAL and snapshots.  Returns the bundle.
+        """
+        from ..telemetry import create_telemetry
+        telemetry = create_telemetry(spec)
+        self.telemetry = telemetry
+        attach = getattr(self.databank, "attach_telemetry", None)
+        if attach is not None:
+            attach(telemetry)
+        if self.durability is not None:
+            self.durability.attach_telemetry(telemetry)
+        # Cached per-user sessions hold engines built before the switch;
+        # a lazy rebuild re-attaches through PlatformSession._build.
+        self._invalidate_sessions()
+        return telemetry
 
     # -- durability ----------------------------------------------------------
 
@@ -83,6 +115,9 @@ class CrossePlatform:
                    else DurabilityManager(options))
         manager.attach_database(self.databank)
         manager.attach_platform(self)
+        if self.telemetry is not None:
+            # Before recover(): the recovery WAL writer is metered too.
+            manager.attach_telemetry(self.telemetry)
         manager.recover()
         self.durability = manager
         return manager

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -130,6 +131,22 @@ class DurabilityManager:
         self._snap_event = threading.Event()
         self.snapshot_errors: list[Exception] = []
         self.last_recovery: RecoveryReport | None = None
+        #: Telemetry hook (duck-typed): WAL fsync/bytes/batch metrics,
+        #: snapshot durations, and snapshot spans parented under the
+        #: query whose append crossed the snapshot threshold.
+        self.telemetry = None
+        self._snap_parent = None
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Meter the WAL and snapshots through *telemetry* (None = off)."""
+        self.telemetry = telemetry
+        if telemetry is not None:
+            self._tm_snapshot = telemetry.metrics.histogram(
+                "repro_snapshot_seconds",
+                "Wall time of compacted snapshot writes")
+        with self._lock:
+            if self._writer is not None:
+                self._writer.attach_telemetry(telemetry)
 
     # -- attachment ----------------------------------------------------------
 
@@ -506,14 +523,23 @@ class DurabilityManager:
                 and self._snap_thread is not None
                 and self._records_since_snapshot
                 >= self.options.snapshot_every):
+            if self.telemetry is not None:
+                # Remember which query tripped the threshold so the
+                # background snapshot's span parents under its trace.
+                current = self.telemetry.tracer.current()
+                if current is not None:
+                    self._snap_parent = current
             self._snap_event.set()
 
     def _open_writer(self, path: str) -> WalWriter:
         options = self.options
-        return WalWriter(path, fsync=options.fsync,
-                         group_commit_records=options.group_commit_records,
-                         group_commit_bytes=options.group_commit_bytes,
-                         opener=self._opener)
+        writer = WalWriter(path, fsync=options.fsync,
+                           group_commit_records=options.group_commit_records,
+                           group_commit_bytes=options.group_commit_bytes,
+                           opener=self._opener)
+        if self.telemetry is not None:
+            writer.attach_telemetry(self.telemetry)
+        return writer
 
     def _append_header_locked(self) -> None:
         components = {
@@ -551,6 +577,8 @@ class DurabilityManager:
         which is why retention always keeps one segment more than the
         snapshots it keeps.
         """
+        tel = self.telemetry
+        started = time.perf_counter() if tel is not None else 0.0
         with self._snapshot_mutex:
             if not self._recovered:
                 raise DurabilityError(
@@ -577,6 +605,8 @@ class DurabilityManager:
                 self._records_since_snapshot = 0
                 self._append_header_locked()
             self._prune(epoch)
+            if tel is not None:
+                self._tm_snapshot.observe(time.perf_counter() - started)
             return path
 
     def _prune(self, epoch: int) -> None:
@@ -604,8 +634,18 @@ class DurabilityManager:
             if (self._records_since_snapshot
                     < self.options.snapshot_every):
                 continue
+            tel = self.telemetry
+            parent, self._snap_parent = self._snap_parent, None
             try:
-                self.snapshot()
+                if tel is not None:
+                    # Explicit parenting: this thread never inherits the
+                    # query's contextvars, so the span is attached to
+                    # the root captured at trigger time (no-op when the
+                    # trigger was an untraced mutation).
+                    with tel.tracer.attach(parent, "durability.snapshot"):
+                        self.snapshot()
+                else:
+                    self.snapshot()
             except Exception as exc:  # pragma: no cover - crash paths
                 self.snapshot_errors.append(exc)
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import os
 import struct
+import time
 import zlib
 from typing import Any, Callable, Iterator
 
@@ -96,6 +97,24 @@ class WalWriter:
         self._buffer: list[bytes] = []
         self._buffered_bytes = 0
         self._closed = False
+        #: Telemetry hook (duck-typed): fsync latency, bytes written
+        #: and group-commit batch sizes.
+        self.telemetry = None
+
+    def attach_telemetry(self, telemetry) -> None:
+        self.telemetry = telemetry
+        if telemetry is None:
+            return
+        metrics = telemetry.metrics
+        self._tm_fsync = metrics.histogram(
+            "repro_wal_fsync_seconds", "WAL fsync latency")
+        self._tm_bytes = metrics.counter(
+            "repro_wal_bytes_total", "Bytes written to the WAL")
+        self._tm_batch = metrics.histogram(
+            "repro_wal_batch_records",
+            "Frames per group-commit write",
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
+                     256.0, 512.0))
 
     def append(self, payload: Any) -> None:
         frame = encode_frame(payload)
@@ -109,13 +128,23 @@ class WalWriter:
 
     def flush(self, sync: bool = False) -> None:
         """Write out buffered frames; *sync* forces an fsync too."""
+        tel = self.telemetry
         if self._buffer:
-            self._fh.write(b"".join(self._buffer))
+            blob = b"".join(self._buffer)
+            if tel is not None:
+                self._tm_bytes.inc(len(blob))
+                self._tm_batch.observe(len(self._buffer))
+            self._fh.write(blob)
             self._buffer = []
             self._buffered_bytes = 0
             self._fh.flush()
         if sync:
-            os.fsync(self._fh.fileno())
+            if tel is not None:
+                started = time.perf_counter()
+                os.fsync(self._fh.fileno())
+                self._tm_fsync.observe(time.perf_counter() - started)
+            else:
+                os.fsync(self._fh.fileno())
 
     def close(self) -> None:
         if self._closed:

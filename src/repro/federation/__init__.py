@@ -1,6 +1,7 @@
 """Data-source federation: foreign data wrappers (the postgres_fdw
 analogue), a GAV mediator, and the REST integration layer of Fig. 1."""
 
+from .databank import MediatedDatabank
 from .errors import (FederationError, ForeignTableError, MediationError,
                      RestError)
 from .executor import (FAIL, FAILURE_POLICIES, RETRY, SKIP,
@@ -16,8 +17,8 @@ from .rest import CrosseRestService, Response, RestRouter
 __all__ = [
     "ForeignSource", "ForeignTable", "RemoteTableSource", "QuerySource",
     "CsvSource", "CallableSource", "attach_foreign_table",
-    "Mediator", "MediatorSession", "GlobalView", "ViewFragment",
-    "MediationReport",
+    "Mediator", "MediatorSession", "MediatedDatabank", "GlobalView",
+    "ViewFragment", "MediationReport",
     "FederationExecutor", "FederationOptions", "FragmentCache",
     "FragmentJob", "FragmentResult",
     "FAIL", "SKIP", "RETRY", "FAILURE_POLICIES",

@@ -1,0 +1,108 @@
+"""A mediated global schema, usable anywhere a Database is expected.
+
+:class:`MediatedDatabank` is a :class:`~repro.relational.Database`
+whose tables are the mediator's global views: before executing any
+SELECT it ships the views the statement references (through its
+embedded :class:`~repro.federation.MediatorSession`, with
+materialization reuse), then runs the statement locally.  That makes
+federated sources composable with every layer built on the Database
+protocol — most importantly the SESQL engine::
+
+    session = repro.connect(mediator.as_databank(), knowledge_base=kb,
+                            telemetry=TelemetryOptions())
+
+gives a SESQL session whose FROM tables are mediated views: one query
+produces one span tree covering parse → extraction → fragment shipping
+(per-source child spans) → local execution → combine.
+"""
+
+from __future__ import annotations
+
+from ..relational import ast as sql_ast
+from ..relational.engine import Database
+from ..relational.result import Cursor
+from .executor import FederationOptions
+from .mediator import MediationReport, Mediator, MediatorSession
+
+
+class MediatedDatabank(Database):
+    """A Database whose base tables are mediated global views."""
+
+    def __init__(self, mediator: Mediator,
+                 options: FederationOptions | None = None,
+                 name: str = "mediated") -> None:
+        super().__init__(name)
+        #: The embedded session: owns view materialization state and
+        #: uses *this* database as its scratch store, so mediated views
+        #: live next to any local/temp tables callers create here.
+        self.session = MediatorSession(mediator, options, scratch=self)
+        #: The :class:`MediationReport` of the most recent shipping
+        #: pass (view pruning, per-source timings, warnings).
+        self.last_report: MediationReport | None = None
+
+    @property
+    def mediator(self) -> Mediator:
+        return self.session.mediator
+
+    def attach_telemetry(self, telemetry) -> None:
+        super().attach_telemetry(telemetry)
+        # The session guards against re-attaching its scratch (= self),
+        # so this cascade terminates.
+        self.session.attach_telemetry(telemetry)
+
+    def refresh(self, views: list[str] | None = None) -> None:
+        """Drop cached view materializations (see MediatorSession)."""
+        self.session.refresh(views)
+
+    # -- query paths: ship views, then run locally ----------------------
+
+    def _ship_for(self, statement: sql_ast.SelectQuery | None,
+                  pushdown: bool) -> list[str]:
+        report = MediationReport()
+        partial = self.session._ship_parsed(statement, None, pushdown,
+                                            report)
+        self.last_report = report
+        return partial
+
+    def execute_ast(self, stmt: sql_ast.Statement):
+        if not isinstance(stmt, sql_ast.SelectQuery):
+            return super().execute_ast(stmt)
+        partial = self._ship_for(stmt, pushdown=True)
+        try:
+            return super().execute_ast(stmt)
+        finally:
+            self.session._drop_partials(partial)
+
+    def stream_ast(self, query: sql_ast.SelectQuery) -> Cursor:
+        # Ship BEFORE opening the stream: materialization stores views
+        # under the write lock, which the streaming read hold (taken
+        # eagerly by the base class) would deadlock against.  Pushdown
+        # is off for the same reason as MediatorSession.stream — a
+        # filtered partial must not outlive this cursor under the
+        # view's name.
+        partial = self._ship_for(query, pushdown=False)
+        try:
+            cursor = super().stream_ast(query)
+        except BaseException:
+            self.session._drop_partials(partial)
+            raise
+        if not partial:
+            return cursor
+        inner = cursor
+
+        def cleanup() -> None:
+            inner.close()
+            self.session._drop_partials(partial)
+
+        return Cursor(inner.columns, inner, on_close=cleanup)
+
+    def explain(self, target, analyze: bool = False):
+        from ..relational.parser import parse_sql
+        stmt = parse_sql(target) if isinstance(target, str) else target
+        partial = self._ship_for(
+            stmt if isinstance(stmt, sql_ast.SelectQuery) else None,
+            pushdown=False)
+        try:
+            return super().explain(stmt, analyze)
+        finally:
+            self.session._drop_partials(partial)

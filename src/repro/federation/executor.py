@@ -25,6 +25,7 @@ this module gives the mediator a bounded worker pool that dispatches
 
 from __future__ import annotations
 
+import contextvars
 import dataclasses
 import threading
 import time
@@ -164,6 +165,35 @@ class FederationExecutor:
         self.options = options or FederationOptions()
         self.cache = cache if cache is not None \
             else FragmentCache(self.options.fragment_cache_size)
+        #: Telemetry hook (duck-typed): when attached, every shipped
+        #: fragment records per-source latency/retry/skip/cache-hit
+        #: metrics and opens a span under the originating query — the
+        #: submitter copies its ``contextvars`` context per job, so
+        #: worker-thread spans parent correctly.
+        self.telemetry = None
+
+    def attach_telemetry(self, telemetry) -> None:
+        self.telemetry = telemetry
+        if telemetry is None:
+            return
+        metrics = telemetry.metrics
+        self._tm_fragment_seconds = metrics.histogram(
+            "repro_federation_fragment_seconds",
+            "Per-source wall time of shipped fragments",
+            labels=("source",))
+        self._tm_retries = metrics.counter(
+            "repro_federation_retries_total",
+            "Fragment retry attempts beyond the first", labels=("source",))
+        self._tm_skips = metrics.counter(
+            "repro_federation_skips_total",
+            "Fragments skipped under the skip policy", labels=("source",))
+        self._tm_cache_hits = metrics.counter(
+            "repro_federation_cache_hits_total",
+            "Fragments served from the generation-keyed cache",
+            labels=("source",))
+        self._tm_rows = metrics.counter(
+            "repro_federation_rows_total",
+            "Rows fetched from each source", labels=("source",))
 
     def ship(self, jobs: list[FragmentJob]
              ) -> dict[str, list[FragmentResult]]:
@@ -183,9 +213,12 @@ class FederationExecutor:
         # batch spawns no threads, only the misses enter the pool.
         outcomes: list[FragmentResult] = []
         pending: list[FragmentJob] = []
+        tel = self.telemetry
         for job in jobs:
             hit = self._probe_cache(job)
             if hit is not None:
+                if tel is not None:
+                    self._tm_cache_hits.labels(job.source).inc()
                 outcomes.append(hit)
             else:
                 pending.append(job)
@@ -197,8 +230,17 @@ class FederationExecutor:
                 outcomes.append(self._guarded(job))
         else:
             with ThreadPoolExecutor(max_workers=workers) as pool:
-                futures = [pool.submit(self._run_job, job)
-                           for job in pending]
+                if tel is None:
+                    futures = [pool.submit(self._run_job, job)
+                               for job in pending]
+                else:
+                    # One context copy PER job: the copy carries the
+                    # submitter's current span into the worker thread
+                    # (a single Context cannot be entered concurrently).
+                    futures = [
+                        pool.submit(contextvars.copy_context().run,
+                                    self._run_job, job)
+                        for job in pending]
                 try:
                     for future in as_completed(futures):
                         outcomes.append(future.result())
@@ -239,6 +281,31 @@ class FederationExecutor:
             elapsed_s=time.perf_counter() - started, cached=True)
 
     def _run_job(self, job: FragmentJob) -> FragmentResult:
+        """Execute one fragment, instrumented when telemetry is on."""
+        tel = self.telemetry
+        if tel is None:
+            return self._execute_job(job)
+        started = time.perf_counter()
+        with tel.span("federation.fragment", source=job.source,
+                      view=job.view) as span:
+            outcome = self._execute_job(job)
+            if span is not None:
+                span.attrs["attempts"] = outcome.attempts
+                if outcome.skipped:
+                    span.attrs["skipped"] = True
+                else:
+                    span.attrs["rows"] = len(outcome.result)
+        self._tm_fragment_seconds.labels(job.source).observe(
+            time.perf_counter() - started)
+        if outcome.attempts > 1:
+            self._tm_retries.labels(job.source).inc(outcome.attempts - 1)
+        if outcome.skipped:
+            self._tm_skips.labels(job.source).inc()
+        else:
+            self._tm_rows.labels(job.source).inc(len(outcome.result))
+        return outcome
+
+    def _execute_job(self, job: FragmentJob) -> FragmentResult:
         """Execute one fragment under its source's policy.
 
         The cache was already probed inline by :meth:`ship`; a

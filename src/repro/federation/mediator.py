@@ -26,6 +26,7 @@ tests and benchmarks can check who was asked for what and what it cost.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from ..planner.joins import estimate_query_rows
@@ -45,6 +46,9 @@ from .executor import (FederationExecutor, FederationOptions, FragmentCache,
                        FragmentJob, FragmentResult)
 
 RECONCILIATIONS = ("union_all", "union", "prefer_first")
+
+#: Shared no-op context for disabled-telemetry span sites.
+_NOOP = nullcontext()
 
 #: Abstract cost units charged per second of simulated source latency
 #: when ranking views/sources (one remote hop ≈ many local row visits).
@@ -247,6 +251,15 @@ class Mediator:
         """
         return MediatorSession(self, options)
 
+    def as_databank(self, options: FederationOptions | None = None,
+                    name: str = "mediated"):
+        """This global schema as a :class:`~repro.federation.
+        MediatedDatabank` — a Database whose tables are the mediated
+        views, usable anywhere a databank is expected (notably as the
+        SESQL engine's databank, for enriched federated queries)."""
+        from .databank import MediatedDatabank
+        return MediatedDatabank(self, options, name)
+
     # -- internals ----------------------------------------------------------------------
 
     def _fragment_jobs(self, view: GlobalView,
@@ -427,7 +440,8 @@ class MediatorSession:
     """
 
     def __init__(self, mediator: Mediator,
-                 options: FederationOptions | None = None) -> None:
+                 options: FederationOptions | None = None, *,
+                 scratch: Database | None = None) -> None:
         self.mediator = mediator
         #: Session-level shipping override; the fragment cache stays the
         #: mediator-wide, generation-keyed one — unless that shared
@@ -442,10 +456,29 @@ class MediatorSession:
             if options.fragment_cache_size > 0 and cache.maxsize <= 0:
                 cache = FragmentCache(options.fragment_cache_size)
             self._executor = FederationExecutor(options, cache)
-        self._scratch = Database("mediator-session")
+        #: The local database views materialize into.  Callers (e.g.
+        #: :class:`~repro.federation.MediatedDatabank`) may supply one
+        #: so mediated views live next to their other tables.
+        self._scratch = scratch if scratch is not None \
+            else Database("mediator-session")
         self._view_rows: dict[str, int] = {}
+        #: Warn-level notes recorded at each view's first
+        #: materialization, re-emitted on every cached hit — a consumer
+        #: seeing the warm path still learns about fragment renames.
+        self._view_warnings: dict[str, list[str]] = {}
         self.hits = 0      # views served from the local materialization
         self.misses = 0    # views shipped to the sources
+        #: Telemetry hook (duck-typed): attached by the session layer.
+        self.telemetry = None
+
+    def attach_telemetry(self, telemetry) -> None:
+        self.telemetry = telemetry
+        self._executor.attach_telemetry(telemetry)
+        attach = getattr(self._scratch, "attach_telemetry", None)
+        if attach is not None \
+                and getattr(self._scratch, "telemetry", None) \
+                is not telemetry:
+            attach(telemetry)
 
     def execute(self, sql: str, views: list[str] | None = None,
                 pushdown: bool = True
@@ -538,6 +571,16 @@ class MediatorSession:
         materializations the caller must drop when done.
         """
         statement = Mediator._try_parse(sql)
+        return statement, self._ship_parsed(statement, views, pushdown,
+                                            report)
+
+    def _ship_parsed(self, statement: sql_ast.SelectQuery | None,
+                     views: list[str] | None, pushdown: bool,
+                     report: MediationReport) -> list[str]:
+        """Ship the views an already-parsed statement needs (the body
+        of :meth:`_ship_views`, reusable by callers that hold an AST —
+        e.g. :class:`~repro.federation.MediatedDatabank`).  Returns the
+        partial-materialization names to drop when the query is done."""
         if views is not None:
             # Dedupe (order-preserving): a repeated name is one view.
             wanted = list(dict.fromkeys(views))
@@ -570,6 +613,11 @@ class MediatorSession:
             if view_name in self._view_rows:
                 self.hits += 1
                 report.view_rows[view.name] = self._view_rows[view.name]
+                # Re-emit the first-materialization warnings: a cached
+                # hit serves the same (renamed-column) data, so the
+                # report must carry the same caveats.
+                report.warnings.extend(
+                    self._view_warnings.get(view_name, ()))
                 continue
             missed.append(view_name)
             view_jobs = self.mediator._fragment_jobs(
@@ -578,20 +626,26 @@ class MediatorSession:
             for job in view_jobs:
                 report.sub_queries.append((job.source, job.sql))
         if not jobs:
-            return statement, []
+            return []
 
         # One batch, all views: a failing fragment (under the ``fail``
         # policy) aborts here, before anything is stored — no view of
         # this batch is ever observable partially shipped.
-        shipped = self._executor.ship(jobs)
+        tel = self.telemetry
+        with (tel.span("federation.ship", views=",".join(missed),
+                       fragments=len(jobs))
+              if tel is not None else _NOOP):
+            shipped = self._executor.ship(jobs)
         partial: list[str] = []
         try:
             for view_name in missed:
                 view = self.mediator._views[view_name]
                 results = shipped.get(view_name, [])
                 Mediator._fold_results(report, results)
+                warn_start = len(report.warnings)
                 rows, columns = self.mediator._assemble_view(
                     view, results, report)
+                view_warnings = report.warnings[warn_start:]
                 Mediator._store(self._scratch, view.name, columns, rows)
                 self.misses += 1
                 filter_sql = pushable.get(view_name)
@@ -608,11 +662,12 @@ class MediatorSession:
                         report.pushed_filters[view.name] = filter_sql
                 else:
                     self._view_rows[view.name] = len(rows)
+                    self._view_warnings[view.name] = view_warnings
                 report.view_rows[view.name] = len(rows)
         except BaseException:
             self._drop_partials(partial)
             raise
-        return statement, partial
+        return partial
 
     def _drop_partials(self, partial: list[str]) -> None:
         for view_name in partial:
@@ -627,6 +682,7 @@ class MediatorSession:
         doomed = list(self._view_rows) if views is None else views
         for view_name in doomed:
             if self._view_rows.pop(view_name, None) is not None:
+                self._view_warnings.pop(view_name, None)
                 self._scratch.drop_table(view_name, if_exists=True)
 
     def explain(self, sql: str, pushdown: bool = True) -> "QueryPlan":

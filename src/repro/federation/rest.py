@@ -191,6 +191,11 @@ class CrosseRestService:
                  self._resource_recommendations_v1)
         register("POST", "/api/v1/batch", self._batch_v1)
         register("GET", "/api/v1/routes", self._list_routes)
+        # Observability surface (404 with code=telemetry_disabled when
+        # the platform was built without telemetry).
+        register("GET", "/api/v1/metrics", self._metrics_v1)
+        register("GET", "/api/v1/traces/{query_id}", self._trace_v1)
+        register("GET", "/api/v1/slow_queries", self._slow_queries_v1)
 
     # -- shared handlers ---------------------------------------------------------
 
@@ -300,6 +305,50 @@ class CrosseRestService:
         return {"routes": [{"method": method, "path": template}
                            for method, template in self.router.routes()]}
 
+    # -- v1: observability ----------------------------------------------------------
+
+    def _telemetry(self):
+        telemetry = getattr(self.platform, "telemetry", None)
+        if telemetry is None:
+            raise RestError(
+                "telemetry is not enabled on this platform",
+                status=404, code="telemetry_disabled",
+                detail="construct CrossePlatform(..., telemetry=...) or "
+                       "call platform.enable_telemetry()")
+        return telemetry
+
+    def _metrics_v1(self, params: dict, _body: dict) -> Any:
+        telemetry = self._telemetry()
+        fmt = params.get("format", "json")
+        if fmt == "prometheus":
+            # Text exposition format 0.0.4; the payload is the raw text
+            # (a socket transport would serve it as text/plain).
+            return telemetry.metrics.render_prometheus()
+        if fmt != "json":
+            raise RestError(
+                f"unknown metrics format {fmt!r}; use json or prometheus",
+                code="invalid_format")
+        return {"metrics": telemetry.metrics.to_dict()}
+
+    def _trace_v1(self, params: dict, _body: dict) -> dict:
+        telemetry = self._telemetry()
+        root = telemetry.tracer.trace(params["query_id"])
+        if root is None:
+            raise RestError(
+                f"no trace retained for {params['query_id']!r}",
+                status=404, code="trace_not_found")
+        return {"trace": root.to_dict()}
+
+    def _slow_queries_v1(self, params: dict, body: dict) -> dict:
+        telemetry = self._telemetry()
+        log = telemetry.slow_queries
+        payload = self._paginated(
+            [entry.to_dict() for entry in log.entries()],
+            "slow_queries", params, body)
+        payload["threshold_s"] = log.threshold_s
+        payload["recorded"] = log.recorded
+        return payload
+
     # -- v1: pooled streaming query ------------------------------------------------
 
     def _query_v1(self, params: dict, body: dict) -> dict:
@@ -316,12 +365,17 @@ class CrosseRestService:
             cursor = session.stream(text, query_params)
             columns = list(cursor.columns)
             page = paginate_cursor(cursor, limit, token, signature)
-        return {
+            trace = session.last_trace()
+        payload = {
             "columns": columns,
             "rows": [list(row) for row in page.items],
             "next_token": page.next_token,
             "limit": limit,
         }
+        if trace is not None:
+            # Join handle to GET /api/v1/traces/{query_id}.
+            payload["query_id"] = trace.query_id
+        return payload
 
     # -- v1: batch ------------------------------------------------------------------
 

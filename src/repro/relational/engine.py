@@ -15,6 +15,8 @@ feed on, and ``explain()`` exposes the operator tree with estimated
 from __future__ import annotations
 
 import threading
+import time
+from contextlib import nullcontext
 from typing import Any, Iterable, Iterator
 
 from ..rwlock import RWLock
@@ -29,6 +31,18 @@ from .result import Cursor, ResultSet
 from .schema import Column, TableSchema
 from .table import Table
 from .types import DataType, parse_type_name
+
+#: Shared no-op context for disabled-telemetry span sites.
+_NOOP = nullcontext()
+
+#: OperatorNode kinds that describe how base data was reached.
+_ACCESS_KINDS = frozenset(
+    {"scan", "index-join", "hash-join", "nested-loop", "cross-join"})
+
+#: Buckets for the estimated-vs-actual row ratio histogram (1.0 = the
+#: planner nailed it; <1 over-estimated; >1 under-estimated).
+_RATIO_BUCKETS = (0.1, 0.25, 0.5, 0.75, 0.9, 1.0, 1.25, 2.0, 4.0, 10.0,
+                  100.0)
 
 
 class Database:
@@ -63,6 +77,61 @@ class Database:
         #: and the lock-free SESQL temp-table injection never reach a
         #: logging site, so they are excluded by construction.
         self.durability_journal = None
+        #: Telemetry hook (duck-typed, same pattern): when a
+        #: :class:`repro.telemetry.Telemetry` bundle attaches, SELECT
+        #: execution records latency/row metrics and opens spans under
+        #: the current query trace.  ``None`` costs one attribute test.
+        self.telemetry = None
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Wire a telemetry bundle into this database and its lock."""
+        self.telemetry = telemetry
+        self.rwlock.attach_telemetry(telemetry)
+        if telemetry is None:
+            return
+        metrics = telemetry.metrics
+        self._tm_plan_seconds = metrics.histogram(
+            "repro_db_plan_seconds",
+            "Wall time spent in the cost-based planner",
+            labels=("db",)).labels(self.name)
+        self._tm_select_seconds = metrics.histogram(
+            "repro_db_select_seconds",
+            "Wall time of materialized SELECT execution",
+            labels=("db",)).labels(self.name)
+        self._tm_stream_seconds = metrics.histogram(
+            "repro_db_stream_seconds",
+            "Open-to-drain lifetime of streaming SELECT cursors",
+            labels=("db",)).labels(self.name)
+        self._tm_rows_returned = metrics.counter(
+            "repro_db_rows_returned_total",
+            "Rows returned by SELECTs (materialized and streamed)",
+            labels=("db",)).labels(self.name)
+        self._tm_estimate_ratio = metrics.histogram(
+            "repro_planner_estimate_ratio",
+            "actual/estimated result rows per planned SELECT "
+            "(1.0 = perfect estimate)",
+            buckets=_RATIO_BUCKETS)
+        self._tm_access_paths = metrics.counter(
+            "repro_db_access_paths_total",
+            "Operator kinds reaching base data in executed plans",
+            labels=("path",))
+
+    def _note_select(self, planned, rows_out: int, elapsed: float,
+                     *, streamed: bool = False) -> None:
+        """Fold one finished SELECT into the metrics registry."""
+        hist = self._tm_stream_seconds if streamed \
+            else self._tm_select_seconds
+        hist.observe(elapsed)
+        self._tm_rows_returned.inc(rows_out)
+        if planned is None:
+            return
+        root = planned.root
+        if root.est_rows is not None:
+            self._tm_estimate_ratio.observe(
+                (rows_out + 1.0) / (root.est_rows + 1.0))
+        for node in root.walk():
+            if node.kind in _ACCESS_KINDS:
+                self._tm_access_paths.labels(node.kind).inc()
 
     @property
     def generation(self) -> int:
@@ -187,17 +256,40 @@ class Database:
             # Trivial selects skip planning (and its deep copy) so
             # point lookups stay as fast as with the planner off.
             if not is_trivial_select(query):
-                planned = plan_select(query, self.catalog, self.stats,
-                                      self.planner)
+                tel = self.telemetry
+                if tel is None:
+                    planned = plan_select(query, self.catalog, self.stats,
+                                          self.planner)
+                else:
+                    started = time.perf_counter()
+                    with tel.span("db.plan", db=self.name):
+                        planned = plan_select(query, self.catalog,
+                                              self.stats, self.planner)
+                    self._tm_plan_seconds.observe(
+                        time.perf_counter() - started)
+                    if tel.options.instrument_operators:
+                        planned.instrument = True
                 self.last_plan = planned
                 query = planned.query
         return compile_query(query, self.catalog, planned=planned), planned
 
     def _run_select(self, query: ast.SelectQuery) -> ResultSet:
-        plan, planned = self._plan_and_compile(query)
-        rows = plan.run(())
-        if planned is not None:
-            planned.root.actual_rows = len(rows)
+        tel = self.telemetry
+        if tel is None:
+            plan, planned = self._plan_and_compile(query)
+            rows = plan.run(())
+            if planned is not None:
+                planned.root.actual_rows = len(rows)
+            return ResultSet(plan.schema.names(), rows)
+        started = time.perf_counter()
+        with tel.span("db.execute", db=self.name) as span:
+            plan, planned = self._plan_and_compile(query)
+            rows = plan.run(())
+            if planned is not None:
+                planned.root.actual_rows = len(rows)
+            if span is not None:
+                span.attrs["rows"] = len(rows)
+        self._note_select(planned, len(rows), time.perf_counter() - started)
         return ResultSet(plan.schema.names(), rows)
 
     # -- streaming SELECT --------------------------------------------------------
@@ -224,10 +316,14 @@ class Database:
         # open and first row.  The hold transfers to the generator and
         # is released (idempotently) on exhaustion, close() or GC.
         hold = self.rwlock.read_hold()
+        tel = self.telemetry
+        started = time.perf_counter() if tel is not None else 0.0
         try:
             # Plan/compile eagerly so schema errors surface here, not
             # on the first fetch.
-            plan, planned = self._plan_and_compile(query)
+            with (tel.span("db.stream", db=self.name)
+                  if tel is not None else _NOOP):
+                plan, planned = self._plan_and_compile(query)
         except BaseException:
             hold.release()
             raise
@@ -244,6 +340,10 @@ class Database:
                 # the count of rows actually produced.
                 if planned is not None:
                     planned.root.actual_rows = produced
+                if tel is not None:
+                    self._note_select(
+                        planned, produced,
+                        time.perf_counter() - started, streamed=True)
 
         return Cursor(plan.schema.names(), rows(), on_close=hold.release)
 

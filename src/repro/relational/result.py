@@ -35,6 +35,11 @@ class Cursor:
         self._rows = iter(rows)
         self._on_close = on_close
         self._closed = False
+        #: Rows this cursor has handed to its consumer so far.  Unlike
+        #: DB-API ``rowcount`` it is exact for partially-drained
+        #: streams (early LIMIT, explicit close), which is what trace
+        #: spans and pagination accounting need.
+        self.rows_yielded = 0
 
     # -- iteration -----------------------------------------------------------
 
@@ -45,10 +50,12 @@ class Cursor:
         if self._closed:
             raise StopIteration
         try:
-            return next(self._rows)
+            row = next(self._rows)
         except StopIteration:
             self.close()
             raise
+        self.rows_yielded += 1
+        return row
 
     # -- DB-API-style fetches -------------------------------------------------
 

@@ -32,6 +32,7 @@ open cursors before mutating the same database.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 
 
@@ -78,6 +79,21 @@ class RWLock:
         self._writer: int | None = None  # ident of the write holder
         self._write_depth = 0
         self._local = threading.local()
+        #: Telemetry hook (duck-typed): when attached, acquisitions
+        #: that actually block record their wait time.  Uncontended
+        #: acquisitions never touch the registry.
+        self.telemetry = None
+        self._read_wait = self._write_wait = None
+
+    def attach_telemetry(self, telemetry) -> None:
+        self.telemetry = telemetry
+        if telemetry is not None:
+            family = telemetry.metrics.histogram(
+                "repro_rwlock_wait_seconds",
+                "Time spent blocked acquiring the readers-writer lock",
+                labels=("mode",))
+            self._read_wait = family.labels("read")
+            self._write_wait = family.labels("write")
 
     # -- introspection (tests / diagnostics) --------------------------------
 
@@ -118,9 +134,15 @@ class RWLock:
                 state.depth += 1
             return ReadHold(self, state, piggyback=True)
         with self._cond:
-            while state.depth == 0 and (self._writer is not None
-                                        or self._waiting_writers):
-                self._cond.wait()
+            if state.depth == 0 and (self._writer is not None
+                                     or self._waiting_writers):
+                started = time.perf_counter() \
+                    if self.telemetry is not None else None
+                while state.depth == 0 and (self._writer is not None
+                                            or self._waiting_writers):
+                    self._cond.wait()
+                if started is not None:
+                    self._read_wait.observe(time.perf_counter() - started)
             self._active_readers += 1
             state.depth += 1
         return ReadHold(self, state, piggyback=False)
@@ -172,8 +194,14 @@ class RWLock:
                     "open cursors before mutating")
             self._waiting_writers += 1
             try:
-                while self._writer is not None or self._active_readers:
-                    self._cond.wait()
+                if self._writer is not None or self._active_readers:
+                    started = time.perf_counter() \
+                        if self.telemetry is not None else None
+                    while self._writer is not None or self._active_readers:
+                        self._cond.wait()
+                    if started is not None:
+                        self._write_wait.observe(
+                            time.perf_counter() - started)
                 self._writer = me
                 self._write_depth = 1
             finally:

@@ -1,0 +1,309 @@
+"""A small, lock-cheap metrics registry: counters, gauges, histograms.
+
+Design constraints, in order:
+
+1. **Cheap on the hot path.**  Recording into an already-created child
+   is one short critical section on a per-child lock (counters/gauges)
+   or a bisect + a few adds (histograms).  Label resolution for a
+   repeated label set is one dict lookup under the family lock.
+2. **Prometheus-shaped.**  Families have a name, help text and fixed
+   label names; children are addressed by label values.  The registry
+   renders both a JSON-friendly dict and the Prometheus text
+   exposition format.
+3. **No dependencies.**  Pure stdlib; histograms are bounded-bucket
+   (cumulative counts per upper bound) with percentile estimates by
+   linear interpolation inside the winning bucket, tightened by the
+   observed min/max.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+from .options import DEFAULT_LATENCY_BUCKETS
+
+_NAME_OK = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:")
+
+
+def _check_name(name: str) -> str:
+    if not name or not set(name) <= _NAME_OK or name[0].isdigit():
+        raise ValueError(f"invalid metric name: {name!r}")
+    return name
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down (pool occupancy, queue depth)."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Bounded-bucket histogram with cumulative counts and percentiles.
+
+    ``buckets`` are the upper bounds; an implicit +Inf bucket catches
+    the tail.  ``percentile(q)`` interpolates linearly within the
+    winning bucket, clamped to the observed min/max so small sample
+    counts do not report values nothing ever reached.
+    """
+
+    __slots__ = ("buckets", "_counts", "_sum", "_count", "_min", "_max",
+                 "_lock")
+
+    def __init__(self, buckets=DEFAULT_LATENCY_BUCKETS) -> None:
+        self.buckets = tuple(float(b) for b in buckets)
+        self._counts = [0] * (len(self.buckets) + 1)   # last = +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._min = None
+        self._max = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        idx = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def min(self):
+        return self._min
+
+    @property
+    def max(self):
+        return self._max
+
+    def percentile(self, q: float) -> float | None:
+        """Estimated *q*-quantile (``q`` in [0, 1]), None when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        with self._lock:
+            total = self._count
+            if total == 0:
+                return None
+            counts = list(self._counts)
+            lo_obs, hi_obs = self._min, self._max
+        rank = q * total
+        cum = 0
+        for idx, bucket_count in enumerate(counts):
+            if bucket_count == 0:
+                continue
+            prev_cum = cum
+            cum += bucket_count
+            if cum >= rank:
+                lo = self.buckets[idx - 1] if idx > 0 else 0.0
+                hi = self.buckets[idx] if idx < len(self.buckets) else hi_obs
+                if hi is None or hi <= lo:
+                    hi = lo
+                frac = (rank - prev_cum) / bucket_count
+                est = lo + (hi - lo) * frac
+                return max(lo_obs, min(hi_obs, est))
+        return hi_obs
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            counts = list(self._counts)
+            out = {
+                "count": self._count, "sum": self._sum,
+                "min": self._min, "max": self._max,
+            }
+        cumulative, cum = [], 0
+        for c in counts:
+            cum += c
+            cumulative.append(cum)
+        out["buckets"] = {
+            **{str(b): cumulative[i] for i, b in enumerate(self.buckets)},
+            "+Inf": cumulative[-1],
+        }
+        for label, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+            out[label] = self.percentile(q)
+        return out
+
+
+class _Family:
+    """One named metric with fixed label names and per-value children."""
+
+    __slots__ = ("name", "help", "kind", "label_names", "_children",
+                 "_lock", "_factory")
+
+    def __init__(self, name, help_text, kind, label_names, factory):
+        self.name = _check_name(name)
+        self.help = help_text
+        self.kind = kind
+        self.label_names = tuple(label_names)
+        self._children = {}
+        self._lock = threading.Lock()
+        self._factory = factory
+
+    def labels(self, *values):
+        values = tuple(str(v) for v in values)
+        if len(values) != len(self.label_names):
+            raise ValueError(
+                f"{self.name}: expected {len(self.label_names)} label "
+                f"value(s) {self.label_names}, got {len(values)}")
+        child = self._children.get(values)
+        if child is None:
+            with self._lock:
+                child = self._children.setdefault(values, self._factory())
+        return child
+
+    def children(self):
+        with self._lock:
+            return dict(self._children)
+
+
+class MetricsRegistry:
+    """Get-or-create registry of metric families.
+
+    ``counter`` / ``gauge`` / ``histogram`` return the **family** when
+    the metric is declared with label names, or the single unlabelled
+    child directly when it is not — so hot paths hold a direct child
+    reference and never re-resolve.
+    """
+
+    def __init__(self, *, default_buckets=DEFAULT_LATENCY_BUCKETS) -> None:
+        self._families = {}
+        self._lock = threading.Lock()
+        self._default_buckets = tuple(default_buckets)
+
+    def _get_or_create(self, name, help_text, kind, labels, factory):
+        family = self._families.get(name)
+        if family is None:
+            with self._lock:
+                family = self._families.get(name)
+                if family is None:
+                    family = _Family(name, help_text, kind, labels, factory)
+                    self._families[name] = family
+        if family.kind != kind or family.label_names != tuple(labels):
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind} "
+                f"with labels {family.label_names}")
+        if not family.label_names:
+            return family.labels()
+        return family
+
+    def counter(self, name, help_text="", labels=()):
+        return self._get_or_create(name, help_text, "counter", labels, Counter)
+
+    def gauge(self, name, help_text="", labels=()):
+        return self._get_or_create(name, help_text, "gauge", labels, Gauge)
+
+    def histogram(self, name, help_text="", labels=(), buckets=None):
+        chosen = tuple(buckets) if buckets is not None \
+            else self._default_buckets
+        return self._get_or_create(
+            name, help_text, "histogram", labels,
+            lambda: Histogram(chosen))
+
+    # -- export ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-friendly snapshot of every family and child."""
+        out = {}
+        with self._lock:
+            families = list(self._families.values())
+        for family in sorted(families, key=lambda f: f.name):
+            series = []
+            for values, child in sorted(family.children().items()):
+                labels = dict(zip(family.label_names, values))
+                if family.kind == "histogram":
+                    series.append({"labels": labels, **child.snapshot()})
+                else:
+                    series.append({"labels": labels, "value": child.value})
+            out[family.name] = {
+                "type": family.kind, "help": family.help, "series": series,
+            }
+        return out
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        lines = []
+        with self._lock:
+            families = list(self._families.values())
+        for family in sorted(families, key=lambda f: f.name):
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for values, child in sorted(family.children().items()):
+                base = _format_labels(family.label_names, values)
+                if family.kind == "histogram":
+                    snap = child.snapshot()
+                    for bound, cum in snap["buckets"].items():
+                        extra = _format_labels(
+                            family.label_names + ("le",), values + (bound,))
+                        lines.append(f"{family.name}_bucket{extra} {cum}")
+                    lines.append(
+                        f"{family.name}_sum{base} {_fmt(snap['sum'])}")
+                    lines.append(f"{family.name}_count{base} {snap['count']}")
+                else:
+                    lines.append(f"{family.name}{base} {_fmt(child.value)}")
+        return "\n".join(lines) + "\n"
+
+
+def _fmt(value: float) -> str:
+    return repr(int(value)) if float(value).is_integer() else repr(value)
+
+
+def _format_labels(names, values) -> str:
+    if not names:
+        return ""
+    parts = []
+    for name, value in zip(names, values):
+        escaped = str(value).replace("\\", r"\\").replace('"', r"\"") \
+                            .replace("\n", r"\n")
+        parts.append(f'{name}="{escaped}"')
+    return "{" + ",".join(parts) + "}"

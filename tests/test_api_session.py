@@ -410,7 +410,7 @@ def test_triple_store_state_key_is_unique_per_state():
 def test_explain_reports_deduped_extractions_once(session):
     """explain() lists every logical extraction, but duplicates within
     the statement execute (at most) one SPARQL query."""
-    before = session.engine.sqm.sparql_executions
+    before = session.engine.sqm.sparql_execution_count()
     plan = session.explain("""
         SELECT elem_name FROM elem_contained
         WHERE ${ elem_name = 'Mercury' : cond1 }
@@ -418,7 +418,7 @@ def test_explain_reports_deduped_extractions_once(session):
         ENRICH REPLACECONSTANT(cond1, Mercury, dangerLevel)
                REPLACECONSTANT(cond2, Mercury, dangerLevel)""")
     assert len(plan.sparql_queries) == 2
-    assert session.engine.sqm.sparql_executions - before == 1
+    assert session.engine.sqm.sparql_execution_count() - before == 1
     extract_stages = [stage for stage in plan.stages
                       if stage.name == "extract"]
     assert [stage.cached for stage in extract_stages] == [False, True]

@@ -173,7 +173,7 @@ def test_constant_absent_from_condition_rejected(engine):
 def test_identical_extractions_across_conditions_execute_once(engine):
     """Two tagged conditions with the same REPLACECONSTANT extraction:
     the plan reports both logical extractions, the KB runs one query."""
-    before = engine.sqm.sparql_executions
+    before = engine.sqm.sparql_execution_count()
     result = engine.execute("""
         SELECT elem_name, amount FROM elem_contained
         WHERE ${ elem_name = 'Mercury' : cond1 }
@@ -183,13 +183,13 @@ def test_identical_extractions_across_conditions_execute_once(engine):
     assert len(result.sparql_queries) == 2
     assert len(set(result.sparql_queries)) == 1
     assert result.sparql_executions == 1
-    assert engine.sqm.sparql_executions - before == 1
+    assert engine.sqm.sparql_execution_count() - before == 1
 
 
 def test_where_and_select_extraction_shared(engine):
     """A WHERE rewrite and a SELECT enrichment over the same property
     reuse one extraction within the statement."""
-    before = engine.sqm.sparql_executions
+    before = engine.sqm.sparql_execution_count()
     result = engine.execute("""
         SELECT elem_name FROM elem_contained
         WHERE ${ elem_name <> 'x' : cond1 }
@@ -197,17 +197,17 @@ def test_where_and_select_extraction_shared(engine):
                SCHEMAEXTENSION(elem_name, dangerLevel)""")
     assert len(result.sparql_queries) == 2
     assert result.sparql_executions == 1
-    assert engine.sqm.sparql_executions - before == 1
+    assert engine.sqm.sparql_execution_count() - before == 1
     # The rewrite and the enrichment both took effect.
     assert "dangerLevel" in result.columns[-1]
 
 
 def test_distinct_extractions_still_execute_separately(engine):
-    before = engine.sqm.sparql_executions
+    before = engine.sqm.sparql_execution_count()
     result = engine.execute("""
         SELECT elem_name FROM elem_contained
         ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)
                BOOLSCHEMAEXTENSION(elem_name, dangerLevel, high)""")
     assert len(result.sparql_queries) == 2
     assert result.sparql_executions == 2
-    assert engine.sqm.sparql_executions - before == 2
+    assert engine.sqm.sparql_execution_count() - before == 2

@@ -66,6 +66,16 @@ def test_streaming_api(capsys):
     assert "405" in out                              # structured errors
 
 
+def test_telemetry(capsys):
+    out = run_example("telemetry", capsys)
+    assert "One span tree" in out
+    assert "sesql.query" in out
+    assert out.count("federation.fragment") == 2     # one per source
+    assert "# TYPE" in out                           # Prometheus render
+    assert "Slow-query log captured q-" in out
+    assert "/api/v1/traces/" in out and "-> 200" in out
+
+
 def test_federated_databanks(capsys):
     out = run_example("federated_databanks", capsys)
     assert "Mediated EU-wide rollup" in out
@@ -76,7 +86,7 @@ def test_federated_databanks(capsys):
 
 @pytest.mark.parametrize("name", [
     "quickstart", "pollution_personas", "crowdsourced_knowledge",
-    "federated_databanks", "session_api", "streaming_api"])
+    "federated_databanks", "session_api", "streaming_api", "telemetry"])
 def test_examples_exist_and_document_themselves(name):
     source = (EXAMPLES_DIR / f"{name}.py").read_text(encoding="utf-8")
     assert source.startswith('"""')          # every example has a docstring
