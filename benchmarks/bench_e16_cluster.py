@@ -1,0 +1,137 @@
+"""E16 — multi-process cluster scaling for pooled read-heavy load.
+
+The scarce resources in a sharded deployment are **per-shard session
+pool slots** and **worker processes**, not this machine's core count:
+every statement pays a fixed simulated source latency (a GIL-releasing
+``time.sleep`` inside the shard's databank, the same technique E13 uses
+for network hops), so throughput is bounded by how many statements can
+be *in flight* at once — ``n_workers × pool_capacity``.  That makes the
+measured ratio scale-robust: it asserts identically at smoke scale and
+on a single-core runner.
+
+* **1 worker** — every user hashes to the same shard; at
+  ``pool_capacity=2`` only 2 statements overlap, so the driver's
+  12 threads queue on the pool.
+* **4 workers** — the ring spreads users over 4 processes × 2 slots =
+  8 overlapping statements.  Ideal ratio 4x; gate: **≥2.5x** (room for
+  spawn jitter and coordinator overhead on shared runners).
+
+Correctness rides along: the scatter-gathered ``/api/v1/cluster/query``
+answer must be byte-identical to the same query run serially on a
+single-process platform over identically seeded data.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from conftest import scaled
+from repro.cluster import start_cluster
+from repro.cluster.testing import seed_readings
+from repro.crosse.platform import CrossePlatform
+from repro.relational import Database
+
+#: Simulated per-statement source latency (dominates row handling).
+LATENCY_S = 0.03
+POOL_CAPACITY = 2
+DRIVER_THREADS = 12
+SEED_ROWS = 40
+N_USERS = 16
+#: Routed read requests per throughput phase.
+REQUESTS = scaled(240, floor=48)
+
+QUERY = ("SELECT sensor, COUNT(*) AS n, SUM(value) AS total "
+         "FROM readings GROUP BY sensor ORDER BY sensor")
+
+USERS = [f"user-{index:02d}" for index in range(N_USERS)]
+
+
+def _start(n_workers: int):
+    cluster = start_cluster(
+        n_workers, "repro.cluster.testing:build_platform_shard",
+        builder_args={"seed_rows": SEED_ROWS, "latency_s": LATENCY_S},
+        pool_capacity=POOL_CAPACITY)
+    for user in USERS:
+        response = cluster.request("POST", "/api/v1/users",
+                                   {"username": user})
+        assert response.status == 200
+    return cluster
+
+
+def _drive(cluster, requests: int) -> float:
+    """Wall-clock of *requests* routed reads from 12 driver threads."""
+
+    def one(index: int) -> None:
+        response = cluster.request(
+            "POST", "/api/v1/query",
+            {"username": USERS[index % N_USERS], "query": QUERY})
+        assert response.status == 200, response.payload
+
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=DRIVER_THREADS) as pool:
+        for future in [pool.submit(one, index)
+                       for index in range(requests)]:
+            future.result()
+    return time.perf_counter() - started
+
+
+def _serial_reference():
+    """The single-process answer the cluster must reproduce exactly."""
+    databank = Database()
+    seed_readings(databank, SEED_ROWS)
+    platform = CrossePlatform(databank)
+    for user in USERS:
+        platform.register_user(user)
+    return platform.connect().as_user(USERS[0]).query(QUERY)
+
+
+# -- measured series ---------------------------------------------------------
+
+
+def test_e16_single_worker_throughput(benchmark):
+    with _start(1) as cluster:
+        benchmark(lambda: _drive(cluster, scaled(48, floor=24)))
+
+
+def test_e16_four_worker_throughput(benchmark):
+    with _start(4) as cluster:
+        benchmark(lambda: _drive(cluster, scaled(48, floor=24)))
+
+
+# -- acceptance gates --------------------------------------------------------
+
+
+def test_e16_cluster_throughput_scales():
+    """The acceptance gate: ≥2.5x read-heavy throughput from 1 → 4
+    worker processes (pool slots × processes bound the overlap)."""
+    with _start(1) as single:
+        single_s = _drive(single, REQUESTS)
+    with _start(4) as quad:
+        quad_s = _drive(quad, REQUESTS)
+    single_qps = REQUESTS / single_s
+    quad_qps = REQUESTS / quad_s
+    speedup = quad_qps / single_qps
+    print(f"\nE16 cluster scaling: 1 worker={single_qps:.0f} q/s "
+          f"4 workers={quad_qps:.0f} q/s speedup={speedup:.1f}x "
+          f"({REQUESTS} requests, {LATENCY_S * 1000:.0f}ms statement "
+          f"latency, pool={POOL_CAPACITY}/shard)")
+    assert speedup >= 2.5, (
+        f"cluster speedup {speedup:.2f}x below the 2.5x bar "
+        f"(1w: {single_s:.2f}s, 4w: {quad_s:.2f}s)")
+
+
+def test_e16_scatter_gather_matches_serial():
+    """Correctness gate: the scattered per-user answers are
+    byte-identical to the serial single-process run."""
+    reference = _serial_reference()
+    with _start(4) as cluster:
+        response = cluster.request("POST", "/api/v1/cluster/query",
+                                   {"query": QUERY})
+        assert response.status == 200
+        results = response.payload["results"]
+        assert sorted(results) == USERS
+        for entry in results.values():
+            assert entry["columns"] == reference.columns
+            assert [tuple(row) for row in entry["rows"]] \
+                == reference.rows

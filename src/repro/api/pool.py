@@ -85,6 +85,8 @@ class SessionPool:
         self.checkouts = 0
         self.timeouts = 0
         self.peak_in_use = 0
+        #: Callers currently blocked waiting for a slot.
+        self._waiting = 0
         #: Telemetry hook (duck-typed): checkout wait time, occupancy
         #: and timeout counts fold into the shared registry.
         self.telemetry = None
@@ -107,6 +109,10 @@ class SessionPool:
         self._tm_timeouts = metrics.counter(
             "repro_pool_timeouts_total",
             "Checkouts abandoned after the timeout")
+        self._tm_exhausted = metrics.counter(
+            "repro_pool_exhausted_total",
+            "Checkouts that found every slot leased and had to wait "
+            "or time out")
 
     # -- slot construction ----------------------------------------------------
 
@@ -140,21 +146,38 @@ class SessionPool:
         tel = self.telemetry
         started = time.perf_counter() if tel is not None else 0.0
         with self._cond:
+            exhausted = False
             while True:
                 if self._closed:
                     raise SessionError("session pool is closed")
                 if self._in_use < self.capacity:
                     break
+                if not exhausted:
+                    # Counted once per checkout, not once per wakeup:
+                    # the metric reads "checkouts that hit a full pool".
+                    exhausted = True
+                    self._waiting += 1
+                    if tel is not None:
+                        self._tm_exhausted.inc()
                 remaining = (None if deadline is None
                              else deadline - time.monotonic())
                 if remaining is not None and remaining <= 0:
+                    self._waiting -= 1
                     self.timeouts += 1
                     if tel is not None:
                         self._tm_timeouts.inc()
                     raise PoolTimeoutError(
                         f"no session available within {timeout}s "
-                        f"(capacity {self.capacity})")
-                self._cond.wait(remaining)
+                        f"(capacity {self.capacity}, "
+                        f"{self._in_use} leased, "
+                        f"{self._waiting} other caller(s) waiting)")
+                try:
+                    self._cond.wait(remaining)
+                except BaseException:
+                    self._waiting -= 1
+                    raise
+            if exhausted:
+                self._waiting -= 1
             self._in_use += 1
             self.checkouts += 1
             self.peak_in_use = max(self.peak_in_use, self._in_use)
@@ -217,6 +240,7 @@ class SessionPool:
                 "capacity": self.capacity,
                 "in_use": self._in_use,
                 "idle": len(self._idle),
+                "waiting": self._waiting,
                 "checkouts": self.checkouts,
                 "timeouts": self.timeouts,
                 "peak_in_use": self.peak_in_use,

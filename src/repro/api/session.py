@@ -573,6 +573,9 @@ def connect(source, options: QueryOptions | None = None,
       shared :class:`PlatformSession`; use ``.as_user(name)``.
     * :class:`~repro.federation.Mediator` — returns a
       :class:`~repro.federation.MediatorSession` over the global schema.
+    * :class:`~repro.cluster.ClusterCoordinator` — returns a
+      :class:`~repro.cluster.ClusterSession` routing per-user queries
+      to the owning shard of a multi-process cluster.
 
     *durability* (a :class:`repro.durability.DurabilityOptions`, or a
     directory path) switches on write-ahead logging + snapshots for a
@@ -666,6 +669,22 @@ def connect(source, options: QueryOptions | None = None,
                 mediator_session.attach_telemetry(tel)
         return mediator_session
 
+    from ..cluster.coordinator import ClusterCoordinator
+    if isinstance(source, ClusterCoordinator):
+        reject_wiring("cluster")
+        _reject_durability(
+            durability, "ClusterCoordinator",
+            "the coordinator's primary already owns the WAL")
+        _reject_telemetry(
+            telemetry, "ClusterCoordinator",
+            "pass it to the ClusterCoordinator constructor instead")
+        if options is not None:
+            raise SessionError(
+                "QueryOptions do not apply to cluster sessions (each "
+                "shard resolves its own); call coordinator.connect()")
+        return source.connect()
+
     raise SessionError(
         f"cannot open a session over {type(source).__name__}; expected a "
-        "Database, SESQLEngine, CrossePlatform or Mediator")
+        "Database, SESQLEngine, CrossePlatform, Mediator or "
+        "ClusterCoordinator")

@@ -1,0 +1,37 @@
+"""Cluster-layer exceptions."""
+
+from __future__ import annotations
+
+
+class ClusterError(Exception):
+    """Base class for cluster failures."""
+
+
+class ProtocolError(ClusterError):
+    """A malformed or oversized RPC frame."""
+
+
+class ShardUnavailableError(ClusterError):
+    """A shard could not be reached or died mid-conversation."""
+
+
+class ReplicaStaleError(ClusterError):
+    """A replica was asked to serve a read it cannot prove fresh.
+
+    Raised only when no forward target is configured: a replica
+    **never** silently serves data older than the generation the caller
+    expects.
+    """
+
+    def __init__(self, message: str, *, have: int, want: int) -> None:
+        super().__init__(message)
+        self.have = have
+        self.want = want
+
+
+class ReplicaGapError(ClusterError):
+    """The WAL tailer found a sequence hole (e.g. a pruned segment).
+
+    Applying later records would fabricate history, so the replica
+    stops applying and must be rebuilt from a snapshot.
+    """

@@ -1,0 +1,351 @@
+"""Read replicas kept fresh by tailing the primary's WAL.
+
+The durability manager (PR 6) already journals every committed mutation
+of the shared relational databank / triple store as checksummed frames
+in numbered WAL segments, with compacted snapshots at epoch boundaries.
+A :class:`WalTailer` reads that same directory **read-only** from
+another process: bootstrap from the newest valid snapshot, then poll
+the segment tail, applying frames through the exact replay functions
+recovery uses (:func:`~repro.durability.apply_database_record` /
+:func:`~repro.durability.apply_store_record`) and pinning the replica's
+generation stamps to the primary's recorded values.
+
+Freshness is the whole contract: a :class:`ReadReplica` serves a read
+**iff** its ``Database.generation`` / ``TripleStore.generation`` stamp
+has caught up with the generation the caller observed on the primary —
+otherwise it forwards to the primary (when a forward target is wired)
+or refuses with :class:`~repro.cluster.ReplicaStaleError`.  It never
+silently serves stale data.
+
+Torn tails are expected (the tailer races the primary's group-commit
+writes): the tailer simply keeps its offset at the last valid frame
+boundary and re-reads once more bytes land.  A per-component sequence
+hole, by contrast, means retained history is gone (pruned or corrupt
+segment) — the tailer raises :class:`~repro.cluster.ReplicaGapError`
+instead of fabricating state.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Callable
+
+from ..durability import snapshot as snapshot_io
+from ..durability.errors import SnapshotError
+from ..durability.manager import apply_database_record, apply_store_record
+from ..durability.wal import WAL_HEADER_COMPONENT, iter_frames
+from ..relational.engine import Database
+from ..relational.result import ResultSet
+from ..rdf.store import TripleStore
+from .errors import ReplicaGapError, ReplicaStaleError
+
+
+def _list_numbered(directory: str, prefix: str,
+                   suffix: str) -> list[tuple[int, str]]:
+    entries: list[tuple[int, str]] = []
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return []
+    for name in names:
+        if not (name.startswith(prefix) and name.endswith(suffix)):
+            continue
+        middle = name[len(prefix):len(name) - len(suffix)]
+        if middle.isdigit():
+            entries.append((int(middle), os.path.join(directory, name)))
+    entries.sort()
+    return entries
+
+
+class WalTailer:
+    """Applies a primary's WAL history to local component copies.
+
+    Strictly read-only on the durability directory: it never truncates,
+    prunes or rewrites anything — those are the primary's recovery
+    privileges.
+    """
+
+    def __init__(self, directory: str, *, database: Database | None = None,
+                 stores: dict[str, TripleStore] | None = None,
+                 foreign_sources: Any = None) -> None:
+        self.directory = directory
+        self._lock = threading.Lock()
+        self._components: dict[str, tuple[str, Any]] = {}
+        if database is not None:
+            self._components[f"db:{database.name}"] = ("database", database)
+        for name, store in (stores or {}).items():
+            self._components[f"store:{name}"] = ("store", store)
+        self._foreign_sources = foreign_sources
+        #: Per-component replay cursor: next expected seq + last
+        #: recorded generation (the value stamps are pinned to).
+        self._progress = {name: {"next": 1, "gen": 0}
+                          for name in self._components}
+        self._segment: int | None = None   # current segment number
+        self._offset = 0                   # valid bytes consumed of it
+        self._bootstrapped = False
+        self.frames_applied = 0
+        self.frames_skipped = 0
+        self.warnings: list[str] = []
+
+    # -- bootstrap -------------------------------------------------------------
+
+    def _bootstrap_locked(self) -> None:
+        """Load the newest valid snapshot (if any) and position the
+        tail at the earliest retained segment."""
+        snaps = _list_numbered(self.directory, "snap-", ".snap")
+        wals = _list_numbered(self.directory, "wal-", ".log")
+        if not snaps and not wals:
+            return                       # primary hasn't written yet
+        payload = None
+        for _num, path in reversed(snaps):
+            try:
+                payload = snapshot_io.load_snapshot_file(path)
+            except SnapshotError as exc:
+                # Same fallback recovery uses: the previous epoch's
+                # segment tail is retained exactly for this case.
+                self.warnings.append(str(exc))
+                continue
+            break
+        if payload is not None:
+            for name, component in payload.get("components", {}).items():
+                entry = self._components.get(name)
+                if entry is None:
+                    continue
+                kind, obj = entry
+                if kind == "database":
+                    snapshot_io.restore_database(obj, component,
+                                                 self._foreign_sources)
+                else:
+                    snapshot_io.restore_store(obj, component)
+                state = self._progress[name]
+                state["next"] = component.get("seq", 0) + 1
+                state["gen"] = component.get("generation", 0)
+        # Older retained segments only hold frames below each cut (the
+        # seq filter skips them), so starting at the earliest is safe.
+        self._segment = wals[0][0] if wals else None
+        self._offset = 0
+        self._bootstrapped = True
+        self._pin_generations_locked()
+
+    # -- polling ---------------------------------------------------------------
+
+    def poll(self) -> int:
+        """Apply every newly visible frame; returns how many."""
+        with self._lock:
+            if not self._bootstrapped:
+                self._bootstrap_locked()
+                if not self._bootstrapped:
+                    return 0
+            applied = 0
+            while True:
+                if self._segment is None:
+                    wals = _list_numbered(self.directory, "wal-", ".log")
+                    if not wals:
+                        break
+                    self._segment = wals[0][0]
+                    self._offset = 0
+                path = os.path.join(self.directory,
+                                    f"wal-{self._segment:06d}.log")
+                # Snapshot the set of *later* segments before reading:
+                # the primary closes a segment before creating its
+                # successor, so "a successor existed before this read"
+                # proves the read reached the segment's true end.
+                later = [num for num, _path in
+                         _list_numbered(self.directory, "wal-", ".log")
+                         if num > self._segment]
+                exists = os.path.exists(path)
+                if exists:
+                    with open(path, "rb") as handle:
+                        handle.seek(self._offset)
+                        data = handle.read()
+                    applied += self._apply_chunk_locked(data)
+                if not later:
+                    break
+                if exists and self._offset < os.path.getsize(path):
+                    # Torn bytes inside a closed segment: the primary
+                    # crashed mid-write and will truncate them on its
+                    # own recovery; a seq hole will surface if any
+                    # attached component actually lost records.
+                    self.warnings.append(
+                        f"torn tail inside closed segment "
+                        f"wal-{self._segment:06d}.log")
+                self._segment = min(later)
+                self._offset = 0
+            if applied:
+                self._pin_generations_locked()
+            return applied
+
+    def _apply_chunk_locked(self, data: bytes) -> int:
+        applied = 0
+        base = self._offset          # chunk frame offsets are relative
+        for payload, end in iter_frames(data):
+            self._offset = base + end
+            name = payload.get("c")
+            if name == WAL_HEADER_COMPONENT:
+                header = payload.get("d", {}).get("components", {})
+                for comp_name, info in header.items():
+                    state = self._progress.get(comp_name)
+                    if state is not None:
+                        state["gen"] = max(state["gen"],
+                                           info.get("generation", 0))
+            else:
+                state = self._progress.get(name)
+                if state is None:
+                    self.frames_skipped += 1
+                else:
+                    seq = payload.get("q", 0)
+                    if seq < state["next"]:
+                        self.frames_skipped += 1
+                    elif seq > state["next"]:
+                        raise ReplicaGapError(
+                            f"WAL gap for {name!r}: expected record "
+                            f"{state['next']}, found {seq}; rebuild "
+                            f"this replica from a snapshot")
+                    else:
+                        kind, obj = self._components[name]
+                        try:
+                            if kind == "database":
+                                apply_database_record(
+                                    obj, payload.get("t"),
+                                    payload.get("d"),
+                                    self._foreign_sources)
+                            else:
+                                apply_store_record(obj, payload.get("t"),
+                                                   payload.get("d"))
+                        except Exception as exc:
+                            # Mirror recovery: warn and move the cursor
+                            # on, rather than wedging the replica on a
+                            # frame that will never apply differently.
+                            self.warnings.append(
+                                f"replay of {name}#{seq} "
+                                f"({payload.get('t')}) failed: {exc}")
+                        state["next"] = seq + 1
+                        state["gen"] = max(state["gen"],
+                                           payload.get("g", 0))
+                        applied += 1
+                        self.frames_applied += 1
+        return applied
+
+    def _pin_generations_locked(self) -> None:
+        # Exact pins, mirroring recovery: replayed batches bump the
+        # counters through the normal mutation paths, and equality with
+        # the primary's recorded stamp is the freshness predicate.
+        for name, (kind, obj) in self._components.items():
+            generation = self._progress[name]["gen"]
+            if obj.generation != generation:
+                obj.pin_generation(generation)
+
+    def progress(self) -> dict[str, dict]:
+        with self._lock:
+            return {name: dict(state)
+                    for name, state in self._progress.items()}
+
+
+class ReadReplica:
+    """A queryable, generation-fresh copy of the shared stores.
+
+    ``query(sql, expected_generation=...)`` refreshes from the WAL and
+    serves locally iff the replica has caught up with the generation
+    the caller observed on the primary; otherwise it forwards (when a
+    ``forward`` callable is wired) or raises — never a stale answer.
+    """
+
+    def __init__(self, directory: str, *, database_name: str = "main",
+                 store_names: tuple[str, ...] = (),
+                 database_factory: Callable[[str], Database] | None = None,
+                 forward: Callable[[str], ResultSet] | None = None,
+                 foreign_sources: Any = None) -> None:
+        factory = database_factory or (lambda name: Database(name=name))
+        self.database = factory(database_name)
+        self.stores = {name: TripleStore() for name in store_names}
+        self.tailer = WalTailer(directory, database=self.database,
+                                stores=self.stores,
+                                foreign_sources=foreign_sources)
+        self.forward = forward
+        self.local_reads = 0
+        self.forwarded_reads = 0
+        self.telemetry = None
+
+    def attach_telemetry(self, telemetry) -> None:
+        self.telemetry = telemetry
+        if telemetry is None:
+            return
+        metrics = telemetry.metrics
+        self._tm_reads = metrics.counter(
+            "repro_replica_reads_total",
+            "Replica reads by outcome (local vs forwarded to primary)",
+            labels=("mode",))
+        self._tm_generation = metrics.gauge(
+            "repro_replica_generation",
+            "Relational generation this replica has replayed up to")
+
+    # -- freshness -------------------------------------------------------------
+
+    def refresh(self) -> int:
+        """One tailer poll; returns the number of frames applied."""
+        applied = self.tailer.poll()
+        if self.telemetry is not None:
+            self._tm_generation.set(self.database.generation)
+        return applied
+
+    def generations(self) -> dict:
+        """The stamps a coordinator compares against the primary's."""
+        return {"db": self.database.generation,
+                "stores": {name: store.generation
+                           for name, store in self.stores.items()}}
+
+    def is_fresh(self, expect: dict | None) -> bool:
+        """True when every stamp has reached the expected one.
+
+        ``>=`` rather than ``==``: the tailer only replays primary
+        history, so a stamp past the captured expectation means the
+        primary has moved *further* — the replica still reflects
+        everything the caller could have observed when it captured
+        ``expect``.
+        """
+        if not expect:
+            return True
+        if self.database.generation < expect.get("db", 0):
+            return False
+        for name, generation in (expect.get("stores") or {}).items():
+            store = self.stores.get(name)
+            if store is None or store.generation < generation:
+                return False
+        return True
+
+    def wait_fresh(self, expect: dict | None, timeout_s: float = 5.0,
+                   interval_s: float = 0.002) -> bool:
+        """Poll the WAL until fresh w.r.t. *expect* or out of time."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            self.refresh()
+            if self.is_fresh(expect):
+                return True
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(interval_s)
+
+    # -- reads -----------------------------------------------------------------
+
+    def query(self, sql: str,
+              expected_generation: int | None = None) -> ResultSet:
+        """Serve *sql* locally iff fresh, else forward — never stale."""
+        self.refresh()
+        if (expected_generation is None
+                or self.database.generation >= expected_generation):
+            self.local_reads += 1
+            if self.telemetry is not None:
+                self._tm_reads.labels("local").inc()
+            return self.database.query(sql)
+        if self.forward is not None:
+            self.forwarded_reads += 1
+            if self.telemetry is not None:
+                self._tm_reads.labels("forwarded").inc()
+            return self.forward(sql)
+        raise ReplicaStaleError(
+            f"replica at generation {self.database.generation} cannot "
+            f"serve a read expecting generation {expected_generation} "
+            f"and has no forward target",
+            have=self.database.generation, want=expected_generation)

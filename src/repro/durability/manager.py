@@ -104,6 +104,65 @@ class RecoveryReport:
     warnings: list[str] = field(default_factory=list)
 
 
+def apply_database_record(db: Database, record_type: str, data: dict,
+                          foreign_sources: Any = None) -> None:
+    """Replay one WAL ``db:*`` record against *db*.
+
+    Shared by crash recovery and the cluster layer's WAL-tailing read
+    replicas, so both consumers apply primary history through the exact
+    same mutation paths.
+    """
+    if record_type == "sql":
+        try:
+            db.execute(data["sql"])
+        except RelationalError:
+            # The original statement failed identically after its
+            # partial mutation; the log recorded it because the
+            # generation moved.  Same failure, same state.
+            pass
+    elif record_type == "rows":
+        columns = data["columns"]
+        db.insert_rows(data["table"],
+                       (dict(zip(columns, row))
+                        for row in data["rows"]))
+    elif record_type == "create_table":
+        db.create_table(
+            data["name"],
+            [Column.from_spec(spec) for spec in data["columns"]],
+            data["if_not_exists"])
+    elif record_type == "drop_table":
+        db.drop_table(data["name"], data["if_exists"])
+    elif record_type == "bump":
+        db.bump_generation()
+    elif record_type == "attach_foreign":
+        source = snapshot_io.resolve_foreign_source(
+            data["name"], data["source"], foreign_sources)
+        attach_foreign_table(db, data["name"], source,
+                             data["mode"], data["latency_s"])
+    else:
+        raise DurabilityError(
+            f"unknown database record type {record_type!r}")
+
+
+def apply_store_record(store: Any, record_type: str, data: dict) -> None:
+    """Replay one WAL ``store:*`` record against *store* (see
+    :func:`apply_database_record`)."""
+    if record_type == "add":
+        store.add(Triple(*data["triple"]))
+    elif record_type == "add_all":
+        store.add_all(tuple(triple) for triple in data["triples"])
+    elif record_type == "remove":
+        store.remove(Triple(*data["triple"]))
+    elif record_type == "remove_all":
+        store.remove_all(Triple(*triple)
+                         for triple in data["triples"])
+    elif record_type == "clear":
+        store.clear()
+    else:
+        raise DurabilityError(
+            f"unknown store record type {record_type!r}")
+
+
 class DurabilityManager:
     """WAL + snapshots + recovery for an attached component set."""
 
@@ -381,13 +440,8 @@ class DurabilityManager:
         # pre-crash value both restores monotonicity with the crashed
         # process and keeps recovered state byte-identical to a
         # never-crashed reference.
-        obj = comp.obj
-        if comp.kind == "database":
-            with obj.rwlock.write_locked():
-                obj._generation = generation
-        elif comp.kind == "store":
-            with obj.rwlock.write_locked():
-                obj.generation = generation
+        if comp.kind in ("database", "store"):
+            comp.obj.pin_generation(generation)
 
     # -- replay dispatch ------------------------------------------------------
 
@@ -429,53 +483,11 @@ class DurabilityManager:
 
     def _apply_database(self, db: Database, record_type: str,
                         data: dict, foreign_sources: Any) -> None:
-        if record_type == "sql":
-            try:
-                db.execute(data["sql"])
-            except RelationalError:
-                # The original statement failed identically after its
-                # partial mutation; the log recorded it because the
-                # generation moved.  Same failure, same state.
-                pass
-        elif record_type == "rows":
-            columns = data["columns"]
-            db.insert_rows(data["table"],
-                           (dict(zip(columns, row))
-                            for row in data["rows"]))
-        elif record_type == "create_table":
-            db.create_table(
-                data["name"],
-                [Column.from_spec(spec) for spec in data["columns"]],
-                data["if_not_exists"])
-        elif record_type == "drop_table":
-            db.drop_table(data["name"], data["if_exists"])
-        elif record_type == "bump":
-            db.bump_generation()
-        elif record_type == "attach_foreign":
-            source = snapshot_io.resolve_foreign_source(
-                data["name"], data["source"], foreign_sources)
-            attach_foreign_table(db, data["name"], source,
-                                 data["mode"], data["latency_s"])
-        else:
-            raise DurabilityError(
-                f"unknown database record type {record_type!r}")
+        apply_database_record(db, record_type, data, foreign_sources)
 
     def _apply_store(self, store: Any, record_type: str,
                      data: dict) -> None:
-        if record_type == "add":
-            store.add(Triple(*data["triple"]))
-        elif record_type == "add_all":
-            store.add_all(tuple(triple) for triple in data["triples"])
-        elif record_type == "remove":
-            store.remove(Triple(*data["triple"]))
-        elif record_type == "remove_all":
-            store.remove_all(Triple(*triple)
-                             for triple in data["triples"])
-        elif record_type == "clear":
-            store.clear()
-        else:
-            raise DurabilityError(
-                f"unknown store record type {record_type!r}")
+        apply_store_record(store, record_type, data)
 
     def _apply_platform(self, platform: Any, record_type: str,
                         data: dict) -> None:

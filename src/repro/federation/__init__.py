@@ -6,7 +6,8 @@ from .errors import (FederationError, ForeignTableError, MediationError,
                      RestError)
 from .executor import (FAIL, FAILURE_POLICIES, RETRY, SKIP,
                        FederationExecutor, FederationOptions, FragmentCache,
-                       FragmentJob, FragmentResult)
+                       FragmentJob, FragmentResult, PolicyOutcome,
+                       run_with_policy)
 from .foreign import (CallableSource, CsvSource, ForeignSource,
                       ForeignTable, QuerySource, RemoteTableSource,
                       attach_foreign_table)
@@ -22,6 +23,7 @@ __all__ = [
     "FederationExecutor", "FederationOptions", "FragmentCache",
     "FragmentJob", "FragmentResult",
     "FAIL", "SKIP", "RETRY", "FAILURE_POLICIES",
+    "PolicyOutcome", "run_with_policy",
     "RestRouter", "CrosseRestService", "Response",
     "FederationError", "ForeignTableError", "MediationError", "RestError",
 ]

@@ -42,6 +42,50 @@ FAIL, SKIP, RETRY = "fail", "skip", "retry"
 FAILURE_POLICIES = (FAIL, SKIP, RETRY)
 
 
+@dataclass
+class PolicyOutcome:
+    """What :func:`run_with_policy` produced: a result or a final
+    failure, plus how many executions it took to get there."""
+
+    result: object = None
+    attempts: int = 1
+    error: str | None = None            # message of the final failure
+    exception: Exception | None = None  # the final failure itself
+
+    @property
+    def failed(self) -> bool:
+        return self.exception is not None
+
+
+def run_with_policy(fn, *, policy: str = FAIL, max_retries: int = 2,
+                    backoff_s: float = 0.05, backoff_cap_s: float = 1.0,
+                    sleep=time.sleep) -> PolicyOutcome:
+    """Run *fn* under a fail/skip/retry failure policy.
+
+    ``retry`` re-runs with capped exponential backoff until the extra
+    attempts are exhausted; any final failure is **returned** (never
+    raised) so the caller decides whether its policy absorbs the error
+    (``skip``) or escalates it (``fail`` / exhausted ``retry``).  Both
+    the federation executor (per-source fragments) and the cluster
+    coordinator (per-shard RPCs) route failures through here, so the
+    two layers degrade identically.
+    """
+    delay = backoff_s
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            return PolicyOutcome(fn(), attempts)
+        except Exception as exc:
+            if policy == RETRY and attempts <= max_retries:
+                sleep(delay)
+                delay = min(delay * 2, backoff_cap_s)
+                continue
+            return PolicyOutcome(
+                None, attempts, error=str(exc) or type(exc).__name__,
+                exception=exc)
+
+
 @dataclass(frozen=True)
 class FederationOptions:
     """Knobs for parallel fragment shipping.
@@ -319,26 +363,22 @@ class FederationExecutor:
         if use_cache:
             key = (job.source, job.sql, job.database.generation)
         policy = self.options.policy_for(job.source)
-        delay = self.options.backoff_s
-        attempts = 0
-        while True:
-            attempts += 1
-            try:
-                result = job.database.query(job.sql)
-            except Exception as exc:
-                if policy == RETRY \
-                        and attempts <= self.options.max_retries:
-                    time.sleep(delay)
-                    delay = min(delay * 2, self.options.backoff_cap_s)
-                    continue
-                if policy == SKIP:
-                    return FragmentResult(
-                        job, None, error=str(exc) or type(exc).__name__,
-                        attempts=attempts,
-                        elapsed_s=time.perf_counter() - started)
-                raise _FragmentFailed(job, exc, attempts) from exc
-            if use_cache:
-                self.cache.put(key, result)
-            return FragmentResult(
-                job, result, attempts=attempts,
-                elapsed_s=time.perf_counter() - started)
+        outcome = run_with_policy(
+            lambda: job.database.query(job.sql), policy=policy,
+            max_retries=self.options.max_retries,
+            backoff_s=self.options.backoff_s,
+            backoff_cap_s=self.options.backoff_cap_s)
+        if outcome.failed:
+            if policy == SKIP:
+                return FragmentResult(
+                    job, None, error=outcome.error,
+                    attempts=outcome.attempts,
+                    elapsed_s=time.perf_counter() - started)
+            raise _FragmentFailed(job, outcome.exception,
+                                  outcome.attempts) from outcome.exception
+        result = outcome.result
+        if use_cache:
+            self.cache.put(key, result)
+        return FragmentResult(
+            job, result, attempts=outcome.attempts,
+            elapsed_s=time.perf_counter() - started)

@@ -600,6 +600,18 @@ class TripleStore:
         with self.rwlock.write_locked():
             self.generation = max(self.generation, generation)
 
+    def pin_generation(self, generation: int) -> None:
+        """Set the mutation stamp to exactly *generation*.
+
+        Counterpart of :meth:`restore_generation` for replay paths that
+        must end byte-identical to the primary (recovery's exact
+        restore, read replicas tailing the WAL): replayed batches bump
+        the counter through the normal mutation paths, and the pin
+        collapses any overshoot back to the recorded value.
+        """
+        with self.rwlock.write_locked():
+            self.generation = generation
+
     # -- lookup ------------------------------------------------------------------
 
     def __len__(self) -> int:

@@ -160,6 +160,18 @@ class Database:
         with self.rwlock.write_locked():
             self._generation = max(self._generation, generation)
 
+    def pin_generation(self, generation: int) -> None:
+        """Set the mutation stamp to exactly *generation*.
+
+        Replaying primary history (crash recovery, a read replica
+        tailing the WAL) drives the normal mutation paths, whose
+        incidental bumps may overshoot the recorded counter; pinning
+        afterwards keeps the stamp byte-identical to the primary's, so
+        generation equality really means "same data".
+        """
+        with self.rwlock.write_locked():
+            self._generation = generation
+
     @property
     def last_plan(self):
         """The plan of the most recent top-level SELECT *on this

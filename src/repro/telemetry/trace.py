@@ -257,6 +257,33 @@ class Tracer:
             _CURRENT.reset(token)
             child.finish()
 
+    def graft(self, parent, payload: dict):
+        """Rebuild a remote span tree under *parent*.
+
+        *payload* is a ``Span.to_dict()`` shipped across a process
+        boundary (the cluster worker returns its slice of the trace in
+        the RPC response); grafting it under the coordinator's RPC span
+        keeps one query = one span tree even when the work crossed
+        processes.  Honours the root's span budget like any locally
+        opened span.  Returns the grafted top span, or None when
+        *parent* is None / the payload is empty / the budget dropped it.
+        """
+        if parent is None or not payload:
+            return None
+        child = Span(payload.get("name", "remote"),
+                     payload.get("attrs"), root=parent._root)
+        child.wall_s = payload.get("wall_s")
+        child.cpu_s = payload.get("cpu_s")
+        child.error = payload.get("error")
+        remote_id = payload.get("query_id")
+        if remote_id is not None:
+            child.attrs.setdefault("remote_query_id", remote_id)
+        if not parent._adopt(child):
+            return None
+        for sub in payload.get("children", ()):
+            self.graft(child, sub)
+        return child
+
     def record_synthetic(self, name: str, wall_s: float, **attrs) -> None:
         """Attach a pre-measured child span under the current span.
 

@@ -13,6 +13,7 @@ enough for the tier-1 suite too.
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
@@ -114,6 +115,50 @@ def test_rwlock_excludes_writers_from_readers():
 
     _run_threads([reader] * 4 + [writer] * 2)
     assert state["violations"] == 0
+
+
+@pytest.mark.stress
+def test_rwlock_writers_progress_under_reader_load():
+    """Writers must not starve while readers hammer the lock.
+
+    Six reader threads re-acquire the read side in a tight loop for the
+    whole test; one writer tries to get 30 write acquisitions through.
+    With reader-preferring semantics the read side never drains and the
+    writer stalls until the readers stop — so the assertion is that the
+    writer finishes (well) before the readers are told to stop.
+    """
+    lock = RWLock()
+    stop_readers = threading.Event()
+    writer_done = threading.Event()
+    write_acquisitions = 0
+
+    def reader():
+        while not stop_readers.is_set():
+            with lock.read_locked():
+                pass
+
+    def writer():
+        nonlocal write_acquisitions
+        for _ in range(30):
+            with lock.write_locked():
+                write_acquisitions += 1
+            time.sleep(0.001)       # give readers time to pile back in
+        writer_done.set()
+
+    threads = [threading.Thread(target=reader) for _ in range(6)]
+    threads.append(threading.Thread(target=writer))
+    for thread in threads:
+        thread.start()
+    try:
+        finished = writer_done.wait(timeout=10.0)
+    finally:
+        stop_readers.set()
+        for thread in threads:
+            thread.join()
+    assert finished, (
+        f"writer starved: only {write_acquisitions}/30 write "
+        f"acquisitions completed under sustained reader load")
+    assert write_acquisitions == 30
 
 
 # -- database-level invariants --------------------------------------------------
