@@ -56,4 +56,4 @@ __all__ = [
     "Telemetry", "TelemetryOptions", "MetricsRegistry", "Tracer", "Span",
 ]
 
-__version__ = "0.4.0"
+__version__ = "0.5.0"

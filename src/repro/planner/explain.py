@@ -22,6 +22,9 @@ class OperatorNode:
     est_rows: float | None = None
     actual_rows: int | None = None
     detail: str = ""
+    #: True when this operator runs on the columnar batch path
+    #: (vectorized scan/filter/aggregate) rather than row-at-a-time.
+    vectorized: bool = False
     children: list["OperatorNode"] = field(default_factory=list)
 
     def count(self, rows: int) -> None:
@@ -39,6 +42,8 @@ class OperatorNode:
             annotations.append(f"est={_round(self.est_rows)}")
         if self.actual_rows is not None:
             annotations.append(f"actual={self.actual_rows}")
+        if self.vectorized:
+            annotations.append("vectorized")
         if self.detail:
             annotations.append(self.detail)
         if annotations:

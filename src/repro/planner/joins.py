@@ -248,7 +248,10 @@ def order_joins(relations: list[BaseRelation],
 
 
 def _access_cost(relation: BaseRelation, cost_model: CostModel) -> float:
-    return cost_model.scan_cost(relation.raw_rows)
+    # A local table is columnar, so its scan (with any pushed-down
+    # filter) runs vectorized; foreign/subquery relations do not.
+    return cost_model.scan_cost(relation.raw_rows,
+                                vectorized=relation.table is not None)
 
 
 def _step_for(acc_bindings: frozenset[str], acc_rows: float,

@@ -36,6 +36,11 @@ class PlannedStatement:
     query: ast.SelectQuery            # the (rewritten) AST to compile
     root: OperatorNode
     annotations: dict[int, OperatorNode] = field(default_factory=dict)
+    #: Aggregate nodes keyed by SELECT core id.  Separate from
+    #: ``annotations`` because a core's id already keys its filter node,
+    #: and the executor needs to reach both (filter instrumentation vs.
+    #: marking the aggregation vectorized).
+    agg_annotations: dict[int, OperatorNode] = field(default_factory=dict)
     options: PlannerOptions = field(default_factory=PlannerOptions)
     notes: list[str] = field(default_factory=list)
     reordered: bool = False
@@ -130,6 +135,7 @@ def _plan_core(core: ast.SelectCore, query: ast.SelectQuery, catalog,
         label = "group by" if core.group_by else (
             "aggregate" if core.having is not None else "distinct")
         node = OperatorNode("aggregate", label, children=[node])
+        planned.agg_annotations[id(core)] = node
     return node
 
 
@@ -347,6 +353,14 @@ def _build_relation(leaf, catalog, stats, options: PlannerOptions,
     filter_node = OperatorNode("filter", binding, est_rows=est_rows,
                                detail="pushed-down predicate",
                                children=[scan_node])
+    # The wrapper's inner core compiles through the executor's batch
+    # gate, so a columnar base table scans (and often filters)
+    # vectorized — unlike bare join inputs, which stay row-at-a-time.
+    if table is not None \
+            and not _has_index_probe(ast.conjoin(pushed), table):
+        scan_node.vectorized = True
+        if _any_vector_conjunct(ast.conjoin(pushed), table):
+            filter_node.vectorized = True
     planned.annotations[id(wrapper)] = filter_node
     return BaseRelation(wrapper, binding, binding_columns.get(binding),
                         table, raw_rows, est_rows, True, node=filter_node)
@@ -401,6 +415,54 @@ def _wrap_leaves(table_expr: ast.TableExpr,
     return table_expr
 
 
+def _columnar_table(table_expr, catalog):
+    """The columnar Table behind a TableRef, or None."""
+    from ..relational.table import Table
+
+    if not isinstance(table_expr, ast.TableRef) \
+            or not catalog.has_table(table_expr.name):
+        return None
+    table = catalog.table(table_expr.name)
+    return table if isinstance(table, Table) else None
+
+
+def _has_index_probe(where, table) -> bool:
+    """Mirror the executor's preference: an indexed ``col = literal``
+    conjunct becomes a point probe, not a vectorized scan."""
+    if where is None:
+        return False
+    for conjunct in ast.conjuncts(where):
+        if not (isinstance(conjunct, ast.BinaryOp)
+                and conjunct.op == "="):
+            continue
+        for side, other in ((conjunct.left, conjunct.right),
+                            (conjunct.right, conjunct.left)):
+            if isinstance(side, ast.ColumnRef) \
+                    and isinstance(other, ast.Literal) \
+                    and table.schema.has_column(side.name) \
+                    and table.find_index_on([side.name]) is not None:
+                return True
+    return False
+
+
+def _any_vector_conjunct(where, table) -> bool:
+    """Would at least one WHERE conjunct compile to a vector kernel?"""
+    from ..relational.vectors import compile_filter_kernel
+
+    if where is None:
+        return False
+    schema = table.schema
+
+    def resolve(ref):
+        if not schema.has_column(ref.name):
+            return None
+        position = schema.position_of(ref.name)
+        return position, schema.columns[position].data_type
+
+    return any(compile_filter_kernel(conjunct, resolve) is not None
+               for conjunct in ast.conjuncts(where))
+
+
 def _trace_as_written(core: ast.SelectCore, catalog, stats,
                       planned: PlannedStatement,
                       inner_roots: dict[str, OperatorNode] | None = None
@@ -409,8 +471,17 @@ def _trace_as_written(core: ast.SelectCore, catalog, stats,
     tree the planner left structurally alone."""
     node = _trace_table_expr(core.from_clause, catalog, stats, planned,
                              inner_roots or {})
+    vector_table = _columnar_table(core.from_clause, catalog)
+    if vector_table is not None \
+            and _has_index_probe(core.where, vector_table):
+        vector_table = None
+    if vector_table is not None:
+        node.vectorized = True
     if core.where is not None:
         top = OperatorNode("filter", "WHERE", children=[node])
+        if vector_table is not None \
+                and _any_vector_conjunct(core.where, vector_table):
+            top.vectorized = True
         planned.annotations[id(core)] = top
         return top
     return node

@@ -148,14 +148,26 @@ class StatisticsCatalog:
     # -- collection ---------------------------------------------------------
 
     def analyze(self, table, buckets: int = 32) -> TableStats:
-        """Scan *table* (anything with ``schema`` and ``rows()``) once."""
+        """Scan *table* (anything with ``schema`` and ``rows()``) once.
+
+        Columnar tables expose ``column_values``; reading each column
+        slice directly skips materializing row tuples entirely.
+        """
         schema = table.schema
-        rows = list(table.rows())
-        stats = TableStats(schema.name, row_count=len(rows))
+        column_values = getattr(table, "column_values", None)
+        if column_values is not None:
+            stats = TableStats(schema.name, row_count=len(table))
+            values_of = column_values
+        else:
+            rows = list(table.rows())
+            stats = TableStats(schema.name, row_count=len(rows))
+
+            def values_of(position):
+                return [row[position] for row in rows]
+
         for position, column in enumerate(schema.columns):
-            values = [row[position] for row in rows]
             stats.columns[column.name.lower()] = _summarize(
-                column.name, values, buckets)
+                column.name, values_of(position), buckets)
         self._stats[schema.name.lower()] = stats
         return stats
 

@@ -1,0 +1,234 @@
+"""Batch-at-a-time execution: the stream unit and its consumers.
+
+The vectorized path moves rows through the executor as *batches* —
+either row-tuple chunks (``list[tuple]``) or column batches (a list of
+per-column value lists, all the same length).  Batches flatten back to
+rows at the ``QueryPlan.stream`` boundary, so cursors, ``/api/v1``
+pagination, LIMIT early-termination and ``rows_yielded`` accounting are
+untouched.
+
+This module holds the pieces that are independent of the expression
+compiler: the batch size, the telemetry hooks, and the vectorized
+GROUP BY / aggregate consumer.
+"""
+
+from __future__ import annotations
+
+from itertools import repeat
+from typing import Any, Iterable, Iterator, Optional
+
+#: Rows per batch.  Large enough to amortize per-batch Python overhead
+#: (generator resumption, kernel dispatch), small enough that LIMIT
+#: early-termination and pagination stay responsive.
+BATCH_SIZE = 2048
+
+
+class ExecHooks:
+    """Duck-typed telemetry hooks for the vectorized operators.
+
+    Mirrors the PR 7 convention: the engine builds one of these only
+    when telemetry is attached, holds pre-resolved metric children, and
+    the executor guards every call site with a single ``is None`` test.
+    """
+
+    __slots__ = ("batch_rows", "_counters", "_counter_family")
+
+    def __init__(self, batch_rows_histogram, vectorized_counter) -> None:
+        self.batch_rows = batch_rows_histogram
+        self._counter_family = vectorized_counter
+        self._counters: dict = {}
+
+    def observe(self, op: str, rows: int) -> None:
+        """Record one batch of *rows* rows flowing through operator *op*."""
+        self.batch_rows.observe(rows)
+        counter = self._counters.get(op)
+        if counter is None:
+            counter = self._counter_family.labels(op)
+            self._counters[op] = counter
+        counter.inc(rows)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized GROUP BY / aggregates
+# ---------------------------------------------------------------------------
+
+#: One aggregate spec: (kind, argument column position, distinct) where
+#: kind is "count*", "count", "sum", "avg", "min" or "max".  The
+#: position is ``None`` for "count*".
+AggregateSpec = tuple
+
+
+def run_vector_aggregate(batches: Iterable[list],
+                         key_positions: list,
+                         specs: list,
+                         hooks: Optional[ExecHooks] = None) -> list:
+    """Aggregate column *batches* directly into group slot rows.
+
+    Returns ``[key_tuple + (final_0, final_1, ...), ...]`` in first-seen
+    group order — exactly the slot rows the row-at-a-time aggregate
+    builds, so HAVING / ORDER BY / projection code is shared downstream.
+
+    Accumulation order matches the row path per group (batches arrive in
+    row order), so float results are bit-identical: SUM folds ``state +
+    value`` left to right from a ``None`` start, AVG accumulates
+    ``total + float(value)`` with a separate count, MIN/MAX keep the
+    first of ties.  DISTINCT is tracked with per-(spec, group) value
+    sets; the specs are pre-validated so every column is type-family
+    homogeneous and set membership agrees with ``values_equal``.
+    """
+    grouped = bool(key_positions)
+    single_key = len(key_positions) == 1
+    groups: dict = {}
+    key_rows: list = []
+    prim: list = []       # per spec: primary accumulator list (one per group)
+    extra: list = []      # per spec: AVG count list, else None
+    seen: list = []       # per spec: DISTINCT value sets, else None
+    inits: list = []      # called once per new group: append fresh states
+
+    for kind, _position, distinct in specs:
+        acc: list = []
+        prim.append(acc)
+        if kind == "avg":
+            counts: list = []
+            extra.append(counts)
+            inits.append(lambda a=acc, c=counts: (a.append(0.0),
+                                                  c.append(0)))
+        elif kind in ("count", "count*"):
+            extra.append(None)
+            inits.append(lambda a=acc: a.append(0))
+        else:
+            extra.append(None)
+            inits.append(lambda a=acc: a.append(None))
+        if distinct and kind in ("count", "sum", "avg"):
+            sets: list = []
+            seen.append(sets)
+            inits.append(lambda s=sets: s.append(set()))
+        else:
+            # DISTINCT MIN/MAX sees the same extrema; skip the dedup
+            seen.append(None)
+
+    def new_group() -> None:
+        for init in inits:
+            init()
+
+    if not grouped:
+        # an aggregate query with no GROUP BY always produces one group,
+        # even over zero rows (COUNT(*) -> 0, SUM -> NULL, ...)
+        groups[()] = 0
+        key_rows.append(())
+        new_group()
+
+    for cols in batches:
+        n = len(cols[0])
+        if hooks is not None:
+            hooks.observe("aggregate", n)
+        if grouped:
+            if single_key:
+                keys: Iterator = iter(cols[key_positions[0]])
+            else:
+                keys = zip(*[cols[p] for p in key_positions])
+            gids: list = []
+            add_gid = gids.append
+            lookup = groups.get
+            if single_key:
+                for key in keys:
+                    gid = lookup(key)
+                    if gid is None:
+                        gid = len(key_rows)
+                        groups[key] = gid
+                        key_rows.append((key,))
+                        new_group()
+                    add_gid(gid)
+            else:
+                for key in keys:
+                    gid = lookup(key)
+                    if gid is None:
+                        gid = len(key_rows)
+                        groups[key] = gid
+                        key_rows.append(key)
+                        new_group()
+                    add_gid(gid)
+            gid_source: Optional[list] = gids
+        else:
+            gid_source = None
+
+        for index, (kind, position, _distinct) in enumerate(specs):
+            acc = prim[index]
+            if kind == "count*":
+                if gid_source is None:
+                    acc[0] += n
+                else:
+                    for gid in gid_source:
+                        acc[gid] += 1
+                continue
+            col = cols[position]
+            gids_it = repeat(0) if gid_source is None else gid_source
+            sets = seen[index]
+            if kind == "count":
+                if sets is None:
+                    for gid, value in zip(gids_it, col):
+                        if value is not None:
+                            acc[gid] += 1
+                else:
+                    for gid, value in zip(gids_it, col):
+                        if value is not None:
+                            group_seen = sets[gid]
+                            if value not in group_seen:
+                                group_seen.add(value)
+                                acc[gid] += 1
+            elif kind == "sum":
+                if sets is None:
+                    for gid, value in zip(gids_it, col):
+                        if value is not None:
+                            state = acc[gid]
+                            acc[gid] = value if state is None \
+                                else state + value
+                else:
+                    for gid, value in zip(gids_it, col):
+                        if value is not None:
+                            group_seen = sets[gid]
+                            if value not in group_seen:
+                                group_seen.add(value)
+                                state = acc[gid]
+                                acc[gid] = value if state is None \
+                                    else state + value
+            elif kind == "avg":
+                counts = extra[index]
+                if sets is None:
+                    for gid, value in zip(gids_it, col):
+                        if value is not None:
+                            acc[gid] += float(value)
+                            counts[gid] += 1
+                else:
+                    for gid, value in zip(gids_it, col):
+                        if value is not None:
+                            group_seen = sets[gid]
+                            if value not in group_seen:
+                                group_seen.add(value)
+                                acc[gid] += float(value)
+                                counts[gid] += 1
+            elif kind == "min":
+                for gid, value in zip(gids_it, col):
+                    if value is not None:
+                        best = acc[gid]
+                        if best is None or value < best:
+                            acc[gid] = value
+            else:  # max
+                for gid, value in zip(gids_it, col):
+                    if value is not None:
+                        best = acc[gid]
+                        if best is None or value > best:
+                            acc[gid] = value
+
+    final_cols: list = []
+    for index, (kind, _position, _distinct) in enumerate(specs):
+        if kind == "avg":
+            final_cols.append([total / count if count else None
+                               for total, count in zip(prim[index],
+                                                       extra[index])])
+        else:
+            final_cols.append(prim[index])
+    if not final_cols:
+        return list(key_rows)
+    return [key + finals
+            for key, finals in zip(key_rows, zip(*final_cols))]

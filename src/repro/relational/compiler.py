@@ -54,16 +54,38 @@ class CompileContext:
     """
 
     def __init__(self, subplan_factory: Callable[..., SubPlanLike],
-                 planned=None) -> None:
+                 planned=None, vectorize: bool = True,
+                 exec_hooks=None) -> None:
         self.subplan_factory = subplan_factory
         self.planned = planned
+        #: Whether the executor may compile batch-at-a-time operators.
+        self.vectorize = vectorize
+        #: Duck-typed telemetry hooks for vectorized operators (see
+        #: :class:`repro.relational.batch.ExecHooks`), or ``None``.
+        self.exec_hooks = exec_hooks
+        #: Operator kinds ("scan", "filter", "project", "aggregate")
+        #: that compiled to the vectorized path anywhere in the tree.
+        self.vectorized_ops: set[str] = set()
         self._watchers: list[set[int]] = []
+
+    def note_vectorized(self, op: str) -> None:
+        self.vectorized_ops.add(op)
 
     def plan_node(self, ast_node):
         """The planner's operator node for *ast_node* (or ``None``)."""
         if self.planned is None:
             return None
         return self.planned.annotations.get(id(ast_node))
+
+    def agg_node(self, ast_node):
+        """The planner's aggregate node for a SELECT core, if any.
+
+        Aggregate nodes cannot share the ``annotations`` key with the
+        core's filter node (both hang off the same AST node), so the
+        planner records them in a separate map."""
+        if self.planned is None:
+            return None
+        return getattr(self.planned, "agg_annotations", {}).get(id(ast_node))
 
     def counter_for(self, ast_node):
         """Like :meth:`plan_node`, but only when the plan is being

@@ -44,6 +44,10 @@ _ACCESS_KINDS = frozenset(
 _RATIO_BUCKETS = (0.1, 0.25, 0.5, 0.75, 0.9, 1.0, 1.25, 2.0, 4.0, 10.0,
                   100.0)
 
+#: Buckets for the rows-per-batch histogram: powers of four up to the
+#: configured BATCH_SIZE, plus headroom for full-column chunks.
+_BATCH_BUCKETS = (1, 4, 16, 64, 256, 1024, 2048, 4096, 16384)
+
 
 class Database:
     """An in-memory relational database with a SQL front end.
@@ -57,10 +61,18 @@ class Database:
     upgrade instead of deadlocking).
     """
 
-    def __init__(self, name: str = "main", planner=None) -> None:
+    def __init__(self, name: str = "main", planner=None,
+                 vectorized: bool = True) -> None:
         from ..planner import PlannerOptions, StatisticsCatalog
         self.name = name
         self.catalog = Catalog()
+        #: Whether SELECT compilation may use the columnar batch path.
+        #: Off forces the row-at-a-time executor everywhere (the
+        #: equivalence suite and benchmarks compare the two).
+        self.vectorized = vectorized
+        #: Duck-typed batch-execution telemetry (built when telemetry
+        #: attaches; ``None`` keeps the executor hook-free).
+        self._exec_hooks = None
         #: Planner feature flags; replace to toggle passes or disable.
         self.planner: "PlannerOptions" = planner or PlannerOptions()
         #: ANALYZE-collected statistics, maintained incrementally on DML.
@@ -88,8 +100,19 @@ class Database:
         self.telemetry = telemetry
         self.rwlock.attach_telemetry(telemetry)
         if telemetry is None:
+            self._exec_hooks = None
             return
         metrics = telemetry.metrics
+        from .batch import ExecHooks
+        self._exec_hooks = ExecHooks(
+            metrics.histogram(
+                "repro_exec_batch_rows",
+                "Rows per batch flowing through vectorized operators",
+                buckets=_BATCH_BUCKETS),
+            metrics.counter(
+                "repro_exec_vectorized_total",
+                "Rows processed by vectorized operators",
+                labels=("op",)))
         self._tm_plan_seconds = metrics.histogram(
             "repro_db_plan_seconds",
             "Wall time spent in the cost-based planner",
@@ -183,6 +206,14 @@ class Database:
     @last_plan.setter
     def last_plan(self, value) -> None:
         self._plans.last_plan = value
+
+    @property
+    def last_vectorized_ops(self) -> set:
+        """Which operator kinds ("scan", "filter", "project",
+        "aggregate") compiled to the batch path in the most recent
+        SELECT *on this thread* — empty when it ran fully row-at-a-time.
+        Observability only (tests assert fallback behaviour with it)."""
+        return getattr(self._plans, "last_vectorized", set())
 
     # -- SQL entry points ---------------------------------------------------
 
@@ -281,9 +312,19 @@ class Database:
                         time.perf_counter() - started)
                     if tel.options.instrument_operators:
                         planned.instrument = True
+                if not self.vectorized:
+                    # The planner marks batch-capable operators
+                    # statically; drop the marks when this database
+                    # forces the row path.
+                    for node in planned.root.walk():
+                        node.vectorized = False
                 self.last_plan = planned
                 query = planned.query
-        return compile_query(query, self.catalog, planned=planned), planned
+        plan = compile_query(query, self.catalog, planned=planned,
+                             vectorize=self.vectorized,
+                             exec_hooks=self._exec_hooks)
+        self._plans.last_vectorized = plan.vectorized_ops
+        return plan, planned
 
     def _run_select(self, query: ast.SelectQuery) -> ResultSet:
         tel = self.telemetry
@@ -410,9 +451,13 @@ class Database:
         with self.rwlock.read_locked():
             planned = plan_select(stmt, self.catalog, self.stats, options)
             planned.instrument = analyze
+            if not self.vectorized:
+                for node in planned.root.walk():
+                    node.vectorized = False
             if analyze:
                 plan = compile_query(planned.query, self.catalog,
-                                     planned=planned)
+                                     planned=planned,
+                                     vectorize=self.vectorized)
                 planned.root.actual_rows = len(plan.run(()))
         return planned
 
@@ -447,7 +492,8 @@ class Database:
                     inserted.append(table.row(row_id))
                 count += 1
         else:
-            plan = compile_query(stmt.query, self.catalog)
+            plan = compile_query(stmt.query, self.catalog,
+                                 vectorize=self.vectorized)
             if len(plan.schema) != len(columns):
                 raise ExecutionError(
                     f"INSERT ... SELECT expects {len(columns)} columns, "

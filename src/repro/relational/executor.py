@@ -17,6 +17,7 @@ import itertools
 from typing import Any, Callable, Iterable, Iterator
 
 from . import ast
+from .batch import BATCH_SIZE, run_vector_aggregate
 from .catalog import Catalog
 from .compiler import (CompileContext, compile_expr, compile_predicate,
                        resolve_column)
@@ -26,7 +27,8 @@ from .errors import (ExecutionError, NotSupportedError, SchemaError,
 from .indexes import _normalize
 from .schema import ResultColumn, RowSchema
 from .table import Table, find_probe_index
-from .types import is_true, sort_key, values_equal
+from .types import DataType, is_true, sort_key, values_equal
+from .vectors import compile_filter_kernel
 
 #: Without a cost-based decision, equi-joins probe an index on the
 #: inner table only when it is at least this large — below that, an
@@ -49,17 +51,42 @@ class QueryPlan:
     particular) pull only what they need, so ``LIMIT k`` terminates
     after *k* rows.  ``run()`` is the materializing wrapper every
     pre-streaming call site still uses.
+
+    A vectorized plan additionally carries ``chunks`` — a generator of
+    row-tuple *batches*.  ``stream()`` flattens chunks back to rows, so
+    cursors, pagination and ``rows_yielded`` accounting never see the
+    batch boundary; ``run()`` extends from chunks directly, skipping the
+    per-row generator machinery entirely.
     """
 
     def __init__(self, schema: RowSchema,
-                 stream: Callable[[Rows], Iterator[tuple]]) -> None:
+                 stream: Callable[[Rows], Iterator[tuple]] | None = None,
+                 chunks: Callable[[Rows], Iterator[list]] | None = None
+                 ) -> None:
         self.schema = schema
+        self.chunks = chunks
+        #: Vectorized operator kinds used anywhere in this plan's tree
+        #: (filled in by ``compile_query``; empty for inner plans).
+        self.vectorized_ops: set[str] = set()
+        if stream is None:
+            if chunks is None:
+                raise ValueError("QueryPlan needs a stream or chunks")
+            stream = self._flatten
         self._stream = stream
+
+    def _flatten(self, outer_rows: Rows) -> Iterator[tuple]:
+        for chunk in self.chunks(outer_rows):
+            yield from chunk
 
     def stream(self, outer_rows: Rows = ()) -> Iterator[tuple]:
         return self._stream(outer_rows)
 
     def run(self, outer_rows: Rows = ()) -> list[tuple]:
+        if self.chunks is not None:
+            rows: list[tuple] = []
+            for chunk in self.chunks(outer_rows):
+                rows.extend(chunk)
+            return rows
         return list(self._stream(outer_rows))
 
 
@@ -104,9 +131,11 @@ class SubPlan:
         return [row[0] for row in self.rows(outer_rows)]
 
 
-def _make_context(catalog: Catalog, planned=None) -> CompileContext:
+def _make_context(catalog: Catalog, planned=None, vectorize: bool = True,
+                  exec_hooks=None) -> CompileContext:
     ctx = CompileContext(subplan_factory=None,  # type: ignore[arg-type]
-                         planned=planned)
+                         planned=planned, vectorize=vectorize,
+                         exec_hooks=exec_hooks)
 
     def factory(query: ast.SelectQuery, scopes: list[RowSchema]) -> SubPlan:
         return SubPlan(query, catalog, scopes, ctx)
@@ -545,6 +574,196 @@ def _expand_items(items: list[ast.SelectItem],
     return expanded
 
 
+# ---------------------------------------------------------------------------
+# Vectorized scan + filter
+# ---------------------------------------------------------------------------
+
+class _VectorInput:
+    """Batch-at-a-time input for one SELECT core.
+
+    ``row_chunks(outer_rows)`` always works: it yields row-tuple chunks
+    of the (kernel- and residual-) filtered scan, so any row operator
+    can flatten it.  ``column_batches`` is the column-slice shape the
+    vector aggregate and gather projection need; it is ``None`` when a
+    residual row predicate exists (residuals evaluate on row tuples, so
+    the columns would have to be rebuilt — the row path is cheaper).
+    """
+
+    __slots__ = ("row_chunks", "column_batches")
+
+    def __init__(self, row_chunks, column_batches) -> None:
+        self.row_chunks = row_chunks
+        self.column_batches = column_batches
+
+
+def _build_vector_input(core: ast.SelectCore, table: Table,
+                        where_expr: ast.Expr | None,
+                        scopes: list[RowSchema], ctx: CompileContext
+                        ) -> tuple[_VectorInput, RowFn | None]:
+    """Compile a vectorized scan (plus kernel filter) over *table*.
+
+    Every WHERE conjunct either compiles to a mask kernel or stays on
+    the row path as part of the *residual* predicate — a hybrid plan.
+    Returns the input plus the compiled residual (``None`` when fully
+    vectorized).
+    """
+
+    def resolve(ref: ast.ColumnRef):
+        try:
+            depth, position = resolve_column(ref, scopes, ctx)
+        except UnknownColumnError:
+            return None  # residual compile reports the error identically
+        if depth != len(scopes) - 1:
+            return None  # correlated outer reference: row path
+        return position, table.schema.columns[position].data_type
+
+    kernels = []
+    residual: list[ast.Expr] = []
+    if where_expr is not None:
+        for conjunct in ast.conjuncts(where_expr):
+            kernel = compile_filter_kernel(conjunct, resolve)
+            if kernel is None:
+                residual.append(conjunct)
+            else:
+                kernels.append(kernel)
+    residual_expr = ast.conjoin(residual)
+    residual_fn = (compile_predicate(residual_expr, scopes, ctx)
+                   if residual_expr is not None else None)
+
+    if not kernels:
+        mask_fn = None
+    elif len(kernels) == 1:
+        mask_fn = kernels[0]
+    else:
+        def mask_fn(cols, _kernels=tuple(kernels)):
+            mask = _kernels[0](cols)
+            for kernel in _kernels[1:]:
+                other = kernel(cols)
+                mask = [a and b for a, b in zip(mask, other)]
+            return mask
+
+    ctx.note_vectorized("scan")
+    scan_node = ctx.plan_node(core.from_clause)
+    if scan_node is not None:
+        scan_node.vectorized = True
+    if kernels:
+        ctx.note_vectorized("filter")
+        filter_node = ctx.plan_node(core)
+        if filter_node is not None:
+            filter_node.vectorized = True
+    hooks = ctx.exec_hooks
+    scan_counter = ctx.counter_for(core.from_clause)
+    core_counter = ctx.counter_for(core)
+
+    # The generators read table state (including compaction-sensitive
+    # iterators) at *run* time, never at compile time: the plan cache
+    # re-executes compiled plans across mutations.
+    def row_chunks(outer_rows: Rows) -> Iterator[list]:
+        if mask_fn is None and residual_fn is None:
+            # Unfiltered scan: one zip across the full columns beats
+            # per-batch slicing, so this path has its own iterator.
+            for chunk in table.iter_row_chunks(BATCH_SIZE):
+                if scan_counter is not None:
+                    scan_counter.count(len(chunk))
+                if hooks is not None:
+                    hooks.observe("scan", len(chunk))
+                yield chunk
+            return
+        for cols in table.iter_batches(BATCH_SIZE):
+            n = len(cols[0])
+            if scan_counter is not None:
+                scan_counter.count(n)
+            if hooks is not None:
+                hooks.observe("scan", n)
+            if mask_fn is not None:
+                mask = mask_fn(cols)
+                kept = sum(mask)
+                if not kept:
+                    continue
+                if kept < n:
+                    cols = [list(itertools.compress(col, mask))
+                            for col in cols]
+                if hooks is not None:
+                    hooks.observe("filter", kept)
+            chunk = list(zip(*cols))
+            if residual_fn is not None:
+                chunk = [row for row in chunk
+                         if residual_fn(outer_rows + (row,))]
+                if not chunk:
+                    continue
+            if core_counter is not None:
+                core_counter.count(len(chunk))
+            yield chunk
+
+    if residual_fn is not None:
+        column_batches = None
+    else:
+        def column_batches(outer_rows: Rows) -> Iterator[list]:
+            for cols in table.iter_batches(BATCH_SIZE):
+                n = len(cols[0])
+                if scan_counter is not None:
+                    scan_counter.count(n)
+                if hooks is not None:
+                    hooks.observe("scan", n)
+                if mask_fn is not None:
+                    mask = mask_fn(cols)
+                    kept = sum(mask)
+                    if not kept:
+                        continue
+                    if kept < n:
+                        cols = [list(itertools.compress(col, mask))
+                                for col in cols]
+                    if hooks is not None:
+                        hooks.observe("filter", kept)
+                    n = kept
+                if core_counter is not None:
+                    core_counter.count(n)
+                yield cols
+
+    return _VectorInput(row_chunks, column_batches), residual_fn
+
+
+def _vector_aggregate_plan(rewriter: "_AggregateRewriter",
+                           group_exprs: list[ast.Expr],
+                           scopes: list[RowSchema],
+                           from_schema: RowSchema):
+    """Validate a GROUP BY / aggregate core for the vectorized path.
+
+    Returns ``(key_positions, specs)`` for
+    :func:`repro.relational.batch.run_vector_aggregate`, or ``None``
+    when any group key or aggregate needs the row path (expression
+    keys, unsupported aggregates, non-numeric SUM/AVG — the latter must
+    keep raising ``TypeMismatchError`` from the row machinery).
+    """
+    key_positions: list[int] = []
+    for expr in group_exprs:
+        position = _innermost_position(expr, scopes)
+        if position is None:
+            return None
+        key_positions.append(position)
+    specs: list[tuple] = []
+    for call in rewriter.aggregates:
+        name = call.name.upper()
+        if name == "COUNT" and call.star:
+            if call.distinct:
+                return None
+            specs.append(("count*", None, False))
+            continue
+        if name not in ("COUNT", "SUM", "AVG", "MIN", "MAX"):
+            return None
+        if call.star or len(call.args) != 1:
+            return None
+        position = _innermost_position(call.args[0], scopes)
+        if position is None:
+            return None
+        if name in ("SUM", "AVG"):
+            data_type = from_schema.columns[position].data_type
+            if data_type not in (DataType.INTEGER, DataType.REAL):
+                return None
+        specs.append((name.lower(), position, call.distinct))
+    return key_positions, specs
+
+
 def compile_core(core: ast.SelectCore, catalog: Catalog,
                  outer_scopes: list[RowSchema], ctx: CompileContext,
                  order_by: list[ast.OrderItem] | None = None) -> QueryPlan:
@@ -593,27 +812,46 @@ def compile_core(core: ast.SelectCore, catalog: Catalog,
         if index_probe is not None:
             probe_table = table
 
-    if where_expr is not None:
-        where_fn = compile_predicate(where_expr, scopes, ctx)
+    # Vectorized scan: batch the base table whenever storage is columnar
+    # and nothing better (an index point probe) applies.  WHERE conjuncts
+    # compile to mask kernels where possible; the rest stay on the row
+    # path as a residual predicate over the surviving batches.
+    batch: _VectorInput | None = None
+    if ctx.vectorize and index_probe is None \
+            and isinstance(core.from_clause, ast.TableRef):
+        scan_table = catalog.table(core.from_clause.name)
+        if isinstance(scan_table, Table):
+            batch, _residual = _build_vector_input(
+                core, scan_table, where_expr, scopes, ctx)
 
-    def input_rows(outer_rows: Rows) -> Iterator[tuple]:
-        if index_probe is not None:
-            index, value_fn = index_probe
-            row_ids = index.lookup((value_fn(outer_rows),))
-            source: Iterable[tuple] = [probe_table.row(row_id)
-                                       for row_id in sorted(row_ids)]
-        else:
-            source = from_plan.run(outer_rows)
-        if where_fn is None:
-            yield from source
-        else:
-            for row in source:
-                if where_fn(outer_rows + (row,)):
-                    yield row
+    if batch is not None:
+        def input_rows(outer_rows: Rows) -> Iterator[tuple]:
+            for chunk in batch.row_chunks(outer_rows):
+                yield from chunk
+    else:
+        if where_expr is not None:
+            where_fn = compile_predicate(where_expr, scopes, ctx)
 
-    core_counter = ctx.counter_for(core)
-    if core_counter is not None:
-        input_rows = _counted(input_rows, core_counter)
+        def input_rows(outer_rows: Rows) -> Iterator[tuple]:
+            if index_probe is not None:
+                index, value_fn = index_probe
+                row_ids = index.lookup((value_fn(outer_rows),))
+                source: Iterable[tuple] = [probe_table.row(row_id)
+                                           for row_id in sorted(row_ids)]
+            else:
+                source = from_plan.run(outer_rows)
+            if where_fn is None:
+                yield from source
+            else:
+                for row in source:
+                    if where_fn(outer_rows + (row,)):
+                        yield row
+
+        # Batch generators count their own rows (they bypass this
+        # per-row wrapper); see _build_vector_input.
+        core_counter = ctx.counter_for(core)
+        if core_counter is not None:
+            input_rows = _counted(input_rows, core_counter)
 
     has_aggregate = bool(core.group_by) or core.having is not None \
         or any(_contains_aggregate(item.expr) for item in core.items) \
@@ -622,9 +860,9 @@ def compile_core(core: ast.SelectCore, catalog: Catalog,
     if has_aggregate:
         return _compile_aggregate_core(
             core, order_by, from_plan, scopes, input_rows, ctx,
-            len(outer_scopes))
+            len(outer_scopes), batch)
     return _compile_plain_core(
-        core, order_by, from_plan, scopes, input_rows, ctx)
+        core, order_by, from_plan, scopes, input_rows, ctx, batch)
 
 
 def _output_schema(expanded, from_schema: RowSchema) -> RowSchema:
@@ -648,7 +886,8 @@ def _compile_plain_core(core: ast.SelectCore,
                         from_plan: FromPlan,
                         scopes: list[RowSchema],
                         input_rows: Callable[[Rows], Iterator[tuple]],
-                        ctx: CompileContext) -> QueryPlan:
+                        ctx: CompileContext,
+                        batch: "_VectorInput | None" = None) -> QueryPlan:
     expanded = _expand_items(core.items, from_plan.schema)
     out_schema = _output_schema(expanded, from_plan.schema)
 
@@ -658,6 +897,43 @@ def _compile_plain_core(core: ast.SelectCore,
             item_fns.append((star_positions, None))
         else:
             item_fns.append((None, compile_expr(item.expr, scopes, ctx)))
+
+    # Vectorized projection: when every select item is a star or a plain
+    # column of the scanned table, the batches pass through (identity)
+    # or are gathered column-wise — no per-row projection function runs.
+    # DISTINCT / ORDER BY / expression items use the row operators below
+    # over the flattened batches (still a vectorized scan+filter).
+    if batch is not None and not core.distinct and not order_by:
+        positions: list[int] | None = []
+        for item, star_positions in expanded:
+            if star_positions is not None:
+                positions.extend(star_positions)
+            else:
+                position = _innermost_position(item.expr, scopes)
+                if position is None:
+                    positions = None
+                    break
+                positions.append(position)
+        chunk_stream = None
+        hooks = ctx.exec_hooks
+        if positions == list(range(len(from_plan.schema))):
+            def chunk_stream(outer_rows: Rows) -> Iterator[list]:
+                for chunk in batch.row_chunks(outer_rows):
+                    if hooks is not None:
+                        hooks.observe("project", len(chunk))
+                    yield chunk
+        elif positions is not None and batch.column_batches is not None:
+            selected = positions
+
+            def chunk_stream(outer_rows: Rows) -> Iterator[list]:
+                for cols in batch.column_batches(outer_rows):
+                    chunk = list(zip(*[cols[p] for p in selected]))
+                    if hooks is not None:
+                        hooks.observe("project", len(chunk))
+                    yield chunk
+        if chunk_stream is not None:
+            ctx.note_vectorized("project")
+            return QueryPlan(out_schema, chunks=chunk_stream)
 
     def project(outer_rows: Rows, row: tuple) -> tuple:
         values: list[Any] = []
@@ -730,7 +1006,8 @@ def _compile_aggregate_core(core: ast.SelectCore,
                             scopes: list[RowSchema],
                             input_rows: Callable[[Rows], Iterator[tuple]],
                             ctx: CompileContext,
-                            outer_depth: int) -> QueryPlan:
+                            outer_depth: int,
+                            batch: "_VectorInput | None" = None) -> QueryPlan:
     for item in core.items:
         if item.is_star:
             raise ExecutionError("'*' cannot be used with GROUP BY")
@@ -768,6 +1045,54 @@ def _compile_aggregate_core(core: ast.SelectCore,
     out_schema = RowSchema([
         ResultColumn(item.output_name(), None) for item in core.items])
 
+    def finish(slot_rows: list[tuple], outer_rows: Rows) -> list[tuple]:
+        """HAVING / ORDER BY / projection / DISTINCT over group slot
+        rows — shared by the row and vectorized aggregation paths."""
+        prefix = outer_rows[:outer_depth]
+        if having_fn is not None:
+            slot_rows = [slot_row for slot_row in slot_rows
+                         if having_fn(prefix + (slot_row,))]
+        if order_fns:
+            slot_rows.sort(key=lambda slot_row: tuple(
+                sort_key(fn(prefix + (slot_row,)), descending)
+                for fn, descending in order_fns))
+        results = [tuple(fn(prefix + (slot_row,)) for fn in item_fns)
+                   for slot_row in slot_rows]
+        if core.distinct:
+            seen: set[tuple] = set()
+            deduped = []
+            for output in results:
+                key = _norm_tuple(output)
+                if key not in seen:
+                    seen.add(key)
+                    deduped.append(output)
+            results = deduped
+        return results
+
+    # Vectorized aggregation: plain-column group keys and the classic
+    # aggregates accumulate straight off column batches.  Anything
+    # fancier (expression keys, GROUP_CONCAT, non-numeric SUM, a
+    # residual row predicate upstream) keeps the row loop below.
+    vector_plan = None
+    if batch is not None and batch.column_batches is not None:
+        vector_plan = _vector_aggregate_plan(
+            rewriter, group_exprs, scopes, from_plan.schema)
+    if vector_plan is not None:
+        key_positions, vector_specs = vector_plan
+        ctx.note_vectorized("aggregate")
+        agg_node = ctx.agg_node(core)
+        if agg_node is not None:
+            agg_node.vectorized = True
+        hooks = ctx.exec_hooks
+
+        def stream(outer_rows: Rows) -> Iterator[tuple]:
+            slot_rows = run_vector_aggregate(
+                batch.column_batches(outer_rows), key_positions,
+                vector_specs, hooks)
+            yield from finish(slot_rows, outer_rows)
+
+        return QueryPlan(out_schema, stream)
+
     def stream(outer_rows: Rows) -> Iterator[tuple]:
         # Aggregation is a pipeline breaker: every input row must be
         # seen before any group result exists.
@@ -803,27 +1128,7 @@ def _compile_aggregate_core(core: ast.SelectCore,
                 aggregate.final(state)
                 for (aggregate, _a, _d), state in zip(agg_specs, states))
             slot_rows.append(tuple(key_values) + finals)
-
-        prefix = outer_rows[:outer_depth]
-        if having_fn is not None:
-            slot_rows = [slot_row for slot_row in slot_rows
-                         if having_fn(prefix + (slot_row,))]
-        if order_fns:
-            slot_rows.sort(key=lambda slot_row: tuple(
-                sort_key(fn(prefix + (slot_row,)), descending)
-                for fn, descending in order_fns))
-        results = [tuple(fn(prefix + (slot_row,)) for fn in item_fns)
-                   for slot_row in slot_rows]
-        if core.distinct:
-            seen: set[tuple] = set()
-            deduped = []
-            for output in results:
-                key = _norm_tuple(output)
-                if key not in seen:
-                    seen.add(key)
-                    deduped.append(output)
-            results = deduped
-        yield from results
+        yield from finish(slot_rows, outer_rows)
 
     return QueryPlan(out_schema, stream)
 
@@ -835,10 +1140,12 @@ def _compile_aggregate_core(core: ast.SelectCore,
 def compile_query(query: ast.SelectQuery, catalog: Catalog,
                   outer_scopes: list[RowSchema] | None = None,
                   ctx: CompileContext | None = None,
-                  planned=None) -> QueryPlan:
+                  planned=None, vectorize: bool = True,
+                  exec_hooks=None) -> QueryPlan:
     outer_scopes = outer_scopes or []
-    if ctx is None:
-        ctx = _make_context(catalog, planned)
+    top_level = ctx is None
+    if top_level:
+        ctx = _make_context(catalog, planned, vectorize, exec_hooks)
 
     limit_fn = (compile_expr(query.limit, outer_scopes, ctx)
                 if query.limit is not None else None)
@@ -852,7 +1159,15 @@ def compile_query(query: ast.SelectQuery, catalog: Catalog,
         def stream_simple(outer_rows: Rows) -> Iterator[tuple]:
             return _stream_limit(core_plan.stream(outer_rows), outer_rows,
                                  limit_fn, offset_fn)
-        return QueryPlan(core_plan.schema, stream_simple)
+
+        # A chunked core stays chunked through an unbounded query, so
+        # cursors that materialize (run()) skip per-row generators;
+        # LIMIT/OFFSET always go through the flattened row stream.
+        chunks = core_plan.chunks \
+            if limit_fn is None and offset_fn is None else None
+        return _finish_plan(
+            QueryPlan(core_plan.schema, stream_simple, chunks=chunks),
+            ctx, top_level)
 
     plans = [compile_core(query.core, catalog, outer_scopes, ctx)]
     for _op, core in query.compounds:
@@ -928,7 +1243,16 @@ def compile_query(query: ast.SelectQuery, catalog: Catalog,
         return _stream_limit(merged_rows(outer_rows), outer_rows,
                              limit_fn, offset_fn)
 
-    return QueryPlan(schema, stream_compound)
+    return _finish_plan(QueryPlan(schema, stream_compound), ctx, top_level)
+
+
+def _finish_plan(plan: QueryPlan, ctx: CompileContext,
+                 top_level: bool) -> QueryPlan:
+    plan.vectorized_ops = ctx.vectorized_ops
+    if top_level and ctx.planned is not None and ctx.vectorized_ops:
+        ctx.planned.notes.append(
+            "vectorized: " + ", ".join(sorted(ctx.vectorized_ops)))
+    return plan
 
 
 def _bound_value(fn: RowFn, outer_rows: Rows, clause: str) -> int | None:

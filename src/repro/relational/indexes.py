@@ -90,6 +90,10 @@ class HashIndex:
         key = self._key(values)
         return key is not None and key in self._buckets
 
+    def clear(self) -> None:
+        """Drop every entry (the index definition stays)."""
+        self._buckets.clear()
+
     def __len__(self) -> int:
         return sum(len(bucket) for bucket in self._buckets.values())
 
@@ -179,6 +183,10 @@ class SortedIndex:
                 elif entry_key >= high_key:
                     break
             yield row_id
+
+    def clear(self) -> None:
+        """Drop every entry (the index definition stays)."""
+        self._entries.clear()
 
     def __len__(self) -> int:
         return len(self._entries)

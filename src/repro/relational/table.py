@@ -1,25 +1,60 @@
-"""Heap table storage with constraint enforcement and index maintenance."""
+"""Columnar table storage with constraint enforcement and index maintenance.
+
+Hot storage is one :class:`~repro.relational.vectors.ColumnVector` per
+column — a typed value list plus a null bitmap — instead of the old
+``dict[row_id, tuple]`` heap.  The stable-row-id contract that indexes,
+DML and the WAL rely on is preserved: every live row keeps the id it was
+inserted with, deletes flip a bit in a deleted bitmap instead of
+shifting slots, and a slot map translates ids to positions.  When more
+than a quarter of the slots are dead the table compacts in place
+(row ids survive, slots are renumbered — nothing outside this class ever
+sees a slot).
+
+Row-oriented accessors (``rows`` / ``rows_with_ids`` / ``row``) keep
+their exact shapes, so snapshots, ANALYZE fallbacks, replicas and every
+other consumer are unaffected.  The executor's batch path uses the new
+surface: ``iter_batches`` (column-slice batches for kernel filters and
+vector aggregates), ``iter_row_chunks`` (row-tuple chunks, the fastest
+full-scan shape) and ``column_values`` (one live column for ANALYZE).
+"""
 
 from __future__ import annotations
 
+from array import array
+from itertools import compress, islice
+from operator import not_
 from typing import Any, Iterable, Iterator
 
+from .batch import BATCH_SIZE
 from .errors import ConstraintViolation, SchemaError
 from .indexes import HashIndex, IndexType, build_index
 from .schema import TableSchema
 from .types import coerce_value
+from .vectors import ColumnVector
+
+#: Compaction triggers when both hold: enough dead slots to be worth a
+#: rebuild, and dead slots outnumbering a quarter of the heap.
+COMPACT_MIN_DELETED = 64
+COMPACT_DEAD_FRACTION = 4  # dead * 4 > total  <=>  >25% dead
 
 
 class Table:
-    """An in-memory heap of rows plus the indexes defined over it.
+    """An in-memory columnar table plus the indexes defined over it.
 
-    Rows are stored as tuples keyed by a monotonically increasing row id, so
-    deletes never shift other rows and indexes can reference rows stably.
+    Values live in per-column vectors addressed by *slot*; a parallel
+    ``row_id`` array and deleted bitmap give every row a stable id for
+    the life of the table, so deletes never shift other rows and indexes
+    can reference rows stably.
     """
 
     def __init__(self, schema: TableSchema) -> None:
         self.schema = schema
-        self._rows: dict[int, tuple] = {}
+        self._columns = [ColumnVector(column.data_type)
+                         for column in schema.columns]
+        self._row_ids = array("q")
+        self._deleted = bytearray()
+        self._deleted_count = 0
+        self._slots: dict[int, int] = {}   # row_id -> slot, live rows only
         self._next_row_id = 0
         self.indexes: dict[str, IndexType] = {}
         self._pk_index: HashIndex | None = None
@@ -41,17 +76,80 @@ class Table:
         return self.schema.name
 
     def __len__(self) -> int:
-        return len(self._rows)
+        return len(self._slots)
 
     def rows(self) -> Iterator[tuple]:
         """Iterate over row tuples (order of insertion)."""
-        return iter(self._rows.values())
+        columns = [column.values for column in self._columns]
+        if self._deleted_count == 0:
+            yield from zip(*columns)
+        else:
+            yield from compress(zip(*columns), map(not_, self._deleted))
 
     def rows_with_ids(self) -> Iterator[tuple[int, tuple]]:
-        return iter(self._rows.items())
+        columns = [column.values for column in self._columns]
+        pairs = zip(self._row_ids, zip(*columns))
+        if self._deleted_count == 0:
+            yield from pairs
+        else:
+            yield from compress(pairs, map(not_, self._deleted))
 
     def row(self, row_id: int) -> tuple:
-        return self._rows[row_id]
+        slot = self._slots[row_id]
+        return tuple(column.values[slot] for column in self._columns)
+
+    # -- batch scan surface --------------------------------------------------
+
+    def iter_batches(self, size: int = BATCH_SIZE) -> Iterator[list]:
+        """Column-slice batches of live rows.
+
+        Each batch is a list of per-column value lists, all the same
+        length — the shape predicate kernels and the vector aggregate
+        consume.  Dead slots are squeezed out per batch, so consumers
+        never see the deleted bitmap.
+        """
+        columns = [column.values for column in self._columns]
+        total = len(self._row_ids)
+        if self._deleted_count == 0:
+            for start in range(0, total, size):
+                end = start + size
+                yield [column[start:end] for column in columns]
+            return
+        deleted = self._deleted
+        for start in range(0, total, size):
+            end = start + size
+            window = deleted[start:end]
+            if 1 not in window:
+                yield [column[start:end] for column in columns]
+                continue
+            live = [flag == 0 for flag in window]
+            batch = [list(compress(column[start:end], live))
+                     for column in columns]
+            if batch[0]:
+                yield batch
+
+    def iter_row_chunks(self, size: int = BATCH_SIZE) -> Iterator[list]:
+        """Row-tuple chunks of live rows — the full-scan fast path.
+
+        One ``zip`` across the whole columns beats per-batch slicing
+        when no mask will be applied, so unfiltered scans use this.
+        """
+        source: Iterator[tuple] = zip(*[column.values
+                                        for column in self._columns])
+        if self._deleted_count:
+            source = compress(source, map(not_, self._deleted))
+        while True:
+            chunk = list(islice(source, size))
+            if not chunk:
+                return
+            yield chunk
+
+    def column_values(self, position: int) -> list:
+        """Live values of one column, in row order (ANALYZE reads this)."""
+        values = self._columns[position].values
+        if self._deleted_count == 0:
+            return list(values)
+        return list(compress(values, map(not_, self._deleted)))
 
     # -- constraint helpers --------------------------------------------------
 
@@ -113,7 +211,11 @@ class Table:
             for index, key in inserted:
                 index.delete(row_id, key)
             raise
-        self._rows[row_id] = row
+        self._slots[row_id] = len(self._row_ids)
+        self._row_ids.append(row_id)
+        self._deleted.append(0)
+        for column, value in zip(self._columns, row):
+            column.append(value)
         self._next_row_id += 1
         return row_id
 
@@ -128,13 +230,33 @@ class Table:
         return self.insert_row(values)
 
     def delete_row(self, row_id: int) -> None:
-        row = self._rows.pop(row_id)
+        slot = self._slots[row_id]
+        row = tuple(column.values[slot] for column in self._columns)
         for index in self._all_indexes():
             index.delete(row_id, self._key_values(row, index.column_names))
+        del self._slots[row_id]
+        self._deleted[slot] = 1
+        self._deleted_count += 1
+        if self._deleted_count > COMPACT_MIN_DELETED and \
+                self._deleted_count * COMPACT_DEAD_FRACTION \
+                > len(self._row_ids):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the vectors without dead slots (row ids survive)."""
+        live = [flag == 0 for flag in self._deleted]
+        for column in self._columns:
+            column.rebuild(live)
+        self._row_ids = array("q", compress(self._row_ids, live))
+        self._deleted = bytearray(len(self._row_ids))
+        self._deleted_count = 0
+        self._slots = {row_id: slot
+                       for slot, row_id in enumerate(self._row_ids)}
 
     def update_row(self, row_id: int, changes: dict[str, Any]) -> None:
         """Apply column changes to one row, re-checking constraints."""
-        old_row = self._rows[row_id]
+        slot = self._slots[row_id]
+        old_row = tuple(column.values[slot] for column in self._columns)
         values = dict(zip(self.schema.column_names(), old_row))
         for name, value in changes.items():
             if not self.schema.has_column(name):
@@ -160,15 +282,18 @@ class Table:
                 index.insert(
                     row_id, self._key_values(old_row, index.column_names))
             raise
-        self._rows[row_id] = new_row
+        for column, value in zip(self._columns, new_row):
+            column.set(slot, value)
 
     def truncate(self) -> None:
-        self._rows.clear()
+        for column in self._columns:
+            column.clear()
+        self._row_ids = array("q")
+        self._deleted = bytearray()
+        self._deleted_count = 0
+        self._slots.clear()
         for index in self._all_indexes():
-            if isinstance(index, HashIndex):
-                index._buckets.clear()
-            else:
-                index._entries.clear()
+            index.clear()
 
     # -- secondary index management -------------------------------------------
 
@@ -181,7 +306,7 @@ class Table:
                 raise SchemaError(
                     f"table {self.name!r} has no column {column_name!r}")
         index = build_index(kind, name, self.name, column_names, unique)
-        for row_id, row in self._rows.items():
+        for row_id, row in self.rows_with_ids():
             index.insert(row_id, self._key_values(row, column_names))
         self.indexes[name] = index
         return index

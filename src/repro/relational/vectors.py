@@ -1,0 +1,394 @@
+"""Typed column vectors and vectorized predicate kernels.
+
+This module is the storage half and the expression half of the columnar
+execution path:
+
+* :class:`ColumnVector` holds one table column — a plain Python list of
+  values (``None`` marks NULL) plus a byte-per-slot null bitmap.  The
+  declared type still matters even though values stay boxed: ``Table``
+  coerces on insert, so every non-NULL entry of a column belongs to a
+  single type family (``int`` for INTEGER, ``float`` for REAL, ``str``
+  for TEXT, ``bool`` for BOOLEAN).  That homogeneity is what lets the
+  kernels below use raw ``<`` / ``==`` in list comprehensions instead of
+  the per-value dispatch of :func:`repro.relational.types.compare_values`.
+  (A typed ``array('q'/'d')`` representation was measured and rejected:
+  scans re-box every element on the way out, which made full-table reads
+  *slower* than a plain list while only helping workloads we don't have.)
+
+* :func:`compile_filter_kernel` turns a simple WHERE conjunct —
+  comparisons, AND/OR/NOT, IS [NOT] NULL, BETWEEN, IN (literal list),
+  LIKE — over column refs and constants into a *kernel*: a function from
+  the full column lists of a batch to a boolean selection mask.  Masks
+  use **strict-true** semantics: a slot is ``True`` only when the
+  predicate is definitely TRUE under SQL three-valued logic, which is
+  exactly the set of rows WHERE keeps.  Strict-true masks compose under
+  AND/OR with plain ``and`` / ``or``; NOT is handled by pushing the
+  negation into the tree De-Morgan-style (flipping comparison operators
+  and the ``negated`` flags) before compiling, which keeps every leaf
+  3VL-exact.  Anything the compiler does not understand returns ``None``
+  and the executor falls back to the row-at-a-time predicate for that
+  conjunct — a hybrid plan, not an error.
+"""
+
+from __future__ import annotations
+
+from itertools import compress
+from typing import Any, Callable, Optional
+
+from . import ast
+from .compiler import like_match
+from .types import DataType
+
+#: A kernel maps the batch's column lists to a strict-true boolean mask.
+Kernel = Callable[[list], list]
+
+#: Resolves a ColumnRef to ``(position, DataType)`` in the scanned table,
+#: or ``None`` when the ref is not a plain innermost-table column (outer
+#: correlation, unknown name) — which sends the conjunct to the row path.
+Resolver = Callable[[ast.ColumnRef], Optional[tuple]]
+
+
+class ColumnVector:
+    """One column of a table: boxed values plus a null bitmap.
+
+    ``values[i]`` is the value at slot *i* (``None`` for NULL);
+    ``nulls[i]`` mirrors it as ``1``/``0`` so batch consumers that only
+    need null-ness can avoid touching the values at all.  Slots are
+    append-only between compactions; deletes are tracked by the owning
+    ``Table``'s deleted bitmap and erased here via :meth:`rebuild`.
+    """
+
+    __slots__ = ("data_type", "values", "nulls", "null_count")
+
+    def __init__(self, data_type: DataType) -> None:
+        self.data_type = data_type
+        self.values: list = []
+        self.nulls = bytearray()
+        self.null_count = 0
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def append(self, value: Any) -> None:
+        self.values.append(value)
+        if value is None:
+            self.nulls.append(1)
+            self.null_count += 1
+        else:
+            self.nulls.append(0)
+
+    def set(self, slot: int, value: Any) -> None:
+        """Overwrite one slot (UPDATE), keeping the bitmap consistent."""
+        was_null = self.nulls[slot]
+        now_null = 1 if value is None else 0
+        if was_null != now_null:
+            self.nulls[slot] = now_null
+            self.null_count += now_null - was_null
+        self.values[slot] = value
+
+    def rebuild(self, keep: list) -> None:
+        """Compact to the slots where *keep* is truthy (liveness mask)."""
+        self.values = list(compress(self.values, keep))
+        self.nulls = bytearray(compress(self.nulls, keep))
+        self.null_count = self.nulls.count(1)
+
+    def clear(self) -> None:
+        self.values = []
+        self.nulls = bytearray()
+        self.null_count = 0
+
+
+# ---------------------------------------------------------------------------
+# Predicate kernels
+# ---------------------------------------------------------------------------
+
+_FLIP = {"=": "<>", "<>": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+_SWAP = {"=": "=", "<>": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+_COMPARISONS = frozenset(_FLIP)
+
+_FAMILY = {
+    DataType.INTEGER: "num",
+    DataType.REAL: "num",
+    DataType.TEXT: "str",
+    DataType.BOOLEAN: "bool",
+}
+
+
+def _literal_family(value: Any) -> str | None:
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, (int, float)):
+        return "num"
+    if isinstance(value, str):
+        return "str"
+    return None
+
+
+def _negated(expr: ast.Expr) -> ast.Expr | None:
+    """Push one NOT into *expr*, or ``None`` when that isn't exact."""
+    if isinstance(expr, ast.UnaryOp) and expr.op.upper() == "NOT":
+        return expr.operand
+    if isinstance(expr, ast.BinaryOp):
+        op = expr.op.upper()
+        if expr.op in _FLIP:
+            return ast.BinaryOp(_FLIP[expr.op], expr.left, expr.right)
+        if op in ("AND", "OR"):
+            left = _negated(expr.left)
+            right = _negated(expr.right)
+            if left is None or right is None:
+                return None
+            other = "OR" if op == "AND" else "AND"
+            return ast.BinaryOp(other, left, right)
+        return None
+    if isinstance(expr, ast.IsNull):
+        return ast.IsNull(expr.operand, not expr.negated)
+    if isinstance(expr, ast.Between):
+        return ast.Between(expr.operand, expr.low, expr.high,
+                           not expr.negated)
+    if isinstance(expr, ast.InList):
+        return ast.InList(expr.operand, expr.items, not expr.negated)
+    if isinstance(expr, ast.Like):
+        return ast.Like(expr.operand, expr.pattern, not expr.negated)
+    if isinstance(expr, ast.Literal):
+        if expr.value is True:
+            return ast.Literal(False)
+        if expr.value is False:
+            return ast.Literal(True)
+        if expr.value is None:
+            return ast.Literal(None)
+        return None  # non-boolean literal: the row path raises; fall back
+    return None
+
+
+def _resolved(expr: ast.Expr, resolve: Resolver) -> tuple | None:
+    if isinstance(expr, ast.ColumnRef):
+        return resolve(expr)
+    return None
+
+
+def _all_false(position: int) -> Kernel:
+    return lambda cols: [False] * len(cols[position])
+
+
+def _col_lit_kernel(op: str, ref: tuple, literal: Any) -> Kernel | None:
+    position, data_type = ref
+    family = _FAMILY[data_type]
+    literal_family = _literal_family(literal)
+    if literal_family is None:
+        return None
+    if literal_family == "null":
+        # comparison with NULL is never definitely true
+        return _all_false(position)
+    if literal_family != family:
+        # values_equal across type families is plain False
+        if op == "=":
+            return _all_false(position)
+        if op == "<>":
+            return lambda cols: [v is not None for v in cols[position]]
+        return None  # ordered cross-family comparison raises on the row path
+    p, lit = position, literal
+    if op == "=":
+        return lambda cols: [v is not None and v == lit for v in cols[p]]
+    if op == "<>":
+        return lambda cols: [v is not None and v != lit for v in cols[p]]
+    if op == "<":
+        return lambda cols: [v is not None and v < lit for v in cols[p]]
+    if op == ">":
+        return lambda cols: [v is not None and v > lit for v in cols[p]]
+    # <= / >= are phrased as negated strict comparisons so that NaN —
+    # which compare_values treats as equal to everything — stays TRUE
+    # here exactly like on the row path.
+    if op == "<=":
+        return lambda cols: [v is not None and not v > lit for v in cols[p]]
+    if op == ">=":
+        return lambda cols: [v is not None and not v < lit for v in cols[p]]
+    return None
+
+
+def _col_col_kernel(op: str, left: tuple, right: tuple) -> Kernel | None:
+    p1, t1 = left
+    p2, t2 = right
+    if _FAMILY[t1] != _FAMILY[t2]:
+        if op == "=":
+            return _all_false(p1)
+        if op == "<>":
+            return lambda cols: [a is not None and b is not None
+                                 for a, b in zip(cols[p1], cols[p2])]
+        return None
+    if op == "=":
+        return lambda cols: [a is not None and b is not None and a == b
+                             for a, b in zip(cols[p1], cols[p2])]
+    if op == "<>":
+        return lambda cols: [a is not None and b is not None and a != b
+                             for a, b in zip(cols[p1], cols[p2])]
+    if op == "<":
+        return lambda cols: [a is not None and b is not None and a < b
+                             for a, b in zip(cols[p1], cols[p2])]
+    if op == ">":
+        return lambda cols: [a is not None and b is not None and a > b
+                             for a, b in zip(cols[p1], cols[p2])]
+    if op == "<=":
+        return lambda cols: [a is not None and b is not None and not a > b
+                             for a, b in zip(cols[p1], cols[p2])]
+    if op == ">=":
+        return lambda cols: [a is not None and b is not None and not a < b
+                             for a, b in zip(cols[p1], cols[p2])]
+    return None
+
+
+def _comparison_kernel(expr: ast.BinaryOp, resolve: Resolver) \
+        -> Kernel | None:
+    left_ref = _resolved(expr.left, resolve)
+    right_ref = _resolved(expr.right, resolve)
+    if left_ref is not None and right_ref is not None:
+        return _col_col_kernel(expr.op, left_ref, right_ref)
+    if left_ref is not None and isinstance(expr.right, ast.Literal):
+        return _col_lit_kernel(expr.op, left_ref, expr.right.value)
+    if right_ref is not None and isinstance(expr.left, ast.Literal):
+        return _col_lit_kernel(_SWAP[expr.op], right_ref, expr.left.value)
+    return None
+
+
+def _in_list_kernel(expr: ast.InList, resolve: Resolver) -> Kernel | None:
+    ref = _resolved(expr.operand, resolve)
+    if ref is None:
+        return None
+    position, data_type = ref
+    family = _FAMILY[data_type]
+    candidates = set()
+    for item in expr.items:
+        if not isinstance(item, ast.Literal):
+            return None
+        item_family = _literal_family(item.value)
+        if item_family is None:
+            return None
+        if item_family == "null":
+            if expr.negated:
+                # NOT IN with a NULL item is never definitely true
+                return _all_false(position)
+            continue  # in IN, a NULL item can only contribute UNKNOWN
+        if item_family != family:
+            # cross-family equality is always False; the item can never
+            # match, and skipping it keeps the set family-pure (so the
+            # True == 1 hash collision cannot leak bool/int confusion)
+            continue
+        candidates.add(item.value)
+    p = position
+    if expr.negated:
+        return lambda cols: [v is not None and v not in candidates
+                             for v in cols[p]]
+    return lambda cols: [v is not None and v in candidates for v in cols[p]]
+
+
+def _between_kernel(expr: ast.Between, resolve: Resolver) -> Kernel | None:
+    ref = _resolved(expr.operand, resolve)
+    if ref is None:
+        return None
+    if not isinstance(expr.low, ast.Literal) \
+            or not isinstance(expr.high, ast.Literal):
+        return None
+    if expr.negated:
+        low = _col_lit_kernel("<", ref, expr.low.value)
+        high = _col_lit_kernel(">", ref, expr.high.value)
+        if low is None or high is None:
+            return None
+        return lambda cols: [a or b for a, b in zip(low(cols), high(cols))]
+    low = _col_lit_kernel(">=", ref, expr.low.value)
+    high = _col_lit_kernel("<=", ref, expr.high.value)
+    if low is None or high is None:
+        return None
+    return lambda cols: [a and b for a, b in zip(low(cols), high(cols))]
+
+
+def _like_kernel(expr: ast.Like, resolve: Resolver) -> Kernel | None:
+    ref = _resolved(expr.operand, resolve)
+    if ref is None:
+        return None
+    position, data_type = ref
+    if data_type is not DataType.TEXT:
+        return None  # LIKE on non-text raises on the row path
+    if not isinstance(expr.pattern, ast.Literal):
+        return None
+    pattern = expr.pattern.value
+    if pattern is None:
+        return _all_false(position)
+    if not isinstance(pattern, str):
+        return None
+    p, match = position, like_match
+    if expr.negated:
+        return lambda cols: [v is not None and match(v, pattern) is False
+                             for v in cols[p]]
+    return lambda cols: [v is not None and match(v, pattern) is True
+                         for v in cols[p]]
+
+
+def compile_filter_kernel(expr: ast.Expr, resolve: Resolver) \
+        -> Kernel | None:
+    """Compile *expr* to a strict-true mask kernel, or ``None``.
+
+    ``None`` means "not vectorizable" — the caller keeps the conjunct on
+    the row path.  It is never an error: every supported construct is
+    compiled to match the row path's three-valued semantics exactly.
+    """
+    if isinstance(expr, ast.UnaryOp) and expr.op.upper() == "NOT":
+        operand = expr.operand
+        if isinstance(operand, ast.ColumnRef):
+            # NOT b over a BOOLEAN column (non-boolean raises on the
+            # row path, so only that family vectorizes)
+            ref = resolve(operand)
+            if ref is None or _FAMILY[ref[1]] != "bool":
+                return None
+            position = ref[0]
+            return lambda cols: [v is False for v in cols[position]]
+        pushed = _negated(operand)
+        if pushed is None:
+            return None
+        return compile_filter_kernel(pushed, resolve)
+    if isinstance(expr, ast.BinaryOp):
+        op = expr.op.upper()
+        if op in ("AND", "OR"):
+            left = compile_filter_kernel(expr.left, resolve)
+            if left is None:
+                return None
+            right = compile_filter_kernel(expr.right, resolve)
+            if right is None:
+                return None
+            if op == "AND":
+                return lambda cols: [a and b
+                                     for a, b in zip(left(cols), right(cols))]
+            return lambda cols: [a or b
+                                 for a, b in zip(left(cols), right(cols))]
+        if expr.op in _COMPARISONS:
+            return _comparison_kernel(expr, resolve)
+        return None
+    if isinstance(expr, ast.IsNull):
+        ref = _resolved(expr.operand, resolve)
+        if ref is None:
+            return None
+        position = ref[0]
+        if expr.negated:
+            return lambda cols: [v is not None for v in cols[position]]
+        return lambda cols: [v is None for v in cols[position]]
+    if isinstance(expr, ast.Between):
+        return _between_kernel(expr, resolve)
+    if isinstance(expr, ast.InList):
+        return _in_list_kernel(expr, resolve)
+    if isinstance(expr, ast.Like):
+        return _like_kernel(expr, resolve)
+    if isinstance(expr, ast.Literal):
+        if expr.value is True:
+            return lambda cols: [True] * len(cols[0])
+        if expr.value is False or expr.value is None:
+            return lambda cols: [False] * len(cols[0])
+        return None
+    if isinstance(expr, ast.ColumnRef):
+        # WHERE b over a BOOLEAN column; any other family raises on the
+        # row path, so it falls back
+        ref = resolve(expr)
+        if ref is None or _FAMILY[ref[1]] != "bool":
+            return None
+        position = ref[0]
+        return lambda cols: [v is True for v in cols[position]]
+    return None

@@ -1,0 +1,366 @@
+"""Columnar table storage + vectorized batch execution.
+
+Covers the columnar ``Table`` rewrite (stable row ids over typed column
+vectors, deleted bitmap, compaction, truncate via the public index
+``clear()``), the executor's batch path and its row-path fallback
+(observable through ``Database.last_vectorized_ops``), the planner's
+vectorized operator marking in EXPLAIN, the batch-execution telemetry
+instruments, and a durability regression: a columnar table survives
+snapshot + WAL replay with exact generation stamps.
+
+The randomized vectorized-vs-row equivalence suite lives in
+``test_columnar_properties.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crosse import CrossePlatform
+from repro.federation import CrosseRestService
+from repro.durability import (DurabilityManager, DurabilityOptions,
+                              database_state, state_digest)
+from repro.planner import PlannerOptions
+from repro.relational import Database
+from repro.relational.errors import TypeMismatchError
+from repro.relational.indexes import HashIndex, SortedIndex
+from repro.relational.table import (COMPACT_MIN_DELETED, Table)
+from repro.relational.vectors import ColumnVector
+from repro.relational.schema import DataType
+from repro.telemetry import Telemetry, TelemetryOptions
+
+
+def make_db(vectorized: bool = True) -> Database:
+    db = Database(vectorized=vectorized)
+    db.execute("CREATE TABLE t (id INTEGER, k TEXT, v REAL, b BOOLEAN)")
+    db.insert_rows("t", ({"id": i, "k": f"k{i % 5}", "v": float(i),
+                          "b": i % 2 == 0}
+                         for i in range(100)))
+    return db
+
+
+# -- columnar storage ---------------------------------------------------------
+
+
+class TestColumnarStorage:
+    def test_column_vector_tracks_nulls(self):
+        vector = ColumnVector(DataType.INTEGER)
+        for value in (1, None, 3, None):
+            vector.append(value)
+        assert vector.values == [1, None, 3, None]
+        assert vector.null_count == 2
+        vector.set(1, 7)
+        assert vector.null_count == 1
+        vector.set(2, None)
+        assert vector.null_count == 2
+        assert len(vector) == 4
+
+    def test_row_ids_stable_across_deletes(self):
+        db = make_db()
+        table = db.catalog.table("t")
+        keep_id = next(rid for rid, row in table.rows_with_ids()
+                       if row[0] == 42)
+        db.execute("DELETE FROM t WHERE id < 42")
+        assert table.row(keep_id)[0] == 42
+        assert len(table) == 58
+        assert [row[0] for row in table.rows()] == list(range(42, 100))
+
+    def test_compaction_preserves_rows_ids_and_indexes(self):
+        db = Database()
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v REAL)")
+        db.execute("CREATE INDEX idx_v ON t (v)")
+        db.insert_rows("t", ({"id": i, "v": float(i)}
+                             for i in range(400)))
+        table = db.catalog.table("t")
+        survivors = {rid: row for rid, row in table.rows_with_ids()
+                     if row[0] % 3 == 0}
+        deleted = db.execute("DELETE FROM t WHERE id % 3 <> 0")
+        assert deleted > COMPACT_MIN_DELETED  # compaction definitely ran
+        assert len(table) == len(survivors)
+        for rid, row in survivors.items():
+            assert table.row(rid) == row
+        # Point probes and range scans go through the rebuilt indexes.
+        assert db.query("SELECT v FROM t WHERE id = 100").rows == []
+        assert db.query("SELECT v FROM t WHERE id = 99").rows == [(99.0,)]
+        rows = db.query("SELECT id FROM t WHERE v >= 390.0").rows
+        assert sorted(rows) == [(390,), (393,), (396,), (399,)]
+
+    def test_update_after_compaction(self):
+        db = Database()
+        db.execute("CREATE TABLE t (id INTEGER, v REAL)")
+        db.insert_rows("t", ({"id": i, "v": 0.0} for i in range(300)))
+        db.execute("DELETE FROM t WHERE id >= 100")
+        assert db.execute("UPDATE t SET v = 5.5 WHERE id = 50") == 1
+        assert db.query("SELECT v FROM t WHERE id = 50").rows == [(5.5,)]
+
+    def test_truncate_keeps_index_definitions_and_row_id_watermark(self):
+        db = Database()
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v REAL)")
+        table = db.catalog.table("t")
+        first = table.insert_row({"id": 1, "v": 1.0})
+        db.execute("DELETE FROM t")     # truncate fast path
+        assert len(table) == 0
+        second = table.insert_row({"id": 1, "v": 2.0})  # PK free again
+        assert second > first           # ids are never reused
+        assert db.query("SELECT v FROM t WHERE id = 1").rows == [(2.0,)]
+
+    def test_index_clear_is_public(self):
+        hash_index = HashIndex("h", "t", ["k"])
+        hash_index.insert(10, (1,))
+        hash_index.insert(11, (2,))
+        hash_index.clear()
+        assert hash_index.lookup((1,)) == set()
+        assert len(hash_index) == 0
+        sorted_index = SortedIndex("s", "t", ["k"])
+        sorted_index.insert(10, (1,))
+        sorted_index.clear()
+        assert len(sorted_index) == 0
+        # The definition survives: the cleared index accepts new entries.
+        sorted_index.insert(12, (2,))
+        assert list(sorted_index.range()) == [12]
+
+    def test_iter_batches_skips_deleted(self):
+        db = Database()
+        db.execute("CREATE TABLE t (id INTEGER)")
+        db.insert_rows("t", ({"id": i} for i in range(10)))
+        db.execute("DELETE FROM t WHERE id = 3")
+        table = db.catalog.table("t")
+        batches = list(table.iter_batches(size=4))
+        flat = [value for batch in batches for value in batch[0]]
+        assert flat == [0, 1, 2, 4, 5, 6, 7, 8, 9]
+
+
+# -- vectorized execution and fallback ---------------------------------------
+
+
+class TestVectorizedExecution:
+    def test_simple_shapes_run_vectorized(self):
+        db = make_db()
+        assert len(db.query("SELECT * FROM t").rows) == 100
+        assert db.last_vectorized_ops >= {"scan", "project"}
+        db.query("SELECT * FROM t WHERE v > 50.0 AND k = 'k1'")
+        assert db.last_vectorized_ops >= {"scan", "filter", "project"}
+        rows = db.query("SELECT k, COUNT(*), SUM(v), AVG(v), MIN(v), "
+                        "MAX(v) FROM t GROUP BY k").rows
+        assert len(rows) == 5
+        assert db.last_vectorized_ops >= {"scan", "aggregate"}
+
+    def test_vectorized_disabled_database_reports_nothing(self):
+        db = make_db(vectorized=False)
+        assert len(db.query("SELECT * FROM t WHERE v > 50.0").rows) == 49
+        assert db.last_vectorized_ops == set()
+
+    def test_results_match_row_path(self):
+        vector_db, row_db = make_db(), make_db(vectorized=False)
+        for sql in (
+            "SELECT * FROM t",
+            "SELECT k, v FROM t WHERE v >= 10.0 AND v < 90.0",
+            "SELECT * FROM t WHERE k IN ('k0', 'k2') AND NOT b",
+            "SELECT * FROM t WHERE v BETWEEN 10.0 AND 20.0 OR k LIKE 'k4%'",
+            "SELECT k, COUNT(*), SUM(v) FROM t GROUP BY k",
+            "SELECT COUNT(*) FROM t WHERE b",
+            "SELECT * FROM t WHERE v IS NULL",
+            "SELECT * FROM t ORDER BY v DESC LIMIT 7",
+        ):
+            assert vector_db.query(sql).rows == row_db.query(sql).rows, sql
+
+    def test_expression_predicate_falls_back_but_stays_correct(self):
+        db = make_db()
+        rows = db.query("SELECT id FROM t WHERE v * 2.0 > 190.0").rows
+        assert sorted(rows) == [(96,), (97,), (98,), (99,)]
+        # Hybrid: the scan is batched, the residual filter is row-wise.
+        assert "scan" in db.last_vectorized_ops
+        assert "filter" not in db.last_vectorized_ops
+
+    def test_join_falls_back_to_row_path(self):
+        db = make_db()
+        db.execute("CREATE TABLE s (id INTEGER, w REAL)")
+        db.insert_rows("s", ({"id": i, "w": float(i)} for i in range(50)))
+        rows = db.query("SELECT t.id, s.w FROM t JOIN s ON t.id = s.id "
+                        "WHERE t.id < 3 AND s.id < 90").rows
+        assert sorted(rows) == [(0, 0.0), (1, 1.0), (2, 2.0)]
+
+    def test_subquery_predicate_stays_correct(self):
+        # The outer IN-subquery predicate cannot kernelize, but the
+        # inner SELECT still runs batched; both paths agree.
+        db = make_db()
+        rows = db.query("SELECT id FROM t WHERE id IN "
+                        "(SELECT id FROM t WHERE v < 2.0)").rows
+        assert sorted(rows) == [(0,), (1,)]
+        assert "scan" in db.last_vectorized_ops
+
+    def test_index_probe_beats_vector_scan(self):
+        db = make_db()
+        db.execute("CREATE INDEX idx_id ON t (id)")
+        assert db.query("SELECT k FROM t WHERE id = 7").rows == [("k2",)]
+        assert "scan" not in db.last_vectorized_ops
+
+    def test_type_mismatch_still_raises_through_fallback(self):
+        db = make_db()
+        with pytest.raises(TypeMismatchError):
+            db.query("SELECT * FROM t WHERE k > 5")
+
+    def test_dml_sees_fresh_state_through_cached_plans(self):
+        db = make_db()
+        sql = "SELECT COUNT(*) FROM t WHERE v >= 0.0"
+        assert db.query(sql).rows == [(100,)]
+        db.execute("DELETE FROM t WHERE id < 40")
+        assert db.query(sql).rows == [(60,)]
+        db.execute("UPDATE t SET v = -1.0 WHERE id = 40")
+        assert db.query(sql).rows == [(59,)]
+        db.execute("INSERT INTO t VALUES (200, 'k9', 7.0, 0)")
+        assert db.query(sql).rows == [(60,)]
+
+
+# -- planner marking ----------------------------------------------------------
+
+
+class TestExplainMarking:
+    def test_plain_explain_marks_scan_and_filter(self):
+        db = make_db()
+        planned = db.explain("SELECT * FROM t WHERE v > 5.0")
+        marks = {node.kind for node in planned.root.walk()
+                 if node.vectorized}
+        assert marks == {"scan", "filter"}
+        assert "vectorized" in planned.root.format()
+
+    def test_explain_analyze_marks_aggregate_and_notes(self):
+        db = make_db()
+        planned = db.explain("SELECT k, COUNT(*) FROM t GROUP BY k",
+                             analyze=True)
+        marks = {node.kind for node in planned.root.walk()
+                 if node.vectorized}
+        assert {"scan", "aggregate"} <= marks
+        assert any(note.startswith("vectorized:")
+                   for note in planned.notes)
+
+    def test_pushed_down_join_filters_marked(self):
+        db = make_db()
+        db.execute("CREATE TABLE s (id INTEGER, w REAL)")
+        db.insert_rows("s", ({"id": i, "w": float(i)} for i in range(50)))
+        db.execute("ANALYZE")
+        planned = db.explain(
+            "SELECT t.k FROM t JOIN s ON t.id = s.id "
+            "WHERE t.v > 10.0 AND s.w < 40.0")
+        vector_filters = [node for node in planned.root.walk()
+                          if node.kind == "filter" and node.vectorized]
+        assert len(vector_filters) == 2  # both pushed-down wrappers
+
+    def test_row_path_database_shows_no_marks(self):
+        db = make_db(vectorized=False)
+        planned = db.explain("SELECT * FROM t WHERE v > 5.0")
+        assert not any(node.vectorized for node in planned.root.walk())
+        planned = db.explain("SELECT k, COUNT(*) FROM t GROUP BY k",
+                             analyze=True)
+        assert not any(node.vectorized for node in planned.root.walk())
+        assert not any(note.startswith("vectorized:")
+                       for note in planned.notes)
+
+    def test_cost_model_prefers_vectorized_scans(self):
+        from repro.planner.cost import CostModel
+        model = CostModel()
+        assert model.scan_cost(1000, vectorized=True) \
+            < model.scan_cost(1000)
+
+
+# -- telemetry ----------------------------------------------------------------
+
+
+class TestBatchTelemetry:
+    def test_batch_metrics_recorded(self):
+        telemetry = Telemetry(TelemetryOptions())
+        db = make_db()
+        db.attach_telemetry(telemetry)
+        db.query("SELECT * FROM t WHERE v > 50.0")
+        db.query("SELECT k, COUNT(*) FROM t GROUP BY k")
+        metrics = telemetry.metrics.to_dict()
+        histogram = metrics["repro_exec_batch_rows"]["series"][0]
+        assert histogram["count"] >= 2
+        ops = {series["labels"]["op"]: series["value"]
+               for series in
+               metrics["repro_exec_vectorized_total"]["series"]}
+        assert ops["scan"] >= 200.0      # both queries scanned 100 rows
+        assert ops["filter"] == 49.0     # rows surviving the mask
+        assert ops["aggregate"] == 100.0
+
+    def test_row_path_database_records_nothing(self):
+        telemetry = Telemetry(TelemetryOptions())
+        db = make_db(vectorized=False)
+        db.attach_telemetry(telemetry)
+        db.query("SELECT k, COUNT(*) FROM t GROUP BY k")
+        metrics = telemetry.metrics.to_dict()
+        assert metrics["repro_exec_vectorized_total"]["series"] == []
+
+    def test_metrics_visible_over_rest(self):
+        db = Database("bank")
+        db.execute("CREATE TABLE elem_contained (elem_name TEXT, "
+                   "amount REAL)")
+        db.execute("INSERT INTO elem_contained VALUES ('lead', 12.0)")
+        platform = CrossePlatform(
+            db, telemetry=TelemetryOptions(slow_query_threshold_s=0.0))
+        platform.register_user("amy")
+        service = CrosseRestService(platform)
+        service.request("POST", "/api/v1/query",
+                        {"username": "amy",
+                         "query": "SELECT elem_name FROM elem_contained"})
+        response = service.request("GET", "/api/v1/metrics")
+        assert response.status == 200
+        assert "repro_exec_batch_rows" in response.payload["metrics"]
+        assert "repro_exec_vectorized_total" in response.payload["metrics"]
+        text = service.request("GET", "/api/v1/metrics?format=prometheus")
+        assert "# TYPE repro_exec_vectorized_total counter" in text.payload
+
+
+# -- durability regression ----------------------------------------------------
+
+
+class TestColumnarDurability:
+    def build(self, directory):
+        options = DurabilityOptions(directory=directory, fsync="never")
+        manager = DurabilityManager(options)
+        db = Database()
+        manager.attach_database(db, name="main")
+        return manager, db
+
+    def test_snapshot_plus_wal_replay_round_trip(self, tmp_path):
+        directory = str(tmp_path)
+        manager, db = self.build(directory)
+        manager.recover()
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, k TEXT, "
+                   "v REAL)")
+        db.insert_rows("t", ({"id": i, "k": f"k{i % 3}", "v": float(i)}
+                             for i in range(200)))
+        manager.snapshot()
+        # Post-snapshot mutations land in the WAL tail, including a
+        # delete wave big enough to trigger columnar compaction.
+        db.execute("DELETE FROM t WHERE id % 2 = 0")
+        db.execute("UPDATE t SET v = v + 0.5 WHERE id = 151")
+        db.execute("INSERT INTO t VALUES (500, 'tail', 9.0)")
+        generation = db.generation
+        digest = state_digest(database_state(db))
+        expected = db.query("SELECT * FROM t ORDER BY id").rows
+        manager.close()
+
+        recovered_manager, recovered = self.build(directory)
+        report = recovered_manager.recover()
+        assert report.replay_errors == 0 and not report.warnings
+        assert recovered.generation == generation
+        assert state_digest(database_state(recovered)) == digest
+        assert recovered.query(
+            "SELECT * FROM t ORDER BY id").rows == expected
+        # The recovered table is columnar and vectorizes immediately.
+        assert isinstance(recovered.catalog.table("t"), Table)
+        recovered.query("SELECT k, COUNT(*) FROM t GROUP BY k")
+        assert "aggregate" in recovered.last_vectorized_ops
+        recovered_manager.close()
+
+
+# -- planner options interplay ------------------------------------------------
+
+
+def test_planner_disabled_still_vectorizes_execution():
+    db = Database(planner=PlannerOptions(enabled=False), vectorized=True)
+    db.execute("CREATE TABLE t (id INTEGER, v REAL)")
+    db.insert_rows("t", ({"id": i, "v": float(i)} for i in range(20)))
+    assert len(db.query("SELECT * FROM t WHERE v >= 10.0").rows) == 10
+    assert "scan" in db.last_vectorized_ops
