@@ -5,7 +5,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="0.4.0",
+    version="0.6.0",
     description=("Reproduction of 'Contextually-Enriched Querying of "
                  "Integrated Data Sources' (ICDE 2018)"),
     package_dir={"": "src"},

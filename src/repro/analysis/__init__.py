@@ -1,0 +1,26 @@
+"""Static analysis: compile-time query diagnostics + architecture lint.
+
+Two heads share this package.  The **query analyzer**
+(:mod:`.query`) runs a semantic pass over parsed SQL / SESQL / SPARQL
+statements against a catalog — name resolution, 3VL type-family
+inference, and a registry of stable-coded performance lints — and is
+wired into ``Session.prepare()`` / ``explain()``, the REST API
+(``POST /api/v1/analyze``) and a file-linting CLI
+(``python -m repro.analysis``).  The **architecture linter**
+(:mod:`.archlint`) walks the repository's own Python source enforcing
+the layering DAG, hook conventions and lock discipline; it runs as a
+CI gate (``python -m repro.analysis.archlint``).
+"""
+
+from .diagnostics import (AnalysisError, AnalysisOptions, AnalysisReport,
+                          CODES, DEFAULT_OPTIONS, Diagnostic, ERROR,
+                          WARNING)
+from .query import (analyze_enriched, analyze_federated, analyze_script,
+                    analyze_sparql, analyze_sql, analyze_statement)
+
+__all__ = [
+    "AnalysisError", "AnalysisOptions", "AnalysisReport", "CODES",
+    "DEFAULT_OPTIONS", "Diagnostic", "ERROR", "WARNING",
+    "analyze_enriched", "analyze_federated", "analyze_script",
+    "analyze_sparql", "analyze_sql", "analyze_statement",
+]

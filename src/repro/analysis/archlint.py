@@ -1,0 +1,289 @@
+"""Architecture linter for the ``repro`` source tree.
+
+The codebase keeps a strict layering DAG — the storage engines
+(``relational``, ``rdf``) know nothing about the layers above them,
+``core`` builds only on the engines, and the operational subsystems
+(``telemetry``, ``durability``, ``cluster``) integrate through
+duck-typed hook attributes rather than imports.  Nothing in the
+*runtime* enforces that; this module does, by walking every file's
+``ast`` and checking three rule families:
+
+``layering``
+    A module-level import may only target packages listed for the
+    importing package in the layering table.  Function-scope (lazy)
+    imports get an extra per-package allowance — that is how the
+    intentional back-edges (``api`` → ``cluster``, ``relational`` →
+    ``planner``) stay cycle-free at import time.  The *observed*
+    module-level graph is additionally checked to be acyclic, so even
+    a mis-edited config cannot silently admit a cycle.
+
+``hooks``
+    ``telemetry`` and ``durability`` are wired in via hook objects;
+    importing them at module level is reserved for the packages that
+    own the wiring (``cluster``).  Everyone else must import lazily
+    inside the enable/attach call.
+
+``locks``
+    ``Table.insert_row`` / ``update_row`` / ``delete_row`` assume the
+    caller holds the databank's write lock, so calls may appear only
+    at the whitelisted choke points (``relational/engine.py``,
+    ``relational/table.py``).
+
+Defaults live in :data:`DEFAULT_CONFIG`; a ``[tool.repro.archlint]``
+table in ``pyproject.toml`` overrides them key by key.  Run as
+``python -m repro.analysis.archlint [src/repro]``; exit status 1 when
+violations are found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+#: The shipped architecture contract.  ``layers`` maps each package (or
+#: top-level module) to the packages it may import at module level;
+#: ``lazy-layers`` adds targets allowed only from function scope.
+DEFAULT_CONFIG: dict = {
+    "exempt": ["__init__.py"],           # repro/__init__.py re-exports
+    "layers": {
+        "rwlock": [],
+        "telemetry": [],
+        "relational": ["rwlock"],
+        "rdf": ["rwlock"],
+        "sparql": ["rdf"],
+        "planner": ["relational"],
+        "smartground": ["relational", "rdf"],
+        "analysis": ["relational"],
+        "core": ["relational", "rdf", "sparql"],
+        "api": ["analysis", "core", "relational"],
+        "crosse": ["api", "core", "rdf", "relational"],
+        "federation": ["analysis", "api", "core", "crosse", "planner",
+                       "rdf", "relational"],
+        "durability": ["core", "crosse", "federation", "rdf",
+                       "relational"],
+        "cluster": ["api", "crosse", "durability", "federation", "rdf",
+                    "relational", "telemetry"],
+        "workloads": ["core", "crosse", "rdf", "relational",
+                      "smartground"],
+    },
+    "lazy-layers": {
+        "relational": ["planner"],
+        "analysis": ["core", "federation", "smartground", "sparql"],
+        "api": ["cluster", "crosse", "durability", "federation",
+                "telemetry"],
+        "crosse": ["durability", "telemetry"],
+    },
+    "hook-modules": ["telemetry", "durability"],
+    "hook-importers": ["cluster", "telemetry", "durability"],
+    "mutator-methods": ["insert_row", "update_row", "delete_row"],
+    "mutator-files": ["relational/engine.py", "relational/table.py"],
+}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One architecture-rule breach at a concrete source location."""
+
+    file: str
+    line: int
+    rule: str      # 'layering' | 'layering-cycle' | 'hooks' | 'locks'
+    message: str
+
+    def format(self) -> str:
+        return f"{self.file}:{self.line}: [{self.rule}] {self.message}"
+
+
+def load_config(pyproject: Path | None = None) -> dict:
+    """The default contract, overridden by ``[tool.repro.archlint]``."""
+    config = {key: (dict(value) if isinstance(value, dict)
+                    else list(value))
+              for key, value in DEFAULT_CONFIG.items()}
+    if pyproject is None or not pyproject.is_file():
+        return config
+    import tomllib
+    table = (tomllib.loads(pyproject.read_text())
+             .get("tool", {}).get("repro", {}).get("archlint", {}))
+    for key, value in table.items():
+        if isinstance(value, dict) and isinstance(config.get(key), dict):
+            config[key].update(value)
+        else:
+            config[key] = value
+    return config
+
+
+@dataclass(frozen=True)
+class _ImportEdge:
+    target: str    # repro-internal package / top-level module name
+    line: int
+    lazy: bool     # inside a function body (or TYPE_CHECKING block)
+
+
+def _edges(tree: ast.Module, package: str) -> list[_ImportEdge]:
+    """Repro-internal import edges in *tree*, tagged lazy or not."""
+    edges: list[_ImportEdge] = []
+
+    def target_of(node: ast.stmt) -> list[tuple[str, int]]:
+        found = []
+        if isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if node.level == 2 or (node.level == 1 and not package):
+                found.append((module.split(".")[0], node.lineno))
+            elif node.level == 0 and module.split(".")[0] == "repro":
+                parts = module.split(".")
+                if len(parts) > 1:
+                    found.append((parts[1], node.lineno))
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                parts = alias.name.split(".")
+                if parts[0] == "repro" and len(parts) > 1:
+                    found.append((parts[1], node.lineno))
+        return found
+
+    def visit(body: list[ast.stmt], lazy: bool) -> None:
+        for node in body:
+            for target, line in target_of(node):
+                if target and target != package:
+                    edges.append(_ImportEdge(target, line, lazy))
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                visit(node.body, True)
+            elif isinstance(node, ast.If):
+                guarded = "TYPE_CHECKING" in ast.dump(node.test)
+                visit(node.body, lazy or guarded)
+                visit(node.orelse, lazy)
+            elif isinstance(node, (ast.ClassDef, ast.Try, ast.With,
+                                   ast.For, ast.While)):
+                for child in ast.iter_child_nodes(node):
+                    if isinstance(child, ast.stmt):
+                        visit([child], lazy)
+
+    visit(tree.body, False)
+    return edges
+
+
+def _find_cycle(graph: dict) -> list[str] | None:
+    """A module-level import cycle in *graph*, or ``None``."""
+    state: dict[str, int] = {}     # 1 = on stack, 2 = done
+    stack: list[str] = []
+
+    def dfs(node: str) -> list[str] | None:
+        state[node] = 1
+        stack.append(node)
+        for neighbour in sorted(graph.get(node, ())):
+            if state.get(neighbour) == 1:
+                return stack[stack.index(neighbour):] + [neighbour]
+            if state.get(neighbour) is None:
+                cycle = dfs(neighbour)
+                if cycle:
+                    return cycle
+        stack.pop()
+        state[node] = 2
+        return None
+
+    for node in sorted(graph):
+        if state.get(node) is None:
+            cycle = dfs(node)
+            if cycle:
+                return cycle
+    return None
+
+
+def check_tree(root: Path, config: dict | None = None) -> list[Violation]:
+    """Lint every ``.py`` file under *root* (the ``repro`` package)."""
+    config = config or load_config()
+    violations: list[Violation] = []
+    observed: dict[str, set] = {}
+    layers = config["layers"]
+    lazy_layers = config["lazy-layers"]
+    hook_modules = set(config["hook-modules"])
+    hook_importers = set(config["hook-importers"])
+    mutators = set(config["mutator-methods"])
+    mutator_files = set(config["mutator-files"])
+
+    for path in sorted(root.rglob("*.py")):
+        relative = path.relative_to(root).as_posix()
+        if relative in config["exempt"]:
+            continue
+        package = relative.split("/")[0]
+        if package.endswith(".py"):       # top-level module (rwlock.py)
+            package = package[:-3]
+        tree = ast.parse(path.read_text(), filename=str(path))
+
+        allowed = set(layers.get(package, ()))
+        allowed_lazy = allowed | set(lazy_layers.get(package, ()))
+        for edge in _edges(tree, package):
+            if not edge.lazy:
+                observed.setdefault(package, set()).add(edge.target)
+            ok = edge.target in (allowed_lazy if edge.lazy else allowed)
+            if not ok:
+                how = "lazily import" if edge.lazy else "import"
+                violations.append(Violation(
+                    relative, edge.line, "layering",
+                    f"package '{package}' may not {how} "
+                    f"'{edge.target}'"))
+            if (edge.target in hook_modules and not edge.lazy
+                    and package not in hook_importers):
+                violations.append(Violation(
+                    relative, edge.line, "hooks",
+                    f"'{edge.target}' integrates via hook attributes; "
+                    f"import it lazily where the hook is attached"))
+
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in mutators
+                    and relative not in mutator_files):
+                violations.append(Violation(
+                    relative, node.lineno, "locks",
+                    f".{node.func.attr}() assumes the write lock is "
+                    f"held; call it only from "
+                    f"{sorted(mutator_files)}"))
+
+    cycle = _find_cycle(observed)
+    if cycle:
+        violations.append(Violation(
+            str(root), 0, "layering-cycle",
+            "module-level import cycle: " + " -> ".join(cycle)))
+    violations.sort(key=lambda v: (v.file, v.line))
+    return violations
+
+
+def _discover_pyproject(root: Path) -> Path | None:
+    for candidate in [root, *root.parents]:
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.archlint",
+        description="Check the repro source tree against its "
+                    "architecture contract.")
+    parser.add_argument("root", nargs="?", default="src/repro",
+                        help="package directory to lint "
+                             "(default: src/repro)")
+    parser.add_argument("--pyproject", metavar="FILE",
+                        help="pyproject.toml with a "
+                             "[tool.repro.archlint] override table "
+                             "(default: discovered upward from root)")
+    args = parser.parse_args(argv)
+    root = Path(args.root)
+    if not root.is_dir():
+        parser.error(f"not a directory: {root}")
+    pyproject = (Path(args.pyproject) if args.pyproject
+                 else _discover_pyproject(root.resolve()))
+    violations = check_tree(root, load_config(pyproject))
+    for violation in violations:
+        print(violation.format())
+    checked = len(list(root.rglob("*.py")))
+    print(f"archlint: {checked} file(s), {len(violations)} "
+          f"violation(s)")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,243 @@
+"""Performance lints over one SELECT core.
+
+These mirror the *planner's* decisions rather than re-deriving them:
+``W-VEC-FALLBACK`` asks :func:`repro.relational.vectors.fallback_reason`
+— which delegates the vectorizable/not verdict to the very kernel
+compiler the executor uses — and the single-table / index-probe gating
+reproduces ``compile_core``'s conditions step by step.  A lint here is
+therefore a statement about what the engine *will* do, not a heuristic
+about what engines usually do.
+"""
+
+from __future__ import annotations
+
+from ..relational import ast
+from ..relational.render import render_expr
+from ..relational.table import Table
+from ..relational.vectors import fallback_reason
+from .scopes import Scope, is_param_sentinel, resolve
+
+_COMPARISONS = frozenset({"=", "<>", "<", "<=", ">", ">="})
+
+
+def _contains_sentinel(expr: ast.Expr) -> bool:
+    for node in ast.walk_expr(expr):
+        if isinstance(node, ast.Literal) and is_param_sentinel(node.value):
+            return True
+    return False
+
+
+def _contains_unresolved(expr: ast.Expr, scopes: list[Scope]) -> bool:
+    """True when a ref in *expr* already drew a resolution error."""
+    for node in ast.walk_expr(expr):
+        if isinstance(node, ast.ColumnRef) \
+                and resolve(node, scopes).status in ("unknown", "ambiguous"):
+            return True
+    return False
+
+
+def _innermost(ref: ast.ColumnRef, scopes: list[Scope]) -> bool:
+    """Would ``resolve_column`` land *ref* on the scanned table?"""
+    inner = scopes[-1]
+    return not inner.open and len(inner.find(ref.name, ref.qualifier)) == 1
+
+
+def scanned_table(core: ast.SelectCore, env) -> Table | None:
+    """The columnar table of a single-``TableRef`` FROM, if resolvable."""
+    databank = env.databank
+    if databank is None or not isinstance(core.from_clause, ast.TableRef):
+        return None
+    catalog = getattr(databank, "catalog", None)
+    if catalog is None or not catalog.has_table(core.from_clause.name):
+        return None
+    table = catalog.table(core.from_clause.name)
+    return table if isinstance(table, Table) else None
+
+
+def _index_probe_applies(conjunct_list: list[ast.Expr], table: Table,
+                         scopes: list[Scope]) -> bool:
+    """Mirror compile_core's fast path: the first ``col = literal``
+    equality over an indexed column of the scanned table becomes a
+    point probe and disables the vectorized scan entirely."""
+    for conjunct in conjunct_list:
+        if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="):
+            continue
+        for column_side, value_side in ((conjunct.left, conjunct.right),
+                                        (conjunct.right, conjunct.left)):
+            if isinstance(column_side, ast.ColumnRef) \
+                    and isinstance(value_side, ast.Literal) \
+                    and _innermost(column_side, scopes) \
+                    and table.find_index_on([column_side.name]) is not None:
+                return True
+    return False
+
+
+def lint_vectorization(core: ast.SelectCore, env,
+                       scopes: list[Scope]) -> None:
+    """``W-VEC-FALLBACK``: WHERE conjuncts the kernel compiler rejects.
+
+    Fires only when the engine would actually attempt a vectorized
+    scan (columnar storage on, single-table FROM, no index probe), and
+    names both the exact conjunct and the reason the kernel compiler
+    gives up on it.  Conjuncts containing ``?`` parameters are skipped:
+    the bound value decides vectorizability at execute time.
+    """
+    databank = env.databank
+    if databank is None or not getattr(databank, "vectorized", True):
+        return
+    table = scanned_table(core, env)
+    if table is None or core.where is None:
+        return
+    conjunct_list = list(ast.conjuncts(core.where))
+    if _index_probe_applies(conjunct_list, table, scopes):
+        return  # point probe beats the batch path; nothing "fell back"
+    schema = table.schema
+
+    def resolve_ref(ref: ast.ColumnRef):
+        if not _innermost(ref, scopes):
+            return None
+        position = schema.position_of(ref.name)
+        return position, schema.columns[position].data_type
+
+    for conjunct in conjunct_list:
+        if _contains_sentinel(conjunct) \
+                or _contains_unresolved(conjunct, scopes):
+            continue
+        reason = fallback_reason(conjunct, resolve_ref)
+        if reason is not None:
+            env.report.add(
+                "W-VEC-FALLBACK",
+                f"conjunct runs on the row path: {reason}",
+                expression=render_expr(conjunct))
+
+
+def lint_sargability(core: ast.SelectCore, env,
+                     scopes: list[Scope]) -> None:
+    """``W-NONSARGABLE``: predicates that waste an existing index.
+
+    Gated on the index actually existing — a wrapped column without an
+    index loses nothing, so warning there would be noise.
+    """
+    table = scanned_table(core, env)
+    if table is None or core.where is None:
+        return
+
+    def indexed_column(ref: ast.Expr) -> str | None:
+        if isinstance(ref, ast.ColumnRef) and _innermost(ref, scopes) \
+                and table.find_index_on([ref.name]) is not None:
+            return ref.display()
+        return None
+
+    for conjunct in ast.conjuncts(core.where):
+        if isinstance(conjunct, ast.Like):
+            column = indexed_column(conjunct.operand)
+            if column is not None \
+                    and isinstance(conjunct.pattern, ast.Literal) \
+                    and isinstance(conjunct.pattern.value, str) \
+                    and conjunct.pattern.value.startswith("%"):
+                env.report.add(
+                    "W-NONSARGABLE",
+                    f"leading-% LIKE on indexed column {column} cannot "
+                    "be narrowed by the index",
+                    expression=render_expr(conjunct))
+            continue
+        if not (isinstance(conjunct, ast.BinaryOp)
+                and conjunct.op in _COMPARISONS):
+            continue
+        for wrapped_side, other_side in ((conjunct.left, conjunct.right),
+                                         (conjunct.right, conjunct.left)):
+            if not isinstance(other_side, ast.Literal):
+                continue
+            if not isinstance(wrapped_side, (ast.FunctionCall, ast.Cast,
+                                             ast.BinaryOp)):
+                continue
+            wrapped = [node for node in ast.walk_expr(wrapped_side)
+                       if isinstance(node, ast.ColumnRef)]
+            if len(wrapped) != 1:
+                continue
+            column = indexed_column(wrapped[0])
+            if column is not None:
+                env.report.add(
+                    "W-NONSARGABLE",
+                    f"indexed column {column} is wrapped in an "
+                    "expression, so the index probe cannot apply",
+                    expression=render_expr(conjunct),
+                    hint="compare the bare column to a precomputed "
+                         "constant instead")
+                break
+
+
+def _leaves(table_expr: ast.TableExpr) -> list[ast.TableExpr]:
+    if isinstance(table_expr, ast.Join):
+        return _leaves(table_expr.left) + _leaves(table_expr.right)
+    return [table_expr]
+
+
+def _side_bindings(table_expr: ast.TableExpr) -> set[str]:
+    out: set[str] = set()
+    for leaf in _leaves(table_expr):
+        if isinstance(leaf, ast.TableRef):
+            out.add(leaf.binding.lower())
+        elif isinstance(leaf, ast.SubqueryRef):
+            out.add(leaf.alias.lower())
+    return out
+
+
+def _touched_bindings(expr: ast.Expr, from_scope: Scope) -> set[str]:
+    """FROM bindings an expression references, resolving unqualified
+    names through the (single) FROM scope when unambiguous."""
+    touched: set[str] = set()
+    for node in ast.walk_expr(expr):
+        if not isinstance(node, ast.ColumnRef):
+            continue
+        if node.qualifier is not None:
+            touched.add(node.qualifier.lower())
+            continue
+        matches = from_scope.find(node.name, None)
+        qualifiers = {(from_scope.columns[i].qualifier or "").lower()
+                      for i in matches}
+        if len(qualifiers) == 1:
+            touched.add(qualifiers.pop())
+    return touched
+
+
+def lint_cartesian(core: ast.SelectCore, env, from_scope: Scope) -> None:
+    """``W-CARTESIAN``: a join whose sides nothing connects.
+
+    A comma/CROSS join is excused when some WHERE conjunct touches
+    both sides (the classic implicit-join style); an explicit ON is
+    suspect when it fails to reference both sides.
+    """
+    if core.from_clause is None:
+        return
+    where_conjuncts = (list(ast.conjuncts(core.where))
+                       if core.where is not None else [])
+
+    def visit(node: ast.TableExpr) -> None:
+        if not isinstance(node, ast.Join):
+            return
+        visit(node.left)
+        visit(node.right)
+        left = _side_bindings(node.left)
+        right = _side_bindings(node.right)
+        if not left or not right:
+            return
+        if node.condition is not None:
+            touched = _touched_bindings(node.condition, from_scope)
+            if not (touched & left and touched & right):
+                env.report.add(
+                    "W-CARTESIAN",
+                    "join condition does not reference both sides",
+                    expression=render_expr(node.condition))
+            return
+        for conjunct in where_conjuncts:
+            touched = _touched_bindings(conjunct, from_scope)
+            if touched & left and touched & right:
+                return
+        env.report.add(
+            "W-CARTESIAN",
+            f"no predicate connects {{{', '.join(sorted(left))}}} with "
+            f"{{{', '.join(sorted(right))}}}; the join is a cartesian "
+            "product")
+
+    visit(core.from_clause)

@@ -7,6 +7,7 @@ generation-keyed SPARQL extraction memoization, batching and
 ``explain()`` observability on top of the Fig. 6 pipeline.
 """
 
+from ..analysis import AnalysisError, AnalysisOptions, AnalysisReport
 from .cache import ExtractionCache, LRUCache, PlanCache
 from .cursor import (Cursor, Page, decode_token, encode_token,
                      paginate_cursor, paginate_sequence)
@@ -25,4 +26,5 @@ __all__ = [
     "paginate_sequence", "paginate_cursor",
     "SessionPool", "SessionLease",
     "SessionError", "PoolTimeoutError", "CursorTokenError",
+    "AnalysisError", "AnalysisOptions", "AnalysisReport",
 ]

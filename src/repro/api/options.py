@@ -5,6 +5,8 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
+from ..analysis.diagnostics import AnalysisOptions
+
 
 @dataclass(frozen=True)
 class QueryOptions:
@@ -24,6 +26,11 @@ class QueryOptions:
     plan_cache_size: int = 128
     #: Entries in the SPARQL-extraction memo LRU (0 disables).
     extraction_cache_size: int = 512
+    #: Static-analysis behaviour at ``prepare()`` time: ``None`` means
+    #: the defaults (analyze, attach diagnostics, never raise); pass
+    #: ``AnalysisOptions(strict=True)`` to reject statements with
+    #: errors, or ``AnalysisOptions(enabled=False)`` to skip analysis.
+    analysis: AnalysisOptions | None = None
 
     def replace(self, **changes) -> "QueryOptions":
         return dataclasses.replace(self, **changes)

@@ -56,6 +56,9 @@ class QueryPlan:
     #: :class:`repro.planner.PlannedStatement` whose operator tree
     #: carries estimated rows (and actual rows under ``analyze=True``).
     db_plan: object | None = None
+    #: The static-analysis :class:`~repro.analysis.AnalysisReport` for
+    #: the statement (``None`` when analysis is disabled).
+    diagnostics: object | None = None
 
     def operators(self) -> list:
         """The databank plan's operator nodes, outermost first."""
@@ -72,6 +75,10 @@ class QueryPlan:
             lines.append("  databank operators (est/actual rows):")
             lines.append("    "
                          + self.db_plan.format().replace("\n", "\n    "))
+        if self.diagnostics is not None and len(self.diagnostics):
+            lines.append("  diagnostics:")
+            for diagnostic in self.diagnostics:
+                lines.append("    " + diagnostic.format())
         lines.append(f"  cache: {self.cache_hits} hit(s), "
                      f"{self.cache_misses} miss(es)")
         return "\n".join(lines)

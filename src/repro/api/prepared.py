@@ -17,7 +17,7 @@ class PreparedQuery:
 
     def __init__(self, session, text: str, template: EnrichedQuery,
                  parameter_count: int, from_cache: bool = False,
-                 parse_time_s: float = 0.0) -> None:
+                 parse_time_s: float = 0.0, diagnostics=None) -> None:
         self._session = session
         self.text = text
         self._template = template
@@ -28,6 +28,10 @@ class PreparedQuery:
         #: traced executions report it as a synthetic ``sesql.parse``
         #: span so the tree covers the whole pipeline.
         self.parse_time_s = parse_time_s
+        #: The static-analysis :class:`~repro.analysis.AnalysisReport`
+        #: for the template (computed once per template, shared across
+        #: plan-cache hits), or ``None`` when analysis is disabled.
+        self.diagnostics = diagnostics
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"PreparedQuery({self.text!r}, "

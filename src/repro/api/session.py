@@ -24,6 +24,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from ..analysis import (AnalysisError, AnalysisReport, DEFAULT_OPTIONS,
+                        analyze_enriched)
 from ..core.ast import EnrichedQuery
 from ..core.engine import SESQLEngine, SESQLResult
 from ..core.sqp import expand_placeholders
@@ -38,10 +40,16 @@ from .prepared import PreparedQuery
 
 @dataclass
 class _CachedPlan:
-    """Plan-cache entry: a parsed template plus its placeholder count."""
+    """Plan-cache entry: a parsed template plus its placeholder count.
+
+    The static-analysis report rides along: analysis runs once per
+    template (on the cache miss), so cache hits — the prepared hot
+    path — pay nothing for diagnostics.
+    """
 
     template: EnrichedQuery
     parameter_count: int
+    analysis: AnalysisReport | None = None
 
 
 class Session:
@@ -173,7 +181,17 @@ class Session:
 
     def prepare(self, text: str) -> PreparedQuery:
         """Parse once (or recall from the plan cache) and return a
-        reusable prepared query with ``?`` parameter slots."""
+        reusable prepared query with ``?`` parameter slots.
+
+        The parsed template is also statically analyzed (name/scope
+        resolution, type families, performance lints — see
+        :mod:`repro.analysis`); the report is attached as
+        ``PreparedQuery.diagnostics``.  Under
+        ``QueryOptions(analysis=AnalysisOptions(strict=True))`` a
+        report with errors raises :class:`~repro.analysis.AnalysisError`
+        instead.  Analysis runs once per template: plan-cache hits
+        reuse the stored report.
+        """
         self._check_open()
         cached = self.plan_cache.get(text)
         from_cache = cached is not None
@@ -183,11 +201,29 @@ class Session:
             expanded, count = expand_placeholders(text)
             template = self.engine.parse(expanded)
             parse_time = time.perf_counter() - started
-            cached = _CachedPlan(template, count)
+            cached = _CachedPlan(template, count,
+                                 self._analyze_template(template))
             self.plan_cache.put(text, cached)
+        analysis_options = self.options.analysis or DEFAULT_OPTIONS
+        if analysis_options.strict and cached.analysis is not None \
+                and cached.analysis.has_errors:
+            raise AnalysisError(cached.analysis)
         return PreparedQuery(self, text, cached.template,
                              cached.parameter_count, from_cache=from_cache,
-                             parse_time_s=parse_time)
+                             parse_time_s=parse_time,
+                             diagnostics=cached.analysis)
+
+    def _analyze_template(self, template: EnrichedQuery):
+        options = self.options.analysis or DEFAULT_OPTIONS
+        if not options.enabled:
+            return None
+        try:
+            return analyze_enriched(template, self.engine.databank,
+                                    options=options)
+        except Exception:
+            # Analysis is advisory: a crash in it must never take down
+            # prepare() for a statement the engine would accept.
+            return None
 
     def execute(self, text: str, params=None,
                 include_original: bool | None = None,
@@ -442,6 +478,7 @@ class Session:
                           if cache is not None else 0),
             parse_cached=prepared.from_cache,
             db_plan=db_plan,
+            diagnostics=prepared.diagnostics,
         )
 
 

@@ -12,15 +12,15 @@ results keyed on the knowledge base's mutation ``generation``, so a
 prepared query re-executed against an unchanged KB skips re-running its
 SPARQL entirely.  Within one statement the engine additionally dedupes
 identical logical extractions across tagged conditions and stages (see
-:meth:`repro.core.SESQLEngine.extraction_for`); ``sparql_executions``
-counts the queries that actually reached the KB.
+:meth:`repro.core.SESQLEngine.extraction_for`);
+:meth:`SemanticQueryModule.sparql_execution_count` counts the queries
+that actually reached the KB.
 """
 
 from __future__ import annotations
 
 import re
 import time
-import warnings
 from dataclasses import dataclass, field
 
 from ..rdf.store import TripleStore
@@ -55,8 +55,7 @@ class SemanticQueryModule:
         #: SPARQL queries actually *executed* on a KB (cache hits and
         #: per-statement dedupe do not increment it) — the counter
         #: behind the "deduped extractions execute once" guarantee.
-        #: Read it via :meth:`sparql_execution_count`; the historical
-        #: ``sparql_executions`` attribute is deprecated.
+        #: Read it via :meth:`sparql_execution_count`.
         self._sparql_executions = 0
         #: Telemetry hook (duck-typed): when attached, SPARQL
         #: executions and extraction-cache hits/misses are also folded
@@ -83,18 +82,6 @@ class SemanticQueryModule:
 
     def sparql_execution_count(self) -> int:
         """SPARQL queries this module has actually run against a KB."""
-        return self._sparql_executions
-
-    @property
-    def sparql_executions(self) -> int:
-        """Deprecated alias for :meth:`sparql_execution_count` — the
-        counter now also feeds ``repro_sparql_executions_total`` in the
-        metrics registry; this raw attribute goes away next release."""
-        warnings.warn(
-            "SemanticQueryModule.sparql_executions is deprecated; use "
-            "sparql_execution_count() or the "
-            "repro_sparql_executions_total metric",
-            DeprecationWarning, stacklevel=2)
         return self._sparql_executions
 
     # -- memoization hook -----------------------------------------------------

@@ -30,11 +30,14 @@ from dataclasses import dataclass
 from typing import Any, Callable
 from urllib.parse import parse_qs
 
+from ..analysis import AnalysisReport
 from ..api.cursor import (CursorTokenError, paginate_cursor,
                           paginate_sequence, request_signature,
                           token_offset)
 from ..api.errors import PoolTimeoutError
 from ..api.pool import SessionPool
+from ..core.errors import SesqlError
+from ..relational.errors import RelationalError
 from ..crosse.platform import CrossePlatform
 from ..rdf.namespace import SMG
 from .errors import RestError
@@ -185,6 +188,7 @@ class CrosseRestService:
         register("POST", "/api/v1/statements/{statement_id}/accept",
                  self._accept_statement)
         register("POST", "/api/v1/query", self._query_v1)
+        register("POST", "/api/v1/analyze", self._analyze_v1)
         register("GET", "/api/v1/recommendations/peers/{username}",
                  self._peer_recommendations_v1)
         register("GET", "/api/v1/recommendations/resources/{username}",
@@ -376,6 +380,27 @@ class CrosseRestService:
             # Join handle to GET /api/v1/traces/{query_id}.
             payload["query_id"] = trace.query_id
         return payload
+
+    def _analyze_v1(self, _params: dict, body: dict) -> dict:
+        """Static analysis of a SESQL statement, without executing it.
+
+        Always answers 200 with a report: an unparsable statement
+        yields one ``E-SYNTAX`` diagnostic rather than a transport
+        error, so linting clients can treat every outcome uniformly.
+        """
+        username = body["username"]
+        text = body["query"]
+        with self.pool.checkout(username) as session:
+            try:
+                prepared = session.prepare(text)
+            except (SesqlError, RelationalError) as exc:
+                report = AnalysisReport(statement=text)
+                report.add("E-SYNTAX", str(exc))
+                return {"report": report.to_dict()}
+            report = prepared.diagnostics
+        if report is None:  # analysis disabled on this session
+            report = AnalysisReport(statement=text)
+        return {"report": report.to_dict()}
 
     # -- v1: batch ------------------------------------------------------------------
 

@@ -66,10 +66,19 @@ class CompileContext:
         #: Operator kinds ("scan", "filter", "project", "aggregate")
         #: that compiled to the vectorized path anywhere in the tree.
         self.vectorized_ops: set[str] = set()
+        #: ``(expression, reason)`` pairs for WHERE conjuncts that fell
+        #: back to the row path during an otherwise vectorized scan —
+        #: the runtime counterpart of the analyzer's ``W-VEC-FALLBACK``.
+        self.vectorized_fallbacks: list[tuple[str, str]] = []
         self._watchers: list[set[int]] = []
 
     def note_vectorized(self, op: str) -> None:
         self.vectorized_ops.add(op)
+
+    def note_fallback(self, expression: str, reason: str) -> None:
+        entry = (expression, reason)
+        if entry not in self.vectorized_fallbacks:
+            self.vectorized_fallbacks.append(entry)
 
     def plan_node(self, ast_node):
         """The planner's operator node for *ast_node* (or ``None``)."""

@@ -215,6 +215,15 @@ class Database:
         Observability only (tests assert fallback behaviour with it)."""
         return getattr(self._plans, "last_vectorized", set())
 
+    @property
+    def last_vectorized_fallbacks(self) -> list:
+        """``(expression, reason)`` pairs for WHERE conjuncts of the
+        most recent SELECT *on this thread* that a vectorized scan had
+        to evaluate row-at-a-time — why each predicate fell off the
+        batch path, in the analyzer's ``W-VEC-FALLBACK`` vocabulary.
+        Empty when the scan was fully vectorized (or not batched)."""
+        return getattr(self._plans, "last_fallbacks", [])
+
     # -- SQL entry points ---------------------------------------------------
 
     def execute(self, sql: str) -> ResultSet | int | None:
@@ -324,6 +333,7 @@ class Database:
                              vectorize=self.vectorized,
                              exec_hooks=self._exec_hooks)
         self._plans.last_vectorized = plan.vectorized_ops
+        self._plans.last_fallbacks = plan.vectorized_fallbacks
         return plan, planned
 
     def _run_select(self, query: ast.SelectQuery) -> ResultSet:

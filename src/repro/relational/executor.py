@@ -28,7 +28,8 @@ from .indexes import _normalize
 from .schema import ResultColumn, RowSchema
 from .table import Table, find_probe_index
 from .types import DataType, is_true, sort_key, values_equal
-from .vectors import compile_filter_kernel
+from .render import render_expr
+from .vectors import compile_filter_kernel, fallback_reason
 
 #: Without a cost-based decision, equi-joins probe an index on the
 #: inner table only when it is at least this large — below that, an
@@ -68,6 +69,9 @@ class QueryPlan:
         #: Vectorized operator kinds used anywhere in this plan's tree
         #: (filled in by ``compile_query``; empty for inner plans).
         self.vectorized_ops: set[str] = set()
+        #: ``(expression, reason)`` pairs for conjuncts a vectorized
+        #: scan had to evaluate on the row path (hybrid plans).
+        self.vectorized_fallbacks: list[tuple[str, str]] = []
         if stream is None:
             if chunks is None:
                 raise ValueError("QueryPlan needs a stream or chunks")
@@ -624,6 +628,9 @@ def _build_vector_input(core: ast.SelectCore, table: Table,
             kernel = compile_filter_kernel(conjunct, resolve)
             if kernel is None:
                 residual.append(conjunct)
+                reason = fallback_reason(conjunct, resolve)
+                if reason is not None:
+                    ctx.note_fallback(render_expr(conjunct), reason)
             else:
                 kernels.append(kernel)
     residual_expr = ast.conjoin(residual)
@@ -1249,9 +1256,14 @@ def compile_query(query: ast.SelectQuery, catalog: Catalog,
 def _finish_plan(plan: QueryPlan, ctx: CompileContext,
                  top_level: bool) -> QueryPlan:
     plan.vectorized_ops = ctx.vectorized_ops
+    plan.vectorized_fallbacks = ctx.vectorized_fallbacks
     if top_level and ctx.planned is not None and ctx.vectorized_ops:
-        ctx.planned.notes.append(
-            "vectorized: " + ", ".join(sorted(ctx.vectorized_ops)))
+        note = "vectorized: " + ", ".join(sorted(ctx.vectorized_ops))
+        if ctx.vectorized_fallbacks:
+            note += "; fallback: " + "; ".join(
+                f"{expression} ({reason})"
+                for expression, reason in ctx.vectorized_fallbacks)
+        ctx.planned.notes.append(note)
     return plan
 
 

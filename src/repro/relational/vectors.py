@@ -324,6 +324,97 @@ def _like_kernel(expr: ast.Like, resolve: Resolver) -> Kernel | None:
                          for v in cols[p]]
 
 
+def fallback_reason(expr: ast.Expr, resolve: Resolver) -> str | None:
+    """Why *expr* has no vector kernel, or ``None`` when it compiles.
+
+    The single source of truth for "would this conjunct vectorize":
+    the answer is literally :func:`compile_filter_kernel`'s, so the
+    runtime fallback note, ``Database.last_vectorized_fallbacks`` and
+    the static analyzer's ``W-VEC-FALLBACK`` diagnostic can never
+    disagree about *whether* — this function only adds the *why*.
+    """
+    if compile_filter_kernel(expr, resolve) is not None:
+        return None
+    return _describe_fallback(expr, resolve)
+
+
+def _describe_fallback(expr: ast.Expr, resolve: Resolver) -> str:
+    generic = "unsupported predicate shape"
+    if isinstance(expr, ast.UnaryOp) and expr.op.upper() == "NOT":
+        operand = expr.operand
+        if isinstance(operand, ast.ColumnRef):
+            ref = resolve(operand)
+            if ref is None:
+                return "column is not a plain column of the scanned table"
+            return "NOT over a non-boolean column"
+        pushed = _negated(operand)
+        if pushed is None:
+            return ("NOT cannot be pushed into "
+                    f"{type(operand).__name__} exactly")
+        return _describe_fallback(pushed, resolve)
+    if isinstance(expr, ast.BinaryOp):
+        op = expr.op.upper()
+        if op in ("AND", "OR"):
+            for side in (expr.left, expr.right):
+                if compile_filter_kernel(side, resolve) is None:
+                    return _describe_fallback(side, resolve)
+            return generic  # pragma: no cover - both sides compiled
+        if expr.op in _COMPARISONS:
+            left_ref = _resolved(expr.left, resolve)
+            right_ref = _resolved(expr.right, resolve)
+            if left_ref is not None and right_ref is not None:
+                return ("ordered comparison across type families "
+                        "(raises on the row path)")
+            for ref, other in ((left_ref, expr.right),
+                               (right_ref, expr.left)):
+                if ref is not None:
+                    if isinstance(other, ast.Literal):
+                        if _literal_family(other.value) is None:
+                            return "comparison with a non-SQL literal"
+                        return ("ordered comparison across type "
+                                "families (raises on the row path)")
+                    return (f"comparison operand is a "
+                            f"{type(other).__name__}, not a column or "
+                            "literal")
+            return ("neither comparison side is a plain column of the "
+                    "scanned table")
+        return f"operator {expr.op!r} has no vector kernel"
+    if isinstance(expr, ast.IsNull):
+        return "IS NULL operand is not a plain column"
+    if isinstance(expr, ast.Between):
+        if _resolved(expr.operand, resolve) is None:
+            return "BETWEEN operand is not a plain column"
+        return "BETWEEN bounds are not literals"
+    if isinstance(expr, ast.InList):
+        if _resolved(expr.operand, resolve) is None:
+            return "IN operand is not a plain column"
+        return "IN list contains non-literal items"
+    if isinstance(expr, ast.Like):
+        ref = _resolved(expr.operand, resolve)
+        if ref is None:
+            return "LIKE operand is not a plain column"
+        if ref[1] is not DataType.TEXT:
+            return "LIKE over a non-text column (raises on the row path)"
+        if not isinstance(expr.pattern, ast.Literal):
+            return "LIKE pattern is not a literal"
+        return "LIKE pattern is not a string"
+    if isinstance(expr, ast.Literal):
+        return "non-boolean constant predicate (raises on the row path)"
+    if isinstance(expr, ast.ColumnRef):
+        if resolve(expr) is None:
+            return "column is not a plain column of the scanned table"
+        return "bare predicate over a non-boolean column"
+    if isinstance(expr, ast.FunctionCall):
+        return f"function call {expr.name.upper()} has no vector kernel"
+    if isinstance(expr, (ast.InSubquery, ast.Exists, ast.ScalarSubquery)):
+        return "subquery predicates run on the row path"
+    if isinstance(expr, ast.CaseExpr):
+        return "CASE expressions run on the row path"
+    if isinstance(expr, ast.Cast):
+        return "CAST expressions run on the row path"
+    return generic
+
+
 def compile_filter_kernel(expr: ast.Expr, resolve: Resolver) \
         -> Kernel | None:
     """Compile *expr* to a strict-true mask kernel, or ``None``.

@@ -1,0 +1,112 @@
+"""Property-based tests (hypothesis) for the query analyzer.
+
+The analyzer's severity taxonomy is a *promise*: an ``E-`` diagnostic
+means the executor is certain to reject the statement, while warnings
+never block anything.  Random queries check both directions of that
+promise against the real engine:
+
+* soundness — a statement that executes successfully never carries an
+  error-severity diagnostic;
+* the reported direction — a statement the analyzer marks with errors
+  really is rejected by the executor;
+* totality — the analyzer itself never raises, even on garbage input.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import analyze_sql
+from repro.relational import Database
+
+
+def build_db() -> Database:
+    db = Database("props")
+    db.execute_script("""
+        CREATE TABLE t (a INTEGER, b TEXT, c REAL);
+        CREATE TABLE u (a INTEGER, d TEXT);
+        CREATE INDEX idx_t_b ON t (b);
+        INSERT INTO t (a, b, c) VALUES (1, 'x', 0.5);
+        INSERT INTO t (a, b, c) VALUES (2, 'y', 1.5);
+        INSERT INTO u (a, d) VALUES (1, 'z');
+    """)
+    return db
+
+
+#: Read-only throughout: every generated statement is a SELECT.
+DB = build_db()
+
+COLUMNS = {"t": ["a", "b", "c"], "u": ["a", "d"]}
+
+literals = st.one_of(
+    st.integers(-5, 5).map(str),
+    st.sampled_from(["0.5", "'x'", "'zz'", "NULL", "TRUE"]))
+
+operators = st.sampled_from(["=", "<>", "<", ">", "<=", ">="])
+
+
+@st.composite
+def select_queries(draw) -> str:
+    """A SELECT that may or may not be valid — names are sometimes
+    wrong, types sometimes clash, ordinals sometimes out of range."""
+    table = draw(st.sampled_from(["t", "u", "t, u", "t AS s"]))
+    base = "s" if "AS" in table else table.split(",")[0]
+    pool = COLUMNS[base if base in COLUMNS else "t"] + ["nope"]
+    items = draw(st.one_of(
+        st.just("*"),
+        st.just("COUNT(*)"),
+        st.lists(st.sampled_from(pool), min_size=1, max_size=3)
+          .map(", ".join),
+        st.sampled_from(pool).map(lambda c: f"UPPER({c})")))
+    sql = f"SELECT {items} FROM {table}"
+    if draw(st.booleans()):
+        column = draw(st.sampled_from(pool))
+        sql += (f" WHERE {column} {draw(operators)} {draw(literals)}")
+    if draw(st.booleans()):
+        sql += f" ORDER BY {draw(st.integers(0, 4))}"
+    if draw(st.booleans()):
+        sql += f" LIMIT {draw(st.integers(0, 10))}"
+    return sql
+
+
+@given(select_queries())
+@settings(max_examples=200, deadline=None)
+def test_executing_statements_carry_no_errors(sql):
+    try:
+        DB.execute(sql)
+    except Exception:
+        return                     # invalid statements checked below
+    report = analyze_sql(sql, DB)
+    assert not report.has_errors, \
+        f"{sql!r} executed fine but analyzer said:\n{report.format()}"
+
+
+@given(select_queries())
+@settings(max_examples=200, deadline=None)
+def test_error_diagnostics_mean_execution_fails(sql):
+    report = analyze_sql(sql, DB)
+    if not report.has_errors:
+        return
+    try:
+        DB.execute(sql)
+    except Exception:
+        return
+    raise AssertionError(
+        f"{sql!r} got {sorted(report.codes())} but executed fine")
+
+
+@given(select_queries())
+@settings(max_examples=100, deadline=None)
+def test_analyzer_is_total_on_generated_queries(sql):
+    report = analyze_sql(sql, DB)
+    assert report.to_dict()["statement"]
+
+
+@given(st.text(
+    alphabet="SELECT FROM WHERE()*,'=<>;-%?abct123 \n", max_size=80))
+@settings(max_examples=150, deadline=None)
+def test_analyzer_is_total_on_garbage(text):
+    report = analyze_sql(text, DB)
+    for diagnostic in report:
+        assert diagnostic.code

@@ -5,7 +5,6 @@ from __future__ import annotations
 
 import threading
 import time
-import warnings
 
 import pytest
 
@@ -502,22 +501,17 @@ class TestCachedViewWarnings:
 
 
 # ---------------------------------------------------------------------------
-# satellite: sparql_executions deprecation
+# satellite: sparql_executions deprecation (completed — attribute removed)
 
 
-class TestSparqlExecutionsDeprecation:
-    def test_deprecated_attribute_still_reads_correctly(self):
+class TestSparqlExecutionCount:
+    def test_deprecated_attribute_is_gone(self):
         db = elements_db("main", [("lead", 12.0)])
         session = repro.connect(db, knowledge_base=danger_kb())
         session.execute(ENRICHED)
         sqm = session.engine.sqm
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            value = sqm.sparql_executions
-        assert value == sqm.sparql_execution_count() == 1
-        assert len(caught) == 1
-        assert issubclass(caught[0].category, DeprecationWarning)
-        assert "sparql_execution_count" in str(caught[0].message)
+        assert sqm.sparql_execution_count() == 1
+        assert not hasattr(sqm, "sparql_executions")
 
     def test_metric_mirrors_counter(self):
         db = elements_db("main", [("lead", 12.0)])
